@@ -1,0 +1,87 @@
+//! One Criterion bench per paper artifact (Table 1, Figures 1–5,
+//! Tables 2–3), each timing the regeneration of that artifact on a
+//! small subset at test scale.
+//!
+//! The *full* regeneration at reference scale — the numbers recorded in
+//! `EXPERIMENTS.md` — is produced by the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p cbsp-bench --bin experiments -- all --scale ref
+//! ```
+
+use cbsp_bench::{evaluate_benchmark, phase_bias, report, run_suite, Pair};
+use cbsp_program::Scale;
+use cbsp_sim::MemoryConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SUBSET: &[&str] = &["gzip", "swim", "crafty"];
+const INTERVAL: u64 = 20_000;
+
+fn subset() -> Vec<String> {
+    SUBSET.iter().map(|s| s.to_string()).collect()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("artifact/table1_memory_config", |b| {
+        b.iter(|| black_box(report::table1(&MemoryConfig::table1())))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    // The suite evaluation produces the data behind Figures 1-5; each
+    // figure's rendering is then timed separately on top of it.
+    let results = run_suite(&subset(), Scale::Test, INTERVAL, &MemoryConfig::table1(), 3);
+
+    group.bench_function("fig1_num_simpoints", |b| {
+        b.iter(|| black_box(report::fig1(&results)))
+    });
+    group.bench_function("fig2_vli_interval_size", |b| {
+        b.iter(|| black_box(report::fig2(&results)))
+    });
+    group.bench_function("fig3_cpi_error", |b| {
+        b.iter(|| black_box(report::fig3(&results)))
+    });
+    group.bench_function("fig4_same_platform_speedup_error", |b| {
+        b.iter(|| black_box(report::fig4(&results)))
+    });
+    group.bench_function("fig5_cross_platform_speedup_error", |b| {
+        b.iter(|| black_box(report::fig5(&results)))
+    });
+
+    // End-to-end data collection for one benchmark (the expensive part
+    // behind every figure).
+    group.bench_function("figdata_one_benchmark_eval", |b| {
+        b.iter(|| {
+            black_box(evaluate_benchmark(
+                "gzip",
+                Scale::Test,
+                INTERVAL,
+                &MemoryConfig::table1(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_phase_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    group.bench_function("table2_gcc_phase_bias", |b| {
+        b.iter(|| {
+            let run = evaluate_benchmark("gcc", Scale::Test, INTERVAL, &MemoryConfig::table1());
+            black_box(phase_bias(&run, Pair::P32u64u, 3))
+        })
+    });
+    group.bench_function("table3_apsi_phase_bias", |b| {
+        b.iter(|| {
+            let run = evaluate_benchmark("apsi", Scale::Test, INTERVAL, &MemoryConfig::table1());
+            black_box(phase_bias(&run, Pair::P32o64o, 3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_figures, bench_phase_tables);
+criterion_main!(benches);

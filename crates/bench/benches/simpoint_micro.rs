@@ -1,0 +1,101 @@
+//! Microbenchmarks of the SimPoint engine: projection, k-means, BIC,
+//! and the full `analyze` driver at realistic interval counts.
+
+use cbsp_simpoint::{analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Synthetic BBVs: `n` intervals over `dims` blocks in `phases` phases.
+fn synthetic_bbvs(n: usize, dims: usize, phases: usize) -> (Vec<Vec<f64>>, Vec<u64>) {
+    let mut vectors = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = i % phases;
+        let mut v = vec![0.0; dims];
+        let base = (p * dims / phases) % dims;
+        for j in 0..(dims / phases).max(1) {
+            v[base + j] = 100.0 + ((i * 7 + j * 3) % 13) as f64;
+        }
+        vectors.push(v);
+    }
+    (vectors, vec![100_000; n])
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    for &dims in &[128usize, 512, 2048] {
+        let (vectors, _) = synthetic_bbvs(64, dims, 4);
+        let p = Projection::new(42, 15);
+        group.bench_with_input(BenchmarkId::new("project_64_vectors", dims), &dims, |b, _| {
+            b.iter(|| {
+                for v in &vectors {
+                    black_box(p.project(v));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &n in &[100usize, 400, 1600] {
+        let (vectors, counts) = synthetic_bbvs(n, 240, 6);
+        let p = Projection::new(1, 15);
+        let data = p.project_all(&vectors);
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        group.bench_with_input(BenchmarkId::new("k8", n), &n, |b, _| {
+            b.iter(|| black_box(kmeans(&data, &weights, 8, 3, 100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamerly_vs_lloyd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_engines");
+    for &n in &[400usize, 1600] {
+        let (vectors, counts) = synthetic_bbvs(n, 240, 6);
+        let p = Projection::new(1, 15);
+        let data = p.project_all(&vectors);
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let init: Vec<Vec<f64>> = (0..8).map(|i| data[i * n / 8].clone()).collect();
+        group.bench_with_input(BenchmarkId::new("lloyd_k8", n), &n, |b, _| {
+            b.iter(|| black_box(kmeans(&data, &weights, 8, 3, 100)))
+        });
+        group.bench_with_input(BenchmarkId::new("hamerly_k8", n), &n, |b, _| {
+            b.iter(|| black_box(kmeans_hamerly_from(&data, &weights, init.clone(), 100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bic(c: &mut Criterion) {
+    let (vectors, counts) = synthetic_bbvs(400, 240, 6);
+    let p = Projection::new(1, 15);
+    let data = p.project_all(&vectors);
+    let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let clustering = kmeans(&data, &weights, 6, 3, 100);
+    c.bench_function("bic/400x15", |b| {
+        b.iter(|| black_box(bic(&data, &weights, &clustering)))
+    });
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let (vectors, counts) = synthetic_bbvs(n, 600, 6);
+        group.bench_with_input(BenchmarkId::new("full_driver", n), &n, |b, _| {
+            b.iter(|| black_box(analyze(&vectors, &counts, &SimPointConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_projection,
+    bench_kmeans,
+    bench_hamerly_vs_lloyd,
+    bench_bic,
+    bench_analyze
+);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|table2|table3]
+//!             [--scale test|train|ref] [--interval N]
+//!             [--benchmarks a,b,c] [--threads N] [--json FILE]
+//! ```
+
+use cbsp_bench::{
+    evaluate_benchmark, mpki_eval, phase_bias, report, run_ablations, run_suite,
+    standard_archs, sweep_benchmark, Pair,
+};
+use cbsp_program::Scale;
+use cbsp_sim::MemoryConfig;
+
+struct Options {
+    artifact: String,
+    scale: Scale,
+    interval: u64,
+    benchmarks: Vec<String>,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        artifact: "all".to_string(),
+        scale: Scale::Reference,
+        interval: 100_000,
+        benchmarks: Vec::new(),
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("train") => Scale::Train,
+                    Some("ref") | Some("reference") => Scale::Reference,
+                    other => die(&format!("bad --scale {other:?}")),
+                }
+            }
+            "--interval" => {
+                opts.interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("bad --interval"));
+            }
+            "--benchmarks" => {
+                opts.benchmarks = args
+                    .next()
+                    .unwrap_or_else(|| die("--benchmarks needs a list"))
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("bad --threads"));
+            }
+            "--json" => {
+                opts.json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds] \
+                     [--scale test|train|ref] [--interval N] \
+                     [--benchmarks a,b,c] [--threads N] [--json FILE]"
+                );
+                std::process::exit(0);
+            }
+            name if !name.starts_with('-') => opts.artifact = name.to_string(),
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    let mem = MemoryConfig::table1();
+
+    match opts.artifact.as_str() {
+        "table1" => {
+            print!("{}", report::table1(&mem));
+            return;
+        }
+        "table2" | "table3" => {
+            let (name, pair, labels) = if opts.artifact == "table2" {
+                ("gcc", Pair::P32u64u, ("32-bit Unoptimized", "64-bit Unoptimized"))
+            } else {
+                ("apsi", Pair::P32o64o, ("32-bit Optimized", "64-bit Optimized"))
+            };
+            eprintln!("evaluating {name} at {:?} scale...", opts.scale);
+            let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+            let t = phase_bias(&run, pair, 3);
+            print!("{}", report::phase_table(&t, labels));
+            return;
+        }
+        "mpki" => {
+            // Second-metric extrapolation: DRAM accesses per kilo-instruction.
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["mcf", "swim", "gcc", "crafty", "apsi", "equake"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            println!(
+                "DRAM MPKI extrapolation (avg relative error across 4 binaries)\n{:<10} {:>10} {:>8} {:>8}",
+                "benchmark", "true@32o", "FLI", "VLI"
+            );
+            for name in names {
+                eprintln!("  evaluating {name}...");
+                let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+                let m = mpki_eval(&run);
+                println!(
+                    "{:<10} {:>10.3} {:>7.2}% {:>7.2}%",
+                    name,
+                    m.true_mpki[1],
+                    100.0 * m.avg_err(false),
+                    100.0 * m.avg_err(true)
+                );
+            }
+            return;
+        }
+        "seeds" => {
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["gzip", "gcc", "mcf", "apsi"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            let mut rows = Vec::new();
+            for name in names {
+                eprintln!("  seed stability on {name}...");
+                rows.push(cbsp_bench::seed_stability(name, opts.scale, opts.interval, 5));
+            }
+            print!("{}", cbsp_bench::seeds::render(&rows));
+            return;
+        }
+        "softmarkers" => {
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["swim", "sixtrack", "art", "gzip", "mesa"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            let mut rows = Vec::new();
+            for name in names {
+                eprintln!("  phase-marker study on {name}...");
+                rows.push(cbsp_bench::softmark_benchmark(name, opts.scale, opts.interval));
+            }
+            print!("{}", cbsp_bench::softmark_study::render(&rows));
+            return;
+        }
+        "warmup" => {
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["gzip", "mcf", "swim", "equake"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            let mut rows = Vec::new();
+            for name in names {
+                eprintln!("  warmup study on {name}...");
+                rows.push(cbsp_bench::warmup_benchmark(name, opts.scale, opts.interval));
+            }
+            print!("{}", cbsp_bench::warmup::render(&rows));
+            return;
+        }
+        "archsweep" => {
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["gzip", "mcf", "swim", "gcc", "twolf"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            let archs = standard_archs();
+            let mut rows = Vec::new();
+            for name in names {
+                eprintln!("  sweeping {name}...");
+                rows.push(sweep_benchmark(name, opts.scale, opts.interval, &archs));
+            }
+            print!("{}", cbsp_bench::archsweep::render(&rows, &archs));
+            return;
+        }
+        "ablation" => {
+            let names: Vec<&str> = if opts.benchmarks.is_empty() {
+                vec!["gzip", "gcc", "swim", "mcf", "applu"]
+            } else {
+                opts.benchmarks.iter().map(String::as_str).collect()
+            };
+            eprintln!(
+                "running ablations over {names:?} at {:?} scale...",
+                opts.scale
+            );
+            let results = run_ablations(&names, opts.scale, opts.interval, &mem);
+            print!("{}", cbsp_bench::ablation::render(&results));
+            return;
+        }
+        _ => {}
+    }
+
+    // Everything else needs the suite results.
+    eprintln!(
+        "running suite at {:?} scale, interval target {}...",
+        opts.scale, opts.interval
+    );
+    let results = run_suite(&opts.benchmarks, opts.scale, opts.interval, &mem, opts.threads);
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+
+    match opts.artifact.as_str() {
+        "fig1" => print!("{}", report::fig1(&results)),
+        "fig2" => print!("{}", report::fig2(&results)),
+        "fig3" => print!("{}", report::fig3(&results)),
+        "fig4" => print!("{}", report::fig4(&results)),
+        "fig5" => print!("{}", report::fig5(&results)),
+        "all" => {
+            println!("{}", report::table1(&mem));
+            println!("{}", report::fig1(&results));
+            println!("{}", report::fig2(&results));
+            println!("{}", report::fig3(&results));
+            println!("{}", report::fig4(&results));
+            println!("{}", report::fig5(&results));
+            for (name, pair, labels) in [
+                ("gcc", Pair::P32u64u, ("32u", "64u")),
+                ("apsi", Pair::P32o64o, ("32o", "64o")),
+            ] {
+                let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+                let t = phase_bias(&run, pair, 3);
+                println!("{}", report::phase_table(&t, labels));
+            }
+        }
+        other => die(&format!("unknown artifact {other}")),
+    }
+}

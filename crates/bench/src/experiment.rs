@@ -1,0 +1,479 @@
+//! Per-benchmark evaluation: runs both SimPoint schemes on all four
+//! binaries of a program, simulates everything, and computes the
+//! paper's metrics.
+
+use cbsp_core::{
+    relative_error, run_cross_binary, run_per_binary, speedup, speedup_error, weighted_cpi,
+    weighted_cpi_with, weighted_metric, weighted_metric_with, CbspConfig, CrossBinaryResult,
+    PerBinaryResult,
+};
+use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
+use cbsp_sim::{simulate_fli_sliced, simulate_marker_sliced, IntervalSim, MemoryConfig, SimStats};
+use serde::{Deserialize, Serialize};
+
+/// The four standard binaries, in paper order.
+pub const BINARY_LABELS: [&str; 4] = ["32u", "32o", "64u", "64o"];
+
+/// Binary-pair configurations of Figures 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pair {
+    /// 32-bit unoptimized → 32-bit optimized (same platform, Fig 4).
+    P32u32o,
+    /// 64-bit unoptimized → 64-bit optimized (same platform, Fig 4).
+    P64u64o,
+    /// 32-bit unoptimized → 64-bit unoptimized (cross platform, Fig 5).
+    P32u64u,
+    /// 32-bit optimized → 64-bit optimized (cross platform, Fig 5).
+    P32o64o,
+}
+
+impl Pair {
+    /// All four pairs in figure order.
+    pub const ALL: [Pair; 4] = [Pair::P32u32o, Pair::P64u64o, Pair::P32u64u, Pair::P32o64o];
+
+    /// Indices into the `ALL_FOUR` binary order (`[32u, 32o, 64u, 64o]`).
+    pub fn indices(self) -> (usize, usize) {
+        match self {
+            Pair::P32u32o => (0, 1),
+            Pair::P64u64o => (2, 3),
+            Pair::P32u64u => (0, 2),
+            Pair::P32o64o => (1, 3),
+        }
+    }
+
+    /// Label as used in the paper's figures, e.g. `"32u32o"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pair::P32u32o => "32u32o",
+            Pair::P64u64o => "64u64o",
+            Pair::P32u64u => "32u64u",
+            Pair::P32o64o => "32o64o",
+        }
+    }
+}
+
+/// Per-binary measurements for one estimation scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeEval {
+    /// Simulation points chosen (k), per binary.
+    pub num_points: [usize; 4],
+    /// Estimated whole-program CPI, per binary.
+    pub cpi_est: [f64; 4],
+    /// Relative CPI error vs. the full simulation, per binary.
+    pub cpi_err: [f64; 4],
+    /// Estimated total cycles, per binary.
+    pub cycles_est: [f64; 4],
+}
+
+impl SchemeEval {
+    /// Mean CPI error across the four binaries (the bars of Figure 3).
+    pub fn avg_cpi_err(&self) -> f64 {
+        self.cpi_err.iter().sum::<f64>() / 4.0
+    }
+
+    /// Mean number of simulation points (the bars of Figure 1).
+    pub fn avg_num_points(&self) -> f64 {
+        self.num_points.iter().sum::<usize>() as f64 / 4.0
+    }
+
+    /// Estimated speedup for a binary pair.
+    pub fn est_speedup(&self, pair: Pair) -> f64 {
+        let (a, b) = pair.indices();
+        speedup(self.cycles_est[a], self.cycles_est[b])
+    }
+}
+
+/// One row of phase-bias detail (Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Phase id (within its scheme/binary).
+    pub phase: u32,
+    /// Phase weight (fraction of instructions).
+    pub weight: f64,
+    /// True CPI: instruction-weighted CPI over all intervals of the
+    /// phase.
+    pub true_cpi: f64,
+    /// CPI of the phase's simulation point.
+    pub sp_cpi: f64,
+}
+
+impl PhaseRow {
+    /// The paper's signed per-phase bias: `(true − sp) / true`.
+    pub fn cpi_error(&self) -> f64 {
+        if self.true_cpi == 0.0 {
+            0.0
+        } else {
+            (self.true_cpi - self.sp_cpi) / self.true_cpi
+        }
+    }
+}
+
+/// Full evaluation of one benchmark at one scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkEval {
+    /// Benchmark name.
+    pub name: String,
+    /// True whole-program stats per binary (`[32u, 32o, 64u, 64o]`).
+    pub true_stats: [SimStats; 4],
+    /// Classic per-binary SimPoint (FLI).
+    pub fli: SchemeEval,
+    /// Mappable cross-binary SimPoint (VLI).
+    pub vli: SchemeEval,
+    /// Average VLI interval size in instructions (averaged over the
+    /// four binaries' mapped slicings — Figure 2).
+    pub vli_avg_interval: f64,
+    /// Largest mapped interval observed in any binary, in instructions
+    /// (the tail Figure 2's averages hide).
+    pub vli_max_interval: u64,
+    /// Number of mappable points found.
+    pub mappable_points: usize,
+    /// Procedures recovered by the inlining analysis.
+    pub recovered_procs: usize,
+    /// Interval-size target used.
+    pub interval_target: u64,
+}
+
+impl BenchmarkEval {
+    /// True speedup of a binary pair (ratio of full-run cycles).
+    pub fn true_speedup(&self, pair: Pair) -> f64 {
+        let (a, b) = pair.indices();
+        speedup(
+            self.true_stats[a].cycles as f64,
+            self.true_stats[b].cycles as f64,
+        )
+    }
+
+    /// Speedup-estimation error of a scheme on a pair (Figures 4–5).
+    pub fn speedup_err(&self, vli: bool, pair: Pair) -> f64 {
+        let scheme = if vli { &self.vli } else { &self.fli };
+        speedup_error(self.true_speedup(pair), scheme.est_speedup(pair))
+    }
+}
+
+/// Phase-bias tables for one benchmark/binary-pair (Tables 2 and 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBias {
+    /// Benchmark name.
+    pub name: String,
+    /// The two binaries compared (indices into `ALL_FOUR` order).
+    pub pair: Pair,
+    /// Top phases under VLI, per binary of the pair: `vli[0]` and
+    /// `vli[1]` are index-aligned (same phase ids — that is the point).
+    pub vli: [Vec<PhaseRow>; 2],
+    /// Top phases under FLI, per binary of the pair (independent phase
+    /// ids per binary).
+    pub fli: [Vec<PhaseRow>; 2],
+}
+
+/// Everything needed to evaluate one benchmark (kept so callers can
+/// also inspect intermediate artifacts).
+pub struct BenchmarkRun {
+    /// The four compiled binaries.
+    pub binaries: Vec<Binary>,
+    /// The cross-binary pipeline output.
+    pub cross: CrossBinaryResult,
+    /// Per-binary FLI analyses.
+    pub per_binary: Vec<PerBinaryResult>,
+    /// Per-binary interval stats under the mapped (VLI) slicing.
+    pub vli_interval_stats: Vec<Vec<IntervalSim>>,
+    /// Per-binary interval stats under the FLI slicing.
+    pub fli_interval_stats: Vec<Vec<IntervalSim>>,
+    /// The evaluation summary.
+    pub eval: BenchmarkEval,
+}
+
+/// Runs the complete evaluation of one benchmark.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload suite.
+pub fn evaluate_benchmark(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+) -> BenchmarkRun {
+    let workload = workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let prog = workload.build(scale);
+    let input = match scale {
+        Scale::Test => Input::test(),
+        Scale::Train => Input::train(),
+        Scale::Reference => Input::reference(),
+    };
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&prog, t))
+        .collect();
+    let bin_refs: Vec<&Binary> = binaries.iter().collect();
+
+    // Cross-binary (VLI) pipeline.
+    let config = CbspConfig {
+        interval_target,
+        ..CbspConfig::default()
+    };
+    let cross = run_cross_binary(&bin_refs, &input, &config).expect("same-program binaries");
+
+    // Per-binary (FLI) pipeline.
+    let per_binary: Vec<PerBinaryResult> = binaries
+        .iter()
+        .map(|b| run_per_binary(b, &input, interval_target, &config.simpoint))
+        .collect();
+
+    // Detailed simulation, sliced both ways.
+    let mut true_stats = [SimStats::default(); 4];
+    let mut vli_interval_stats = Vec::with_capacity(4);
+    let mut fli_interval_stats = Vec::with_capacity(4);
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full_v, mut ivs_v) = simulate_marker_sliced(bin, &input, mem, &cross.boundaries[b]);
+        ivs_v.resize(cross.interval_count(), IntervalSim::default());
+        let (full_f, ivs_f) = simulate_fli_sliced(bin, &input, mem, interval_target);
+        debug_assert_eq!(full_v, full_f, "slicing must not change the simulation");
+        true_stats[b] = full_v;
+        vli_interval_stats.push(ivs_v);
+        fli_interval_stats.push(ivs_f);
+    }
+
+    // FLI estimates: per-binary points and weights.
+    let mut fli = SchemeEval {
+        num_points: [0; 4],
+        cpi_est: [0.0; 4],
+        cpi_err: [0.0; 4],
+        cycles_est: [0.0; 4],
+    };
+    for b in 0..4 {
+        let cpis: Vec<f64> = fli_interval_stats[b].iter().map(IntervalSim::cpi).collect();
+        let est = weighted_cpi(&per_binary[b].simpoint.points, &cpis);
+        fli.num_points[b] = per_binary[b].simpoint.points.len();
+        fli.cpi_est[b] = est;
+        fli.cpi_err[b] = relative_error(true_stats[b].cpi(), est);
+        fli.cycles_est[b] = est * true_stats[b].instructions as f64;
+    }
+
+    // VLI estimates: shared points, per-binary recalculated weights.
+    let mut vli = SchemeEval {
+        num_points: [0; 4],
+        cpi_est: [0.0; 4],
+        cpi_err: [0.0; 4],
+        cycles_est: [0.0; 4],
+    };
+    for b in 0..4 {
+        let cpis: Vec<f64> = vli_interval_stats[b].iter().map(IntervalSim::cpi).collect();
+        let est = weighted_cpi_with(&cross.simpoint.points, &cross.weights[b], &cpis);
+        vli.num_points[b] = cross.simpoint.points.len();
+        vli.cpi_est[b] = est;
+        vli.cpi_err[b] = relative_error(true_stats[b].cpi(), est);
+        vli.cycles_est[b] = est * true_stats[b].instructions as f64;
+    }
+
+    // Figure 2's metric: mapped interval sizes averaged over binaries.
+    let vli_avg_interval = (0..4)
+        .map(|b| {
+            let n = cross.interval_count().max(1) as f64;
+            true_stats[b].instructions as f64 / n
+        })
+        .sum::<f64>()
+        / 4.0;
+    let vli_max_interval = cross
+        .interval_instrs
+        .iter()
+        .flat_map(|slices| slices.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    let eval = BenchmarkEval {
+        name: name.to_string(),
+        true_stats,
+        fli,
+        vli,
+        vli_avg_interval,
+        vli_max_interval,
+        mappable_points: cross.mappable.points.len(),
+        recovered_procs: cross.recovered_procs,
+        interval_target,
+    };
+
+    BenchmarkRun {
+        binaries,
+        cross,
+        per_binary,
+        vli_interval_stats,
+        fli_interval_stats,
+        eval,
+    }
+}
+
+/// Estimation quality for a *second* architecture metric — DRAM
+/// accesses per kilo-instruction — demonstrating that the same
+/// simulation points extrapolate any metric the simulator reports
+/// (paper §2.3 step 6: "CPI, miss rate, etc.").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpkiEval {
+    /// True DRAM MPKI per binary.
+    pub true_mpki: [f64; 4],
+    /// Per-binary SimPoint estimate.
+    pub fli_est: [f64; 4],
+    /// Cross-binary SimPoint estimate.
+    pub vli_est: [f64; 4],
+}
+
+impl MpkiEval {
+    /// Mean relative estimation error of a scheme across binaries.
+    pub fn avg_err(&self, vli: bool) -> f64 {
+        let est = if vli { &self.vli_est } else { &self.fli_est };
+        (0..4)
+            .map(|b| relative_error(self.true_mpki[b], est[b]))
+            .sum::<f64>()
+            / 4.0
+    }
+}
+
+/// Computes the DRAM-MPKI extrapolation quality of a completed run.
+pub fn mpki_eval(run: &BenchmarkRun) -> MpkiEval {
+    let mut out = MpkiEval {
+        true_mpki: [0.0; 4],
+        fli_est: [0.0; 4],
+        vli_est: [0.0; 4],
+    };
+    for b in 0..4 {
+        out.true_mpki[b] = run.eval.true_stats[b].dram_mpki();
+        let vli_vals: Vec<f64> = run.vli_interval_stats[b]
+            .iter()
+            .map(IntervalSim::dram_mpki)
+            .collect();
+        out.vli_est[b] = weighted_metric_with(
+            &run.cross.simpoint.points,
+            &run.cross.weights[b],
+            &vli_vals,
+        );
+        let fli_vals: Vec<f64> = run.fli_interval_stats[b]
+            .iter()
+            .map(IntervalSim::dram_mpki)
+            .collect();
+        out.fli_est[b] = weighted_metric(&run.per_binary[b].simpoint.points, &fli_vals);
+    }
+    out
+}
+
+/// Computes the phase-bias tables (Tables 2/3) for a binary pair of a
+/// completed run. `top` limits the number of phases shown (the paper
+/// shows 3).
+pub fn phase_bias(run: &BenchmarkRun, pair: Pair, top: usize) -> PhaseBias {
+    let (a, b) = pair.indices();
+
+    // VLI: shared phases; rank by combined weight.
+    let k = run.cross.weights[a].len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&x, &y| {
+        let wx = run.cross.weights[a][x] + run.cross.weights[b][x];
+        let wy = run.cross.weights[a][y] + run.cross.weights[b][y];
+        wy.partial_cmp(&wx).expect("finite weights")
+    });
+    let vli_rows = |bi: usize| -> Vec<PhaseRow> {
+        order
+            .iter()
+            .take(top)
+            .filter_map(|&phase| {
+                let pt = run.cross.simpoint.point_for_phase(phase as u32)?;
+                let stats = &run.vli_interval_stats[bi];
+                let mut cyc = 0.0;
+                let mut ins = 0.0;
+                for (i, &label) in run.cross.simpoint.labels.iter().enumerate() {
+                    if label as usize == phase {
+                        cyc += stats[i].cycles as f64;
+                        ins += stats[i].instructions as f64;
+                    }
+                }
+                Some(PhaseRow {
+                    phase: phase as u32,
+                    weight: run.cross.weights[bi][phase],
+                    true_cpi: if ins > 0.0 { cyc / ins } else { 0.0 },
+                    sp_cpi: stats[pt.interval].cpi(),
+                })
+            })
+            .collect()
+    };
+
+    // FLI: independent phases per binary; rank by that binary's weights.
+    let fli_rows = |bi: usize| -> Vec<PhaseRow> {
+        let analysis = &run.per_binary[bi];
+        let stats = &run.fli_interval_stats[bi];
+        let mut pts = analysis.simpoint.points.clone();
+        pts.sort_by(|x, y| y.weight.partial_cmp(&x.weight).expect("finite weights"));
+        pts.iter()
+            .take(top)
+            .map(|pt| {
+                let mut cyc = 0.0;
+                let mut ins = 0.0;
+                for (i, &label) in analysis.simpoint.labels.iter().enumerate() {
+                    if label == pt.phase {
+                        cyc += stats[i].cycles as f64;
+                        ins += stats[i].instructions as f64;
+                    }
+                }
+                PhaseRow {
+                    phase: pt.phase,
+                    weight: pt.weight,
+                    true_cpi: if ins > 0.0 { cyc / ins } else { 0.0 },
+                    sp_cpi: stats[pt.interval].cpi(),
+                }
+            })
+            .collect()
+    };
+
+    PhaseBias {
+        name: run.eval.name.clone(),
+        pair,
+        vli: [vli_rows(a), vli_rows(b)],
+        fli: [fli_rows(a), fli_rows(b)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_cover_the_paper_configurations() {
+        assert_eq!(Pair::ALL.len(), 4);
+        assert_eq!(Pair::P32u32o.indices(), (0, 1));
+        assert_eq!(Pair::P32o64o.label(), "32o64o");
+    }
+
+    #[test]
+    fn evaluate_one_benchmark_end_to_end() {
+        // Train scale: Test-scale runs are so short that the init phase
+        // dominates the interval population and estimates get noisy.
+        let run = evaluate_benchmark("gzip", Scale::Train, 20_000, &MemoryConfig::table1());
+        let e = &run.eval;
+        for b in 0..4 {
+            assert!(e.true_stats[b].cpi() > 1.0, "binary {b} CPI");
+            assert!(e.fli.cpi_est[b] > 0.0);
+            assert!(e.vli.cpi_est[b] > 0.0);
+            // Both schemes should be within 30% of truth even at the
+            // tiny test scale.
+            assert!(e.fli.cpi_err[b] < 0.3, "FLI err {}", e.fli.cpi_err[b]);
+            assert!(e.vli.cpi_err[b] < 0.3, "VLI err {}", e.vli.cpi_err[b]);
+        }
+        // -O0 binaries are genuinely slower overall.
+        assert!(e.true_speedup(Pair::P32u32o) > 1.5);
+        assert!(e.mappable_points > 0);
+    }
+
+    #[test]
+    fn phase_bias_tables_are_well_formed() {
+        let run = evaluate_benchmark("apsi", Scale::Test, 20_000, &MemoryConfig::table1());
+        let t = phase_bias(&run, Pair::P32o64o, 3);
+        assert!(!t.vli[0].is_empty());
+        assert_eq!(t.vli[0].len(), t.vli[1].len());
+        // VLI rows are phase-aligned across the two binaries.
+        for (x, y) in t.vli[0].iter().zip(&t.vli[1]) {
+            assert_eq!(x.phase, y.phase);
+        }
+        for row in t.vli[0].iter().chain(&t.fli[0]) {
+            assert!(row.weight > 0.0 && row.weight <= 1.0);
+            assert!(row.true_cpi > 0.0);
+            assert!(row.sp_cpi > 0.0);
+        }
+    }
+}

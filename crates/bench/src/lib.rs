@@ -1,0 +1,43 @@
+//! # cbsp-bench — experiment harness
+//!
+//! Regenerates every table and figure of the Cross Binary Simulation
+//! Points paper on the synthetic suite:
+//!
+//! | Artifact | Function |
+//! |---|---|
+//! | Table 1 (memory config) | [`report::table1`] |
+//! | Figure 1 (#SimPoints) | [`report::fig1`] |
+//! | Figure 2 (VLI interval size) | [`report::fig2`] |
+//! | Figure 3 (CPI error) | [`report::fig3`] |
+//! | Figure 4 (same-platform speedup error) | [`report::fig4`] |
+//! | Figure 5 (cross-platform speedup error) | [`report::fig5`] |
+//! | Tables 2/3 (phase bias, gcc & apsi) | [`report::phase_table`] |
+//!
+//! Run everything with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p cbsp-bench --bin experiments -- all --scale ref
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod archsweep;
+pub mod experiment;
+pub mod report;
+pub mod seeds;
+pub mod softmark_study;
+pub mod suite;
+pub mod warmup;
+
+pub use ablation::{run_ablations, standard_variants, Variant, VariantResult};
+pub use archsweep::{standard_archs, sweep_benchmark, ArchSweepRow, ArchVariant};
+pub use experiment::{
+    evaluate_benchmark, mpki_eval, phase_bias, BenchmarkEval, BenchmarkRun, MpkiEval, Pair,
+    PhaseBias, PhaseRow, SchemeEval,
+};
+pub use seeds::{seed_stability, SeedRow};
+pub use softmark_study::{softmark_benchmark, SoftMarkRow};
+pub use suite::{run_suite, SuiteResults};
+pub use warmup::{warmup_benchmark, WarmupRow};

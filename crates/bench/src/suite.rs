@@ -1,0 +1,117 @@
+//! Suite-level experiment driver: evaluates every benchmark and
+//! aggregates the data behind each figure.
+
+use crate::experiment::{evaluate_benchmark, BenchmarkEval, Pair};
+use cbsp_program::{workloads, Scale};
+use cbsp_sim::MemoryConfig;
+use serde::{Deserialize, Serialize};
+
+/// Results for the whole suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResults {
+    /// Scale the suite ran at.
+    pub scale: String,
+    /// Interval-size target in instructions.
+    pub interval_target: u64,
+    /// Per-benchmark evaluations, in suite order.
+    pub benchmarks: Vec<BenchmarkEval>,
+}
+
+impl SuiteResults {
+    /// Mean over benchmarks of a per-benchmark metric.
+    pub fn average(&self, f: impl Fn(&BenchmarkEval) -> f64) -> f64 {
+        if self.benchmarks.is_empty() {
+            return 0.0;
+        }
+        self.benchmarks.iter().map(f).sum::<f64>() / self.benchmarks.len() as f64
+    }
+
+    /// Suite-average speedup error of a scheme on a pair.
+    pub fn avg_speedup_err(&self, vli: bool, pair: Pair) -> f64 {
+        self.average(|e| e.speedup_err(vli, pair))
+    }
+}
+
+/// Runs the evaluation for `names` (or the full suite when empty),
+/// spreading benchmarks over `threads` worker threads.
+pub fn run_suite(
+    names: &[String],
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+    threads: usize,
+) -> SuiteResults {
+    let selected: Vec<&'static str> = if names.is_empty() {
+        workloads::suite().iter().map(|w| w.name).collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                workloads::by_name(n)
+                    .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+                    .name
+            })
+            .collect()
+    };
+
+    let threads = threads.max(1).min(selected.len().max(1));
+    let mut evals: Vec<Option<BenchmarkEval>> = vec![None; selected.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let evals_mutex = std::sync::Mutex::new(&mut evals);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= selected.len() {
+                    break;
+                }
+                let run = evaluate_benchmark(selected[i], scale, interval_target, mem);
+                let mut guard = evals_mutex.lock().expect("no poisoned workers");
+                guard[i] = Some(run.eval);
+                eprintln!("  [{}/{}] {} done", i + 1, selected.len(), selected[i]);
+            });
+        }
+    });
+
+    SuiteResults {
+        scale: format!("{scale:?}"),
+        interval_target,
+        benchmarks: evals
+            .into_iter()
+            .map(|e| e.expect("every benchmark evaluated"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_suite_runs_and_aggregates() {
+        let names = vec!["gzip".to_string(), "swim".to_string()];
+        let r = run_suite(&names, Scale::Test, 20_000, &MemoryConfig::table1(), 2);
+        assert_eq!(r.benchmarks.len(), 2);
+        assert_eq!(r.benchmarks[0].name, "gzip");
+        assert_eq!(r.benchmarks[1].name, "swim");
+        let avg = r.average(|e| e.vli.avg_cpi_err());
+        assert!(avg >= 0.0 && avg < 0.5);
+        for pair in Pair::ALL {
+            assert!(r.avg_speedup_err(true, pair).is_finite());
+            assert!(r.avg_speedup_err(false, pair).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = run_suite(
+            &["nope".to_string()],
+            Scale::Test,
+            10_000,
+            &MemoryConfig::table1(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! The `cbsp` subcommands.
+
+use crate::opts::{read_json, write_json, Opts};
+use cbsp_core::{
+    marker_period_stats, run_cross_binary, run_per_binary, select_phase_markers, CbspConfig,
+    PointKind,
+};
+use cbsp_profile::{parse_bb, write_bb, PinPointsFile, ProcHotness};
+use cbsp_program::{compile, workloads, Binary, CompileTarget, OptLevel, Width};
+use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
+use cbsp_simpoint::{analyze, SimPointConfig};
+
+/// `cbsp list` — the benchmark suite.
+pub fn list(_opts: &Opts) -> Result<(), String> {
+    println!("available benchmarks ({}):", workloads::suite().len());
+    for w in workloads::suite() {
+        println!("  {:<10} {}", w.name, w.description);
+    }
+    println!("\ntargets: 32u 32o 64u 64o   scales: test train ref");
+    Ok(())
+}
+
+fn parse_target(s: &str) -> Result<CompileTarget, String> {
+    match s {
+        "32u" => Ok(CompileTarget::W32_O0),
+        "32o" => Ok(CompileTarget::W32_O2),
+        "64u" => Ok(CompileTarget::W64_O0),
+        "64o" => Ok(CompileTarget::W64_O2),
+        other => Err(format!("bad target {other} (32u|32o|64u|64o)")),
+    }
+}
+
+/// `cbsp compile <benchmark> [--target 32o] [--scale train] [--out F]`
+pub fn compile_cmd(opts: &Opts) -> Result<(), String> {
+    let name = opts.positional(0, "benchmark name")?;
+    let target = parse_target(opts.flag("target").unwrap_or("32o"))?;
+    let workload =
+        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let binary = compile(&workload.build(opts.scale()?), target);
+    let out = opts
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.json", binary.label()));
+    write_json(&out, &binary)?;
+    println!(
+        "compiled {} -> {} ({} blocks, {} procs, {} loops)",
+        binary.label(),
+        out,
+        binary.blocks.len(),
+        binary.procs.len(),
+        binary.loops.len()
+    );
+    Ok(())
+}
+
+/// `cbsp inspect <binary.json>` — symbol table, loops, layout.
+pub fn inspect(opts: &Opts) -> Result<(), String> {
+    let binary: Binary = read_json(opts.positional(0, "binary file")?)?;
+    println!("binary {}", binary.label());
+    println!(
+        "  target: {}-bit, {}",
+        match binary.target.width {
+            Width::W32 => 32,
+            Width::W64 => 64,
+        },
+        match binary.target.opt {
+            OptLevel::O0 => "unoptimized",
+            OptLevel::O2 => "optimized",
+        }
+    );
+    let static_instrs: u64 = binary.blocks.iter().map(|b| b.instrs).sum();
+    println!(
+        "  {} basic blocks ({static_instrs} static instructions), {} arrays",
+        binary.blocks.len(),
+        binary.layout.arrays.len()
+    );
+    println!("  procedures:");
+    for p in &binary.procs {
+        println!("    {} @ {}", p.name, p.line);
+    }
+    println!("  loops:");
+    for (i, l) in binary.loops.iter().enumerate() {
+        let line = l
+            .line
+            .map(|ln| ln.to_string())
+            .unwrap_or_else(|| "<no line info>".to_string());
+        let proc = &binary.procs[l.proc.index()].name;
+        let unroll = if l.unroll > 1 {
+            format!(", unrolled x{}", l.unroll)
+        } else {
+            String::new()
+        };
+        println!("    L{i} in {proc} @ {line}{unroll}");
+    }
+    if opts.flag("code").is_some() {
+        println!("
+{}", binary.disassemble());
+    }
+    Ok(())
+}
+
+/// `cbsp profile <binary.json> [--interval N] [--scale S] [--out F.bb]`
+pub fn profile(opts: &Opts) -> Result<(), String> {
+    let path = opts.positional(0, "binary file")?;
+    let binary: Binary = read_json(path)?;
+    let interval = opts.flag_or("interval", 100_000u64)?;
+    let input = opts.input()?;
+    let intervals = cbsp_profile::profile_fli(&binary, &input, interval);
+    let out = opts
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.bb", binary.label()));
+    std::fs::write(&out, write_bb(&intervals)).map_err(|e| format!("writing {out}: {e}"))?;
+    let total: u64 = intervals.iter().map(|i| i.instrs).sum();
+    println!(
+        "profiled {}: {} intervals over {} instructions -> {}",
+        binary.label(),
+        intervals.len(),
+        total,
+        out
+    );
+    Ok(())
+}
+
+/// `cbsp simpoint <profile.bb> [--max-k K] [--dims D] [--out F.json]`
+pub fn simpoint(opts: &Opts) -> Result<(), String> {
+    let path = opts.positional(0, "profile (.bb) file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let intervals = parse_bb(&text).map_err(|e| format!("{path}: {e}"))?;
+    if intervals.is_empty() {
+        return Err(format!("{path} contains no intervals"));
+    }
+    let config = SimPointConfig {
+        max_k: opts.flag_or("max-k", 10usize)?,
+        projection_dims: opts.flag_or("dims", 15usize)?,
+        bic_threshold: opts.flag_or("theta", 0.9f64)?,
+        ..SimPointConfig::default()
+    };
+    let vectors: Vec<Vec<f64>> = intervals.iter().map(|i| i.bbv.clone()).collect();
+    let instrs: Vec<u64> = intervals.iter().map(|i| i.instrs).collect();
+    let result = analyze(&vectors, &instrs, &config);
+    println!(
+        "{} intervals -> {} phases (BIC over k=1..{}):",
+        intervals.len(),
+        result.k,
+        config.max_k
+    );
+    println!("{:>6} {:>9} {:>8} {:>12}", "phase", "interval", "weight", "variance");
+    for p in &result.points {
+        println!(
+            "{:>6} {:>9} {:>8.4} {:>12.6}",
+            p.phase, p.interval, p.weight, p.variance
+        );
+    }
+    if let Some(out) = opts.flag("out") {
+        write_json(out, &result)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `cbsp cross <benchmark> [--interval N] [--scale S] [--out-dir D]` —
+/// the full six-step pipeline; writes the four binaries and their
+/// PinPoints region files.
+pub fn cross(opts: &Opts) -> Result<(), String> {
+    let name = opts.positional(0, "benchmark name")?;
+    let workload =
+        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let program = workload.build(opts.scale()?);
+    let input = opts.input()?;
+    let config = CbspConfig {
+        interval_target: opts.flag_or("interval", 100_000u64)?,
+        ..CbspConfig::default()
+    };
+    let out_dir = opts.flag("out-dir").unwrap_or(".");
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{name}: {} mappable points ({} proc entries, {} loop entries, {} loop bodies; {} procedures recovered)",
+        result.mappable.points.len(),
+        result.mappable.of_kind(PointKind::ProcEntry).count(),
+        result.mappable.of_kind(PointKind::LoopEntry).count(),
+        result.mappable.of_kind(PointKind::LoopBody).count(),
+        result.recovered_procs,
+    );
+    println!(
+        "marker density: {:.1} mappable executions per target interval{}",
+        result
+            .mappable
+            .density(result.vli.total_instrs(), config.interval_target),
+        if result
+            .mappable
+            .density(result.vli.total_instrs(), config.interval_target)
+            < 2.0
+        {
+            "  (LOW: expect oversized intervals)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{} intervals (avg {:.0} instructions), {} phases",
+        result.interval_count(),
+        result.vli.average_interval_size(),
+        result.simpoint.k
+    );
+    for (b, bin) in binaries.iter().enumerate() {
+        let bin_path = format!("{out_dir}/{}.json", bin.label());
+        write_json(&bin_path, bin)?;
+        let pp = result.pinpoints_for(b, bin, &input);
+        let pp_path = format!("{out_dir}/{}.pinpoints.json", bin.label());
+        write_json(&pp_path, &pp)?;
+        println!("  {} -> {bin_path}, {pp_path}", bin.label());
+    }
+    Ok(())
+}
+
+/// `cbsp markers <binary.json> [--scale S] [--interval N] [--top N]` —
+/// software-phase-marker analysis (period regularity per marker).
+pub fn markers(opts: &Opts) -> Result<(), String> {
+    let binary: Binary = read_json(opts.positional(0, "binary file")?)?;
+    let input = opts.input()?;
+    let target = opts.flag_or("interval", 100_000u64)?;
+    let top = opts.flag_or("top", 10usize)?;
+    let stats = marker_period_stats(&binary, &input);
+    let picked = select_phase_markers(&stats, target / 2, 20.0, 0.5);
+    println!(
+        "{}: {} markers profiled, {} phase-marker candidates near {} instructions",
+        binary.label(),
+        stats.len(),
+        picked.len(),
+        target
+    );
+    println!(
+        "{:<16} {:<20} {:>8} {:>14} {:>8}",
+        "marker", "construct", "execs", "mean period", "CV"
+    );
+    for s in picked.iter().take(top) {
+        let construct = match s.marker {
+            cbsp_profile::MarkerRef::Proc(i) => {
+                format!("proc {}", binary.procs[i as usize].name)
+            }
+            cbsp_profile::MarkerRef::LoopEntry(i) => {
+                let l = &binary.loops[i as usize];
+                format!(
+                    "loop in {}",
+                    binary.procs[l.proc.index()].name
+                )
+            }
+            cbsp_profile::MarkerRef::LoopBack(i) => format!("loop-body #{i}"),
+        };
+        println!(
+            "{:<16} {:<20} {:>8} {:>14.0} {:>8.3}",
+            s.marker.to_string(),
+            construct,
+            s.execs,
+            s.mean_period,
+            s.cv
+        );
+    }
+    Ok(())
+}
+
+/// `cbsp source <benchmark> [--scale S]` — pseudo-C source listing.
+pub fn source(opts: &Opts) -> Result<(), String> {
+    let name = opts.positional(0, "benchmark name")?;
+    let workload =
+        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    print!("{}", workload.build(opts.scale()?));
+    Ok(())
+}
+
+/// `cbsp hot <binary.json> [--scale S] [--top N]` — hottest procedures.
+pub fn hot(opts: &Opts) -> Result<(), String> {
+    let binary: Binary = read_json(opts.positional(0, "binary file")?)?;
+    let input = opts.input()?;
+    let top = opts.flag_or("top", 10usize)?;
+    let h = ProcHotness::collect(&binary, &input);
+    println!(
+        "{} on {} input: {} instructions",
+        binary.label(),
+        input.name,
+        h.total
+    );
+    println!("{:<24} {:>14} {:>8}", "procedure", "instructions", "share");
+    for (proc, instrs, frac) in h.ranking().into_iter().take(top) {
+        if instrs == 0 {
+            break;
+        }
+        println!(
+            "{:<24} {:>14} {:>7.2}%",
+            binary.procs[proc.index()].name,
+            instrs,
+            100.0 * frac
+        );
+    }
+    Ok(())
+}
+
+/// `cbsp simulate <binary.json> --regions <pp.json> [--full] [--scale S]`
+pub fn simulate(opts: &Opts) -> Result<(), String> {
+    let binary: Binary = read_json(opts.positional(0, "binary file")?)?;
+    let regions_path = opts
+        .flag("regions")
+        .ok_or("missing --regions <pinpoints.json>")?;
+    let file: PinPointsFile = read_json(regions_path)?;
+    file.validate()?;
+    let input = opts.input()?;
+    let mem = MemoryConfig::table1();
+
+    let regions = simulate_regions(&binary, &input, &mem, &file);
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>8}",
+        "phase", "weight", "instructions", "CPI", "reached"
+    );
+    for r in &regions {
+        println!(
+            "{:>6} {:>8.4} {:>12} {:>10.3} {:>8}",
+            r.phase,
+            r.weight,
+            r.stats.instructions,
+            r.stats.cpi(),
+            r.reached
+        );
+    }
+    let est = estimate_cpi_from_regions(&regions);
+    println!("estimated whole-program CPI: {est:.4}");
+
+    if opts.flag("full").is_some() {
+        let full = simulate_full(&binary, &input, &mem);
+        let err = 100.0 * (full.cpi() - est).abs() / full.cpi();
+        println!(
+            "true whole-program CPI:      {:.4}  (estimate error {err:.2}%)",
+            full.cpi()
+        );
+        println!("full-simulation detail:\n{full}");
+    }
+    Ok(())
+}
+
+/// `cbsp perbinary <binary.json> [--interval N] [--scale S] [--out F]` —
+/// the classic per-binary SimPoint baseline, producing a region file.
+pub fn perbinary(opts: &Opts) -> Result<(), String> {
+    let binary: Binary = read_json(opts.positional(0, "binary file")?)?;
+    let interval = opts.flag_or("interval", 100_000u64)?;
+    let input = opts.input()?;
+    let analysis = run_per_binary(&binary, &input, interval, &SimPointConfig::default());
+    println!(
+        "{}: {} intervals -> {} phases",
+        binary.label(),
+        analysis.interval_count(),
+        analysis.simpoint.k
+    );
+    let pp = analysis.pinpoints(&binary, &input);
+    let out = opts
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.pinpoints.json", binary.label()));
+    write_json(&out, &pp)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! `cbsp` — command-line tools for cross-binary simulation points.
+//!
+//! Mirrors the paper's tool-chain stages as shell commands:
+//!
+//! ```text
+//! cbsp list                                      # the benchmark suite
+//! cbsp compile gcc --target 32o --scale ref      # source -> binary (JSON)
+//! cbsp inspect gcc-32o.json                      # symbols, loops, layout
+//! cbsp profile gcc-32o.json --interval 100000    # binary -> .bb BBV profile
+//! cbsp simpoint gcc-32o.bb --max-k 10            # .bb -> phases + points
+//! cbsp perbinary gcc-32o.json                    # classic SimPoint regions
+//! cbsp cross gcc --scale ref --out-dir out/      # the full 6-step pipeline
+//! cbsp simulate out/gcc-32o.json \
+//!      --regions out/gcc-32o.pinpoints.json --full 1
+//! ```
+
+mod commands;
+mod opts;
+
+use opts::Opts;
+
+const USAGE: &str = "\
+cbsp — cross-binary simulation point tools
+
+usage: cbsp <command> [args]
+
+commands:
+  list                         list the benchmark suite
+  compile <bench>              compile a benchmark to a binary JSON
+      [--target 32u|32o|64u|64o] [--scale test|train|ref] [--out FILE]
+  inspect <binary.json>        show symbols, loops, and layout
+      [--code 1]                 (also print the lowered code)
+  hot <binary.json>            hottest procedures by instruction share
+      [--scale S] [--top N]
+  source <bench>               pseudo-C listing of a benchmark's source
+  markers <binary.json>        software-phase-marker analysis
+      [--scale S] [--interval N] [--top N]
+  profile <binary.json>        collect a fixed-length-interval BBV profile (.bb)
+      [--interval N] [--scale S] [--out FILE.bb]
+  simpoint <profile.bb>        run SimPoint clustering on a .bb profile
+      [--max-k K] [--dims D] [--theta T] [--out FILE.json]
+  perbinary <binary.json>      classic per-binary SimPoint -> region file
+      [--interval N] [--scale S] [--out FILE]
+  cross <bench>                cross-binary pipeline over all four binaries
+      [--interval N] [--scale S] [--out-dir DIR]
+  simulate <binary.json>       simulate the regions of a PinPoints file
+      --regions FILE [--full 1] [--scale S]
+";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+    let result = match command.as_str() {
+        "list" => commands::list(&opts),
+        "compile" => commands::compile_cmd(&opts),
+        "inspect" => commands::inspect(&opts),
+        "hot" => commands::hot(&opts),
+        "source" => commands::source(&opts),
+        "markers" => commands::markers(&opts),
+        "profile" => commands::profile(&opts),
+        "simpoint" => commands::simpoint(&opts),
+        "perbinary" => commands::perbinary(&opts),
+        "cross" => commands::cross(&opts),
+        "simulate" => commands::simulate(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        fail(&e);
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

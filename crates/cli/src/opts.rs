@@ -1,0 +1,119 @@
+//! Tiny argument-parsing helpers shared by the subcommands.
+
+use cbsp_program::{Input, Scale};
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parses everything after the subcommand. Flags take exactly one
+    /// value (`--out file.json`).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = Opts::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                opts.flags.insert(key.to_string(), value);
+            } else {
+                opts.positional.push(a);
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Returns a flag's raw value.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Returns a parsed flag value or a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    /// The scale from `--scale test|train|ref` (default `train`).
+    pub fn scale(&self) -> Result<Scale, String> {
+        match self.flag("scale").unwrap_or("train") {
+            "test" => Ok(Scale::Test),
+            "train" => Ok(Scale::Train),
+            "ref" | "reference" => Ok(Scale::Reference),
+            other => Err(format!("bad --scale {other} (test|train|ref)")),
+        }
+    }
+
+    /// The standard input for the chosen scale.
+    pub fn input(&self) -> Result<Input, String> {
+        Ok(match self.scale()? {
+            Scale::Test => Input::test(),
+            Scale::Train => Input::train(),
+            Scale::Reference => Input::reference(),
+        })
+    }
+
+    /// Requires the n-th positional argument.
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+/// Reads a JSON file into a deserializable value.
+pub fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Writes a serializable value as pretty JSON.
+pub fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| format!("serializing: {e}"))?;
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = Opts::parse(
+            ["gcc", "--target", "32o", "--interval", "5000", "out.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("parses");
+        assert_eq!(o.positional, vec!["gcc", "out.json"]);
+        assert_eq!(o.flag("target"), Some("32o"));
+        assert_eq!(o.flag_or("interval", 0u64).expect("number"), 5000);
+        assert_eq!(o.flag_or("missing", 7u64).expect("default"), 7);
+    }
+
+    #[test]
+    fn rejects_dangling_flags_and_bad_values() {
+        assert!(Opts::parse(["--out"].iter().map(|s| s.to_string())).is_err());
+        let o = Opts::parse(["--interval", "abc"].iter().map(|s| s.to_string())).expect("parses");
+        assert!(o.flag_or("interval", 0u64).is_err());
+        assert!(o.scale().is_ok(), "default scale");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let o = Opts::parse(["--scale", "ref"].iter().map(|s| s.to_string())).expect("parses");
+        assert_eq!(o.scale().expect("valid"), Scale::Reference);
+        let o = Opts::parse(["--scale", "huge"].iter().map(|s| s.to_string())).expect("parses");
+        assert!(o.scale().is_err());
+    }
+}

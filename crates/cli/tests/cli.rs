@@ -1,0 +1,218 @@
+//! End-to-end tests of the `cbsp` binary: each tool-chain stage run as
+//! a real subprocess, files flowing between stages.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cbsp(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cbsp"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("cbsp binary runs")
+}
+
+fn assert_ok(out: &Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbsp-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn list_shows_the_suite() {
+    let dir = temp_dir("list");
+    let out = assert_ok(&cbsp(&dir, &["list"]), "list");
+    for name in ["gcc", "applu", "mcf", "wupwise"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn help_and_errors() {
+    let dir = temp_dir("help");
+    let out = assert_ok(&cbsp(&dir, &["help"]), "help");
+    assert!(out.contains("usage: cbsp"));
+
+    let bad = cbsp(&dir, &["frobnicate"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown command"));
+
+    let bad = cbsp(&dir, &["compile", "nosuchbench"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn compile_inspect_profile_simpoint_chain() {
+    let dir = temp_dir("chain");
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["compile", "gzip", "--target", "32o", "--scale", "test", "--out", "bin.json"],
+        ),
+        "compile",
+    );
+    assert!(out.contains("compiled gzip-32o"));
+    assert!(dir.join("bin.json").exists());
+
+    let out = assert_ok(&cbsp(&dir, &["inspect", "bin.json"]), "inspect");
+    assert!(out.contains("binary gzip-32o"));
+    assert!(out.contains("deflate"), "symbols listed:\n{out}");
+
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["profile", "bin.json", "--interval", "20000", "--scale", "test", "--out", "p.bb"],
+        ),
+        "profile",
+    );
+    assert!(out.contains("intervals over"));
+    let bb = std::fs::read_to_string(dir.join("p.bb")).expect("bb written");
+    assert!(bb.starts_with('T'));
+
+    let out = assert_ok(
+        &cbsp(&dir, &["simpoint", "p.bb", "--max-k", "6", "--out", "sp.json"]),
+        "simpoint",
+    );
+    assert!(out.contains("phases"));
+    assert!(dir.join("sp.json").exists());
+}
+
+#[test]
+fn cross_then_simulate_regions() {
+    let dir = temp_dir("cross");
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["cross", "swim", "--scale", "test", "--interval", "20000", "--out-dir", "out"],
+        ),
+        "cross",
+    );
+    assert!(out.contains("mappable points"));
+    for label in ["swim-32u", "swim-32o", "swim-64u", "swim-64o"] {
+        assert!(dir.join(format!("out/{label}.json")).exists());
+        assert!(dir.join(format!("out/{label}.pinpoints.json")).exists());
+    }
+
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &[
+                "simulate",
+                "out/swim-64o.json",
+                "--regions",
+                "out/swim-64o.pinpoints.json",
+                "--full",
+                "1",
+                "--scale",
+                "test",
+            ],
+        ),
+        "simulate",
+    );
+    assert!(out.contains("estimated whole-program CPI"));
+    assert!(out.contains("true whole-program CPI"));
+    // Every region of a matching (binary, input) pair must be reached.
+    assert!(!out.contains("false"), "unreached region:\n{out}");
+}
+
+#[test]
+fn perbinary_produces_a_valid_region_file() {
+    let dir = temp_dir("perbinary");
+    assert_ok(
+        &cbsp(
+            &dir,
+            &["compile", "eon", "--target", "64u", "--scale", "test", "--out", "eon.json"],
+        ),
+        "compile",
+    );
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["perbinary", "eon.json", "--interval", "20000", "--scale", "test", "--out", "pp.json"],
+        ),
+        "perbinary",
+    );
+    assert!(out.contains("phases"));
+    // The produced file drives the region simulator.
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["simulate", "eon.json", "--regions", "pp.json", "--full", "1", "--scale", "test"],
+        ),
+        "simulate",
+    );
+    assert!(out.contains("estimate error"));
+}
+
+#[test]
+fn hot_source_and_markers_commands() {
+    let dir = temp_dir("tools");
+    assert_ok(
+        &cbsp(
+            &dir,
+            &["compile", "swim", "--target", "32o", "--scale", "test", "--out", "swim.json"],
+        ),
+        "compile",
+    );
+
+    let out = assert_ok(&cbsp(&dir, &["hot", "swim.json", "--scale", "test"]), "hot");
+    assert!(out.contains("calc1"), "hot procedures listed:
+{out}");
+    assert!(out.contains('%'));
+
+    let out = assert_ok(&cbsp(&dir, &["source", "swim"]), "source");
+    assert!(out.contains("program swim"));
+    assert!(out.contains("fn calc1()"));
+
+    let out = assert_ok(
+        &cbsp(
+            &dir,
+            &["markers", "swim.json", "--scale", "test", "--interval", "20000"],
+        ),
+        "markers",
+    );
+    assert!(out.contains("markers profiled"), "{out}");
+
+    let out = assert_ok(&cbsp(&dir, &["inspect", "swim.json", "--code", "1"]), "inspect --code");
+    assert!(out.contains("instrs"), "lowered code shown:
+{out}");
+}
+
+#[test]
+fn simulate_rejects_mismatched_region_files() {
+    let dir = temp_dir("mismatch");
+    assert_ok(
+        &cbsp(&dir, &["compile", "art", "--target", "32o", "--scale", "test", "--out", "art.json"]),
+        "compile art",
+    );
+    assert_ok(
+        &cbsp(&dir, &["compile", "mcf", "--target", "32o", "--scale", "test", "--out", "mcf.json"]),
+        "compile mcf",
+    );
+    assert_ok(
+        &cbsp(
+            &dir,
+            &["perbinary", "mcf.json", "--interval", "20000", "--scale", "test", "--out", "pp.json"],
+        ),
+        "perbinary mcf",
+    );
+    // Using mcf's regions on art: instruction-offset regions may or may
+    // not be reachable, but the command itself must not crash.
+    let out = cbsp(
+        &dir,
+        &["simulate", "art.json", "--regions", "pp.json", "--scale", "test"],
+    );
+    assert!(out.status.success(), "graceful handling of foreign regions");
+}

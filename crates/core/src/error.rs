@@ -1,0 +1,76 @@
+//! Error type of the cross-binary pipeline.
+
+use cbsp_profile::MarkerRef;
+use std::fmt;
+
+/// Errors produced by [`run_cross_binary`](crate::run_cross_binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CbspError {
+    /// The binary set was empty.
+    EmptyBinarySet,
+    /// The binaries were not all compiled from the same program.
+    ProgramMismatch {
+        /// Program of the first binary.
+        expected: String,
+        /// The mismatching program found.
+        found: String,
+    },
+    /// The configured primary index exceeds the binary set.
+    PrimaryOutOfRange {
+        /// The configured primary index.
+        primary: usize,
+        /// Number of binaries supplied.
+        binaries: usize,
+    },
+    /// An interval boundary used a marker that is not in the mappable
+    /// set (internal invariant violation — the VLI builder only cuts at
+    /// mappable markers).
+    UnmappableBoundary {
+        /// The offending marker (in primary-binary coordinates).
+        marker: MarkerRef,
+    },
+}
+
+impl fmt::Display for CbspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbspError::EmptyBinarySet => write!(f, "binary set is empty"),
+            CbspError::ProgramMismatch { expected, found } => write!(
+                f,
+                "binaries mix programs: expected {expected}, found {found}"
+            ),
+            CbspError::PrimaryOutOfRange { primary, binaries } => write!(
+                f,
+                "primary index {primary} out of range for {binaries} binaries"
+            ),
+            CbspError::UnmappableBoundary { marker } => {
+                write!(f, "interval boundary {marker} is not a mappable point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CbspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CbspError::ProgramMismatch {
+            expected: "gcc".into(),
+            found: "mcf".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gcc") && s.contains("mcf"));
+        assert!(CbspError::EmptyBinarySet.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(CbspError::EmptyBinarySet);
+    }
+}

@@ -1,0 +1,138 @@
+//! Performance extrapolation and error metrics (paper §2.3 step 6 and
+//! §5.2).
+//!
+//! A SimPoint estimate of a whole-program metric is the weighted
+//! average of the metric over the simulation points. Speedup between
+//! two binaries is the ratio of their total cycles; the paper's
+//! speedup-error metric is `|(S_true − S_est) / S_true|`.
+
+use cbsp_simpoint::SimPoint;
+
+/// Whole-program estimate of any per-instruction metric (CPI, MPKI,
+/// miss rate, ...) from simulation points, using each point's own
+/// weight (paper §2.3 step 6: "SimPoint computes a weighted average for
+/// the architecture metric of interest (CPI, miss rate, etc.)").
+///
+/// `interval_values[i]` is the metric measured on interval `i`.
+pub fn weighted_metric(points: &[SimPoint], interval_values: &[f64]) -> f64 {
+    points
+        .iter()
+        .map(|p| p.weight * interval_values[p.interval])
+        .sum()
+}
+
+/// [`weighted_metric`] with externally recalculated phase weights (the
+/// cross-binary scheme, §3.2.6): `phase_weights[phase]` replaces each
+/// point's stored weight.
+pub fn weighted_metric_with(
+    points: &[SimPoint],
+    phase_weights: &[f64],
+    interval_values: &[f64],
+) -> f64 {
+    points
+        .iter()
+        .map(|p| phase_weights[p.phase as usize] * interval_values[p.interval])
+        .sum()
+}
+
+/// Whole-program CPI estimate from simulation points, using each
+/// point's own weight (the per-binary SimPoint scheme).
+///
+/// `interval_cpis[i]` is the measured CPI of interval `i`.
+pub fn weighted_cpi(points: &[SimPoint], interval_cpis: &[f64]) -> f64 {
+    weighted_metric(points, interval_cpis)
+}
+
+/// Whole-program CPI estimate with externally recalculated phase
+/// weights (the cross-binary scheme, §3.2.6): `phase_weights[phase]`
+/// replaces each point's stored weight.
+pub fn weighted_cpi_with(
+    points: &[SimPoint],
+    phase_weights: &[f64],
+    interval_cpis: &[f64],
+) -> f64 {
+    weighted_metric_with(points, phase_weights, interval_cpis)
+}
+
+/// Relative error `|true − estimate| / true` (0 when `true` is 0).
+pub fn relative_error(true_value: f64, estimate: f64) -> f64 {
+    if true_value == 0.0 {
+        0.0
+    } else {
+        (true_value - estimate).abs() / true_value.abs()
+    }
+}
+
+/// Speedup of `new` over `base`: `cycles_base / cycles_new`.
+///
+/// Greater than 1 means `new` is faster.
+pub fn speedup(cycles_base: f64, cycles_new: f64) -> f64 {
+    if cycles_new == 0.0 {
+        0.0
+    } else {
+        cycles_base / cycles_new
+    }
+}
+
+/// The paper's speedup-error metric:
+/// `|(TrueSpeedup − EstimatedSpeedup) / TrueSpeedup|`.
+pub fn speedup_error(true_speedup: f64, estimated_speedup: f64) -> f64 {
+    relative_error(true_speedup, estimated_speedup)
+}
+
+/// Estimated total cycles of a binary from its CPI estimate and true
+/// instruction count.
+pub fn estimated_cycles(cpi_estimate: f64, instructions: u64) -> f64 {
+    cpi_estimate * instructions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<SimPoint> {
+        vec![
+            SimPoint {
+                phase: 0,
+                interval: 2,
+                weight: 0.7,
+                variance: 0.0,
+            },
+            SimPoint {
+                phase: 1,
+                interval: 5,
+                weight: 0.3,
+                variance: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn weighted_cpi_uses_point_weights() {
+        let cpis = vec![0.0, 0.0, 2.0, 0.0, 0.0, 4.0];
+        let est = weighted_cpi(&pts(), &cpis);
+        assert!((est - (0.7 * 2.0 + 0.3 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cpi_with_overrides_weights() {
+        let cpis = vec![0.0, 0.0, 2.0, 0.0, 0.0, 4.0];
+        let est = weighted_cpi_with(&pts(), &[0.5, 0.5], &cpis);
+        assert!((est - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics() {
+        assert!((relative_error(4.0, 5.0) - 0.25).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 5.0), 0.0);
+        assert!((speedup(300.0, 100.0) - 3.0).abs() < 1e-12);
+        assert!((speedup_error(2.0, 1.8) - 0.1).abs() < 1e-12);
+        assert_eq!(estimated_cycles(2.5, 1000), 2500.0);
+    }
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        assert_eq!(speedup_error(1.7, 1.7), 0.0);
+        assert_eq!(relative_error(3.3, 3.3), 0.0);
+    }
+}

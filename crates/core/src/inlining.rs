@@ -1,0 +1,357 @@
+//! Recovering mappable points lost to inlining (paper §3.3).
+//!
+//! When `-O2` inlines a procedure, the optimized binary has neither its
+//! symbol nor usable line info for its loops, so direct matching fails.
+//! The paper's recovery: "we can detect inlined procedures by their
+//! parent nodes and the loop structure within the procedure" — if
+//! procedure `P` (with a loop executing N times) is called from `Q`,
+//! then after inlining `Q` contains an extra loop executing N times,
+//! identifiable by its execution counts. "Of course, if N = M, we can
+//! not determine which loop belongs to the inlined procedure" — the
+//! recovery declines ambiguous matches rather than guessing (this is
+//! exactly what defeats it on `applu`, whose five inlined solvers have
+//! identical loop structures).
+
+use crate::mappable::{MappablePoint, MappableSet, PointKind};
+use cbsp_profile::{CallGraph, CallLoopProfile, MarkerRef};
+use cbsp_program::Binary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Loop signature used for recovery: (entry count, back count).
+type Signature = (u64, u64);
+
+/// Extends `set` with loops recovered from inlined procedures.
+///
+/// Returns the number of procedures whose loops were fully recovered.
+/// A procedure's loops are recovered only when *every* loop of the
+/// procedure finds a unique count-signature match inside the callers'
+/// code in *every* binary the procedure is missing from; partial or
+/// ambiguous matches are declined.
+pub fn recover_inlined(
+    binaries: &[&Binary],
+    profiles: &[&CallLoopProfile],
+    set: &mut MappableSet,
+) -> usize {
+    let n = binaries.len();
+    assert_eq!(profiles.len(), n);
+    assert_eq!(set.binaries, n);
+
+    // Loops already matched, per binary.
+    let mut matched: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for p in &set.points {
+        if p.kind == PointKind::LoopEntry {
+            for (bi, m) in p.per_binary.iter().enumerate() {
+                if let MarkerRef::LoopEntry(i) = m {
+                    matched[bi].insert(*i);
+                }
+            }
+        }
+    }
+
+    // Name → proc index per binary.
+    let name_maps: Vec<BTreeMap<&str, u32>> = binaries
+        .iter()
+        .map(|b| {
+            b.procs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name.as_str(), i as u32))
+                .collect()
+        })
+        .collect();
+    let call_graphs: Vec<CallGraph> = binaries.iter().map(|b| CallGraph::of(b)).collect();
+
+    // Candidate pool per binary: unmatched loops with degraded lines,
+    // grouped by (containing proc, signature).
+    let mut pools: Vec<BTreeMap<(u32, Signature), Vec<u32>>> = Vec::with_capacity(n);
+    for (bi, bin) in binaries.iter().enumerate() {
+        let mut pool: BTreeMap<(u32, Signature), Vec<u32>> = BTreeMap::new();
+        for (li, lp) in bin.loops.iter().enumerate() {
+            if lp.line.is_some() || matched[bi].contains(&(li as u32)) {
+                continue;
+            }
+            let sig = (profiles[bi].loop_entries[li], profiles[bi].loop_backs[li]);
+            if sig.0 == 0 {
+                continue;
+            }
+            pool.entry((lp.proc.0, sig)).or_default().push(li as u32);
+        }
+        pools.push(pool);
+    }
+
+    // Procedures present somewhere but missing elsewhere.
+    let mut all_names: BTreeSet<&str> = BTreeSet::new();
+    for m in &name_maps {
+        all_names.extend(m.keys().copied());
+    }
+
+    let mut recovered_procs = 0;
+    for name in all_names {
+        let present: Vec<usize> = (0..n).filter(|&i| name_maps[i].contains_key(name)).collect();
+        if present.len() == n || present.is_empty() {
+            continue;
+        }
+        let r = present[0];
+        let p_r = name_maps[r][name];
+        if profiles[r].proc_entries[p_r as usize] == 0 {
+            continue; // never executed: nothing to recover
+        }
+
+        // The procedure's loops in the reference binary, with their
+        // signatures. Decline if two loops share a signature (the
+        // paper's N = M ambiguity).
+        let ref_loops: Vec<(u32, Signature, u32)> = binaries[r]
+            .loops
+            .iter()
+            .enumerate()
+            .filter(|(_, lp)| lp.proc.0 == p_r)
+            .map(|(li, _)| {
+                (
+                    li as u32,
+                    (profiles[r].loop_entries[li], profiles[r].loop_backs[li]),
+                    0u32,
+                )
+            })
+            .filter(|(_, sig, _)| sig.0 > 0)
+            .collect();
+        if ref_loops.is_empty() {
+            continue;
+        }
+        {
+            let mut sigs: Vec<Signature> = ref_loops.iter().map(|&(_, s, _)| s).collect();
+            sigs.sort_unstable();
+            let len_before = sigs.len();
+            sigs.dedup();
+            if sigs.len() != len_before {
+                continue; // intra-procedure signature collision
+            }
+        }
+
+        // Callers of the procedure (by name) in the reference binary.
+        let caller_names: Vec<&str> = call_graphs[r].callers[p_r as usize]
+            .iter()
+            .map(|c| binaries[r].procs[c.index()].name.as_str())
+            .collect();
+        if caller_names.is_empty() {
+            continue;
+        }
+
+        // For each reference loop, find it in every other binary.
+        let mut per_loop_markers: Vec<Vec<Option<(u32, Signature)>>> =
+            vec![vec![None; n]; ref_loops.len()];
+        let mut ok = true;
+        'outer: for (k, &(li_r, sig, _)) in ref_loops.iter().enumerate() {
+            let line_r = binaries[r].loops[li_r as usize].line;
+            for bi in 0..n {
+                if bi == r {
+                    per_loop_markers[k][bi] = Some((li_r, sig));
+                    continue;
+                }
+                if present.contains(&bi) {
+                    // Symbol exists here: find the loop by line inside P.
+                    let p_b = name_maps[bi][name];
+                    let found: Vec<u32> = binaries[bi]
+                        .loops
+                        .iter()
+                        .enumerate()
+                        .filter(|(lj, lp)| {
+                            lp.proc.0 == p_b
+                                && lp.line == line_r
+                                && (profiles[bi].loop_entries[*lj], profiles[bi].loop_backs[*lj])
+                                    == sig
+                        })
+                        .map(|(lj, _)| lj as u32)
+                        .collect();
+                    if found.len() != 1 {
+                        ok = false;
+                        break 'outer;
+                    }
+                    per_loop_markers[k][bi] = Some((found[0], sig));
+                } else {
+                    // Symbol missing: search the callers' pools for a
+                    // unique signature match.
+                    let mut candidates: Vec<u32> = Vec::new();
+                    for caller in &caller_names {
+                        let Some(&q_b) = name_maps[bi].get(caller) else {
+                            continue; // caller itself missing here
+                        };
+                        if let Some(c) = pools[bi].get(&(q_b, sig)) {
+                            candidates.extend_from_slice(c);
+                        }
+                    }
+                    if candidates.len() != 1 {
+                        ok = false; // nothing found, or N = M ambiguity
+                        break 'outer;
+                    }
+                    per_loop_markers[k][bi] = Some((candidates[0], sig));
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        // Commit: add entry + body points for every recovered loop and
+        // retire the used candidates.
+        for (k, &(_, sig, _)) in ref_loops.iter().enumerate() {
+            let ids: Vec<u32> = per_loop_markers[k]
+                .iter()
+                .map(|s| s.expect("all binaries resolved").0)
+                .collect();
+            set.points.push(MappablePoint {
+                kind: PointKind::LoopEntry,
+                execs: sig.0,
+                per_binary: ids.iter().map(|&i| MarkerRef::LoopEntry(i)).collect(),
+                recovered: true,
+                label: format!("recovered-loop-entry in {name}"),
+            });
+            if sig.1 > 0 {
+                set.points.push(MappablePoint {
+                    kind: PointKind::LoopBody,
+                    execs: sig.1,
+                    per_binary: ids.iter().map(|&i| MarkerRef::LoopBack(i)).collect(),
+                    recovered: true,
+                    label: format!("recovered-loop-body in {name}"),
+                });
+            }
+            for (bi, id) in ids.iter().enumerate() {
+                matched[bi].insert(*id);
+                for pool in pools[bi].values_mut() {
+                    pool.retain(|x| x != id);
+                }
+            }
+        }
+        recovered_procs += 1;
+    }
+    recovered_procs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mappable::find_mappable_points;
+    use cbsp_program::{compile, CompileTarget, Input, LoopHints, ProgramBuilder, TripCount};
+
+    fn analyze(prog: &cbsp_program::SourceProgram) -> (MappableSet, usize) {
+        let input = Input::test();
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(prog, t))
+            .collect();
+        let profiles: Vec<CallLoopProfile> = bins
+            .iter()
+            .map(|b| CallLoopProfile::collect(b, &input))
+            .collect();
+        let bin_refs: Vec<&Binary> = bins.iter().collect();
+        let prof_refs: Vec<&CallLoopProfile> = profiles.iter().collect();
+        let mut set = find_mappable_points(&bin_refs, &prof_refs);
+        let recovered = recover_inlined(&bin_refs, &prof_refs, &mut set);
+        (set, recovered)
+    }
+
+    #[test]
+    fn recovers_a_simple_inlined_loop() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| body.call("hot"));
+        });
+        b.inline_proc("hot", |p| {
+            p.loop_fixed(7, |body| body.work(10));
+        });
+        let (set, recovered) = analyze(&b.finish());
+        assert_eq!(recovered, 1);
+        let rec: Vec<_> = set.points.iter().filter(|p| p.recovered).collect();
+        assert_eq!(rec.len(), 2, "entry + body points");
+        assert!(rec.iter().any(|p| p.kind == PointKind::LoopEntry && p.execs == 10));
+        assert!(rec.iter().any(|p| p.kind == PointKind::LoopBody && p.execs == 70));
+    }
+
+    #[test]
+    fn distinct_trip_counts_recover_two_inlined_procs() {
+        // The fma3d pattern: two inlined element routines with distinct
+        // loop structures.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.call("solid");
+                body.call("shell");
+            });
+        });
+        b.inline_proc("solid", |p| {
+            p.loop_fixed(6, |body| body.work(10));
+        });
+        b.inline_proc("shell", |p| {
+            p.loop_fixed(4, |body| body.work(10));
+        });
+        let (set, recovered) = analyze(&b.finish());
+        assert_eq!(recovered, 2);
+        assert_eq!(set.points.iter().filter(|p| p.recovered).count(), 4);
+    }
+
+    #[test]
+    fn identical_trip_counts_are_ambiguous_and_declined() {
+        // The applu pattern: two inlined procedures with identical loop
+        // signatures called from the same parent.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.call("solver_a");
+                body.call("solver_b");
+            });
+        });
+        for name in ["solver_a", "solver_b"] {
+            b.inline_proc(name, |p| {
+                p.loop_fixed(5, |body| body.work(10));
+            });
+        }
+        let (set, recovered) = analyze(&b.finish());
+        assert_eq!(recovered, 0, "N = M must be declined");
+        assert_eq!(set.points.iter().filter(|p| p.recovered).count(), 0);
+    }
+
+    #[test]
+    fn multi_site_inlining_is_declined() {
+        // Inlined at two call sites: per-site counts cannot equal the
+        // out-of-line total, so recovery must decline.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.call("hot");
+                body.call("hot2_wrapper");
+            });
+        });
+        b.proc("hot2_wrapper", |p| p.call("hot"));
+        b.inline_proc("hot", |p| {
+            p.loop_fixed(3, |body| body.work(5));
+        });
+        let (set, recovered) = analyze(&b.finish());
+        assert_eq!(recovered, 0);
+        assert_eq!(set.points.iter().filter(|p| p.recovered).count(), 0);
+    }
+
+    #[test]
+    fn split_inlined_loops_defeat_recovery() {
+        // applu's full failure mode: inlined AND split.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(6, |body| body.call("solver"));
+        });
+        b.inline_proc("solver", |p| {
+            p.loop_with(
+                TripCount::Fixed(9),
+                LoopHints {
+                    unroll: 0,
+                    split: true,
+                },
+                |body| {
+                    body.work(5);
+                    body.work(7);
+                },
+            );
+        });
+        let (set, recovered) = analyze(&b.finish());
+        // Two split clones share the signature: ambiguous.
+        assert_eq!(recovered, 0);
+        assert_eq!(set.points.iter().filter(|p| p.recovered).count(), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Finding mappable points across binaries (paper §3.2.2).
+//!
+//! A *mappable point* is an instruction that exists in every binary of
+//! the set and marks the same point of execution in all of them:
+//!
+//! * **procedure entry points**, matched by symbol name — they
+//!   "represent the same exact point in execution across all of the
+//!   binaries";
+//! * **loop entry points** and **loop-body (back) branches**, matched
+//!   by debug line number *and* profiled execution count — "if the
+//!   execution counts and line numbers for a branch match across all
+//!   binaries, then that branch represents the same part of execution".
+//!
+//! The execution-count requirement is what makes `(marker, count)`
+//! coordinates transferable: a region can start "at mappable point A
+//! after it has executed X times" in *any* binary of the set.
+//!
+//! Matching uses only observable information — symbols, lines, counts —
+//! never the compiler's ground-truth provenance fields. Inline recovery
+//! (paper §3.3) lives in [`crate::inlining`] and extends the set
+//! produced here.
+
+use cbsp_profile::{CallLoopProfile, MarkerRef};
+use cbsp_program::Binary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of code structure a mappable point is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PointKind {
+    /// A procedure entry point.
+    ProcEntry,
+    /// A loop entry point (executes once per loop entry).
+    LoopEntry,
+    /// A loop-body (back) branch (executes once per iteration, or per
+    /// unrolled group).
+    LoopBody,
+}
+
+/// One point mapped across all binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappablePoint {
+    /// Structure kind.
+    pub kind: PointKind,
+    /// Total executions on the profiled input — identical in every
+    /// binary by construction.
+    pub execs: u64,
+    /// The concrete marker in each binary, indexed like the binary set
+    /// the point was built from.
+    pub per_binary: Vec<MarkerRef>,
+    /// True when this point was matched by inline recovery rather than
+    /// by direct symbol/line matching.
+    pub recovered: bool,
+    /// Human-readable description, e.g. `"proc smvp"` or `"loop@line 12"`.
+    pub label: String,
+}
+
+/// The set of mappable points for a group of binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappableSet {
+    /// Number of binaries the set spans.
+    pub binaries: usize,
+    /// The points.
+    pub points: Vec<MappablePoint>,
+}
+
+impl MappableSet {
+    /// Points of a given kind.
+    pub fn of_kind(&self, kind: PointKind) -> impl Iterator<Item = &MappablePoint> {
+        self.points.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Translates a marker of binary `from` to the corresponding marker
+    /// of binary `to`, if the marker is mappable.
+    pub fn translate(&self, from: usize, marker: MarkerRef, to: usize) -> Option<MarkerRef> {
+        self.points
+            .iter()
+            .find(|p| p.per_binary[from] == marker)
+            .map(|p| p.per_binary[to])
+    }
+
+    /// The markers of binary `index`, as a lookup-friendly sorted list.
+    pub fn markers_of(&self, index: usize) -> Vec<MarkerRef> {
+        let mut v: Vec<MarkerRef> = self.points.iter().map(|p| p.per_binary[index]).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Expected mappable-marker executions per interval of
+    /// `interval_target` instructions, given the total instruction
+    /// count of the profiled run.
+    ///
+    /// A coarse early warning for interval inflation: a density below
+    /// ~2 means boundary candidates are rare on average and mapped
+    /// intervals will balloon past the target. Note it is a *run-wide
+    /// average*: a program can be marker-rich in one region and starved
+    /// in another (`applu` has dense init markers but none inside its
+    /// optimized solver code — its intervals balloon despite a moderate
+    /// average density), so treat a low value as definitive trouble and
+    /// a high value as merely encouraging.
+    pub fn density(&self, total_instrs: u64, interval_target: u64) -> f64 {
+        let executions: u64 = self.points.iter().map(|p| p.execs).sum();
+        let intervals = total_instrs as f64 / interval_target.max(1) as f64;
+        if intervals > 0.0 {
+            executions as f64 / intervals
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Finds all directly-matchable points across `binaries` (procedure
+/// entries by name, loop entries/bodies by line + counts). Inline
+/// recovery is applied separately by
+/// [`recover_inlined`](crate::inlining::recover_inlined).
+///
+/// # Panics
+///
+/// Panics if `binaries` and `profiles` differ in length or are empty.
+pub fn find_mappable_points(
+    binaries: &[&Binary],
+    profiles: &[&CallLoopProfile],
+) -> MappableSet {
+    assert!(!binaries.is_empty(), "need at least one binary");
+    assert_eq!(
+        binaries.len(),
+        profiles.len(),
+        "one profile per binary"
+    );
+    let n = binaries.len();
+    let mut points = Vec::new();
+
+    // --- Procedure entries, matched by symbol name. -----------------
+    // name -> per-binary (proc index, entry count)
+    let mut by_name: BTreeMap<&str, Vec<Option<(u32, u64)>>> = BTreeMap::new();
+    for (bi, bin) in binaries.iter().enumerate() {
+        for (pi, proc) in bin.procs.iter().enumerate() {
+            let entry = by_name.entry(proc.name.as_str()).or_insert_with(|| vec![None; n]);
+            // Duplicate symbol within one binary would be ambiguous; our
+            // compiler never emits one, but guard anyway.
+            if entry[bi].is_some() {
+                entry[bi] = Some((u32::MAX, 0));
+            } else {
+                entry[bi] = Some((pi as u32, profiles[bi].proc_entries[pi]));
+            }
+        }
+    }
+    for (name, slots) in &by_name {
+        let Some(resolved) = all_present(slots) else {
+            continue; // missing from some binary (e.g. inlined away)
+        };
+        let count = resolved[0].1;
+        if count == 0 || resolved.iter().any(|&(i, c)| i == u32::MAX || c != count) {
+            continue; // never executed, ambiguous, or counts disagree
+        }
+        points.push(MappablePoint {
+            kind: PointKind::ProcEntry,
+            execs: count,
+            per_binary: resolved.iter().map(|&(i, _)| MarkerRef::Proc(i)).collect(),
+            recovered: false,
+            label: format!("proc {name}"),
+        });
+    }
+
+    // --- Loops, matched by debug line. -------------------------------
+    // line -> per-binary (loop index, entries, backs); ambiguous when a
+    // binary has several loops on one line.
+    let mut by_line: BTreeMap<u32, Vec<Option<(u32, u64, u64)>>> = BTreeMap::new();
+    for (bi, bin) in binaries.iter().enumerate() {
+        for (li, lp) in bin.loops.iter().enumerate() {
+            let Some(line) = lp.line else {
+                continue; // degraded debug info: unmatchable here
+            };
+            let entry = by_line.entry(line.0).or_insert_with(|| vec![None; n]);
+            if entry[bi].is_some() {
+                entry[bi] = Some((u32::MAX, 0, 0)); // ambiguous line
+            } else {
+                entry[bi] = Some((
+                    li as u32,
+                    profiles[bi].loop_entries[li],
+                    profiles[bi].loop_backs[li],
+                ));
+            }
+        }
+    }
+    for (line, slots) in &by_line {
+        let Some(resolved) = all_present(slots) else {
+            continue;
+        };
+        if resolved.iter().any(|&(i, _, _)| i == u32::MAX) {
+            continue;
+        }
+        let entries = resolved[0].1;
+        // Loop entry point: entry counts must agree and be nonzero.
+        if entries > 0 && resolved.iter().all(|&(_, e, _)| e == entries) {
+            points.push(MappablePoint {
+                kind: PointKind::LoopEntry,
+                execs: entries,
+                per_binary: resolved
+                    .iter()
+                    .map(|&(i, _, _)| MarkerRef::LoopEntry(i))
+                    .collect(),
+                recovered: false,
+                label: format!("loop-entry@line{line}"),
+            });
+            // Loop body branch: back counts must *also* agree (unrolling
+            // breaks this while leaving the entry mappable).
+            let backs = resolved[0].2;
+            if backs > 0 && resolved.iter().all(|&(_, _, b)| b == backs) {
+                points.push(MappablePoint {
+                    kind: PointKind::LoopBody,
+                    execs: backs,
+                    per_binary: resolved
+                        .iter()
+                        .map(|&(i, _, _)| MarkerRef::LoopBack(i))
+                        .collect(),
+                    recovered: false,
+                    label: format!("loop-body@line{line}"),
+                });
+            }
+        }
+    }
+
+    MappableSet {
+        binaries: n,
+        points,
+    }
+}
+
+fn all_present<T: Copy>(slots: &[Option<T>]) -> Option<Vec<T>> {
+    if slots.iter().all(Option::is_some) {
+        Some(slots.iter().map(|s| s.expect("checked")).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, CompileTarget, Input, LoopHints, ProgramBuilder, TripCount};
+
+    fn analyze(prog: &cbsp_program::SourceProgram) -> (Vec<Binary>, MappableSet) {
+        let input = Input::test();
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(prog, t))
+            .collect();
+        let profiles: Vec<CallLoopProfile> = bins
+            .iter()
+            .map(|b| CallLoopProfile::collect(b, &input))
+            .collect();
+        let set = find_mappable_points(
+            &bins.iter().collect::<Vec<_>>(),
+            &profiles.iter().collect::<Vec<_>>(),
+        );
+        (bins, set)
+    }
+
+    #[test]
+    fn plain_program_maps_everything() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(20, |body| {
+                body.call("work");
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_random(3, 9, |body| body.work(10));
+        });
+        let (_, set) = analyze(&b.finish());
+        assert_eq!(set.of_kind(PointKind::ProcEntry).count(), 2);
+        assert_eq!(set.of_kind(PointKind::LoopEntry).count(), 2);
+        assert_eq!(set.of_kind(PointKind::LoopBody).count(), 2);
+        for p in &set.points {
+            assert_eq!(p.per_binary.len(), 4);
+            assert!(p.execs > 0);
+            assert!(!p.recovered);
+        }
+    }
+
+    #[test]
+    fn unrolled_loop_keeps_entry_loses_body() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Fixed(40),
+                LoopHints {
+                    unroll: 4,
+                    split: false,
+                },
+                |body| body.work(10),
+            );
+        });
+        let (_, set) = analyze(&b.finish());
+        assert_eq!(set.of_kind(PointKind::LoopEntry).count(), 1);
+        assert_eq!(
+            set.of_kind(PointKind::LoopBody).count(),
+            0,
+            "unrolling changes back-branch counts"
+        );
+    }
+
+    #[test]
+    fn inlined_procedure_is_not_directly_mappable() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| body.call("hot"));
+        });
+        b.inline_proc("hot", |p| {
+            p.loop_fixed(5, |body| body.work(10));
+        });
+        let (_, set) = analyze(&b.finish());
+        // Only main survives as a procedure point.
+        assert_eq!(set.of_kind(PointKind::ProcEntry).count(), 1);
+        // hot's loop has no line in O2 binaries: unmatched here.
+        assert_eq!(set.of_kind(PointKind::LoopEntry).count(), 1, "only main's loop");
+    }
+
+    #[test]
+    fn split_loops_are_not_mappable() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Fixed(8),
+                LoopHints {
+                    unroll: 0,
+                    split: true,
+                },
+                |body| {
+                    body.work(5);
+                    body.work(7);
+                },
+            );
+        });
+        let (_, set) = analyze(&b.finish());
+        assert_eq!(set.of_kind(PointKind::LoopEntry).count(), 0);
+        assert_eq!(set.of_kind(PointKind::LoopBody).count(), 0);
+    }
+
+    #[test]
+    fn density_predicts_interval_inflation() {
+        use cbsp_program::{workloads, Scale};
+        let analyze_suite = |name: &str| {
+            let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+            let input = Input::test();
+            let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+                .iter()
+                .map(|&t| compile(&prog, t))
+                .collect();
+            let profiles: Vec<CallLoopProfile> = bins
+                .iter()
+                .map(|b| CallLoopProfile::collect(b, &input))
+                .collect();
+            let set = find_mappable_points(
+                &bins.iter().collect::<Vec<_>>(),
+                &profiles.iter().collect::<Vec<_>>(),
+            );
+            set.density(profiles[0].instructions, 20_000)
+        };
+        let swim = analyze_suite("swim");
+        let applu = analyze_suite("applu");
+        assert!(
+            swim > 2.0 * applu,
+            "swim density {swim} should clearly exceed applu's {applu}"
+        );
+        assert!(swim > 10.0, "swim is marker-rich: {swim}");
+    }
+
+    #[test]
+    fn translate_maps_markers_between_binaries() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.call("f");
+            p.call("g");
+        });
+        b.proc("f", |p| p.work(10));
+        b.proc("g", |p| p.work(10));
+        let (bins, set) = analyze(&b.finish());
+        // Find f's proc id in binary 0 and 3; they may differ, but
+        // translate must connect them.
+        let f0 = bins[0].proc_by_name("f").expect("f in 32u");
+        let f3 = bins[3].proc_by_name("f").expect("f in 64o");
+        assert_eq!(
+            set.translate(0, MarkerRef::Proc(f0.0), 3),
+            Some(MarkerRef::Proc(f3.0))
+        );
+        assert_eq!(set.translate(0, MarkerRef::LoopBack(99), 3), None);
+    }
+
+    #[test]
+    fn dead_procedures_are_excluded() {
+        use cbsp_program::Cond;
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.if_then(Cond::Never, |t| t.call("never_runs"));
+            p.work(10);
+        });
+        b.proc("never_runs", |p| p.work(1));
+        let (_, set) = analyze(&b.finish());
+        assert!(
+            set.points.iter().all(|p| p.label != "proc never_runs"),
+            "zero-count procedures must not be mappable"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The end-to-end Cross Binary SimPoint pipeline (paper §3.2).
+//!
+//! Given all binaries of one program and one input:
+//!
+//! 1. profile each binary's calls and loop branches
+//!    ([`CallLoopProfile`]);
+//! 2. find the mappable points that exist in every binary
+//!    ([`find_mappable_points`], plus inline recovery);
+//! 3. cut the *primary* binary's execution into variable-length
+//!    intervals bounded by mappable points ([`build_vli`]);
+//! 4. run SimPoint on the primary binary's interval BBVs
+//!    ([`cbsp_simpoint::analyze`]);
+//! 5. map the chosen simulation points to every binary — free, because
+//!    boundaries are `(marker, count)` pairs and markers are mappable;
+//! 6. recalculate each binary's phase weights from its own instruction
+//!    counts over the mapped intervals ([`slice_instr_counts`]).
+
+use crate::error::CbspError;
+use crate::inlining::recover_inlined;
+use crate::mappable::{find_mappable_points, MappableSet};
+use crate::vli::{build_vli, slice_instr_counts, VliProfile};
+use cbsp_profile::{CallLoopProfile, ExecPoint, PinPointsFile, RegionBound, SimRegion};
+use cbsp_program::{Binary, Input};
+use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
+use std::collections::BTreeMap;
+
+/// Configuration of a cross-binary analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbspConfig {
+    /// Desired interval size in instructions (the paper uses 100M on
+    /// SPEC; the default here is scaled to the synthetic suite).
+    pub interval_target: u64,
+    /// SimPoint clustering configuration.
+    pub simpoint: SimPointConfig,
+    /// Index of the primary binary (whose execution defines the
+    /// intervals). "The primary binary can be selected arbitrarily"
+    /// (§3.2.4); interval sizes in the other binaries stretch or shrink
+    /// with their relative instruction counts.
+    pub primary: usize,
+}
+
+impl Default for CbspConfig {
+    fn default() -> Self {
+        CbspConfig {
+            interval_target: 100_000,
+            simpoint: SimPointConfig::default(),
+            primary: 0,
+        }
+    }
+}
+
+/// Result of the cross-binary pipeline.
+#[derive(Debug, Clone)]
+pub struct CrossBinaryResult {
+    /// The mappable-point set.
+    pub mappable: MappableSet,
+    /// Procedures whose loops inline recovery re-mapped.
+    pub recovered_procs: usize,
+    /// Index of the primary binary.
+    pub primary: usize,
+    /// The primary binary's VLI profile.
+    pub vli: VliProfile,
+    /// SimPoint clustering of the primary binary's intervals.
+    pub simpoint: SimPointResult,
+    /// Interval boundaries translated to each binary (index-aligned
+    /// with the input binary set).
+    pub boundaries: Vec<Vec<ExecPoint>>,
+    /// Instructions per mapped interval, per binary.
+    pub interval_instrs: Vec<Vec<u64>>,
+    /// Recalculated phase weights per binary: `weights[b][phase]`.
+    pub weights: Vec<Vec<f64>>,
+}
+
+impl CrossBinaryResult {
+    /// Number of intervals in the mapped slicing.
+    pub fn interval_count(&self) -> usize {
+        self.vli.intervals.len()
+    }
+
+    /// Builds a PinPoints region file for binary `b` (regions =
+    /// simulation points, bounds = mapped marker coordinates, weights =
+    /// binary-specific recalculated weights).
+    pub fn pinpoints_for(&self, b: usize, binary: &Binary, input: &Input) -> PinPointsFile {
+        let bounds = &self.boundaries[b];
+        let regions = self
+            .simpoint
+            .points
+            .iter()
+            .map(|pt| {
+                let i = pt.interval;
+                let start = if i == 0 {
+                    RegionBound::Instr(0)
+                } else {
+                    RegionBound::Point(bounds[i - 1])
+                };
+                let end = if i < bounds.len() {
+                    RegionBound::Point(bounds[i])
+                } else {
+                    RegionBound::Instr(u64::MAX) // tail region: run to end
+                };
+                SimRegion {
+                    phase: pt.phase,
+                    weight: self.weights[b][pt.phase as usize],
+                    start,
+                    end,
+                }
+            })
+            .collect();
+        PinPointsFile {
+            program: binary.program.clone(),
+            binary: binary.label(),
+            input: input.name.clone(),
+            interval_target: 0, // variable-length; target kept in config
+            regions,
+        }
+    }
+}
+
+/// Runs the full cross-binary pipeline over `binaries`.
+///
+/// # Errors
+///
+/// Returns an error when the binary set is empty, mixes programs, or
+/// the primary index is out of range.
+pub fn run_cross_binary(
+    binaries: &[&Binary],
+    input: &Input,
+    config: &CbspConfig,
+) -> Result<CrossBinaryResult, CbspError> {
+    if binaries.is_empty() {
+        return Err(CbspError::EmptyBinarySet);
+    }
+    if config.primary >= binaries.len() {
+        return Err(CbspError::PrimaryOutOfRange {
+            primary: config.primary,
+            binaries: binaries.len(),
+        });
+    }
+    let program = &binaries[0].program;
+    if let Some(b) = binaries.iter().find(|b| &b.program != program) {
+        return Err(CbspError::ProgramMismatch {
+            expected: program.clone(),
+            found: b.program.clone(),
+        });
+    }
+
+    // Steps 1-2: profiles and mappable points.
+    let profiles: Vec<CallLoopProfile> = binaries
+        .iter()
+        .map(|b| CallLoopProfile::collect(b, input))
+        .collect();
+    let prof_refs: Vec<&CallLoopProfile> = profiles.iter().collect();
+    let mut mappable = find_mappable_points(binaries, &prof_refs);
+    let recovered_procs = recover_inlined(binaries, &prof_refs, &mut mappable);
+
+    // Step 3: VLIs on the primary binary.
+    let primary = config.primary;
+    let vli = build_vli(
+        binaries[primary],
+        input,
+        config.interval_target,
+        &mappable.markers_of(primary),
+    );
+
+    // Step 4: SimPoint on the primary's interval BBVs.
+    let vectors: Vec<Vec<f64>> = vli.intervals.iter().map(|i| i.bbv.clone()).collect();
+    let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
+    let simpoint = analyze(&vectors, &instrs, &config.simpoint);
+
+    // Step 5: translate boundaries to every binary. Build a translation
+    // table once (primary marker → per-binary markers).
+    let mut table: BTreeMap<cbsp_profile::MarkerRef, usize> = BTreeMap::new();
+    for (pi, p) in mappable.points.iter().enumerate() {
+        table.insert(p.per_binary[primary], pi);
+    }
+    let mut boundaries = Vec::with_capacity(binaries.len());
+    for b in 0..binaries.len() {
+        let translated: Result<Vec<ExecPoint>, CbspError> = vli
+            .boundaries
+            .iter()
+            .map(|bp| {
+                let pi = table
+                    .get(&bp.marker)
+                    .ok_or(CbspError::UnmappableBoundary { marker: bp.marker })?;
+                Ok(ExecPoint {
+                    marker: mappable.points[*pi].per_binary[b],
+                    count: bp.count,
+                })
+            })
+            .collect();
+        boundaries.push(translated?);
+    }
+
+    // Step 6: per-binary interval instruction counts and phase weights.
+    let n_intervals = vli.intervals.len();
+    let k = simpoint
+        .points
+        .iter()
+        .map(|p| p.phase as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut interval_instrs = Vec::with_capacity(binaries.len());
+    let mut weights = Vec::with_capacity(binaries.len());
+    for (b, bin) in binaries.iter().enumerate() {
+        let mut slices = if b == primary {
+            instrs.clone()
+        } else {
+            slice_instr_counts(bin, input, &boundaries[b])
+        };
+        slices.resize(n_intervals, 0); // zero-length tail in this binary
+        let total: u64 = slices.iter().sum();
+        let mut w = vec![0.0f64; k];
+        for (i, &label) in simpoint.labels.iter().enumerate() {
+            w[label as usize] += slices[i] as f64;
+        }
+        if total > 0 {
+            for x in w.iter_mut() {
+                *x /= total as f64;
+            }
+        }
+        interval_instrs.push(slices);
+        weights.push(w);
+    }
+
+    Ok(CrossBinaryResult {
+        mappable,
+        recovered_procs,
+        primary,
+        vli,
+        simpoint,
+        boundaries,
+        interval_instrs,
+        weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, workloads, CompileTarget, Scale};
+
+    fn run_for(name: &str) -> (Vec<Binary>, Input, CrossBinaryResult) {
+        let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let input = Input::test();
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&prog, t))
+            .collect();
+        let config = CbspConfig {
+            interval_target: 20_000,
+            ..CbspConfig::default()
+        };
+        let result = run_cross_binary(&bins.iter().collect::<Vec<_>>(), &input, &config)
+            .expect("pipeline runs");
+        (bins, input, result)
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_structures() {
+        let (_bins, _input, r) = run_for("swim");
+        assert!(r.interval_count() > 2);
+        assert_eq!(r.boundaries.len(), 4);
+        assert_eq!(r.weights.len(), 4);
+        assert_eq!(r.interval_instrs.len(), 4);
+        for b in 0..4 {
+            assert_eq!(r.interval_instrs[b].len(), r.interval_count());
+            let total: f64 = r.weights[b].iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "weights[{b}] sum {total}");
+        }
+        assert_eq!(r.simpoint.labels.len(), r.interval_count());
+    }
+
+    #[test]
+    fn weights_differ_across_binaries_but_phases_align() {
+        let (_bins, _input, r) = run_for("apsi");
+        // Same phase structure everywhere (labels come from the primary),
+        // but weights are binary-specific.
+        let w0 = &r.weights[0];
+        assert!(r.weights.iter().any(|w| {
+            w.iter()
+                .zip(w0)
+                .any(|(a, b)| (a - b).abs() > 1e-6)
+        }), "at least one binary should reweight phases");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+        let other = workloads::by_name("mcf").expect("in suite").build(Scale::Test);
+        let a = compile(&prog, CompileTarget::W32_O0);
+        let b = compile(&other, CompileTarget::W32_O2);
+        let input = Input::test();
+        let config = CbspConfig::default();
+
+        assert!(matches!(
+            run_cross_binary(&[], &input, &config),
+            Err(CbspError::EmptyBinarySet)
+        ));
+        assert!(matches!(
+            run_cross_binary(&[&a, &b], &input, &config),
+            Err(CbspError::ProgramMismatch { .. })
+        ));
+        let bad = CbspConfig {
+            primary: 5,
+            ..config
+        };
+        assert!(matches!(
+            run_cross_binary(&[&a], &input, &bad),
+            Err(CbspError::PrimaryOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pinpoints_files_validate() {
+        let (bins, input, r) = run_for("gzip");
+        for b in 0..4 {
+            let pp = r.pinpoints_for(b, &bins[b], &input);
+            assert_eq!(pp.validate(), Ok(()), "binary {b}");
+            assert_eq!(pp.regions.len(), r.simpoint.points.len());
+        }
+    }
+
+    #[test]
+    fn applu_pattern_yields_oversized_intervals() {
+        let (_bins, _input, r) = run_for("applu");
+        // The paper's Figure 2 outlier: inlining + splitting leaves no
+        // mappable markers inside a driver iteration, so VLIs are far
+        // larger than the target.
+        assert!(
+            r.vli.average_interval_size() > 2.0 * 20_000.0,
+            "applu VLIs should balloon: avg {}",
+            r.vli.average_interval_size()
+        );
+    }
+
+    #[test]
+    fn swim_intervals_stay_near_the_target() {
+        let (_bins, _input, r) = run_for("swim");
+        assert!(
+            r.vli.average_interval_size() < 2.0 * 20_000.0,
+            "swim has dense markers: avg {}",
+            r.vli.average_interval_size()
+        );
+    }
+}

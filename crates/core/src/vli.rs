@@ -1,0 +1,318 @@
+//! Variable Length Interval construction (paper §3.2.3).
+//!
+//! Execution of the *primary binary* is cut into intervals of at least
+//! `target` instructions, where every cut lands on a mappable marker:
+//! "if the desired interval size is 100 million instructions, and we
+//! have just executed 100 million instructions, we need to create an
+//! interval boundary on the next mappable marker we encounter." Each
+//! boundary is recorded as a `(marker, execution count)` pair, which is
+//! exactly what makes the interval transferable to every other binary.
+
+use cbsp_profile::{BbvBuilder, ExecPoint, Interval, MarkerCounts, MarkerRef};
+use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
+
+/// The primary binary's variable-length-interval profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VliProfile {
+    /// The intervals, in execution order.
+    pub intervals: Vec<Interval>,
+    /// `boundaries[i]` is the execution point ending interval `i`
+    /// (exclusive). The final interval is the tail after the last
+    /// boundary, so `boundaries.len() == intervals.len() - 1` unless the
+    /// run ended exactly on a boundary.
+    pub boundaries: Vec<ExecPoint>,
+}
+
+impl VliProfile {
+    /// Total instructions across all intervals.
+    pub fn total_instrs(&self) -> u64 {
+        self.intervals.iter().map(|i| i.instrs).sum()
+    }
+
+    /// Average interval size in instructions (0 for an empty profile).
+    pub fn average_interval_size(&self) -> f64 {
+        if self.intervals.is_empty() {
+            0.0
+        } else {
+            self.total_instrs() as f64 / self.intervals.len() as f64
+        }
+    }
+}
+
+/// Fast membership test for "is this marker mappable".
+#[derive(Debug, Clone)]
+struct MarkerFilter {
+    procs: Vec<bool>,
+    entries: Vec<bool>,
+    backs: Vec<bool>,
+}
+
+impl MarkerFilter {
+    fn new(binary: &Binary, mappable: &[MarkerRef]) -> Self {
+        let mut f = MarkerFilter {
+            procs: vec![false; binary.procs.len()],
+            entries: vec![false; binary.loops.len()],
+            backs: vec![false; binary.loops.len()],
+        };
+        for m in mappable {
+            match *m {
+                MarkerRef::Proc(i) => f.procs[i as usize] = true,
+                MarkerRef::LoopEntry(i) => f.entries[i as usize] = true,
+                MarkerRef::LoopBack(i) => f.backs[i as usize] = true,
+            }
+        }
+        f
+    }
+
+    #[inline]
+    fn contains(&self, m: Marker) -> bool {
+        match m {
+            Marker::ProcEntry(p) => self.procs[p.index()],
+            Marker::LoopEntry(l) => self.entries[l.index()],
+            Marker::LoopBack(l) => self.backs[l.index()],
+        }
+    }
+}
+
+struct VliSink {
+    builder: BbvBuilder,
+    counts: MarkerCounts,
+    filter: MarkerFilter,
+    target: u64,
+    intervals: Vec<Interval>,
+    boundaries: Vec<ExecPoint>,
+}
+
+impl TraceSink for VliSink {
+    #[inline]
+    fn on_block(&mut self, block: BlockId, instrs: u64) {
+        self.builder.observe(block, instrs);
+    }
+
+    #[inline]
+    fn on_marker(&mut self, marker: Marker) {
+        let count = self.counts.observe(marker);
+        if self.builder.instrs() >= self.target && self.filter.contains(marker) {
+            let (bbv, instrs) = self.builder.take_interval();
+            self.intervals.push(Interval { bbv, instrs });
+            self.boundaries.push(ExecPoint {
+                marker: marker.into(),
+                count,
+            });
+        }
+    }
+}
+
+/// Builds the VLI profile of `binary` (the primary binary) on `input`,
+/// cutting at `mappable` markers every `target` instructions.
+///
+/// # Panics
+///
+/// Panics if `target` is zero.
+pub fn build_vli(
+    binary: &Binary,
+    input: &Input,
+    target: u64,
+    mappable: &[MarkerRef],
+) -> VliProfile {
+    assert!(target > 0, "interval target must be positive");
+    let mut sink = VliSink {
+        builder: BbvBuilder::new(binary.block_count()),
+        counts: MarkerCounts::for_binary(binary),
+        filter: MarkerFilter::new(binary, mappable),
+        target,
+        intervals: Vec::new(),
+        boundaries: Vec::new(),
+    };
+    run(binary, input, &mut sink);
+    if sink.builder.instrs() > 0 {
+        let (bbv, instrs) = sink.builder.take_interval();
+        sink.intervals.push(Interval { bbv, instrs });
+    }
+    VliProfile {
+        intervals: sink.intervals,
+        boundaries: sink.boundaries,
+    }
+}
+
+struct InstrSliceSink {
+    counts: MarkerCounts,
+    boundaries: Vec<ExecPoint>,
+    next: usize,
+    cur: u64,
+    slices: Vec<u64>,
+}
+
+impl TraceSink for InstrSliceSink {
+    #[inline]
+    fn on_block(&mut self, _: BlockId, instrs: u64) {
+        self.cur += instrs;
+    }
+
+    #[inline]
+    fn on_marker(&mut self, marker: Marker) {
+        let count = self.counts.observe(marker);
+        if let Some(b) = self.boundaries.get(self.next) {
+            if b.marker.to_marker() == marker && b.count == count {
+                self.slices.push(self.cur);
+                self.cur = 0;
+                self.next += 1;
+            }
+        }
+    }
+}
+
+/// Counts instructions per interval when `binary`'s execution is sliced
+/// at `boundaries` (used to recalculate per-binary phase weights, paper
+/// §3.2.6). Returns `boundaries.len() + 1` counts when the tail is
+/// nonempty, `boundaries.len()` otherwise.
+///
+/// # Panics
+///
+/// Panics if some boundary is never reached — the boundaries do not
+/// belong to this `(binary, input)` pair.
+pub fn slice_instr_counts(binary: &Binary, input: &Input, boundaries: &[ExecPoint]) -> Vec<u64> {
+    let mut sink = InstrSliceSink {
+        counts: MarkerCounts::for_binary(binary),
+        boundaries: boundaries.to_vec(),
+        next: 0,
+        cur: 0,
+        slices: Vec::with_capacity(boundaries.len() + 1),
+    };
+    run(binary, input, &mut sink);
+    assert_eq!(
+        sink.next,
+        boundaries.len(),
+        "all boundaries must occur in this binary's execution"
+    );
+    if sink.cur > 0 {
+        sink.slices.push(sink.cur);
+    }
+    sink.slices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mappable::find_mappable_points;
+    use cbsp_profile::CallLoopProfile;
+    use cbsp_program::{compile, CompileTarget, ProgramBuilder};
+
+    fn setup() -> (Vec<Binary>, Input, crate::mappable::MappableSet) {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array_f64("a", 256);
+        b.proc("main", |p| {
+            p.loop_fixed(300, |body| {
+                body.compute(40, |k| {
+                    k.seq(a, 4);
+                });
+                body.call("f");
+            });
+        });
+        b.proc("f", |p| p.work(20));
+        let prog = b.finish();
+        let input = Input::test();
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&prog, t))
+            .collect();
+        let profiles: Vec<CallLoopProfile> = bins
+            .iter()
+            .map(|b| CallLoopProfile::collect(b, &input))
+            .collect();
+        let set = find_mappable_points(
+            &bins.iter().collect::<Vec<_>>(),
+            &profiles.iter().collect::<Vec<_>>(),
+        );
+        (bins, input, set)
+    }
+
+    #[test]
+    fn vli_intervals_partition_execution_and_meet_the_target() {
+        let (bins, input, set) = setup();
+        let target = 2_000;
+        let vli = build_vli(&bins[0], &input, target, &set.markers_of(0));
+        assert!(vli.intervals.len() > 3);
+        assert_eq!(vli.boundaries.len(), vli.intervals.len() - 1);
+        let full = cbsp_program::run(&bins[0], &input, &mut cbsp_program::NullSink);
+        assert_eq!(vli.total_instrs(), full.instructions);
+        for iv in &vli.intervals[..vli.intervals.len() - 1] {
+            assert!(iv.instrs >= target, "interval below target");
+        }
+        assert!(vli.average_interval_size() >= target as f64);
+    }
+
+    #[test]
+    fn boundaries_transfer_to_other_binaries() {
+        let (bins, input, set) = setup();
+        let vli = build_vli(&bins[0], &input, 2_000, &set.markers_of(0));
+        // Translate boundaries to binary 3 and slice it there.
+        let translated: Vec<ExecPoint> = vli
+            .boundaries
+            .iter()
+            .map(|b| ExecPoint {
+                marker: set.translate(0, b.marker, 3).expect("boundary is mappable"),
+                count: b.count,
+            })
+            .collect();
+        let slices = slice_instr_counts(&bins[3], &input, &translated);
+        assert_eq!(slices.len(), vli.intervals.len());
+        let full = cbsp_program::run(&bins[3], &input, &mut cbsp_program::NullSink);
+        assert_eq!(slices.iter().sum::<u64>(), full.instructions);
+        // Mapped intervals cover the same *fractions* of execution
+        // (within one loop iteration of slack).
+        for (i, s) in slices.iter().enumerate() {
+            let f0 = vli.intervals[i].instrs as f64 / vli.total_instrs() as f64;
+            let f3 = *s as f64 / full.instructions as f64;
+            assert!(
+                (f0 - f3).abs() < 0.02,
+                "interval {i}: primary frac {f0:.4} vs mapped frac {f3:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_mappable_markers_yields_one_interval() {
+        let (bins, input, _) = setup();
+        let vli = build_vli(&bins[0], &input, 1_000, &[]);
+        assert_eq!(vli.intervals.len(), 1);
+        assert!(vli.boundaries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must occur")]
+    fn boundaries_are_input_specific() {
+        // (marker, count) coordinates name a moment of ONE input's
+        // execution; applying them to a different input is an error the
+        // tooling must catch, not silently mis-slice (the paper profiles
+        // each program/input pair separately for the same reason).
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(200, |body| {
+                body.loop_random(5, 50, |inner| inner.work(30));
+            });
+        });
+        let bin = compile(&b.finish(), CompileTarget::W32_O2);
+        let input = Input::new("a", 1, cbsp_program::Scale::Test);
+        let profile = CallLoopProfile::collect(&bin, &input);
+        let set = find_mappable_points(&[&bin], &[&profile]);
+        let vli = build_vli(&bin, &input, 1_000, &set.markers_of(0));
+        assert!(vli.boundaries.len() > 3);
+        // A different seed draws different trip counts: the total
+        // executions of the inner-loop marker differ, so at least the
+        // late boundaries never occur.
+        let other = Input::new("b", 2, cbsp_program::Scale::Test);
+        let _ = slice_instr_counts(&bin, &other, &vli.boundaries);
+    }
+
+    #[test]
+    #[should_panic(expected = "must occur")]
+    fn foreign_boundaries_panic() {
+        let (bins, input, _) = setup();
+        let bad = vec![ExecPoint {
+            marker: MarkerRef::LoopBack(0),
+            count: 1_000_000,
+        }];
+        let _ = slice_instr_counts(&bins[0], &input, &bad);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the estimation math and the mappable-set
+//! data structure.
+
+use cbsp_core::{
+    estimated_cycles, relative_error, speedup, speedup_error, weighted_cpi, weighted_cpi_with,
+};
+use cbsp_simpoint::SimPoint;
+use proptest::prelude::*;
+
+fn points_and_cpis() -> impl Strategy<Value = (Vec<SimPoint>, Vec<f64>)> {
+    (1usize..8).prop_flat_map(|k| {
+        let weights = prop::collection::vec(0.01f64..1.0, k);
+        let cpis = prop::collection::vec(0.5f64..50.0, k);
+        (weights, cpis).prop_map(|(raw_w, cpis)| {
+            let total: f64 = raw_w.iter().sum();
+            let points = raw_w
+                .iter()
+                .enumerate()
+                .map(|(i, w)| SimPoint {
+                    phase: i as u32,
+                    interval: i,
+                    weight: w / total,
+                    variance: 0.0,
+                })
+                .collect();
+            (points, cpis)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// A weighted CPI estimate is a convex combination: bounded by the
+    /// smallest and largest per-point CPI.
+    #[test]
+    fn weighted_cpi_is_convex((points, cpis) in points_and_cpis()) {
+        let est = weighted_cpi(&points, &cpis);
+        let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+    }
+
+    /// Overriding with identical phase weights reproduces weighted_cpi.
+    #[test]
+    fn weighted_cpi_with_matches_on_same_weights((points, cpis) in points_and_cpis()) {
+        let phase_weights: Vec<f64> = points.iter().map(|p| p.weight).collect();
+        let a = weighted_cpi(&points, &cpis);
+        let b = weighted_cpi_with(&points, &phase_weights, &cpis);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// If every phase has the same CPI, the estimate is exact no matter
+    /// the weights.
+    #[test]
+    fn uniform_cpi_is_estimated_exactly((points, _) in points_and_cpis(), cpi in 0.5f64..50.0) {
+        let cpis = vec![cpi; points.len()];
+        let est = weighted_cpi(&points, &cpis);
+        prop_assert!((est - cpi).abs() < 1e-9);
+    }
+
+    /// Error metric identities: zero at equality, scale-invariant,
+    /// symmetric under proportional scaling of both speedups.
+    #[test]
+    fn error_metric_identities(t in 0.1f64..100.0, e in 0.1f64..100.0, s in 0.1f64..10.0) {
+        prop_assert_eq!(relative_error(t, t), 0.0);
+        let base = speedup_error(t, e);
+        let scaled = speedup_error(t * s, e * s);
+        prop_assert!((base - scaled).abs() < 1e-9, "scale invariance");
+        prop_assert!(base >= 0.0);
+    }
+
+    /// Speedup composition: speedup(a, b) * speedup(b, c) = speedup(a, c).
+    #[test]
+    fn speedup_composes(a in 1.0f64..1e9, b in 1.0f64..1e9, c in 1.0f64..1e9) {
+        let lhs = speedup(a, b) * speedup(b, c);
+        let rhs = speedup(a, c);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.abs());
+    }
+
+    /// Estimated cycles scale linearly in both arguments.
+    #[test]
+    fn estimated_cycles_is_bilinear(cpi in 0.1f64..50.0, instrs in 1u64..1_000_000) {
+        let one = estimated_cycles(cpi, instrs);
+        let double_cpi = estimated_cycles(2.0 * cpi, instrs);
+        prop_assert!((2.0 * one - double_cpi).abs() < 1e-6 * one);
+        let double_instrs = estimated_cycles(cpi, 2 * instrs);
+        prop_assert!((2.0 * one - double_instrs).abs() < 1e-6 * one);
+    }
+}
+
+mod mappable_translation {
+    use cbsp_core::{run_cross_binary, CbspConfig};
+    use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+        /// Marker translation between binaries is a consistent bijection
+        /// on the mappable set: translating a marker from binary a to b
+        /// and back is the identity, for random benchmark/pair choices.
+        #[test]
+        fn translation_round_trips(bench_idx in 0usize..21, a in 0usize..4, b in 0usize..4) {
+            let w = workloads::suite()[bench_idx];
+            let prog = w.build(Scale::Test);
+            let input = Input::test();
+            let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+                .iter()
+                .map(|&t| compile(&prog, t))
+                .collect();
+            let config = CbspConfig { interval_target: 50_000, ..CbspConfig::default() };
+            let result = run_cross_binary(&bins.iter().collect::<Vec<_>>(), &input, &config)
+                .expect("pipeline runs");
+            for point in &result.mappable.points {
+                let m_a = point.per_binary[a];
+                let m_b = result.mappable.translate(a, m_a, b).expect("mappable");
+                prop_assert_eq!(m_b, point.per_binary[b]);
+                let back = result.mappable.translate(b, m_b, a).expect("mappable");
+                prop_assert_eq!(back, m_a);
+            }
+        }
+    }
+}

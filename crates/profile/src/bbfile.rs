@@ -1,0 +1,193 @@
+//! The SimPoint `.bb` frequency-vector text format.
+//!
+//! The original SimPoint tool chain exchanges basic-block vectors as
+//! text files with one interval per line:
+//!
+//! ```text
+//! T:45:1024 :189:99343 :11:78573
+//! T:11:1000 :321:148
+//! ```
+//!
+//! Each line starts with `T`, followed by `:block:count` pairs for every
+//! basic block executed in the interval, where `block` is a **1-based**
+//! block id and `count` is the instruction-weighted execution count.
+//! This module reads and writes that format so interval profiles can be
+//! exchanged with the original SimPoint 3.0 release (and inspected with
+//! a text editor).
+
+use crate::bbv::Interval;
+use std::fmt::Write as _;
+
+/// Serializes intervals to `.bb` text.
+///
+/// Zero entries are omitted (the format is sparse); counts are written
+/// as rounded integers, the convention of the original tools.
+pub fn write_bb(intervals: &[Interval]) -> String {
+    let mut out = String::new();
+    for iv in intervals {
+        out.push('T');
+        for (block, &count) in iv.bbv.iter().enumerate() {
+            if count > 0.0 {
+                let _ = write!(out, ":{}:{} ", block + 1, count.round() as u64);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Error produced when parsing a `.bb` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBbError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseBbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBbError {}
+
+/// Parses `.bb` text into intervals.
+///
+/// The dimensionality is the largest block id seen (blocks are 1-based
+/// in the format, 0-based in the returned vectors). Interval
+/// instruction counts are the sum of the entries, which matches how the
+/// profilers build them (instruction-weighted BBVs).
+///
+/// # Errors
+///
+/// Returns a [`ParseBbError`] naming the offending line for any
+/// malformed input.
+pub fn parse_bb(text: &str) -> Result<Vec<Interval>, ParseBbError> {
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_block = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseBbError {
+            line: lineno + 1,
+            message,
+        };
+        let Some(rest) = line.strip_prefix('T') else {
+            return Err(err(format!("expected line to start with 'T', got {line:?}")));
+        };
+        let mut entries = Vec::new();
+        for token in rest.split_whitespace() {
+            let token = token.strip_prefix(':').unwrap_or(token);
+            let mut parts = token.splitn(2, ':');
+            let block: usize = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(format!("bad block id in {token:?}")))?;
+            let count: f64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(format!("bad count in {token:?}")))?;
+            if block == 0 {
+                return Err(err("block ids are 1-based; got 0".to_string()));
+            }
+            if count < 0.0 || !count.is_finite() {
+                return Err(err(format!("bad count {count}")));
+            }
+            max_block = max_block.max(block);
+            entries.push((block - 1, count));
+        }
+        rows.push(entries);
+    }
+
+    Ok(rows
+        .into_iter()
+        .map(|entries| {
+            let mut bbv = vec![0.0; max_block];
+            let mut instrs = 0.0;
+            for (block, count) in entries {
+                bbv[block] += count;
+                instrs += count;
+            }
+            Interval {
+                bbv,
+                instrs: instrs.round() as u64,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_profile() {
+        let intervals = vec![
+            Interval {
+                bbv: vec![0.0, 1024.0, 0.0, 99343.0],
+                instrs: 100_367,
+            },
+            Interval {
+                bbv: vec![1000.0, 0.0, 148.0, 0.0],
+                instrs: 1_148,
+            },
+        ];
+        let text = write_bb(&intervals);
+        let back = parse_bb(&text).expect("parses");
+        assert_eq!(back, intervals);
+    }
+
+    #[test]
+    fn parses_the_documented_example() {
+        let text = "T:45:1024 :189:99343 :11:78573\nT:11:1000 :321:148 \n";
+        let ivs = parse_bb(text).expect("parses");
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].bbv.len(), 321, "dim = max block id");
+        assert_eq!(ivs[0].bbv[44], 1024.0);
+        assert_eq!(ivs[0].bbv[188], 99343.0);
+        assert_eq!(ivs[0].instrs, 1024 + 99343 + 78573);
+        assert_eq!(ivs[1].bbv[320], 148.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# a comment\n\nT:1:5 \n";
+        let ivs = parse_bb(text).expect("parses");
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].instrs, 5);
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        for bad in ["X:1:5", "T:0:5", "T:1:", "T:abc:3", "T:1:-4"] {
+            let e = parse_bb(bad).expect_err(bad);
+            assert_eq!(e.line, 1, "{bad}");
+        }
+        let e = parse_bb("T:1:1 \nT:oops:2 ").expect_err("second line bad");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn real_profile_round_trips_through_text() {
+        use cbsp_program::{compile, workloads, CompileTarget, Input, Scale};
+        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+        let bin = compile(&prog, CompileTarget::W32_O2);
+        let intervals = crate::fli::profile_fli(&bin, &Input::test(), 20_000);
+        let text = write_bb(&intervals);
+        let back = parse_bb(&text).expect("parses");
+        assert_eq!(back.len(), intervals.len());
+        for (a, b) in back.iter().zip(&intervals) {
+            assert_eq!(a.instrs, b.instrs);
+            // Dimensions may be truncated to the last nonzero block.
+            for (i, &v) in a.bbv.iter().enumerate() {
+                assert_eq!(v, b.bbv[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Basic Block Vector (BBV) accumulation.
+//!
+//! A BBV is the per-interval frequency vector SimPoint clusters (paper
+//! §2.2): element *i* counts how many times static basic block *i* was
+//! entered during the interval, weighted by the number of instructions
+//! in the block. Dimensionality is the binary's static block count, so
+//! BBVs are only comparable *within* one binary — which is precisely why
+//! cross-binary simulation points cannot be found by comparing vectors
+//! and need mappable markers instead.
+
+use cbsp_program::BlockId;
+
+/// Accumulates one interval's basic-block vector.
+#[derive(Debug, Clone)]
+pub struct BbvBuilder {
+    current: Vec<f64>,
+    instrs: u64,
+}
+
+impl BbvBuilder {
+    /// Creates a builder for a binary with `dims` static blocks.
+    pub fn new(dims: usize) -> Self {
+        BbvBuilder {
+            current: vec![0.0; dims],
+            instrs: 0,
+        }
+    }
+
+    /// Records one execution of `block` committing `instrs` instructions.
+    #[inline]
+    pub fn observe(&mut self, block: BlockId, instrs: u64) {
+        self.current[block.index()] += instrs as f64;
+        self.instrs += instrs;
+    }
+
+    /// Instructions accumulated in the current interval so far.
+    #[inline]
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Closes the current interval, returning its (unnormalized) BBV and
+    /// instruction count, and resets the accumulator.
+    pub fn take_interval(&mut self) -> (Vec<f64>, u64) {
+        let instrs = self.instrs;
+        self.instrs = 0;
+        let dims = self.current.len();
+        let bbv = std::mem::replace(&mut self.current, vec![0.0; dims]);
+        (bbv, instrs)
+    }
+}
+
+/// One profiled interval: its BBV and the instructions it spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Unnormalized, instruction-weighted basic-block vector.
+    pub bbv: Vec<f64>,
+    /// Instructions executed in this interval.
+    pub instrs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_weights_by_instructions() {
+        let mut b = BbvBuilder::new(3);
+        b.observe(BlockId(0), 10);
+        b.observe(BlockId(0), 10);
+        b.observe(BlockId(2), 5);
+        assert_eq!(b.instrs(), 25);
+        let (bbv, instrs) = b.take_interval();
+        assert_eq!(bbv, vec![20.0, 0.0, 5.0]);
+        assert_eq!(instrs, 25);
+    }
+
+    #[test]
+    fn take_interval_resets() {
+        let mut b = BbvBuilder::new(2);
+        b.observe(BlockId(1), 7);
+        let _ = b.take_interval();
+        assert_eq!(b.instrs(), 0);
+        let (bbv, instrs) = b.take_interval();
+        assert_eq!(bbv, vec![0.0, 0.0]);
+        assert_eq!(instrs, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The call-and-branch profile of paper §3.2.1.
+//!
+//! For each binary and input, records how many times every procedure
+//! entry point, loop entry point, and loop-body (back) branch executed.
+//! Together with symbol names and debug line numbers, this is all the
+//! observable information the cross-binary matcher may use.
+
+use cbsp_program::{run, Binary, BinProcId, Input, LStmt, NullSink};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Dynamic execution counts of every marker in one binary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallLoopProfile {
+    /// Entry count per procedure, indexed by `BinProcId`.
+    pub proc_entries: Vec<u64>,
+    /// Entry count per loop (times entered, regardless of iterations),
+    /// indexed by `BinLoopId`.
+    pub loop_entries: Vec<u64>,
+    /// Back-branch execution count per loop (total iterations, or
+    /// iteration groups in unrolled loops), indexed by `BinLoopId`.
+    pub loop_backs: Vec<u64>,
+    /// Total committed instructions of the profiled run.
+    pub instructions: u64,
+}
+
+impl CallLoopProfile {
+    /// Profiles `binary` on `input` (a full functional run, no timing).
+    pub fn collect(binary: &Binary, input: &Input) -> Self {
+        let s = run(binary, input, &mut NullSink);
+        CallLoopProfile {
+            proc_entries: s.proc_entries,
+            loop_entries: s.loop_entries,
+            loop_backs: s.loop_backs,
+            instructions: s.instructions,
+        }
+    }
+}
+
+/// The static call graph of a binary: for each procedure, the set of
+/// procedures whose code contains a call to it.
+///
+/// Used by inline recovery (paper §3.3): when a procedure symbol is
+/// missing from an optimized binary, its loops are searched for inside
+/// the procedures that call it in the binaries where it still exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// `callers[p]` = procedures containing a call to procedure `p`.
+    pub callers: Vec<BTreeSet<BinProcId>>,
+    /// `callees[p]` = procedures that procedure `p` calls.
+    pub callees: Vec<BTreeSet<BinProcId>>,
+}
+
+impl CallGraph {
+    /// Extracts the static call graph from a binary's lowered code.
+    pub fn of(binary: &Binary) -> Self {
+        let n = binary.procs.len();
+        let mut callers = vec![BTreeSet::new(); n];
+        let mut callees = vec![BTreeSet::new(); n];
+
+        fn walk(
+            stmts: &[LStmt],
+            from: BinProcId,
+            callers: &mut [BTreeSet<BinProcId>],
+            callees: &mut [BTreeSet<BinProcId>],
+        ) {
+            for s in stmts {
+                match s {
+                    LStmt::Call { callee, .. } => {
+                        callers[callee.index()].insert(from);
+                        callees[from.index()].insert(*callee);
+                    }
+                    LStmt::Loop(l) => walk(&l.body, from, callers, callees),
+                    LStmt::Inlined { body, .. } => walk(body, from, callers, callees),
+                    LStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, from, callers, callees);
+                        walk(else_body, from, callers, callees);
+                    }
+                    LStmt::Block(_) => {}
+                }
+            }
+        }
+        for (i, body) in binary.code.iter().enumerate() {
+            walk(body, BinProcId(i as u32), &mut callers, &mut callees);
+        }
+        CallGraph { callers, callees }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, CompileTarget, ProgramBuilder, Scale};
+
+    fn program() -> cbsp_program::SourceProgram {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.call("middle");
+            });
+        });
+        b.proc("middle", |p| {
+            p.loop_random(2, 5, |body| {
+                body.call("leaf");
+            });
+        });
+        b.proc("leaf", |p| p.work(5));
+        b.finish()
+    }
+
+    #[test]
+    fn profile_counts_match_structure() {
+        let bin = compile(&program(), CompileTarget::W32_O0);
+        let prof = CallLoopProfile::collect(&bin, &Input::new("t", 3, Scale::Test));
+        assert_eq!(prof.proc_entries[0], 1, "main once");
+        assert_eq!(prof.proc_entries[1], 10, "middle per outer iteration");
+        let leaf_calls = prof.proc_entries[2];
+        assert_eq!(
+            leaf_calls, prof.loop_backs[1],
+            "leaf called once per middle-loop iteration"
+        );
+        assert_eq!(prof.loop_entries[1], 10);
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let bin = compile(&program(), CompileTarget::W32_O2);
+        let cg = CallGraph::of(&bin);
+        let main = bin.proc_by_name("main").expect("main exists");
+        let middle = bin.proc_by_name("middle").expect("middle exists");
+        let leaf = bin.proc_by_name("leaf").expect("leaf exists");
+        assert!(cg.callers[middle.index()].contains(&main));
+        assert!(cg.callers[leaf.index()].contains(&middle));
+        assert!(cg.callees[main.index()].contains(&middle));
+        assert!(cg.callers[main.index()].is_empty());
+    }
+
+    #[test]
+    fn call_graph_sees_through_inlined_bodies() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("wrapper"));
+        b.inline_proc("wrapper", |p| p.call("worker"));
+        b.proc("worker", |p| p.work(1));
+        let bin = compile(&b.finish(), CompileTarget::W32_O2);
+        let cg = CallGraph::of(&bin);
+        let main = bin.proc_by_name("main").expect("main");
+        let worker = bin.proc_by_name("worker").expect("worker");
+        // wrapper is gone; the call to worker now originates from main.
+        assert!(cg.callers[worker.index()].contains(&main));
+    }
+}

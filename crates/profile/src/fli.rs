@@ -1,0 +1,121 @@
+//! Fixed Length Interval (FLI) profiling — the classic SimPoint 3.0
+//! slicing (paper §2.1): execution is cut into contiguous intervals of
+//! (at least) `target` committed instructions, at basic-block
+//! granularity.
+
+use crate::bbv::{BbvBuilder, Interval};
+use cbsp_program::{Binary, BlockId, Input, TraceSink};
+
+/// Trace sink that slices execution into fixed-length intervals and
+/// collects a BBV per interval.
+#[derive(Debug)]
+pub struct FliProfiler {
+    target: u64,
+    builder: BbvBuilder,
+    intervals: Vec<Interval>,
+}
+
+impl FliProfiler {
+    /// Creates a profiler for a binary with `dims` static blocks,
+    /// cutting intervals every `target` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn new(dims: usize, target: u64) -> Self {
+        assert!(target > 0, "interval target must be positive");
+        FliProfiler {
+            target,
+            builder: BbvBuilder::new(dims),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Finishes profiling, returning all intervals. A final partial
+    /// interval is kept (it still represents real execution and carries
+    /// weight proportional to its instruction count).
+    pub fn finish(mut self) -> Vec<Interval> {
+        if self.builder.instrs() > 0 {
+            let (bbv, instrs) = self.builder.take_interval();
+            self.intervals.push(Interval { bbv, instrs });
+        }
+        self.intervals
+    }
+}
+
+impl TraceSink for FliProfiler {
+    #[inline]
+    fn on_block(&mut self, block: BlockId, instrs: u64) {
+        self.builder.observe(block, instrs);
+        if self.builder.instrs() >= self.target {
+            let (bbv, instrs) = self.builder.take_interval();
+            self.intervals.push(Interval { bbv, instrs });
+        }
+    }
+}
+
+/// Profiles `binary` on `input` with fixed-length intervals of
+/// `target` instructions. Convenience wrapper over [`FliProfiler`].
+pub fn profile_fli(binary: &Binary, input: &Input, target: u64) -> Vec<Interval> {
+    let mut sink = FliProfiler::new(binary.block_count(), target);
+    let summary = cbsp_program::run(binary, input, &mut sink);
+    let intervals = sink.finish();
+    debug_assert_eq!(
+        intervals.iter().map(|i| i.instrs).sum::<u64>(),
+        summary.instructions,
+        "intervals must partition the execution"
+    );
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, CompileTarget, ProgramBuilder, Scale};
+
+    fn tiny_binary() -> Binary {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array_f64("a", 64);
+        b.proc("main", |p| {
+            p.loop_fixed(200, |body| {
+                body.compute(50, |k| {
+                    k.seq(a, 4);
+                });
+            });
+        });
+        compile(&b.finish(), CompileTarget::W32_O2)
+    }
+
+    #[test]
+    fn intervals_partition_the_run() {
+        let bin = tiny_binary();
+        let input = Input::new("t", 1, Scale::Test);
+        let intervals = profile_fli(&bin, &input, 1000);
+        assert!(intervals.len() > 3);
+        let total: u64 = intervals.iter().map(|i| i.instrs).sum();
+        let summary = cbsp_program::run(&bin, &input, &mut cbsp_program::NullSink);
+        assert_eq!(total, summary.instructions);
+        // Every complete interval is at least the target.
+        for i in &intervals[..intervals.len() - 1] {
+            assert!(i.instrs >= 1000);
+            // ... but never overshoots by more than one block.
+            assert!(i.instrs < 1000 + 200);
+        }
+    }
+
+    #[test]
+    fn bbv_mass_equals_instruction_count() {
+        let bin = tiny_binary();
+        let input = Input::new("t", 1, Scale::Test);
+        for iv in profile_fli(&bin, &input, 500) {
+            let mass: f64 = iv.bbv.iter().sum();
+            assert!((mass - iv.instrs as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        let _ = FliProfiler::new(4, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-procedure hotness profiling.
+//!
+//! Attributes committed instructions to the out-of-line procedure whose
+//! code executed them (inlined code counts toward the procedure it was
+//! inlined into — the same attribution a sampling profiler on the real
+//! binary would report). Useful for sanity-checking workloads and for
+//! the `cbsp hot` command.
+
+use cbsp_program::{run, Binary, BinProcId, BlockId, Input, TraceSink};
+
+/// Instruction attribution per procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcHotness {
+    /// Instructions executed in each procedure's code, indexed by
+    /// [`BinProcId`].
+    pub instrs: Vec<u64>,
+    /// Total committed instructions.
+    pub total: u64,
+}
+
+impl ProcHotness {
+    /// Profiles `binary` on `input`.
+    pub fn collect(binary: &Binary, input: &Input) -> Self {
+        struct Sink<'a> {
+            block_proc: &'a [u32],
+            instrs: Vec<u64>,
+            total: u64,
+        }
+        impl TraceSink for Sink<'_> {
+            #[inline]
+            fn on_block(&mut self, block: BlockId, instrs: u64) {
+                self.instrs[self.block_proc[block.index()] as usize] += instrs;
+                self.total += instrs;
+            }
+        }
+        let block_proc: Vec<u32> = binary.blocks.iter().map(|b| b.proc.0).collect();
+        let mut sink = Sink {
+            block_proc: &block_proc,
+            instrs: vec![0; binary.procs.len()],
+            total: 0,
+        };
+        run(binary, input, &mut sink);
+        ProcHotness {
+            instrs: sink.instrs,
+            total: sink.total,
+        }
+    }
+
+    /// Procedures sorted hottest-first as `(proc, instrs, fraction)`.
+    pub fn ranking(&self) -> Vec<(BinProcId, u64, f64)> {
+        let mut v: Vec<(BinProcId, u64, f64)> = self
+            .instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    BinProcId(i as u32),
+                    n,
+                    if self.total > 0 {
+                        n as f64 / self.total as f64
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, CompileTarget, ProgramBuilder, Scale};
+
+    #[test]
+    fn attribution_follows_where_the_work_is() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.call("hot");
+                body.call("cold");
+            });
+        });
+        b.proc("hot", |p| {
+            p.loop_fixed(50, |body| body.work(100));
+        });
+        b.proc("cold", |p| p.work(5));
+        let bin = compile(&b.finish(), CompileTarget::W32_O2);
+        let input = Input::new("t", 1, Scale::Test);
+        let h = ProcHotness::collect(&bin, &input);
+        let ranking = h.ranking();
+        let hottest = &bin.procs[ranking[0].0.index()].name;
+        assert_eq!(hottest, "hot");
+        assert!(ranking[0].2 > 0.9, "hot dominates: {}", ranking[0].2);
+        let total: u64 = h.instrs.iter().sum();
+        assert_eq!(total, h.total, "every instruction attributed");
+    }
+
+    #[test]
+    fn inlined_code_counts_toward_the_caller() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(20, |body| body.call("leaf"));
+        });
+        b.inline_proc("leaf", |p| {
+            p.loop_fixed(10, |body| body.work(50));
+        });
+        let prog = b.finish();
+        let o2 = compile(&prog, CompileTarget::W32_O2);
+        let input = Input::new("t", 1, Scale::Test);
+        let h = ProcHotness::collect(&o2, &input);
+        // Only main exists; all instructions land there.
+        assert_eq!(o2.procs.len(), 1);
+        assert_eq!(h.instrs[0], h.total);
+    }
+}

@@ -1,0 +1,44 @@
+//! # cbsp-profile — Pin-like instrumentation
+//!
+//! Profiling sinks over the [`cbsp_program`] execution event stream,
+//! playing the role Pin and the PinPoints tool chain play in the paper:
+//!
+//! * [`profile_fli`] / [`FliProfiler`] — fixed-length-interval BBV
+//!   profiling (classic SimPoint slicing, paper §2.1–2.2);
+//! * [`CallLoopProfile`] — the call-and-branch profile of §3.2.1
+//!   (procedure entries, loop entries, loop-body counts);
+//! * [`MarkerCounts`] / [`ExecPoint`] — marker execution coordinates,
+//!   the `(marker ID, execution count)` pairs of §3.2.3;
+//! * [`PinPointsFile`] — serializable simulation-region files handed to
+//!   the simulator (§4).
+//!
+//! ## Example
+//!
+//! ```
+//! use cbsp_program::{workloads, compile, CompileTarget, Input, Scale};
+//! use cbsp_profile::profile_fli;
+//!
+//! let prog = workloads::by_name("swim").expect("in suite").build(Scale::Test);
+//! let bin = compile(&prog, CompileTarget::W32_O2);
+//! let intervals = profile_fli(&bin, &Input::test(), 10_000);
+//! assert!(!intervals.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbfile;
+pub mod bbv;
+pub mod callloop;
+pub mod fli;
+pub mod hotness;
+pub mod markers;
+pub mod pinpoints;
+
+pub use bbfile::{parse_bb, write_bb, ParseBbError};
+pub use bbv::{BbvBuilder, Interval};
+pub use callloop::{CallGraph, CallLoopProfile};
+pub use fli::{profile_fli, FliProfiler};
+pub use hotness::ProcHotness;
+pub use markers::{ExecPoint, MarkerCounts, MarkerRef};
+pub use pinpoints::{PinPointsFile, RegionBound, SimRegion};

@@ -1,0 +1,170 @@
+//! Marker execution coordinates.
+//!
+//! A *marker* is an instruction the instrumentation can observe every
+//! time it executes: a procedure entry point, a loop entry point, or a
+//! loop-back branch. A `(marker, execution count)` pair — an
+//! [`ExecPoint`] — names one exact moment of a binary's execution
+//! (paper §3.2.3: "Each (marker ID, execution count) pair uniquely
+//! identifies a specific point in execution").
+
+use cbsp_program::{BinLoopId, BinProcId, Marker, TraceSink};
+use serde::{Deserialize, Serialize};
+
+/// A serializable reference to a marker within one binary.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MarkerRef {
+    /// Procedure entry point.
+    Proc(u32),
+    /// Loop entry point.
+    LoopEntry(u32),
+    /// Loop-back (loop body) branch.
+    LoopBack(u32),
+}
+
+impl MarkerRef {
+    /// Converts to the executor's marker type.
+    pub fn to_marker(self) -> Marker {
+        match self {
+            MarkerRef::Proc(i) => Marker::ProcEntry(BinProcId(i)),
+            MarkerRef::LoopEntry(i) => Marker::LoopEntry(BinLoopId(i)),
+            MarkerRef::LoopBack(i) => Marker::LoopBack(BinLoopId(i)),
+        }
+    }
+}
+
+impl From<Marker> for MarkerRef {
+    fn from(m: Marker) -> Self {
+        match m {
+            Marker::ProcEntry(p) => MarkerRef::Proc(p.0),
+            Marker::LoopEntry(l) => MarkerRef::LoopEntry(l.0),
+            Marker::LoopBack(l) => MarkerRef::LoopBack(l.0),
+        }
+    }
+}
+
+impl std::fmt::Display for MarkerRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkerRef::Proc(i) => write!(f, "proc#{i}"),
+            MarkerRef::LoopEntry(i) => write!(f, "loopentry#{i}"),
+            MarkerRef::LoopBack(i) => write!(f, "loopback#{i}"),
+        }
+    }
+}
+
+/// A specific point in one binary's execution: the `count`-th execution
+/// (1-based) of `marker`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ExecPoint {
+    /// Which marker.
+    pub marker: MarkerRef,
+    /// Which execution of it, starting at 1.
+    pub count: u64,
+}
+
+impl std::fmt::Display for ExecPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.marker, self.count)
+    }
+}
+
+/// Running per-marker execution counts for one binary.
+///
+/// Shared by every sink that needs to know "how many times has this
+/// marker fired so far" (VLI construction, region extraction, weight
+/// recomputation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkerCounts {
+    procs: Vec<u64>,
+    loop_entries: Vec<u64>,
+    loop_backs: Vec<u64>,
+}
+
+impl MarkerCounts {
+    /// Creates zeroed counts for a binary with `nprocs` procedures and
+    /// `nloops` loops.
+    pub fn new(nprocs: usize, nloops: usize) -> Self {
+        MarkerCounts {
+            procs: vec![0; nprocs],
+            loop_entries: vec![0; nloops],
+            loop_backs: vec![0; nloops],
+        }
+    }
+
+    /// Creates zeroed counts sized for `binary`.
+    pub fn for_binary(binary: &cbsp_program::Binary) -> Self {
+        Self::new(binary.procs.len(), binary.loops.len())
+    }
+
+    /// Records one execution of `marker`, returning its new (1-based)
+    /// cumulative count.
+    #[inline]
+    pub fn observe(&mut self, marker: Marker) -> u64 {
+        let slot = match marker {
+            Marker::ProcEntry(p) => &mut self.procs[p.index()],
+            Marker::LoopEntry(l) => &mut self.loop_entries[l.index()],
+            Marker::LoopBack(l) => &mut self.loop_backs[l.index()],
+        };
+        *slot += 1;
+        *slot
+    }
+
+    /// Current count of `marker`.
+    pub fn count(&self, marker: MarkerRef) -> u64 {
+        match marker {
+            MarkerRef::Proc(i) => self.procs[i as usize],
+            MarkerRef::LoopEntry(i) => self.loop_entries[i as usize],
+            MarkerRef::LoopBack(i) => self.loop_backs[i as usize],
+        }
+    }
+}
+
+impl TraceSink for MarkerCounts {
+    #[inline]
+    fn on_block(&mut self, _: cbsp_program::BlockId, _: u64) {}
+
+    #[inline]
+    fn on_marker(&mut self, marker: Marker) {
+        self.observe(marker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_ref_round_trips() {
+        for m in [
+            Marker::ProcEntry(BinProcId(3)),
+            Marker::LoopEntry(BinLoopId(5)),
+            Marker::LoopBack(BinLoopId(0)),
+        ] {
+            assert_eq!(MarkerRef::from(m).to_marker(), m);
+        }
+    }
+
+    #[test]
+    fn counts_are_one_based_and_cumulative() {
+        let mut c = MarkerCounts::new(2, 2);
+        let m = Marker::LoopBack(BinLoopId(1));
+        assert_eq!(c.observe(m), 1);
+        assert_eq!(c.observe(m), 2);
+        assert_eq!(c.count(MarkerRef::LoopBack(1)), 2);
+        assert_eq!(c.count(MarkerRef::LoopBack(0)), 0);
+        assert_eq!(c.count(MarkerRef::Proc(0)), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = ExecPoint {
+            marker: MarkerRef::Proc(7),
+            count: 42,
+        };
+        assert_eq!(p.to_string(), "proc#7@42");
+    }
+}

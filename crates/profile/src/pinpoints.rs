@@ -1,0 +1,139 @@
+//! PinPoints-style region files.
+//!
+//! In the paper's tool chain, PinPoints ties everything together: it
+//! carries the simulation regions SimPoint selected (with their weights
+//! and phase ids) to the simulator (§4). This module is the
+//! serializable equivalent: a [`PinPointsFile`] describes, for one
+//! binary and input, where each simulation region starts and ends —
+//! either by dynamic instruction offsets (per-binary FLI regions) or by
+//! marker execution coordinates (mappable VLI regions).
+
+use crate::markers::ExecPoint;
+use serde::{Deserialize, Serialize};
+
+/// One end of a simulation region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RegionBound {
+    /// A dynamic instruction offset from the start of execution
+    /// (fixed-length intervals; meaningful only for the binary the
+    /// offsets were measured on).
+    Instr(u64),
+    /// A marker execution coordinate (mappable across binaries).
+    Point(ExecPoint),
+}
+
+/// A simulation region: one representative interval of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimRegion {
+    /// Phase (cluster) this region represents.
+    pub phase: u32,
+    /// Fraction of executed instructions its phase covers, in `[0, 1]`.
+    pub weight: f64,
+    /// Start of the region (inclusive).
+    pub start: RegionBound,
+    /// End of the region (exclusive).
+    pub end: RegionBound,
+}
+
+/// A region file for one `(program, binary, input)` triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PinPointsFile {
+    /// Program (benchmark) name.
+    pub program: String,
+    /// Binary label, e.g. `"gcc-32o"`.
+    pub binary: String,
+    /// Input name.
+    pub input: String,
+    /// Interval size target used when slicing, in instructions.
+    pub interval_target: u64,
+    /// The simulation regions, one per phase.
+    pub regions: Vec<SimRegion>,
+}
+
+impl PinPointsFile {
+    /// Sum of region weights (should be ≈ 1 for a well-formed file).
+    pub fn total_weight(&self) -> f64 {
+        self.regions.iter().map(|r| r.weight).sum()
+    }
+
+    /// Validates structural invariants: weights in `[0, 1]` summing to
+    /// ≈ 1, and unique phase ids.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut phases = std::collections::BTreeSet::new();
+        for r in &self.regions {
+            if !(0.0..=1.0 + 1e-9).contains(&r.weight) {
+                return Err(format!("region phase {} weight {} out of range", r.phase, r.weight));
+            }
+            if !phases.insert(r.phase) {
+                return Err(format!("duplicate phase {}", r.phase));
+            }
+        }
+        let total = self.total_weight();
+        if self.regions.is_empty() || (total - 1.0).abs() > 1e-6 {
+            return Err(format!("weights sum to {total}, expected 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers::MarkerRef;
+
+    fn file() -> PinPointsFile {
+        PinPointsFile {
+            program: "gcc".into(),
+            binary: "gcc-32o".into(),
+            input: "ref".into(),
+            interval_target: 100_000,
+            regions: vec![
+                SimRegion {
+                    phase: 0,
+                    weight: 0.6,
+                    start: RegionBound::Instr(0),
+                    end: RegionBound::Instr(100_000),
+                },
+                SimRegion {
+                    phase: 1,
+                    weight: 0.4,
+                    start: RegionBound::Point(ExecPoint {
+                        marker: MarkerRef::LoopBack(3),
+                        count: 17,
+                    }),
+                    end: RegionBound::Point(ExecPoint {
+                        marker: MarkerRef::LoopBack(3),
+                        count: 29,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_file_passes() {
+        assert_eq!(file().validate(), Ok(()));
+        assert!((file().total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_weight_sum_fails() {
+        let mut f = file();
+        f.regions[0].weight = 0.9;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_phase_fails() {
+        let mut f = file();
+        f.regions[1].phase = 0;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn empty_file_fails() {
+        let mut f = file();
+        f.regions.clear();
+        assert!(f.validate().is_err());
+    }
+}

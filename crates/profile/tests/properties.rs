@@ -1,0 +1,127 @@
+//! Property-based tests of the profiling primitives, driven by raw
+//! synthetic event streams (no program needed).
+
+use cbsp_profile::{parse_bb, write_bb, BbvBuilder, FliProfiler, Interval, MarkerCounts, MarkerRef};
+use cbsp_program::{BinLoopId, BinProcId, BlockId, Marker, TraceSink};
+use proptest::prelude::*;
+
+fn block_stream() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..16, 1u64..500), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// FLI slicing partitions any block stream exactly, every complete
+    /// interval meets the target, and no interval overshoots by more
+    /// than one block.
+    #[test]
+    fn fli_partitions_any_stream(stream in block_stream(), target in 1u64..5_000) {
+        let mut profiler = FliProfiler::new(16, target);
+        let mut total = 0u64;
+        let mut max_block = 0u64;
+        for &(b, instrs) in &stream {
+            profiler.on_block(BlockId(b), instrs);
+            total += instrs;
+            max_block = max_block.max(instrs);
+        }
+        let intervals = profiler.finish();
+        prop_assert_eq!(intervals.iter().map(|i| i.instrs).sum::<u64>(), total);
+        if let Some((last, complete)) = intervals.split_last() {
+            for iv in complete {
+                prop_assert!(iv.instrs >= target);
+                prop_assert!(iv.instrs < target + max_block);
+            }
+            prop_assert!(last.instrs > 0);
+        }
+        // BBV mass equals instructions, interval by interval.
+        for iv in &intervals {
+            let mass: f64 = iv.bbv.iter().sum();
+            prop_assert!((mass - iv.instrs as f64).abs() < 1e-6);
+        }
+    }
+
+    /// The BBV accumulator distributes mass to exactly the observed
+    /// blocks.
+    #[test]
+    fn bbv_mass_lands_on_observed_blocks(stream in block_stream()) {
+        let mut b = BbvBuilder::new(16);
+        let mut expect = vec![0.0f64; 16];
+        for &(blk, instrs) in &stream {
+            b.observe(BlockId(blk), instrs);
+            expect[blk as usize] += instrs as f64;
+        }
+        let (bbv, _) = b.take_interval();
+        for (got, want) in bbv.iter().zip(&expect) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    /// Marker counts are cumulative, 1-based, and independent per
+    /// marker kind and index.
+    #[test]
+    fn marker_counts_are_exact(events in prop::collection::vec((0u8..3, 0u32..4), 1..200)) {
+        let mut counts = MarkerCounts::new(4, 4);
+        let mut expect = std::collections::BTreeMap::new();
+        for &(kind, idx) in &events {
+            let marker = match kind {
+                0 => Marker::ProcEntry(BinProcId(idx)),
+                1 => Marker::LoopEntry(BinLoopId(idx)),
+                _ => Marker::LoopBack(BinLoopId(idx)),
+            };
+            let n = counts.observe(marker);
+            let e = expect.entry((kind, idx)).or_insert(0u64);
+            *e += 1;
+            prop_assert_eq!(n, *e, "cumulative count");
+        }
+        for (&(kind, idx), &n) in &expect {
+            let r = match kind {
+                0 => MarkerRef::Proc(idx),
+                1 => MarkerRef::LoopEntry(idx),
+                _ => MarkerRef::LoopBack(idx),
+            };
+            prop_assert_eq!(counts.count(r), n);
+        }
+    }
+
+    /// Arbitrary integer-valued profiles survive the .bb text format.
+    #[test]
+    fn bb_format_round_trips(rows in prop::collection::vec(
+        prop::collection::vec(0u32..10_000, 1..12), 1..20)) {
+        let dims = rows.iter().map(Vec::len).max().unwrap_or(1);
+        let intervals: Vec<Interval> = rows
+            .iter()
+            .map(|r| {
+                let mut bbv = vec![0.0; dims];
+                for (i, &v) in r.iter().enumerate() {
+                    bbv[i] = f64::from(v);
+                }
+                Interval {
+                    bbv,
+                    instrs: r.iter().map(|&v| u64::from(v)).sum(),
+                }
+            })
+            .collect();
+        prop_assume!(intervals.iter().any(|i| i.instrs > 0));
+        let text = write_bb(&intervals);
+        let back = parse_bb(&text).expect("parses");
+        prop_assert_eq!(back.len(), intervals.len());
+        for (a, b) in back.iter().zip(&intervals) {
+            prop_assert_eq!(a.instrs, b.instrs);
+            for (i, &v) in a.bbv.iter().enumerate() {
+                prop_assert_eq!(v, b.bbv[i]);
+            }
+        }
+    }
+
+    /// MarkerRef round-trips through the executor marker type.
+    #[test]
+    fn marker_refs_round_trip(kind in 0u8..3, idx in 0u32..1_000_000) {
+        let r = match kind {
+            0 => MarkerRef::Proc(idx),
+            1 => MarkerRef::LoopEntry(idx),
+            _ => MarkerRef::LoopBack(idx),
+        };
+        prop_assert_eq!(MarkerRef::from(r.to_marker()), r);
+    }
+}

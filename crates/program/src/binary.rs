@@ -1,0 +1,324 @@
+//! Compiled binaries.
+//!
+//! A [`Binary`] is what the compiler produces from a
+//! [`SourceProgram`](crate::SourceProgram) for one
+//! [`CompileTarget`]: static basic blocks with
+//! per-target instruction counts, a symbol table, loop metadata with
+//! (possibly degraded) debug line information, a concrete data layout,
+//! and an executable lowered statement tree.
+//!
+//! Cross-binary analyses may use only the *observable* surface — symbol
+//! names, line numbers, and profiled execution counts. Ground-truth
+//! links back to source constructs are carried for validation and tests,
+//! clearly marked as such.
+
+use crate::compiler::CompileTarget;
+use crate::ids::{ArrayId, BinLoopId, BinProcId, BlockId, Line, LoopId, ProcId};
+use crate::memory::ArrayOp;
+use crate::source::{Cond, TripCount};
+use serde::{Deserialize, Serialize};
+
+/// A static basic block: straight-line instructions plus the memory
+/// operations performed each time the block executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticBlock {
+    /// Instructions executed per entry of this block.
+    pub instrs: u64,
+    /// Semantic memory operations per entry.
+    pub ops: Vec<ArrayOp>,
+    /// Additional stack (spill) accesses per entry; an artifact of the
+    /// optimization level, not of program semantics.
+    pub stack_accesses: u32,
+    /// Containing procedure.
+    pub proc: BinProcId,
+}
+
+/// A procedure in the binary's symbol table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinProc {
+    /// Symbol name. Present for every out-of-line procedure (binaries
+    /// are compiled with `-g`).
+    pub name: String,
+    /// Line of the procedure entry in the source.
+    pub line: Line,
+    /// Ground truth: which source procedure this lowers. **Not** to be
+    /// used by cross-binary matching — tests only.
+    pub ground_truth_source: ProcId,
+}
+
+/// A natural loop in the binary, as a loop-analysis + debug-info pass
+/// would describe it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinLoop {
+    /// Debug line of the loop branch. `None` when the optimizer moved
+    /// or rewrote the code badly enough that the line table no longer
+    /// identifies it (inlined bodies, split loops).
+    pub line: Option<Line>,
+    /// The out-of-line procedure whose code contains this loop (after
+    /// inlining, the procedure the loop was inlined *into*).
+    pub proc: BinProcId,
+    /// Unroll factor applied by the compiler (1 = none).
+    pub unroll: u32,
+    /// Ground truth: the source loop. **Not** to be used by
+    /// cross-binary matching — tests only.
+    pub ground_truth_source: LoopId,
+}
+
+/// Role of a lowered loop with respect to loop splitting.
+///
+/// Split clones of one source loop must observe the *same* semantic trip
+/// count per semantic entry; the executor evaluates the trip once per
+/// entry (at the `Original`/index-0 clone) and replays the cached value
+/// for the later clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloneRole {
+    /// The only (or first) lowering of the source loop.
+    Original,
+    /// Clone `index` (> 0) produced by loop splitting.
+    SplitClone {
+        /// Position of this clone in the split sequence.
+        index: u32,
+    },
+}
+
+/// Executable lowered statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LStmt {
+    /// Execute a straight-line block.
+    Block(BlockId),
+    /// A lowered loop.
+    Loop(LoweredLoop),
+    /// A call to an out-of-line procedure.
+    Call {
+        /// Source line of the call site (semantic path key).
+        site: Line,
+        /// Callee.
+        callee: BinProcId,
+        /// Call-overhead block, executed at the call site.
+        call_block: BlockId,
+    },
+    /// An inlined callee body. Executes like a call semantically (the
+    /// path key advances identically) but emits no procedure-entry
+    /// marker and no callee symbol exists.
+    Inlined {
+        /// Source line of the (former) call site.
+        site: Line,
+        /// Small glue block replacing the call overhead.
+        glue_block: BlockId,
+        /// The inlined body.
+        body: Vec<LStmt>,
+    },
+    /// A conditional branch.
+    If {
+        /// Source line of the branch (semantic occurrence key).
+        site: Line,
+        /// Condition.
+        cond: Cond,
+        /// Condition-evaluation block.
+        cond_block: BlockId,
+        /// Taken arm.
+        then_body: Vec<LStmt>,
+        /// Fall-through arm.
+        else_body: Vec<LStmt>,
+    },
+}
+
+/// The loop variant of [`LStmt`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredLoop {
+    /// Loop identity within this binary.
+    pub id: BinLoopId,
+    /// Source loop (semantic anchor for trip evaluation).
+    pub source: LoopId,
+    /// Trip count specification (copied from source).
+    pub trip: TripCount,
+    /// Block executed once per loop entry.
+    pub entry_block: BlockId,
+    /// Block executed once per back-branch.
+    pub back_block: BlockId,
+    /// Loop body.
+    pub body: Vec<LStmt>,
+    /// Unroll factor (≥ 1). The back branch executes once per group of
+    /// `unroll` iterations, then once per leftover iteration.
+    pub unroll: u32,
+    /// Split-clone role (see [`CloneRole`]).
+    pub clone: CloneRole,
+}
+
+/// Concrete placement of one array in the binary's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayLayout {
+    /// Base address.
+    pub base: u64,
+    /// Element size in bytes for this target.
+    pub elem_bytes: u32,
+    /// Number of elements.
+    pub len: u64,
+}
+
+/// Data layout of a binary: array placements plus the stack region used
+/// for spill traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataLayout {
+    /// Per-array placement, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayLayout>,
+    /// Base of the stack region.
+    pub stack_base: u64,
+    /// Bytes per stack frame (per call depth).
+    pub frame_bytes: u64,
+}
+
+impl DataLayout {
+    /// Address of element `index` of `array` (wrapping within the array).
+    #[inline]
+    pub fn element_addr(&self, array: ArrayId, index: u64) -> u64 {
+        let a = &self.arrays[array.index()];
+        a.base + (index % a.len) * u64::from(a.elem_bytes)
+    }
+}
+
+/// A compiled binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binary {
+    /// Program name this binary was compiled from.
+    pub program: String,
+    /// Compilation target.
+    pub target: CompileTarget,
+    /// Static basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<StaticBlock>,
+    /// Symbol table, indexed by [`BinProcId`]. Entry `main_proc` is the
+    /// program entry.
+    pub procs: Vec<BinProc>,
+    /// Loop table, indexed by [`BinLoopId`].
+    pub loops: Vec<BinLoop>,
+    /// Lowered body per out-of-line procedure, indexed by [`BinProcId`].
+    pub code: Vec<Vec<LStmt>>,
+    /// Entry procedure.
+    pub main_proc: BinProcId,
+    /// Data layout.
+    pub layout: DataLayout,
+}
+
+impl Binary {
+    /// A short human-readable label like `"gcc-32o"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.program, self.target.suffix())
+    }
+
+    /// Number of static basic blocks (the BBV dimensionality for this
+    /// binary).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Looks up a procedure id by symbol name.
+    pub fn proc_by_name(&self, name: &str) -> Option<BinProcId> {
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| BinProcId(i as u32))
+    }
+
+    /// Checks structural invariants (block/proc/loop indices in range).
+    /// Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.code.len() != self.procs.len() {
+            return Err(format!(
+                "code bodies ({}) != procs ({})",
+                self.code.len(),
+                self.procs.len()
+            ));
+        }
+        if self.main_proc.index() >= self.procs.len() {
+            return Err("main_proc out of range".into());
+        }
+        let nb = self.blocks.len();
+        let nl = self.loops.len();
+        let np = self.procs.len();
+        fn walk(stmts: &[LStmt], nb: usize, nl: usize, np: usize) -> Result<(), String> {
+            for s in stmts {
+                match s {
+                    LStmt::Block(b) => {
+                        if b.index() >= nb {
+                            return Err(format!("block {b} out of range"));
+                        }
+                    }
+                    LStmt::Loop(l) => {
+                        if l.id.index() >= nl {
+                            return Err(format!("loop {} out of range", l.id));
+                        }
+                        if l.entry_block.index() >= nb || l.back_block.index() >= nb {
+                            return Err(format!("loop {} block out of range", l.id));
+                        }
+                        if l.unroll == 0 {
+                            return Err(format!("loop {} has unroll 0", l.id));
+                        }
+                        walk(&l.body, nb, nl, np)?;
+                    }
+                    LStmt::Call {
+                        callee, call_block, ..
+                    } => {
+                        if callee.index() >= np {
+                            return Err(format!("callee {callee} out of range"));
+                        }
+                        if call_block.index() >= nb {
+                            return Err(format!("call block {call_block} out of range"));
+                        }
+                    }
+                    LStmt::Inlined {
+                        glue_block, body, ..
+                    } => {
+                        if glue_block.index() >= nb {
+                            return Err(format!("glue block {glue_block} out of range"));
+                        }
+                        walk(body, nb, nl, np)?;
+                    }
+                    LStmt::If {
+                        cond_block,
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        if cond_block.index() >= nb {
+                            return Err(format!("cond block {cond_block} out of range"));
+                        }
+                        walk(then_body, nb, nl, np)?;
+                        walk(else_body, nb, nl, np)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        for body in &self.code {
+            walk(body, nb, nl, np)?;
+        }
+        for (i, a) in self.layout.arrays.iter().enumerate() {
+            if a.len == 0 {
+                return Err(format!("array {i} has zero length"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_addr_wraps_within_array() {
+        let layout = DataLayout {
+            arrays: vec![ArrayLayout {
+                base: 0x1000,
+                elem_bytes: 8,
+                len: 4,
+            }],
+            stack_base: 0x7000_0000,
+            frame_bytes: 512,
+        };
+        assert_eq!(layout.element_addr(ArrayId(0), 0), 0x1000);
+        assert_eq!(layout.element_addr(ArrayId(0), 3), 0x1018);
+        assert_eq!(layout.element_addr(ArrayId(0), 4), 0x1000, "wraps");
+        assert_eq!(layout.element_addr(ArrayId(0), 5), 0x1008);
+    }
+}

@@ -1,0 +1,384 @@
+//! Fluent construction of [`SourceProgram`]s.
+//!
+//! The builder assigns unique line numbers and loop/array/procedure ids
+//! automatically, so workload generators can focus on structure:
+//!
+//! ```
+//! use cbsp_program::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let data = b.array_f64("data", 4096);
+//! b.proc("main", |p| {
+//!     p.loop_fixed(100, |body| {
+//!         body.compute(50, |k| {
+//!             k.seq(data, 16);
+//!         });
+//!     });
+//! });
+//! let program = b.finish();
+//! assert!(program.validate().is_ok());
+//! ```
+
+use crate::ids::{ArrayId, Line, LoopId, ProcId};
+use crate::memory::{ArrayDecl, ArrayOp, ElemKind, OpKind};
+use crate::source::{
+    CallStmt, ComputeStmt, Cond, IfStmt, LoopHints, LoopStmt, Procedure, SourceProgram, Stmt,
+    TripCount,
+};
+use std::collections::BTreeMap;
+
+/// Builder for a [`SourceProgram`]. See the crate-level example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    procedures: Vec<Procedure>,
+    proc_ids: BTreeMap<String, ProcId>,
+    arrays: Vec<ArrayDecl>,
+    next_line: u32,
+    next_loop: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a program with the given benchmark name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            procedures: Vec::new(),
+            proc_ids: BTreeMap::new(),
+            arrays: Vec::new(),
+            next_line: 1,
+            next_loop: 0,
+        }
+    }
+
+    fn fresh_line(&mut self) -> Line {
+        let l = Line(self.next_line);
+        self.next_line += 1;
+        l
+    }
+
+    /// Declares an array of `f64` elements.
+    pub fn array_f64(&mut self, name: &str, len: u64) -> ArrayId {
+        self.declare(name, ElemKind::F64, len)
+    }
+
+    /// Declares an array of `i32` elements.
+    pub fn array_i32(&mut self, name: &str, len: u64) -> ArrayId {
+        self.declare(name, ElemKind::I32, len)
+    }
+
+    /// Declares an array of pointer-sized elements (footprint depends on
+    /// the compilation target's pointer width).
+    pub fn array_ptr(&mut self, name: &str, len: u64) -> ArrayId {
+        self.declare(name, ElemKind::Ptr, len)
+    }
+
+    /// Declares an array with an explicit element kind.
+    pub fn declare(&mut self, name: &str, elem: ElemKind, len: u64) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.to_string(),
+            elem,
+            len,
+        });
+        id
+    }
+
+    /// Pre-registers a procedure name so it can be called before it is
+    /// defined (mutual recursion, call-before-define ordering).
+    pub fn declare_proc(&mut self, name: &str) -> ProcId {
+        if let Some(&id) = self.proc_ids.get(name) {
+            return id;
+        }
+        let id = ProcId(self.procedures.len() as u32);
+        self.proc_ids.insert(name.to_string(), id);
+        self.procedures.push(Procedure {
+            id,
+            name: name.to_string(),
+            line: Line(0), // patched in `define`
+            body: Vec::new(),
+            inline_always: false,
+        });
+        id
+    }
+
+    /// Defines a procedure. The first procedure defined is the entry
+    /// point and should be `main`.
+    pub fn proc(&mut self, name: &str, build: impl FnOnce(&mut BodyBuilder<'_>)) -> ProcId {
+        self.proc_with(name, false, build)
+    }
+
+    /// Defines a procedure that the optimizing compiler will always
+    /// inline (`-O2`), destroying its symbol in optimized binaries.
+    pub fn inline_proc(&mut self, name: &str, build: impl FnOnce(&mut BodyBuilder<'_>)) -> ProcId {
+        self.proc_with(name, true, build)
+    }
+
+    fn proc_with(
+        &mut self,
+        name: &str,
+        inline_always: bool,
+        build: impl FnOnce(&mut BodyBuilder<'_>),
+    ) -> ProcId {
+        let id = self.declare_proc(name);
+        let line = self.fresh_line();
+        let mut body = Vec::new();
+        {
+            let mut bb = BodyBuilder {
+                program: self,
+                stmts: &mut body,
+            };
+            build(&mut bb);
+        }
+        let p = &mut self.procedures[id.index()];
+        assert!(
+            p.body.is_empty() && p.line == Line(0),
+            "procedure {name} defined twice"
+        );
+        p.line = line;
+        p.body = body;
+        p.inline_always = inline_always;
+        id
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared procedure was never defined, or if the
+    /// program fails [`SourceProgram::validate`].
+    pub fn finish(self) -> SourceProgram {
+        for p in &self.procedures {
+            assert!(
+                p.line != Line(0),
+                "procedure {} declared but never defined",
+                p.name
+            );
+        }
+        let prog = SourceProgram {
+            name: self.name,
+            procedures: self.procedures,
+            arrays: self.arrays,
+        };
+        if let Err(e) = prog.validate() {
+            panic!("builder produced an invalid program: {e}");
+        }
+        prog
+    }
+}
+
+/// Builds a statement list (a procedure body, loop body, or branch arm).
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    program: &'a mut ProgramBuilder,
+    stmts: &'a mut Vec<Stmt>,
+}
+
+impl BodyBuilder<'_> {
+    /// Appends a compute kernel of `work_units` abstract cost; memory
+    /// operations are described through the [`KernelBuilder`].
+    pub fn compute(&mut self, work_units: u32, ops: impl FnOnce(&mut KernelBuilder)) {
+        let line = self.program.fresh_line();
+        let mut kb = KernelBuilder {
+            ops: Vec::new(),
+            removable: false,
+        };
+        ops(&mut kb);
+        self.stmts.push(Stmt::Compute(ComputeStmt {
+            line,
+            work_units,
+            ops: kb.ops,
+            removable: kb.removable,
+        }));
+    }
+
+    /// Appends a pure-compute kernel with no memory traffic.
+    pub fn work(&mut self, work_units: u32) {
+        self.compute(work_units, |_| {});
+    }
+
+    /// Appends a call to the named procedure (declared on demand).
+    pub fn call(&mut self, name: &str) {
+        let callee = self.program.declare_proc(name);
+        let line = self.program.fresh_line();
+        self.stmts.push(Stmt::Call(CallStmt { line, callee }));
+    }
+
+    /// Appends a fixed-trip loop.
+    pub fn loop_fixed(&mut self, trips: u64, body: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.loop_with(TripCount::Fixed(trips), LoopHints::default(), body);
+    }
+
+    /// Appends a random-trip loop (uniform in `[lo, hi]`).
+    pub fn loop_random(&mut self, lo: u64, hi: u64, body: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.loop_with(TripCount::Random { lo, hi }, LoopHints::default(), body);
+    }
+
+    /// Appends a loop with explicit trip count and hints.
+    pub fn loop_with(
+        &mut self,
+        trip: TripCount,
+        hints: LoopHints,
+        body: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        let line = self.program.fresh_line();
+        let id = LoopId(self.program.next_loop);
+        self.program.next_loop += 1;
+        let mut stmts = Vec::new();
+        {
+            let mut bb = BodyBuilder {
+                program: self.program,
+                stmts: &mut stmts,
+            };
+            body(&mut bb);
+        }
+        self.stmts.push(Stmt::Loop(LoopStmt {
+            id,
+            line,
+            trip,
+            body: stmts,
+            hints,
+        }));
+    }
+
+    /// Appends an if-then (empty else).
+    pub fn if_then(&mut self, cond: Cond, then_body: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.if_else(cond, then_body, |_| {});
+    }
+
+    /// Appends an if-then-else.
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        then_body: impl FnOnce(&mut BodyBuilder<'_>),
+        else_body: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        let line = self.program.fresh_line();
+        let mut tb = Vec::new();
+        {
+            let mut bb = BodyBuilder {
+                program: self.program,
+                stmts: &mut tb,
+            };
+            then_body(&mut bb);
+        }
+        let mut eb = Vec::new();
+        {
+            let mut bb = BodyBuilder {
+                program: self.program,
+                stmts: &mut eb,
+            };
+            else_body(&mut bb);
+        }
+        self.stmts.push(Stmt::If(IfStmt {
+            line,
+            cond,
+            then_body: tb,
+            else_body: eb,
+        }));
+    }
+}
+
+/// Describes the memory operations of one compute kernel.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    ops: Vec<ArrayOp>,
+    removable: bool,
+}
+
+impl KernelBuilder {
+    /// Adds a raw operation.
+    pub fn op(&mut self, op: ArrayOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Adds `count` sequential (streaming) accesses to `array`.
+    pub fn seq(&mut self, array: ArrayId, count: u32) -> &mut Self {
+        self.op(ArrayOp::new(array, OpKind::Sequential, count))
+    }
+
+    /// Adds `count` strided accesses to `array`.
+    pub fn strided(&mut self, array: ArrayId, stride: u32, count: u32) -> &mut Self {
+        self.op(ArrayOp::new(array, OpKind::Strided { stride }, count))
+    }
+
+    /// Adds `count` uniformly random accesses to `array`.
+    pub fn random(&mut self, array: ArrayId, count: u32) -> &mut Self {
+        self.op(ArrayOp::new(array, OpKind::RandomUniform, count))
+    }
+
+    /// Adds `count` windowed-random (gather) accesses to `array`.
+    pub fn gather(&mut self, array: ArrayId, window: u32, count: u32) -> &mut Self {
+        self.op(ArrayOp::new(array, OpKind::Gather { window }, count))
+    }
+
+    /// Adds `count` stencil accesses to `array`.
+    pub fn stencil(&mut self, array: ArrayId, radius: u32, count: u32) -> &mut Self {
+        self.op(ArrayOp::new(array, OpKind::Stencil { radius }, count))
+    }
+
+    /// Marks this kernel as removable by the optimizing compiler.
+    pub fn removable(&mut self) -> &mut Self {
+        self.removable = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Stmt;
+
+    #[test]
+    fn builder_assigns_unique_lines_and_loops() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array_f64("a", 64);
+        b.proc("main", |p| {
+            p.loop_fixed(3, |body| {
+                body.compute(10, |k| {
+                    k.seq(a, 4);
+                });
+                body.loop_fixed(2, |inner| inner.work(5));
+            });
+            p.call("helper");
+        });
+        b.proc("helper", |p| p.work(1));
+        let prog = b.finish();
+        assert!(prog.validate().is_ok());
+        assert_eq!(prog.loop_count(), 2);
+        assert_eq!(prog.procedures.len(), 2);
+    }
+
+    #[test]
+    fn call_before_define_resolves() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("late"));
+        b.proc("late", |p| p.work(1));
+        let prog = b.finish();
+        let main = prog.main();
+        match &main.body[0] {
+            Stmt::Call(c) => {
+                assert_eq!(prog.procedures[c.callee.index()].name, "late");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_definition_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.work(1));
+        b.proc("main", |p| p.work(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_callee_panics_on_finish() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("ghost"));
+        let _ = b.finish();
+    }
+}

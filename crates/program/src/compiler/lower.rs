@@ -1,0 +1,468 @@
+//! Lowering from source IR to executable binary form.
+//!
+//! One pass over the source per target. Out-of-line procedures keep
+//! their symbols; `-O2` inlining embeds callee bodies at call sites
+//! (destroying the callee's symbol and, unless
+//! [`CompileOptions::preserve_inline_lines`] is set, the line info of
+//! loops inside the inlined body). Loop splitting clones a loop per body
+//! statement under fresh unmatchable lines. Dead-code elimination folds
+//! constant branches and deletes removable kernels.
+
+use super::{layout, scale, CompileOptions, CompileTarget, OptLevel};
+use crate::binary::{Binary, BinLoop, BinProc, CloneRole, LStmt, LoweredLoop, StaticBlock};
+use crate::ids::{BinLoopId, BinProcId, BlockId, ProcId};
+use crate::memory::ArrayOp;
+use crate::source::{Cond, LoopStmt, SourceProgram, Stmt};
+
+pub(super) fn lower(source: &SourceProgram, target: CompileTarget, opts: CompileOptions) -> Binary {
+    let mut lw = Lowerer {
+        source,
+        target,
+        opts,
+        oh: scale::overhead(target),
+        blocks: Vec::new(),
+        procs: Vec::new(),
+        loops: Vec::new(),
+        proc_map: vec![None; source.procedures.len()],
+    };
+
+    // Pass 1: decide which procedures stay out of line and assign ids.
+    // Source order is kept, so `main` remains first.
+    for p in &source.procedures {
+        let inlined = target.opt == OptLevel::O2 && p.inline_always;
+        if !inlined {
+            let id = BinProcId(lw.procs.len() as u32);
+            lw.proc_map[p.id.index()] = Some(id);
+            lw.procs.push(BinProc {
+                name: p.name.clone(),
+                line: p.line,
+                ground_truth_source: p.id,
+            });
+        }
+    }
+
+    // Pass 2: lower each out-of-line procedure body, prologue first.
+    let mut code = vec![Vec::new(); lw.procs.len()];
+    for p in &source.procedures {
+        let Some(bid) = lw.proc_map[p.id.index()] else {
+            continue;
+        };
+        let mut body = Vec::new();
+        let prologue = lw.block(bid, lw.oh.proc_entry, Vec::new(), 0);
+        body.push(LStmt::Block(prologue));
+        lw.lower_stmts(&p.body, bid, false, &mut body);
+        code[bid.index()] = body;
+    }
+
+    let main_proc = lw.proc_map[0].expect("main is never inlined away (nothing calls it)");
+    Binary {
+        program: source.name.clone(),
+        target,
+        blocks: lw.blocks,
+        procs: lw.procs,
+        loops: lw.loops,
+        code,
+        main_proc,
+        layout: layout::assign(&source.arrays, target),
+    }
+}
+
+struct Lowerer<'a> {
+    source: &'a SourceProgram,
+    target: CompileTarget,
+    opts: CompileOptions,
+    oh: scale::OverheadCosts,
+    blocks: Vec<StaticBlock>,
+    procs: Vec<BinProc>,
+    loops: Vec<BinLoop>,
+    /// Source procedure → binary procedure (None when inlined away).
+    proc_map: Vec<Option<BinProcId>>,
+}
+
+impl Lowerer<'_> {
+    fn block(
+        &mut self,
+        proc: BinProcId,
+        instrs: u64,
+        ops: Vec<ArrayOp>,
+        stack_accesses: u32,
+    ) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(StaticBlock {
+            instrs,
+            ops,
+            stack_accesses,
+            proc,
+        });
+        id
+    }
+
+    fn opt(&self) -> OptLevel {
+        self.target.opt
+    }
+
+    /// Lowers `stmts` into `out`. `in_inline` is true inside an inlined
+    /// body (degrades loop line info).
+    fn lower_stmts(&mut self, stmts: &[Stmt], proc: BinProcId, in_inline: bool, out: &mut Vec<LStmt>) {
+        for s in stmts {
+            self.lower_stmt(s, proc, in_inline, out);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, proc: BinProcId, in_inline: bool, out: &mut Vec<LStmt>) {
+        match s {
+            Stmt::Compute(c) => {
+                if c.removable && self.opt() == OptLevel::O2 {
+                    return; // dead-code elimination
+                }
+                let instrs = scale::kernel_instrs(c.work_units, c.line, self.target);
+                let spills = scale::kernel_stack_accesses(instrs, self.opt());
+                let b = self.block(proc, instrs, c.ops.clone(), spills);
+                out.push(LStmt::Block(b));
+            }
+            Stmt::Call(c) => self.lower_call(c.line, c.callee, proc, out),
+            Stmt::If(i) => {
+                if self.opt() == OptLevel::O2 {
+                    // Constant-branch folding.
+                    match i.cond {
+                        Cond::Always => {
+                            self.lower_stmts(&i.then_body, proc, in_inline, out);
+                            return;
+                        }
+                        Cond::Never => {
+                            self.lower_stmts(&i.else_body, proc, in_inline, out);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                let cond_block = self.block(proc, self.oh.cond, Vec::new(), 0);
+                let mut then_body = Vec::new();
+                self.lower_stmts(&i.then_body, proc, in_inline, &mut then_body);
+                let mut else_body = Vec::new();
+                self.lower_stmts(&i.else_body, proc, in_inline, &mut else_body);
+                out.push(LStmt::If {
+                    site: i.line,
+                    cond: i.cond,
+                    cond_block,
+                    then_body,
+                    else_body,
+                });
+            }
+            Stmt::Loop(l) => self.lower_loop(l, proc, in_inline, out),
+        }
+    }
+
+    /// Whether `-O2` dead-code elimination removes this statement
+    /// entirely (no lowered code at all). Used to decide loop deletion
+    /// and split-clone skipping *before* allocating loop ids, so the
+    /// loop table stays in source order.
+    fn stmt_is_dead(&self, s: &Stmt) -> bool {
+        match s {
+            Stmt::Compute(c) => c.removable,
+            Stmt::Call(_) => false,
+            Stmt::If(i) => match i.cond {
+                Cond::Always => i.then_body.iter().all(|s| self.stmt_is_dead(s)),
+                Cond::Never => i.else_body.iter().all(|s| self.stmt_is_dead(s)),
+                _ => false,
+            },
+            Stmt::Loop(l) => l.body.iter().all(|s| self.stmt_is_dead(s)),
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        site: crate::ids::Line,
+        callee: ProcId,
+        proc: BinProcId,
+        out: &mut Vec<LStmt>,
+    ) {
+        match self.proc_map[callee.index()] {
+            Some(target_proc) => {
+                let call_block = self.block(proc, self.oh.call, Vec::new(), 0);
+                out.push(LStmt::Call {
+                    site,
+                    callee: target_proc,
+                    call_block,
+                });
+            }
+            None => {
+                // Inline the callee body at this site. The glue block
+                // replaces call/prologue overhead; the body is lowered
+                // fresh (code duplication, new loop ids) inside the
+                // *current* out-of-line procedure.
+                let glue_block = self.block(proc, self.oh.glue, Vec::new(), 0);
+                let callee_src = &self.source.procedures[callee.index()];
+                let mut body = Vec::new();
+                self.lower_stmts(&callee_src.body, proc, true, &mut body);
+                out.push(LStmt::Inlined {
+                    site,
+                    glue_block,
+                    body,
+                });
+            }
+        }
+    }
+
+    fn lower_loop(&mut self, l: &LoopStmt, proc: BinProcId, in_inline: bool, out: &mut Vec<LStmt>) {
+        let o2 = self.opt() == OptLevel::O2;
+        let unroll = if o2 { l.hints.unroll_factor() } else { 1 };
+        let split = o2 && l.hints.split && l.body.len() > 1;
+
+        // Line info: degraded inside inlined bodies (unless preserved)
+        // and always degraded for split clones (code motion).
+        let base_line = if in_inline && !self.opts.preserve_inline_lines {
+            None
+        } else {
+            Some(l.line)
+        };
+
+        if !split {
+            if o2 && l.body.iter().all(|s| self.stmt_is_dead(s)) {
+                return; // loop deleted by DCE
+            }
+            let id = BinLoopId(self.loops.len() as u32);
+            self.loops.push(BinLoop {
+                line: base_line,
+                proc,
+                unroll,
+                ground_truth_source: l.id,
+            });
+            let entry_block = self.block(proc, self.oh.loop_entry, Vec::new(), 0);
+            let back_block = self.block(proc, self.oh.loop_back, Vec::new(), 0);
+            let mut body = Vec::new();
+            self.lower_stmts(&l.body, proc, in_inline, &mut body);
+            out.push(LStmt::Loop(LoweredLoop {
+                id,
+                source: l.id,
+                trip: l.trip,
+                entry_block,
+                back_block,
+                body,
+                unroll,
+                clone: CloneRole::Original,
+            }));
+            return;
+        }
+
+        // Loop splitting: one clone per (surviving) body statement, all
+        // under fresh unmatchable lines. The first surviving clone gets
+        // the `Original` role (it evaluates and caches the semantic trip
+        // count; later clones replay it).
+        let mut clone_index = 0u32;
+        for stmt in &l.body {
+            if self.stmt_is_dead(stmt) {
+                continue; // statement removed by DCE: clone vanishes too
+            }
+            let id = BinLoopId(self.loops.len() as u32);
+            self.loops.push(BinLoop {
+                line: None, // moved code: no usable line info
+                proc,
+                unroll,
+                ground_truth_source: l.id,
+            });
+            let entry_block = self.block(proc, self.oh.loop_entry, Vec::new(), 0);
+            let back_block = self.block(proc, self.oh.loop_back, Vec::new(), 0);
+            let mut body = Vec::new();
+            self.lower_stmt(stmt, proc, in_inline, &mut body);
+            let clone = if clone_index == 0 {
+                CloneRole::Original
+            } else {
+                CloneRole::SplitClone { index: clone_index }
+            };
+            out.push(LStmt::Loop(LoweredLoop {
+                id,
+                source: l.id,
+                trip: l.trip,
+                entry_block,
+                back_block,
+                body,
+                unroll,
+                clone,
+            }));
+            clone_index += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::source::{LoopHints, TripCount};
+
+    fn simple_program() -> SourceProgram {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array_f64("a", 128);
+        b.proc("main", |p| {
+            p.loop_fixed(10, |body| {
+                body.compute(100, |k| {
+                    k.seq(a, 8);
+                });
+                body.call("helper");
+            });
+        });
+        b.proc("helper", |p| p.work(20));
+        b.finish()
+    }
+
+    #[test]
+    fn all_four_targets_compile_and_validate() {
+        let prog = simple_program();
+        for t in CompileTarget::ALL_FOUR {
+            let bin = super::super::compile(&prog, t);
+            assert_eq!(bin.validate(), Ok(()));
+            assert_eq!(bin.procs.len(), 2, "no inlining without hints");
+            assert_eq!(bin.loops.len(), 1);
+        }
+    }
+
+    #[test]
+    fn o0_binaries_have_more_expensive_blocks() {
+        let prog = simple_program();
+        let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
+        let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
+        let sum = |b: &Binary| b.blocks.iter().map(|bb| bb.instrs).sum::<u64>();
+        assert!(sum(&o0) > 2 * sum(&o2));
+    }
+
+    #[test]
+    fn inline_always_removes_symbol_at_o2_only() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("hot"));
+        b.inline_proc("hot", |p| {
+            p.loop_fixed(5, |body| body.work(10));
+        });
+        let prog = b.finish();
+
+        let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
+        assert!(o0.proc_by_name("hot").is_some());
+        assert_eq!(o0.loops[0].line.is_some(), true);
+
+        let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
+        assert!(o2.proc_by_name("hot").is_none(), "symbol gone after inlining");
+        assert_eq!(o2.loops.len(), 1);
+        assert!(o2.loops[0].line.is_none(), "inlined loop line degraded");
+    }
+
+    #[test]
+    fn preserve_inline_lines_option_keeps_lines() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("hot"));
+        b.inline_proc("hot", |p| {
+            p.loop_fixed(5, |body| body.work(10));
+        });
+        let prog = b.finish();
+        let bin = super::super::compile_with(
+            &prog,
+            CompileTarget::W32_O2,
+            CompileOptions {
+                preserve_inline_lines: true,
+            },
+        );
+        assert!(bin.loops[0].line.is_some());
+    }
+
+    #[test]
+    fn split_loops_clone_per_statement_with_degraded_lines() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Fixed(4),
+                LoopHints {
+                    unroll: 0,
+                    split: true,
+                },
+                |body| {
+                    body.work(10);
+                    body.work(20);
+                    body.work(30);
+                },
+            );
+        });
+        let prog = b.finish();
+
+        let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
+        assert_eq!(o0.loops.len(), 1);
+        assert!(o0.loops[0].line.is_some());
+
+        let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
+        assert_eq!(o2.loops.len(), 3, "one clone per body statement");
+        assert!(o2.loops.iter().all(|l| l.line.is_none()));
+        // First clone is Original, later are SplitClone.
+        let roles: Vec<CloneRole> = o2.code[0]
+            .iter()
+            .filter_map(|s| match s {
+                LStmt::Loop(l) => Some(l.clone),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(roles[0], CloneRole::Original);
+        assert_eq!(roles[1], CloneRole::SplitClone { index: 1 });
+        assert_eq!(roles[2], CloneRole::SplitClone { index: 2 });
+    }
+
+    #[test]
+    fn removable_kernels_and_constant_branches_are_dce_d() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.compute(50, |k| {
+                k.removable();
+            });
+            p.if_else(Cond::Never, |t| t.call("dead"), |e| e.work(5));
+            p.loop_fixed(3, |body| {
+                body.compute(10, |k| {
+                    k.removable();
+                });
+            });
+        });
+        b.proc("dead", |p| p.work(1));
+        let prog = b.finish();
+
+        let o2 = super::super::compile(&prog, CompileTarget::W64_O2);
+        // Dead call never lowered as a call stmt in main's body.
+        fn count_calls(stmts: &[LStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    LStmt::Call { .. } => 1,
+                    LStmt::Loop(l) => count_calls(&l.body),
+                    LStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => count_calls(then_body) + count_calls(else_body),
+                    LStmt::Inlined { body, .. } => count_calls(body),
+                    LStmt::Block(_) => 0,
+                })
+                .sum()
+        }
+        assert_eq!(count_calls(&o2.code[o2.main_proc.index()]), 0);
+        // The loop whose body was fully removed is deleted.
+        assert_eq!(o2.loops.len(), 0);
+
+        let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
+        assert_eq!(o0.loops.len(), 1, "no DCE at -O0");
+    }
+
+    #[test]
+    fn unroll_hint_applies_only_at_o2() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Fixed(16),
+                LoopHints {
+                    unroll: 4,
+                    split: false,
+                },
+                |body| body.work(10),
+            );
+        });
+        let prog = b.finish();
+        let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
+        let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
+        assert_eq!(o0.loops[0].unroll, 1);
+        assert_eq!(o2.loops[0].unroll, 4);
+        assert_eq!(o2.loops[0].line, o0.loops[0].line, "unrolling keeps the line");
+    }
+}

@@ -1,0 +1,134 @@
+//! Instruction cost model.
+//!
+//! Maps abstract source work units to per-target instruction counts.
+//! The constants are calibrated to the regimes the paper's binaries
+//! exhibit: `-O0` executes roughly 2.5–3.6× the instructions of `-O2`
+//! (compiler-dependent, kernel-dependent) plus significant stack spill
+//! traffic; 64-bit code differs from 32-bit code by ±10% per kernel.
+//! Per-kernel variation is deterministic (keyed on the kernel's source
+//! line), so compilation is a pure function.
+
+use super::{CompileTarget, OptLevel, Width};
+use crate::ids::Line;
+use crate::rng;
+
+/// Instruction count of a compute kernel with `work_units` abstract
+/// cost at `line`, for `target`.
+pub fn kernel_instrs(work_units: u32, line: Line, target: CompileTarget) -> u64 {
+    let base = u64::from(work_units.max(1));
+    // -O0 expansion: 2.6x..3.4x, varying per kernel.
+    let opt_milli: u64 = match target.opt {
+        OptLevel::O0 => {
+            let jitter = rng::keyed(0x0BAD_C0DE, u64::from(line.0), 0) % 801; // 0..=800
+            2600 + jitter
+        }
+        OptLevel::O2 => 1000,
+    };
+    // 64-bit jitter: 0.92x..1.12x per kernel (independent key).
+    let width_milli: u64 = match target.width {
+        Width::W32 => 1000,
+        Width::W64 => 920 + rng::keyed(0x64B1_7000, u64::from(line.0), 1) % 201,
+    };
+    (base * opt_milli * width_milli / 1_000_000).max(1)
+}
+
+/// Stack (spill) accesses per kernel execution: heavy at `-O0`, nearly
+/// absent at `-O2`.
+pub fn kernel_stack_accesses(instrs: u64, opt: OptLevel) -> u32 {
+    let divisor = match opt {
+        OptLevel::O0 => 5,
+        OptLevel::O2 => 48,
+    };
+    (instrs / divisor).min(u64::from(u32::MAX)) as u32
+}
+
+/// Instruction cost of control-flow overhead blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadCosts {
+    /// Loop-entry block.
+    pub loop_entry: u64,
+    /// Loop back-branch block (per back-branch execution).
+    pub loop_back: u64,
+    /// Call-site block.
+    pub call: u64,
+    /// Procedure-entry (prologue) block.
+    pub proc_entry: u64,
+    /// Inline glue block.
+    pub glue: u64,
+    /// Condition-evaluation block.
+    pub cond: u64,
+}
+
+/// Overhead costs for a target.
+pub fn overhead(target: CompileTarget) -> OverheadCosts {
+    match target.opt {
+        OptLevel::O0 => OverheadCosts {
+            loop_entry: 5,
+            loop_back: 4,
+            call: 8,
+            proc_entry: 7,
+            glue: 1,
+            cond: 4,
+        },
+        OptLevel::O2 => OverheadCosts {
+            loop_entry: 2,
+            loop_back: 2,
+            call: 3,
+            proc_entry: 2,
+            glue: 1,
+            cond: 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o0_expands_instructions_substantially() {
+        for line in 1..50u32 {
+            let o0 = kernel_instrs(100, Line(line), CompileTarget::W32_O0);
+            let o2 = kernel_instrs(100, Line(line), CompileTarget::W32_O2);
+            let ratio = o0 as f64 / o2 as f64;
+            assert!(
+                (2.2..=3.8).contains(&ratio),
+                "line {line}: O0/O2 ratio {ratio} out of expected band"
+            );
+        }
+    }
+
+    #[test]
+    fn w64_jitter_stays_within_band() {
+        for line in 1..50u32 {
+            let w32 = kernel_instrs(1000, Line(line), CompileTarget::W32_O2);
+            let w64 = kernel_instrs(1000, Line(line), CompileTarget::W64_O2);
+            let ratio = w64 as f64 / w32 as f64;
+            assert!(
+                (0.90..=1.14).contains(&ratio),
+                "line {line}: W64/W32 ratio {ratio} out of band"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_is_deterministic() {
+        assert_eq!(
+            kernel_instrs(77, Line(9), CompileTarget::W64_O0),
+            kernel_instrs(77, Line(9), CompileTarget::W64_O0)
+        );
+    }
+
+    #[test]
+    fn kernel_instrs_never_zero() {
+        assert!(kernel_instrs(0, Line(1), CompileTarget::W32_O2) >= 1);
+        assert!(kernel_instrs(1, Line(1), CompileTarget::W32_O2) >= 1);
+    }
+
+    #[test]
+    fn spills_much_heavier_at_o0() {
+        let o0 = kernel_stack_accesses(1000, OptLevel::O0);
+        let o2 = kernel_stack_accesses(1000, OptLevel::O2);
+        assert!(o0 >= 8 * o2, "O0 spills {o0} not >> O2 spills {o2}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Lowered-code listings.
+//!
+//! [`Binary::disassemble`] renders the compiled statement tree the way
+//! a disassembler-with-debug-info would: blocks with instruction
+//! counts, loops with their unroll factors and clone roles, inlined
+//! bodies marked. Indispensable when debugging why a marker did or did
+//! not match across binaries (`cbsp inspect --code 1`).
+
+use crate::binary::{Binary, CloneRole, LStmt};
+use std::fmt::Write as _;
+
+impl Binary {
+    /// Renders the lowered code of every procedure.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "; {} — {} blocks, {} loops", self.label(), self.blocks.len(), self.loops.len());
+        for (pi, body) in self.code.iter().enumerate() {
+            let p = &self.procs[pi];
+            let _ = writeln!(out, "\n{}:  ; source {}", p.name, p.line);
+            self.walk(body, 1, &mut out);
+        }
+        out
+    }
+
+    fn walk(&self, stmts: &[LStmt], depth: usize, out: &mut String) {
+        let pad = "    ".repeat(depth);
+        for s in stmts {
+            match s {
+                LStmt::Block(b) => {
+                    let blk = &self.blocks[b.index()];
+                    let mut extras = String::new();
+                    if !blk.ops.is_empty() {
+                        let accesses: u32 = blk.ops.iter().map(|o| o.count).sum();
+                        let _ = write!(extras, ", {accesses} mem ops");
+                    }
+                    if blk.stack_accesses > 0 {
+                        let _ = write!(extras, ", {} spills", blk.stack_accesses);
+                    }
+                    let _ = writeln!(out, "{pad}{b}: {} instrs{extras}", blk.instrs);
+                }
+                LStmt::Loop(l) => {
+                    let meta = &self.loops[l.id.index()];
+                    let line = meta
+                        .line
+                        .map(|ln| ln.to_string())
+                        .unwrap_or_else(|| "<line info lost>".to_string());
+                    let clone = match l.clone {
+                        CloneRole::Original => String::new(),
+                        CloneRole::SplitClone { index } => format!(" split-clone#{index}"),
+                    };
+                    let unroll = if l.unroll > 1 {
+                        format!(" unroll x{}", l.unroll)
+                    } else {
+                        String::new()
+                    };
+                    let _ = writeln!(out, "{pad}{}: loop @ {line}{unroll}{clone} {{", l.id);
+                    self.walk(&l.body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                LStmt::Call { callee, .. } => {
+                    let _ = writeln!(out, "{pad}call {}", self.procs[callee.index()].name);
+                }
+                LStmt::Inlined { site, body, .. } => {
+                    let _ = writeln!(out, "{pad}inlined@{site} {{");
+                    self.walk(body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                LStmt::If {
+                    then_body,
+                    else_body,
+                    site,
+                    ..
+                } => {
+                    let _ = writeln!(out, "{pad}branch@{site} {{");
+                    self.walk(then_body, depth + 1, out);
+                    if !else_body.is_empty() {
+                        let _ = writeln!(out, "{pad}}} else {{");
+                        self.walk(else_body, depth + 1, out);
+                    }
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::compiler::{compile, CompileTarget};
+    use crate::source::{LoopHints, TripCount};
+
+    fn program() -> crate::source::SourceProgram {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Fixed(8),
+                LoopHints {
+                    unroll: 0,
+                    split: true,
+                },
+                |body| {
+                    body.work(10);
+                    body.work(20);
+                },
+            );
+            p.call("leaf");
+        });
+        b.inline_proc("leaf", |p| {
+            p.loop_with(
+                TripCount::Fixed(4),
+                LoopHints {
+                    unroll: 2,
+                    split: false,
+                },
+                |body| body.work(5),
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn o2_listing_shows_the_transformations() {
+        let o2 = compile(&program(), CompileTarget::W64_O2);
+        let listing = o2.disassemble();
+        assert!(listing.contains("split-clone#1"), "{listing}");
+        assert!(listing.contains("<line info lost>"));
+        assert!(listing.contains("inlined@"));
+        assert!(listing.contains("unroll x2"));
+    }
+
+    #[test]
+    fn o0_listing_shows_plain_structure() {
+        let o0 = compile(&program(), CompileTarget::W32_O0);
+        let listing = o0.disassemble();
+        assert!(listing.contains("call leaf"));
+        assert!(!listing.contains("split-clone"));
+        assert!(!listing.contains("inlined@"));
+        assert!(listing.contains("spills"), "O0 kernels spill");
+    }
+}

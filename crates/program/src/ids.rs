@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers used throughout the program model.
+//!
+//! Each identifier is a thin `u32` newtype ([C-NEWTYPE]) so that a
+//! source-level procedure id can never be confused with a binary-level
+//! one, a basic block with a loop, and so on.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index backing this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A procedure in the *source* program.
+    ProcId, "proc"
+}
+
+id_type! {
+    /// A loop in the *source* program.
+    ///
+    /// Source loop identity is the semantic anchor: trip counts are a pure
+    /// function of `(input seed, LoopId, semantic entry index)` so that
+    /// every compilation of the same source executes the same iteration
+    /// counts, no matter how the loop was inlined, cloned, or unrolled.
+    LoopId, "loop"
+}
+
+id_type! {
+    /// An array (statically-allocated data region) in the source program.
+    ArrayId, "arr"
+}
+
+id_type! {
+    /// A static basic block in a compiled [`Binary`](crate::Binary).
+    ///
+    /// Block ids are *per binary*: block 7 of the 32-bit binary has no
+    /// relationship to block 7 of the 64-bit binary.
+    BlockId, "bb"
+}
+
+id_type! {
+    /// A procedure in a compiled [`Binary`](crate::Binary).
+    BinProcId, "fn"
+}
+
+id_type! {
+    /// A natural loop recovered in a compiled [`Binary`](crate::Binary).
+    BinLoopId, "L"
+}
+
+/// A source line number.
+///
+/// Lines are the debug coordinate used to match loop branches across
+/// binaries (paper §3.2.2). Every source statement is assigned a unique
+/// line; optimizations may *degrade* the line information they attach to
+/// transformed code, which is exactly what makes cross-binary matching
+/// hard.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Line(pub u32);
+
+impl Line {
+    /// Returns the raw line number.
+    #[inline]
+    pub fn number(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(ProcId(3).to_string(), "proc3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(Line(42).to_string(), "line 42");
+    }
+
+    #[test]
+    fn round_trips_through_u32() {
+        let id = LoopId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.index(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(BinLoopId(1) < BinLoopId(2));
+        assert!(Line(10) < Line(11));
+    }
+}

@@ -1,0 +1,165 @@
+//! Data arrays and memory access patterns.
+//!
+//! Compute kernels describe their memory behaviour abstractly as a list
+//! of [`ArrayOp`]s over declared [`ArrayDecl`]s. The compiler assigns a
+//! concrete [data layout](crate::binary::DataLayout) per target (pointer
+//! width changes element sizes and therefore footprints), and the
+//! executor turns patterns into concrete addresses.
+//!
+//! The distinction that matters for the paper: the *count* of semantic
+//! accesses per kernel execution is identical across binaries (it is part
+//! of the program's meaning), while the *addresses* may differ (layout,
+//! pointer width, reordering by loop transformations) — which is what
+//! makes the per-binary cache behaviour and CPI genuinely different.
+
+use crate::ids::ArrayId;
+use serde::{Deserialize, Serialize};
+
+/// The element type of an array, which determines its size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemKind {
+    /// 8-byte floating point element.
+    F64,
+    /// 4-byte floating point element.
+    F32,
+    /// 4-byte integer element.
+    I32,
+    /// Pointer-sized element: 4 bytes on 32-bit targets, 8 bytes on
+    /// 64-bit targets. Pointer-heavy data structures therefore have a
+    /// *larger footprint* in 64-bit binaries — one of the real
+    /// performance differences the paper's Intel64-vs-IA32 scenario
+    /// measures.
+    Ptr,
+}
+
+impl ElemKind {
+    /// Element size in bytes for a given pointer width.
+    pub fn size_bytes(self, pointer_bytes: u32) -> u32 {
+        match self {
+            ElemKind::F64 => 8,
+            ElemKind::F32 => 4,
+            ElemKind::I32 => 4,
+            ElemKind::Ptr => pointer_bytes,
+        }
+    }
+}
+
+/// A statically allocated data region of the source program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Identifier, assigned by the program builder.
+    pub id: ArrayId,
+    /// Human-readable name (used in diagnostics only).
+    pub name: String,
+    /// Element type.
+    pub elem: ElemKind,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl ArrayDecl {
+    /// Footprint in bytes for a given pointer width.
+    pub fn footprint_bytes(&self, pointer_bytes: u32) -> u64 {
+        self.len * u64::from(self.elem.size_bytes(pointer_bytes))
+    }
+}
+
+/// How a kernel walks an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Continue the array's persistent cursor one element at a time
+    /// (streaming access; high spatial locality).
+    Sequential,
+    /// Continue the array's persistent cursor `stride` elements at a
+    /// time (strided access; locality depends on stride vs line size).
+    Strided {
+        /// Cursor advance in elements per access.
+        stride: u32,
+    },
+    /// Uniformly random element each access (no locality; footprint
+    /// decides the miss level).
+    RandomUniform,
+    /// Random element within a window of `window` elements around a
+    /// slowly advancing cursor (tunable temporal locality, models
+    /// pointer chasing over a working set).
+    Gather {
+        /// Window size in elements.
+        window: u32,
+    },
+    /// Stencil access: the cursor advances sequentially but each access
+    /// also touches a neighbour `radius` elements away (models PDE
+    /// solvers; mixes streaming with re-use).
+    Stencil {
+        /// Neighbour distance in elements.
+        radius: u32,
+    },
+}
+
+/// One memory operation group of a compute kernel: `count` accesses to
+/// `array` following `kind`, of which roughly `write_pct`% are writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayOp {
+    /// Target array.
+    pub array: ArrayId,
+    /// Access pattern.
+    pub kind: OpKind,
+    /// Number of accesses per kernel execution.
+    pub count: u32,
+    /// Percentage of accesses that are writes, `0..=100`.
+    pub write_pct: u8,
+}
+
+impl ArrayOp {
+    /// Convenience constructor for a read-mostly op (20% writes).
+    pub fn new(array: ArrayId, kind: OpKind, count: u32) -> Self {
+        ArrayOp {
+            array,
+            kind,
+            count,
+            write_pct: 20,
+        }
+    }
+
+    /// Sets the write percentage, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn with_write_pct(mut self, pct: u8) -> Self {
+        assert!(pct <= 100, "write_pct must be at most 100, got {pct}");
+        self.write_pct = pct;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes_follow_pointer_width() {
+        assert_eq!(ElemKind::F64.size_bytes(4), 8);
+        assert_eq!(ElemKind::F64.size_bytes(8), 8);
+        assert_eq!(ElemKind::Ptr.size_bytes(4), 4);
+        assert_eq!(ElemKind::Ptr.size_bytes(8), 8);
+        assert_eq!(ElemKind::I32.size_bytes(8), 4);
+    }
+
+    #[test]
+    fn pointer_array_footprint_doubles_on_64_bit() {
+        let a = ArrayDecl {
+            id: ArrayId(0),
+            name: "nodes".into(),
+            elem: ElemKind::Ptr,
+            len: 1000,
+        };
+        assert_eq!(a.footprint_bytes(4), 4000);
+        assert_eq!(a.footprint_bytes(8), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_pct")]
+    fn write_pct_validated() {
+        let _ = ArrayOp::new(ArrayId(0), OpKind::Sequential, 1).with_write_pct(101);
+    }
+}

@@ -1,0 +1,173 @@
+//! Human-readable rendering of source programs.
+//!
+//! `SourceProgram` implements [`std::fmt::Display`] through this
+//! module, producing a pseudo-C listing with line numbers, loop
+//! hints, and memory-operation summaries — what `cbsp source <bench>`
+//! prints.
+
+use crate::memory::OpKind;
+use crate::source::{Cond, SourceProgram, Stmt, TripCount};
+use std::fmt;
+
+impl fmt::Display for SourceProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} {{", self.name)?;
+        for a in &self.arrays {
+            writeln!(f, "    {:?} {}[{}];", a.elem, a.name, a.len)?;
+        }
+        for p in &self.procedures {
+            let inline = if p.inline_always { "inline " } else { "" };
+            writeln!(f)?;
+            writeln!(f, "    {}fn {}() {{  // line {}", inline, p.name, p.line.0)?;
+            write_stmts(f, self, &p.body, 2)?;
+            writeln!(f, "    }}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "    ")?;
+    }
+    Ok(())
+}
+
+fn write_stmts(
+    f: &mut fmt::Formatter<'_>,
+    prog: &SourceProgram,
+    stmts: &[Stmt],
+    depth: usize,
+) -> fmt::Result {
+    for s in stmts {
+        match s {
+            Stmt::Compute(c) => {
+                indent(f, depth)?;
+                write!(f, "compute({} units", c.work_units)?;
+                for op in &c.ops {
+                    let name = &prog.arrays[op.array.index()].name;
+                    let pattern = match op.kind {
+                        OpKind::Sequential => "seq".to_string(),
+                        OpKind::Strided { stride } => format!("stride{stride}"),
+                        OpKind::RandomUniform => "rand".to_string(),
+                        OpKind::Gather { window } => format!("gather{window}"),
+                        OpKind::Stencil { radius } => format!("stencil{radius}"),
+                    };
+                    write!(f, ", {name}:{pattern}x{}", op.count)?;
+                }
+                if c.removable {
+                    write!(f, ", removable")?;
+                }
+                writeln!(f, ");  // line {}", c.line.0)?;
+            }
+            Stmt::Call(c) => {
+                indent(f, depth)?;
+                writeln!(
+                    f,
+                    "{}();  // line {}",
+                    prog.procedures[c.callee.index()].name,
+                    c.line.0
+                )?;
+            }
+            Stmt::Loop(l) => {
+                indent(f, depth)?;
+                let trip = match l.trip {
+                    TripCount::Fixed(n) => format!("{n}"),
+                    TripCount::Random { lo, hi } => format!("{lo}..={hi}"),
+                    TripCount::Ramp {
+                        base,
+                        slope_num,
+                        slope_den,
+                    } => format!("{base}{slope_num:+}/{slope_den}·e"),
+                };
+                let mut hints = String::new();
+                if l.hints.unroll_factor() > 1 {
+                    hints.push_str(&format!(" #[unroll({})]", l.hints.unroll_factor()));
+                }
+                if l.hints.split {
+                    hints.push_str(" #[split]");
+                }
+                writeln!(f, "for {trip} times{hints} {{  // {} line {}", l.id, l.line.0)?;
+                write_stmts(f, prog, &l.body, depth + 1)?;
+                indent(f, depth)?;
+                writeln!(f, "}}")?;
+            }
+            Stmt::If(i) => {
+                indent(f, depth)?;
+                let cond = match i.cond {
+                    Cond::Always => "true".to_string(),
+                    Cond::Never => "false".to_string(),
+                    Cond::IterLt(n) => format!("iter < {n}"),
+                    Cond::IterMod { m, r } => format!("iter % {m} == {r}"),
+                    Cond::EntryLt(n) => format!("entry < {n}"),
+                    Cond::Random { num, den } => format!("rand() < {num}/{den}"),
+                };
+                writeln!(f, "if {cond} {{  // line {}", i.line.0)?;
+                write_stmts(f, prog, &i.then_body, depth + 1)?;
+                if !i.else_body.is_empty() {
+                    indent(f, depth)?;
+                    writeln!(f, "}} else {{")?;
+                    write_stmts(f, prog, &i.else_body, depth + 1)?;
+                }
+                indent(f, depth)?;
+                writeln!(f, "}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::source::{Cond, LoopHints, TripCount};
+
+    #[test]
+    fn listing_mentions_every_construct() {
+        let mut b = ProgramBuilder::new("demo");
+        let a = b.array_f64("data", 64);
+        b.proc("main", |p| {
+            p.loop_with(
+                TripCount::Random { lo: 2, hi: 9 },
+                LoopHints {
+                    unroll: 4,
+                    split: false,
+                },
+                |body| {
+                    body.compute(10, |k| {
+                        k.gather(a, 16, 4);
+                    });
+                    body.if_else(
+                        Cond::IterMod { m: 3, r: 0 },
+                        |t| t.call("helper"),
+                        |e| e.work(5),
+                    );
+                },
+            );
+        });
+        b.inline_proc("helper", |p| p.work(1));
+        let listing = b.finish().to_string();
+        for needle in [
+            "program demo",
+            "F64 data[64]",
+            "fn main()",
+            "inline fn helper()",
+            "for 2..=9 times #[unroll(4)]",
+            "gather16x4",
+            "if iter % 3 == 0",
+            "} else {",
+            "helper();",
+        ] {
+            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn every_workload_renders() {
+        for w in crate::workloads::suite() {
+            let listing = w.build(crate::Scale::Test).to_string();
+            assert!(listing.contains(&format!("program {}", w.name)));
+            assert!(listing.len() > 200, "{} listing too short", w.name);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic, coordinate-keyed pseudo-randomness.
+//!
+//! The execution model requires that every *semantic* random decision —
+//! a loop trip count, a branch outcome, a random array index — be a pure
+//! function of `(input seed, source coordinate, occurrence index)`.
+//! That way every binary compiled from the same source replays exactly
+//! the same decisions, which is the invariant the whole cross-binary
+//! mapping technique rests on (paper §3.1: mappable markers must execute
+//! the same number of times in every binary).
+//!
+//! [`SplitMix64`] is also used as a cheap stateful stream generator for
+//! purely microarchitectural noise (e.g. address jitter) where
+//! cross-binary agreement is *not* required.
+
+/// Finalizing mix function of SplitMix64 (Steele et al., "Fast splittable
+/// pseudorandom number generators").
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two 64-bit values into one well-mixed value.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A deterministic value for a `(seed, coordinate, occurrence)` triple.
+///
+/// This is the single source of semantic randomness in the executor.
+#[inline]
+pub fn keyed(seed: u64, coord: u64, occurrence: u64) -> u64 {
+    mix64(seed ^ mix64(coord) ^ occurrence.wrapping_mul(0xD605_1353_29AE_0666))
+}
+
+/// Maps a raw 64-bit value into `[lo, hi]` (inclusive), without bias that
+/// matters at our scales.
+#[inline]
+pub fn in_range(raw: u64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi);
+    let span = hi - lo + 1;
+    lo + (raw % span)
+}
+
+/// A minimal SplitMix64 stream generator.
+///
+/// Used for microarchitectural noise that does not need to agree across
+/// binaries. For semantic decisions use [`keyed`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Returns a value uniform in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Returns a value uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A build-hasher for `HashMap<u64, _>` keys that are already well mixed.
+///
+/// The executor keys its occurrence counters by pre-mixed 64-bit
+/// coordinates, so hashing again would be wasted work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThroughBuild;
+
+impl std::hash::BuildHasher for PassThroughBuild {
+    type Hasher = PassThroughHasher;
+
+    fn build_hasher(&self) -> PassThroughHasher {
+        PassThroughHasher(0)
+    }
+}
+
+/// Hasher that passes 64-bit keys straight through. See [`PassThroughBuild`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThroughHasher(u64);
+
+impl std::hash::Hasher for PassThroughHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path, only hit for non-u64 keys: fold bytes in.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+        self.0 = mix64(self.0);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_is_deterministic() {
+        assert_eq!(keyed(1, 2, 3), keyed(1, 2, 3));
+        assert_ne!(keyed(1, 2, 3), keyed(1, 2, 4));
+        assert_ne!(keyed(1, 2, 3), keyed(2, 2, 3));
+    }
+
+    #[test]
+    fn in_range_stays_in_bounds() {
+        for raw in [0u64, 1, u64::MAX, 12345] {
+            let v = in_range(raw, 10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(in_range(999, 7, 7), 7);
+    }
+
+    #[test]
+    fn splitmix_streams_are_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mix_spreads_small_inputs() {
+        // Consecutive inputs must land far apart (avalanche sanity check).
+        let a = mix64(1);
+        let b = mix64(2);
+        assert!((a ^ b).count_ones() > 16);
+    }
+}

@@ -1,0 +1,590 @@
+//! Floating-point benchmarks (SPEC CFP2000-like stand-ins).
+//!
+//! Every generator documents which real program behaviours it models
+//! and which cross-binary hazards (inlining, unrolling, splitting) it
+//! carries. See the [module docs](super) for the suite overview.
+
+use super::helpers::{dims, dram_elems, l1_elems, l2_elems, l3_elems};
+use crate::builder::ProgramBuilder;
+use crate::input::Scale;
+use crate::source::{Cond, LoopHints, SourceProgram, TripCount};
+
+/// `ammp`: molecular dynamics. Gather over a neighbour list, streaming
+/// force accumulation, and a periodic neighbour-list rebuild that
+/// touches a DRAM-sized array randomly (a rare, expensive phase).
+pub(super) fn ammp(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("ammp");
+    let neigh = b.array_i32("neighbors", l3_elems(&d));
+    let forces = b.array_f64("forces", l2_elems(&d));
+    let coords = b.array_f64("coords", dram_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.call("mm_init");
+        p.loop_fixed(28 * d.w, |step| {
+            step.call("u_f_nonbon");
+            step.call("f_bond");
+            // Neighbour-list rebuild every 8 steps: random sweep over
+            // the coordinate array (DRAM tier).
+            step.if_then(Cond::IterMod { m: 8, r: 3 }, |t| {
+                t.call("rebuild_list");
+            });
+        });
+    });
+    b.proc("mm_init", |p| {
+        p.loop_fixed(40, |body| {
+            body.compute(50, |k| {
+                k.seq(coords, 24);
+            });
+        });
+    });
+    b.proc("u_f_nonbon", |p| {
+        p.loop_random(26, 34, |body| {
+            body.compute(70, |k| {
+                k.gather(neigh, 4096, 16).seq(forces, 6);
+            });
+        });
+    });
+    b.proc("f_bond", |p| {
+        p.loop_random(37, 43, |body| {
+            body.compute(88, |k| {
+                k.seq(forces, 10);
+            });
+            body.compute(14, |k| {
+                k.removable();
+            });
+        });
+    });
+    b.proc("rebuild_list", |p| {
+        p.loop_random(185, 215, |body| {
+            body.compute(40, |k| {
+                k.random(coords, 8).seq(neigh, 4);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(neigh, l3_elems(&d)), (forces, l2_elems(&d)), (coords, dram_elems(&d))]);
+    b.finish()
+}
+
+/// `applu`: the paper's hardest case (§5.1). A driver loop calls five
+/// near-identical PDE solver procedures; at `-O2` all five are inlined
+/// *and* their loops are split with code motion. The five solvers use
+/// identical trip counts, so inline recovery by trip-count signature is
+/// ambiguous — optimized binaries retain no mappable markers inside a
+/// driver iteration, and mapped intervals balloon (Figure 2's outlier).
+pub(super) fn applu(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("applu");
+    let rsd = b.array_f64("rsd", l2_elems(&d));
+    let u = b.array_f64("u", dram_elems(&d));
+    let flux = b.array_f64("flux", l2_elems(&d));
+
+    // One driver iteration is ~0.5M instructions of unmappable solver
+    // code, so VLIs grow to several times the target size.
+    let solver_trips = 150 * d.d;
+    let solvers = ["jacld", "blts", "jacu", "buts", "rhs"];
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.call("setbv");
+        p.loop_fixed((d.w / 2).max(2), |step| {
+            for s in solvers {
+                step.call(s);
+            }
+            // Small data-dependent correction step: varies the driver
+            // iterations' code signatures slightly, as real timesteps do.
+            step.if_then(Cond::Random { num: 1, den: 3 }, |t| t.work(400));
+        });
+        p.call("l2norm");
+    });
+    b.proc("setbv", |p| {
+        p.loop_random(55, 65, |body| {
+            body.compute(45, |k| {
+                k.seq(u, 16);
+            });
+        });
+    });
+    for (i, s) in solvers.iter().enumerate() {
+        // All five solvers share the same looping structure and trip
+        // counts ("each of the five procedures has a similar looping
+        // structure since they are doing a similar operation").
+        let arr = match i % 3 {
+            0 => rsd,
+            1 => u,
+            _ => flux,
+        };
+        b.inline_proc(s, |p| {
+            p.loop_with(
+                TripCount::Fixed(solver_trips),
+                LoopHints {
+                    unroll: 0,
+                    split: true,
+                },
+                |body| {
+                    body.compute(62, |k| {
+                        k.stencil(arr, 9, 10);
+                    });
+                    body.compute(64, |k| {
+                        k.seq(rsd, 8);
+                    });
+                },
+            );
+        });
+    }
+    b.proc("l2norm", |p| {
+        p.loop_random(74, 86, |body| {
+            body.compute(35, |k| {
+                k.seq(rsd, 12);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(rsd, l2_elems(&d)), (u, dram_elems(&d)), (flux, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `apsi`: pollutant-transport solver; the Table 3 bias study. Its
+/// dominant phase is dense f64 compute, but a pointer-indexed scatter
+/// phase doubles its footprint on 64-bit targets, shifting phase CPI
+/// and weights between the 32- and 64-bit optimized binaries.
+pub(super) fn apsi(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("apsi");
+    let field = b.array_f64("field", l2_elems(&d));
+    let index = b.array_ptr("cell_index", dram_elems(&d));
+    let work = b.array_f64("work", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(30 * d.w, |step| {
+            // Phase A (dominant): dense advection kernel.
+            step.call("dcdtz");
+            // Phase B: pointer-indexed scatter; footprint is
+            // width-dependent (Ptr elements).
+            step.call("wcont");
+            // Phase C: small filter, every 3rd step.
+            step.if_then(Cond::IterMod { m: 3, r: 1 }, |t| t.call("smth"));
+        });
+    });
+    b.proc("dcdtz", |p| {
+        p.loop_random(40, 50, |body| {
+            body.compute(96, |k| {
+                k.stencil(field, 12, 12);
+            });
+            // Redundant bookkeeping removed by -O2 (shifts the O0/O2
+            // per-phase instruction ratio).
+            body.compute(22, |k| {
+                k.seq(work, 2).removable();
+            });
+        });
+    });
+    b.proc("wcont", |p| {
+        p.loop_random(16, 20, |body| {
+            body.compute(58, |k| {
+                k.gather(index, 8192, 14).seq(field, 4);
+            });
+        });
+    });
+    b.proc("smth", |p| {
+        p.loop_random(11, 13, |body| {
+            body.compute(46, |k| {
+                k.seq(work, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(field, l2_elems(&d)), (index, dram_elems(&d)), (work, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `art`: neural-network image recognition. A long scan phase over the
+/// feature arrays alternates with a match phase; the final quarter of
+/// the run switches to a training phase with heavier compute (time-
+/// varying behaviour that per-binary FLI slicing cuts differently).
+pub(super) fn art(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("art");
+    let f1 = b.array_f64("f1_layer", l3_elems(&d));
+    let weights = b.array_f64("weights", l2_elems(&d));
+    let train_cutoff = 30 * d.w; // first 3/4 of 40w iterations scan
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(40 * d.w, |step| {
+            step.if_else(
+                Cond::IterLt(train_cutoff),
+                |scan| {
+                    scan.call("compute_values_match");
+                },
+                |train| {
+                    train.call("weightadj");
+                },
+            );
+            step.call("match_check");
+        });
+    });
+    b.proc("compute_values_match", |p| {
+        p.loop_random(32, 38, |body| {
+            body.compute(60, |k| {
+                k.seq(f1, 20);
+            });
+        });
+    });
+    b.proc("weightadj", |p| {
+        p.loop_random(46, 54, |body| {
+            body.compute(82, |k| {
+                k.seq(weights, 8).stencil(f1, 6, 6);
+            });
+        });
+    });
+    b.proc("match_check", |p| {
+        p.loop_random(23, 27, |body| {
+            body.compute(48, |k| {
+                k.random(weights, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(f1, l3_elems(&d)), (weights, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `equake`: earthquake simulation. A sparse matrix-vector product
+/// (gather-heavy) dominates, with an unrolled time-integration kernel
+/// whose loop-body branch is therefore unmappable across optimization
+/// levels (entries stay mappable).
+pub(super) fn equake(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("equake");
+    let k_matrix = b.array_f64("K", dram_elems(&d));
+    let disp = b.array_f64("disp", l2_elems(&d));
+    let vel = b.array_f64("vel", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.call("mem_init");
+        p.loop_fixed(30 * d.w, |step| {
+            step.call("smvp");
+            step.call("time_integration");
+        });
+    });
+    b.proc("mem_init", |p| {
+        p.loop_random(92, 108, |body| {
+            body.compute(30, |k| {
+                k.seq(k_matrix, 20);
+            });
+        });
+    });
+    b.proc("smvp", |p| {
+        p.loop_random(46, 54, |body| {
+            body.compute(72, |k| {
+                k.gather(k_matrix, 16384, 14).seq(disp, 4);
+            });
+        });
+    });
+    b.proc("time_integration", |p| {
+        p.loop_with(
+            TripCount::Random { lo: 28, hi: 33 },
+            LoopHints {
+                unroll: 4,
+                split: false,
+            },
+            |body| {
+                body.compute(56, |k| {
+                    k.seq(vel, 8).seq(disp, 4);
+                });
+            },
+        );
+    });
+    super::helpers::define_init(&mut b, &[(k_matrix, dram_elems(&d)), (disp, l2_elems(&d)), (vel, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `fma3d`: crash simulation with many element kinds. Call-heavy; the
+/// per-element routines are inlined at `-O2` but their inner loops have
+/// *distinct* trip counts, so the inline-recovery pass of `cbsp-core`
+/// can re-map them unambiguously (the success case of paper §3.3).
+pub(super) fn fma3d(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("fma3d");
+    let nodes = b.array_f64("nodes", l3_elems(&d));
+    let elems = b.array_f64("elems", l2_elems(&d));
+    let contact = b.array_f64("contact", dram_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(24 * d.w, |step| {
+            step.call("solid_pass");
+            step.call("shell_pass");
+            step.if_then(Cond::IterMod { m: 4, r: 0 }, |t| t.call("contact_pass"));
+        });
+    });
+    b.proc("solid_pass", |p| {
+        p.loop_random(28, 32, |body| {
+            body.call("elem_solid");
+        });
+    });
+    b.proc("shell_pass", |p| {
+        p.loop_random(20, 24, |body| {
+            body.call("elem_shell");
+        });
+    });
+    // Distinct inner trip counts (6 vs 4): recoverable after inlining.
+    b.inline_proc("elem_solid", |p| {
+        p.loop_fixed(6, |body| {
+            body.compute(20, |k| {
+                k.seq(elems, 3);
+            });
+        });
+        p.compute(18, |k| {
+            k.seq(nodes, 4);
+        });
+    });
+    b.inline_proc("elem_shell", |p| {
+        p.loop_fixed(4, |body| {
+            body.compute(24, |k| {
+                k.seq(elems, 3);
+            });
+        });
+        p.compute(16, |k| {
+            k.stencil(nodes, 5, 4);
+        });
+    });
+    b.proc("contact_pass", |p| {
+        p.loop_random(37, 43, |body| {
+            body.compute(52, |k| {
+                k.random(contact, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(nodes, l3_elems(&d)), (elems, l2_elems(&d)), (contact, dram_elems(&d))]);
+    b.finish()
+}
+
+/// `lucas`: Lucas-Lehmer primality testing via FFT squaring. Few, very
+/// hot loops with strided (butterfly) access; the carry-propagation
+/// loop is unrolled at `-O2`.
+pub(super) fn lucas(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("lucas");
+    let x = b.array_f64("x", dram_elems(&d) / 2);
+    let y = b.array_f64("y", l3_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(26 * d.w, |step| {
+            step.call("fft_square");
+            step.call("carry_norm");
+        });
+    });
+    b.proc("fft_square", |p| {
+        // Three butterfly stages with different strides.
+        p.loop_random(11, 13, |body| {
+            body.compute(66, |k| {
+                k.strided(x, 64, 8);
+            });
+        });
+        p.loop_random(11, 13, |body| {
+            body.compute(66, |k| {
+                k.strided(x, 8, 8);
+            });
+        });
+        p.loop_random(11, 13, |body| {
+            body.compute(60, |k| {
+                k.seq(x, 8);
+            });
+        });
+    });
+    b.proc("carry_norm", |p| {
+        p.loop_with(
+            TripCount::Random { lo: 74, hi: 86 },
+            LoopHints {
+                unroll: 8,
+                split: false,
+            },
+            |body| {
+                body.compute(26, |k| {
+                    k.seq(y, 4);
+                });
+            },
+        );
+    });
+    super::helpers::define_init(&mut b, &[(x, dram_elems(&d) / 2), (y, l3_elems(&d))]);
+    b.finish()
+}
+
+/// `mesa`: software rendering pipeline. Per-frame vertex, raster, and
+/// texture stages; texturing samples a mid-sized array randomly every
+/// other frame.
+pub(super) fn mesa(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("mesa");
+    let verts = b.array_f64("vertices", l2_elems(&d));
+    let fb = b.array_i32("framebuffer", l3_elems(&d));
+    let tex = b.array_i32("texture", l2_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(30 * d.w, |frame| {
+            frame.call("transform_points");
+            frame.call("rasterize");
+            frame.if_then(Cond::IterMod { m: 2, r: 0 }, |t| t.call("texture_pass"));
+        });
+    });
+    b.proc("transform_points", |p| {
+        p.loop_random(23, 27, |body| {
+            body.compute(68, |k| {
+                k.seq(verts, 10);
+            });
+            body.compute(12, |k| {
+                k.removable();
+            });
+        });
+    });
+    b.proc("rasterize", |p| {
+        p.loop_random(42, 48, |body| {
+            body.compute(58, |k| {
+                k.gather(fb, 2048, 12);
+            });
+        });
+    });
+    b.proc("texture_pass", |p| {
+        p.loop_random(27, 33, |body| {
+            body.compute(40, |k| {
+                k.random(tex, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(verts, l2_elems(&d)), (fb, l3_elems(&d)), (tex, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `sixtrack`: particle tracking with a tiny working set — the lowest
+/// CPI in the suite. An aperture-check phase runs rarely.
+pub(super) fn sixtrack(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("sixtrack");
+    let particles = b.array_f64("particles", l1_elems(&d));
+    let lattice = b.array_f64("lattice", l1_elems(&d));
+    let dump = b.array_f64("dump", l3_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(45 * d.w, |turn| {
+            turn.call("thin6d");
+            turn.if_then(Cond::IterMod { m: 16, r: 7 }, |t| t.call("aperture_check"));
+        });
+    });
+    b.proc("thin6d", |p| {
+        p.loop_with(
+            TripCount::Random { lo: 56, hi: 64 },
+            LoopHints {
+                unroll: 4,
+                split: false,
+            },
+            |body| {
+                body.compute(52, |k| {
+                    k.seq(particles, 4).seq(lattice, 2);
+                });
+            },
+        );
+    });
+    b.proc("aperture_check", |p| {
+        p.loop_random(92, 108, |body| {
+            body.compute(38, |k| {
+                k.seq(dump, 8);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(particles, l1_elems(&d)), (lattice, l1_elems(&d)), (dump, l3_elems(&d))]);
+    b.finish()
+}
+
+/// `swim`: shallow-water stencil code. Three big streaming/stencil
+/// kernels per timestep (one unrolled), the textbook regular-phase
+/// program where both SimPoint variants should do well.
+pub(super) fn swim(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("swim");
+    let u = b.array_f64("u", dram_elems(&d) / 2);
+    let v = b.array_f64("v", dram_elems(&d) / 2);
+    let pnew = b.array_f64("pnew", l3_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(35 * d.w, |step| {
+            step.call("calc1");
+            step.call("calc2");
+            step.if_then(Cond::IterMod { m: 2, r: 1 }, |t| t.call("calc3"));
+        });
+    });
+    b.proc("calc1", |p| {
+        p.loop_with(
+            TripCount::Random { lo: 24, hi: 28 },
+            LoopHints {
+                unroll: 4,
+                split: false,
+            },
+            |body| {
+                body.compute(78, |k| {
+                    k.stencil(u, 16, 12);
+                });
+            },
+        );
+    });
+    b.proc("calc2", |p| {
+        p.loop_random(24, 28, |body| {
+            body.compute(80, |k| {
+                k.stencil(v, 16, 12);
+            });
+        });
+    });
+    b.proc("calc3", |p| {
+        p.loop_random(28, 33, |body| {
+            body.compute(62, |k| {
+                k.seq(pnew, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(u, dram_elems(&d) / 2), (v, dram_elems(&d) / 2), (pnew, l3_elems(&d))]);
+    b.finish()
+}
+
+/// `wupwise`: lattice QCD. A dominant inlined SU(3) matrix kernel
+/// (distinct trips — recoverable) plus a periodic norm reduction.
+pub(super) fn wupwise(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("wupwise");
+    let gauge = b.array_f64("gauge", dram_elems(&d) / 2);
+    let spinor = b.array_f64("spinor", l3_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(26 * d.w, |iter| {
+            iter.call("dslash");
+            iter.if_then(Cond::IterMod { m: 4, r: 2 }, |t| t.call("norm"));
+        });
+    });
+    b.proc("dslash", |p| {
+        p.loop_random(34, 42, |site| {
+            site.call("su3_mul");
+            site.compute(24, |k| {
+                k.seq(gauge, 6);
+            });
+        });
+    });
+    b.inline_proc("su3_mul", |p| {
+        p.loop_fixed(3, |body| {
+            body.compute(34, |k| {
+                k.seq(spinor, 4);
+            });
+        });
+    });
+    b.proc("norm", |p| {
+        p.loop_random(55, 65, |body| {
+            body.compute(44, |k| {
+                k.seq(spinor, 8);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(gauge, dram_elems(&d) / 2), (spinor, l3_elems(&d))]);
+    b.finish()
+}

@@ -1,0 +1,534 @@
+//! Integer benchmarks (SPEC CINT2000-like stand-ins).
+//!
+//! See the [module docs](super) for the suite overview.
+
+use super::helpers::{dims, dram_elems, l1_elems, l2_elems, l3_elems};
+use crate::builder::ProgramBuilder;
+use crate::input::Scale;
+use crate::source::{Cond, LoopHints, SourceProgram, TripCount};
+
+/// `bzip2`: block compression. Per-block read/sort/MTF/Huffman stages
+/// with a verification (decompress) pass every third block — the
+/// alternating-phase structure typical of compress benchmarks.
+pub(super) fn bzip2(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("bzip2");
+    let block = b.array_i32("block", l2_elems(&d));
+    let sorted = b.array_i32("sorted", l3_elems(&d));
+    let huff = b.array_i32("huff_tables", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(14 * d.w, |blk| {
+            blk.call("read_block");
+            blk.call("block_sort");
+            blk.call("mtf_encode");
+            blk.call("huffman");
+            blk.if_then(Cond::IterMod { m: 3, r: 2 }, |t| t.call("verify_block"));
+        });
+    });
+    b.proc("read_block", |p| {
+        p.loop_random(18, 22, |body| {
+            body.compute(56, |k| {
+                k.seq(block, 12);
+            });
+        });
+    });
+    b.proc("block_sort", |p| {
+        p.loop_random(40, 50, |body| {
+            body.compute(48, |k| {
+                k.random(sorted, 12);
+            });
+        });
+    });
+    b.proc("mtf_encode", |p| {
+        p.loop_random(28, 33, |body| {
+            body.compute(40, |k| {
+                k.seq(block, 8);
+            });
+        });
+    });
+    b.proc("huffman", |p| {
+        p.loop_random(23, 27, |body| {
+            body.compute(52, |k| {
+                k.gather(huff, 256, 6);
+            });
+        });
+    });
+    b.proc("verify_block", |p| {
+        p.loop_random(32, 38, |body| {
+            body.compute(42, |k| {
+                k.seq(sorted, 8);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(block, l2_elems(&d)), (sorted, l3_elems(&d)), (huff, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `crafty`: chess. Deep search loop with a branchy inlined evaluator
+/// (distinct trips — recoverable after inlining) over an L1-resident
+/// working set: the highest-IPC integer code in the suite.
+pub(super) fn crafty(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("crafty");
+    let board = b.array_i32("board", l1_elems(&d));
+    let hash = b.array_ptr("hash_table", l3_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(18 * d.w, |mv| {
+            mv.call("search");
+            mv.if_then(Cond::IterMod { m: 8, r: 1 }, |t| t.call("book_probe"));
+        });
+    });
+    b.proc("search", |p| {
+        p.loop_random(36, 44, |node| {
+            node.call("evaluate");
+            node.compute(28, |k| {
+                k.gather(hash, 1024, 3);
+            });
+            node.if_then(Cond::Random { num: 1, den: 5 }, |t| {
+                t.compute(36, |k| {
+                    k.seq(board, 4);
+                });
+            });
+        });
+    });
+    b.inline_proc("evaluate", |p| {
+        p.loop_fixed(5, |body| {
+            body.compute(26, |k| {
+                k.seq(board, 3);
+            });
+        });
+    });
+    b.proc("book_probe", |p| {
+        p.loop_random(13, 17, |body| {
+            body.compute(30, |k| {
+                k.random(hash, 4);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(board, l1_elems(&d)), (hash, l3_elems(&d))]);
+    b.finish()
+}
+
+/// `eon`: probabilistic ray tracing. Per-pixel shading call tree with
+/// random reflection branches.
+pub(super) fn eon(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("eon");
+    let scene = b.array_f64("scene", l2_elems(&d));
+    let image = b.array_f64("image", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(20 * d.w, |pixel| {
+            pixel.call("trace_rays");
+            pixel.if_then(Cond::IterMod { m: 4, r: 3 }, |t| t.call("antialias"));
+        });
+    });
+    b.proc("trace_rays", |p| {
+        p.loop_random(55, 65, |ray| {
+            ray.call("shade");
+            ray.if_then(Cond::Random { num: 1, den: 4 }, |t| {
+                t.compute(58, |k| {
+                    k.gather(scene, 512, 4);
+                });
+            });
+        });
+    });
+    b.proc("shade", |p| {
+        p.compute(78, |k| {
+            k.seq(scene, 6).seq(image, 2);
+        });
+    });
+    b.proc("antialias", |p| {
+        p.loop_random(28, 33, |body| {
+            body.compute(46, |k| {
+                k.seq(image, 8);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(scene, l2_elems(&d)), (image, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `gcc`: the Table 2 bias study. A long pipeline of 13 distinct
+/// optimization passes per input function — more unique behaviours than
+/// SimPoint's 10-cluster budget, so per-binary clusterings are forced to
+/// group behaviours, and they group them *differently* in different
+/// binaries. A sprinkle of removable bookkeeping shifts per-pass
+/// instruction shares between `-O0` and `-O2`.
+pub(super) fn gcc(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("gcc");
+    let rtl = b.array_ptr("rtl", l3_elems(&d));
+    let symtab = b.array_ptr("symtab", l2_elems(&d));
+    let regs = b.array_i32("regs", l1_elems(&d));
+    let text = b.array_i32("text", l2_elems(&d));
+    let df = b.array_i32("dataflow", dram_elems(&d));
+
+    // Thirteen passes with genuinely different kernels, footprints and
+    // patterns.
+    let passes: &[(&str, u32, u64)] = &[
+        ("parse", 54, 0),
+        ("expand", 66, 1),
+        ("jump_opt", 44, 2),
+        ("cse_pass", 72, 3),
+        ("gcse_pass", 80, 4),
+        ("loop_opt", 62, 5),
+        ("cprop", 48, 6),
+        ("flow_analysis", 70, 7),
+        ("combine_pass", 58, 8),
+        ("sched1", 76, 9),
+        ("regalloc", 84, 10),
+        ("sched2", 64, 11),
+        ("final_pass", 40, 12),
+    ];
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(4 * d.w, |func| {
+            for (name, _, _) in passes {
+                func.call(name);
+            }
+        });
+    });
+    for &(name, work, variant) in passes {
+        b.proc(name, |p| {
+            p.loop_random(30, 40, |body| {
+                match variant % 5 {
+                    0 => body.compute(work, |k| {
+                        k.seq(text, 10);
+                    }),
+                    1 => body.compute(work, |k| {
+                        k.gather(rtl, 2048, 8);
+                    }),
+                    2 => body.compute(work, |k| {
+                        k.random(symtab, 6);
+                    }),
+                    3 => body.compute(work, |k| {
+                        k.random(df, 8);
+                    }),
+                    _ => body.compute(work, |k| {
+                        k.seq(regs, 6).gather(symtab, 512, 3);
+                    }),
+                }
+                if variant % 3 == 0 {
+                    body.compute(16, |k| {
+                        k.removable();
+                    });
+                }
+                if variant % 4 == 1 {
+                    body.if_then(Cond::Random { num: 1, den: 3 }, |t| {
+                        t.compute(30, |k| {
+                            k.seq(text, 4);
+                        });
+                    });
+                }
+            });
+        });
+    }
+    super::helpers::define_init(&mut b, &[(rtl, l3_elems(&d)), (symtab, l2_elems(&d)), (regs, l1_elems(&d)), (text, l2_elems(&d)), (df, dram_elems(&d))]);
+    b.finish()
+}
+
+/// `gzip`: LZ77 compression. Deflate with a sliding-window gather,
+/// alternating with inflate verification, plus an unrolled CRC loop.
+pub(super) fn gzip(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("gzip");
+    let window = b.array_i32("window", l2_elems(&d));
+    let outbuf = b.array_i32("outbuf", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(20 * d.w, |chunk| {
+            chunk.call("deflate");
+            chunk.if_then(Cond::IterMod { m: 2, r: 1 }, |t| t.call("inflate_verify"));
+            chunk.call("updcrc");
+        });
+    });
+    b.proc("deflate", |p| {
+        p.loop_random(46, 54, |body| {
+            body.compute(54, |k| {
+                k.gather(window, 4096, 10);
+            });
+        });
+    });
+    b.proc("inflate_verify", |p| {
+        p.loop_random(37, 43, |body| {
+            body.compute(44, |k| {
+                k.seq(outbuf, 8);
+            });
+        });
+    });
+    b.proc("updcrc", |p| {
+        p.loop_with(
+            TripCount::Random { lo: 18, hi: 22 },
+            LoopHints {
+                unroll: 8,
+                split: false,
+            },
+            |body| {
+                body.compute(24, |k| {
+                    k.seq(outbuf, 2);
+                });
+            },
+        );
+    });
+    super::helpers::define_init(&mut b, &[(window, l2_elems(&d)), (outbuf, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `mcf`: network simplex. Pointer chasing over a DRAM-sized arc array
+/// whose footprint doubles on 64-bit targets — the strongest
+/// width-dependent CPI in the suite.
+pub(super) fn mcf(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("mcf");
+    let arcs = b.array_ptr("arcs", dram_elems(&d));
+    let nodes = b.array_ptr("nodes", l3_elems(&d));
+    let basket = b.array_i32("basket", l1_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(22 * d.w, |iter| {
+            iter.call("pbeampp");
+            iter.call("refresh_prices");
+            iter.if_then(Cond::IterMod { m: 5, r: 4 }, |t| t.call("flow_update"));
+        });
+    });
+    b.proc("pbeampp", |p| {
+        p.loop_random(40, 50, |body| {
+            body.compute(38, |k| {
+                k.gather(arcs, 32768, 14).seq(basket, 2);
+            });
+        });
+    });
+    b.proc("refresh_prices", |p| {
+        p.loop_random(55, 65, |body| {
+            body.compute(34, |k| {
+                k.seq(nodes, 10);
+            });
+        });
+    });
+    b.proc("flow_update", |p| {
+        p.loop_random(74, 86, |body| {
+            body.compute(30, |k| {
+                k.random(arcs, 6);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(arcs, dram_elems(&d)), (nodes, l3_elems(&d)), (basket, l1_elems(&d))]);
+    b.finish()
+}
+
+/// `perlbmk`: interpreter. An opcode-dispatch loop that alternates
+/// between regex-matching and expression-evaluation behaviour, plus a
+/// periodic garbage-collection sweep.
+pub(super) fn perlbmk(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("perlbmk");
+    let heap = b.array_ptr("heap", l3_elems(&d));
+    let stack = b.array_i32("op_stack", l1_elems(&d));
+    let strings = b.array_i32("strings", l2_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(26 * d.w, |op| {
+            op.call("runops");
+            op.if_then(Cond::IterMod { m: 6, r: 5 }, |t| t.call("gc_sweep"));
+        });
+    });
+    b.proc("runops", |p| {
+        p.loop_random(50, 60, |body| {
+            body.compute(34, |k| {
+                k.seq(stack, 3);
+            });
+            body.if_else(
+                Cond::IterMod { m: 7, r: 2 },
+                |regex| {
+                    regex.compute(50, |k| {
+                        k.gather(strings, 1024, 8);
+                    });
+                },
+                |eval| {
+                    eval.compute(40, |k| {
+                        k.random(heap, 4);
+                    });
+                },
+            );
+        });
+    });
+    b.proc("gc_sweep", |p| {
+        p.loop_random(46, 54, |body| {
+            body.compute(38, |k| {
+                k.seq(heap, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(heap, l3_elems(&d)), (stack, l1_elems(&d)), (strings, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `twolf`: placement annealing. Propose/accept moves with random
+/// acceptance; the proposal loop's trip count *ramps down* as the
+/// temperature drops — slow within-run drift that a single simulation
+/// point per phase cannot fully represent (visible per-phase bias).
+pub(super) fn twolf(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("twolf");
+    let cells = b.array_i32("cells", l3_elems(&d));
+    let nets = b.array_i32("nets", l2_elems(&d));
+    let total = 30 * d.w;
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(total, |temp| {
+            temp.call("propose_moves");
+            temp.if_then(Cond::Random { num: 2, den: 5 }, |t| t.call("accept_update"));
+            temp.call("cost_eval");
+        });
+    });
+    let slope_den = total.max(1);
+    b.proc("propose_moves", |p| {
+        // Entry index of this loop advances once per temperature step;
+        // the trip count decays from 60 to ~20 over the run.
+        p.loop_with(
+            TripCount::Ramp {
+                base: 60,
+                slope_num: -(40i64),
+                slope_den,
+            },
+            LoopHints::default(),
+            |body| {
+                body.compute(46, |k| {
+                    k.gather(cells, 2048, 8);
+                });
+            },
+        );
+    });
+    b.proc("accept_update", |p| {
+        p.loop_random(32, 38, |body| {
+            body.compute(56, |k| {
+                k.seq(nets, 8);
+            });
+        });
+    });
+    b.proc("cost_eval", |p| {
+        p.loop_random(13, 17, |body| {
+            body.compute(42, |k| {
+                k.seq(cells, 6);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(cells, l3_elems(&d)), (nets, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `vortex`: object-oriented database. A wide call tree over three
+/// mega-phases (build, query, delete) selected by the outer iteration
+/// index.
+pub(super) fn vortex(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("vortex");
+    let objects = b.array_ptr("objects", l3_elems(&d));
+    let index = b.array_ptr("index", l2_elems(&d));
+    let total = 36 * d.w;
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        p.loop_fixed(total, |txn| {
+            txn.if_else(
+                Cond::IterLt(total / 3),
+                |build| build.call("obj_insert"),
+                |rest| {
+                    rest.if_else(
+                        Cond::IterLt(2 * total / 3),
+                        |query| query.call("obj_lookup"),
+                        |del| del.call("obj_delete"),
+                    );
+                },
+            );
+            txn.if_then(Cond::IterMod { m: 10, r: 9 }, |t| t.call("mem_compact"));
+        });
+    });
+    b.proc("obj_insert", |p| {
+        p.loop_random(34, 42, |body| {
+            body.compute(74, |k| {
+                k.seq(objects, 8).gather(index, 1024, 4);
+            });
+        });
+    });
+    b.proc("obj_lookup", |p| {
+        p.loop_random(40, 50, |body| {
+            body.compute(60, |k| {
+                k.gather(index, 4096, 8);
+            });
+        });
+    });
+    b.proc("obj_delete", |p| {
+        p.loop_random(28, 36, |body| {
+            body.compute(66, |k| {
+                k.random(objects, 8);
+            });
+        });
+    });
+    b.proc("mem_compact", |p| {
+        p.loop_random(55, 65, |body| {
+            body.compute(40, |k| {
+                k.seq(objects, 12);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(objects, l3_elems(&d)), (index, l2_elems(&d))]);
+    b.finish()
+}
+
+/// `vpr`: FPGA place-and-route. Two sequential mega-phases — annealing
+/// placement (gather + random acceptance) followed by routing (strided
+/// walks over the routing graph).
+pub(super) fn vpr(scale: Scale) -> SourceProgram {
+    let d = dims(scale);
+    let mut b = ProgramBuilder::new("vpr");
+    let grid = b.array_i32("grid", l2_elems(&d));
+    let rr_graph = b.array_ptr("rr_graph", dram_elems(&d));
+
+    b.proc("main", |p| {
+        p.call("init_data");
+        // Phase 1: placement.
+        p.loop_fixed(40 * d.w, |mv| {
+            mv.call("try_swap");
+            mv.if_then(Cond::Random { num: 1, den: 3 }, |t| t.call("commit_swap"));
+        });
+        // Phase 2: routing.
+        p.loop_fixed(20 * d.w, |net| {
+            net.call("route_net");
+        });
+    });
+    b.proc("try_swap", |p| {
+        p.loop_random(32, 38, |body| {
+            body.compute(52, |k| {
+                k.gather(grid, 1024, 8);
+            });
+        });
+    });
+    b.proc("commit_swap", |p| {
+        p.loop_random(13, 17, |body| {
+            body.compute(34, |k| {
+                k.seq(grid, 6);
+            });
+        });
+    });
+    b.proc("route_net", |p| {
+        p.loop_random(36, 44, |body| {
+            body.compute(50, |k| {
+                k.strided(rr_graph, 16, 10);
+            });
+        });
+    });
+    super::helpers::define_init(&mut b, &[(grid, l2_elems(&d)), (rr_graph, dram_elems(&d))]);
+    b.finish()
+}

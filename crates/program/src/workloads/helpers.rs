@@ -1,0 +1,94 @@
+//! Shared scaling helpers for workload generators.
+
+use crate::input::Scale;
+
+/// Scale dimensions: `w` multiplies outer trip counts (work), `d`
+/// multiplies data footprints.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct D {
+    /// Work factor (1 for `Test`, 24 for `Reference`).
+    pub w: u64,
+    /// Data factor (1 for `Test`, 4 for `Reference`).
+    pub d: u64,
+}
+
+/// Returns the scale dimensions for `scale`.
+pub(crate) fn dims(scale: Scale) -> D {
+    D {
+        w: scale.work_factor(),
+        d: scale.data_factor(),
+    }
+}
+
+/// Array length (in `f64` elements) for an L1-resident working set
+/// (~16 KB at reference scale; always below the 32 KB L1).
+pub(crate) fn l1_elems(_d: &D) -> u64 {
+    2_000
+}
+
+/// Array length for an L2-resident working set (~64–256 KB).
+pub(crate) fn l2_elems(d: &D) -> u64 {
+    8_000 * d.d
+}
+
+/// Array length for an L3-resident working set (~0.25–1 MB... at
+/// reference scale ~768 KB, between the 512 KB L2 and 1 MB L3).
+pub(crate) fn l3_elems(d: &D) -> u64 {
+    24_000 * d.d
+}
+
+/// Array length for a DRAM-heavy working set (~1–4 MB, well past the
+/// 1 MB L3 at reference scale).
+pub(crate) fn dram_elems(d: &D) -> u64 {
+    128_000 * d.d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_strictly_increasing() {
+        let d = dims(Scale::Reference);
+        assert!(l1_elems(&d) < l2_elems(&d));
+        assert!(l2_elems(&d) < l3_elems(&d));
+        assert!(l3_elems(&d) < dram_elems(&d));
+    }
+
+    #[test]
+    fn reference_tiers_straddle_the_cache_capacities() {
+        let d = dims(Scale::Reference);
+        // f64 = 8 bytes.
+        assert!(l1_elems(&d) * 8 <= 32 * 1024, "L1 tier fits in 32 KB L1");
+        assert!(l2_elems(&d) * 8 > 32 * 1024, "L2 tier exceeds L1");
+        assert!(l2_elems(&d) * 8 <= 512 * 1024, "L2 tier fits in 512 KB L2");
+        assert!(l3_elems(&d) * 8 > 512 * 1024, "L3 tier exceeds L2");
+        assert!(dram_elems(&d) * 8 > 1024 * 1024, "DRAM tier exceeds 1 MB L3");
+    }
+}
+
+/// Defines an `init_data` procedure that writes through every line of
+/// the given arrays once (stride ≈ one access per 64-byte line).
+///
+/// Real programs initialize their data before computing on it; without
+/// this, compulsory misses smear a cold-start transient across the
+/// first intervals of the *compute* phases, which — at this scaled-down
+/// interval size — would distort phase representatives in a way the
+/// paper's 100M-instruction intervals never see. With it, the
+/// compulsory misses form their own (correctly weighted) init phase.
+pub(crate) fn define_init(
+    b: &mut crate::builder::ProgramBuilder,
+    arrays: &[(crate::ids::ArrayId, u64)],
+) {
+    use crate::memory::{ArrayOp, OpKind};
+    b.proc("init_data", |p| {
+        for &(a, len) in arrays {
+            let trips = (len / 256).max(4);
+            p.loop_fixed(trips, |body| {
+                body.compute(110, |k| {
+                    k.op(ArrayOp::new(a, OpKind::Strided { stride: 8 }, 32).with_write_pct(90));
+                });
+            });
+        }
+    });
+}

@@ -1,0 +1,229 @@
+//! The benchmark suite.
+//!
+//! Twenty-one synthetic programs named after the SPEC CPU2000 subset the
+//! paper evaluates (§4): ammp, applu, apsi, art, bzip2, crafty, eon,
+//! equake, fma3d, gcc, gzip, lucas, mcf, mesa, perlbmk, sixtrack, swim,
+//! twolf, vortex, vpr, wupwise. Each generator produces a
+//! [`SourceProgram`] with its own phase topology, call/loop structure,
+//! memory behaviour, and optimization hazards:
+//!
+//! * **applu** reproduces the paper's hardest case (§5.1): five
+//!   near-identical PDE solver procedures, all inlined at `-O2`, whose
+//!   loops are additionally split — optimized binaries retain almost no
+//!   mappable structure in those regions, so mapped intervals balloon.
+//! * **gcc** has a wide, flat call tree and phases whose instruction
+//!   shares shift strongly between binaries (the Table 2 bias study).
+//! * **apsi** shifts phase proportions between 32- and 64-bit binaries
+//!   through pointer-heavy data (the Table 3 bias study).
+//! * **mcf** chases pointers through a DRAM-sized working set whose
+//!   footprint doubles on 64-bit targets.
+//!
+//! These programs are *not* the SPEC sources; they are scaled stand-ins
+//! that exercise the same analysis code paths (see DESIGN.md,
+//! "Substitutions").
+
+mod cfp;
+mod cint;
+pub(crate) mod helpers;
+
+use crate::input::Scale;
+use crate::source::SourceProgram;
+
+/// A named benchmark generator.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// One-line description of the modelled behaviour.
+    pub description: &'static str,
+    build: fn(Scale) -> SourceProgram,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+impl Workload {
+    /// Builds the source program at the given scale.
+    pub fn build(&self, scale: Scale) -> SourceProgram {
+        let prog = (self.build)(scale);
+        debug_assert_eq!(prog.validate(), Ok(()), "workload {} invalid", self.name);
+        prog
+    }
+}
+
+/// The full 21-benchmark suite, in the paper's (alphabetical) order.
+pub fn suite() -> &'static [Workload] {
+    const SUITE: &[Workload] = &[
+        Workload { name: "ammp", description: "molecular dynamics: neighbour-list gather + periodic rebuild", build: cfp::ammp },
+        Workload { name: "applu", description: "PDE solver; inlined+split loops defeat mapping (paper's hard case)", build: cfp::applu },
+        Workload { name: "apsi", description: "pollutant transport; pointer footprint shifts phases per width", build: cfp::apsi },
+        Workload { name: "art", description: "neural-net recognition; scan phases give way to training", build: cfp::art },
+        Workload { name: "bzip2", description: "block compression with periodic decompress verification", build: cint::bzip2 },
+        Workload { name: "crafty", description: "chess search; branchy, L1-resident, inlined evaluator", build: cint::crafty },
+        Workload { name: "eon", description: "probabilistic ray tracing with random reflection branches", build: cint::eon },
+        Workload { name: "equake", description: "earthquake simulation; gather-heavy sparse matvec", build: cfp::equake },
+        Workload { name: "fma3d", description: "crash simulation; inlined element kernels (recovery succeeds)", build: cfp::fma3d },
+        Workload { name: "gcc", description: "13-pass compiler pipeline; more behaviours than cluster budget", build: cint::gcc },
+        Workload { name: "gzip", description: "LZ77 compression; sliding-window gather, unrolled CRC", build: cint::gzip },
+        Workload { name: "lucas", description: "primality testing via FFT; strided butterflies", build: cfp::lucas },
+        Workload { name: "mcf", description: "network simplex; DRAM pointer chasing, width-dependent footprint", build: cint::mcf },
+        Workload { name: "mesa", description: "software rendering; vertex/raster/texture stages", build: cfp::mesa },
+        Workload { name: "perlbmk", description: "interpreter; regex/eval dispatch with GC sweeps", build: cint::perlbmk },
+        Workload { name: "sixtrack", description: "particle tracking; tiny working set, lowest CPI", build: cfp::sixtrack },
+        Workload { name: "swim", description: "shallow-water stencils; the textbook regular-phase program", build: cfp::swim },
+        Workload { name: "twolf", description: "placement annealing; trip counts ramp down with temperature", build: cint::twolf },
+        Workload { name: "vortex", description: "OO database; build/query/delete mega-phases", build: cint::vortex },
+        Workload { name: "vpr", description: "FPGA place (anneal) then route (strided graph walks)", build: cint::vpr },
+        Workload { name: "wupwise", description: "lattice QCD; inlined SU(3) kernel, periodic reductions", build: cfp::wupwise },
+    ];
+    SUITE
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().iter().copied().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileTarget};
+    use crate::exec::{run, NullSink};
+    use crate::input::Input;
+
+    /// Calibration report: run with
+    /// `cargo test -p cbsp-program --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "calibration report, run explicitly in release mode"]
+    fn print_reference_scale_instruction_counts() {
+        for w in suite() {
+            let prog = w.build(Scale::Reference);
+            print!("{:10}", w.name);
+            for t in CompileTarget::ALL_FOUR {
+                let bin = compile(&prog, t);
+                let s = run(&bin, &Input::reference(), &mut NullSink);
+                print!(
+                    " {}={:>6.2}M/{:>5.2}Ma",
+                    t,
+                    s.instructions as f64 / 1e6,
+                    s.accesses as f64 / 1e6
+                );
+            }
+            println!();
+        }
+    }
+
+    #[test]
+    fn suite_has_21_unique_benchmarks() {
+        let names: Vec<_> = suite().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 21);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 21, "duplicate names");
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_and_validates_at_test_scale() {
+        for w in suite() {
+            let prog = w.build(Scale::Test);
+            assert_eq!(prog.validate(), Ok(()), "{} invalid", w.name);
+            assert_eq!(prog.name, w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_compiles_and_runs_on_all_four_targets() {
+        for w in suite() {
+            let prog = w.build(Scale::Test);
+            for t in CompileTarget::ALL_FOUR {
+                let bin = compile(&prog, t);
+                let s = run(&bin, &Input::test(), &mut NullSink);
+                assert!(
+                    s.instructions > 10_000,
+                    "{} {} too small: {} instrs",
+                    w.name,
+                    t,
+                    s.instructions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marker_counts_agree_across_binaries_for_every_workload() {
+        // The foundational invariant of the whole paper: semantic counts
+        // (total loop iterations, procedure entries by name) agree across
+        // every compilation.
+        for w in suite() {
+            let prog = w.build(Scale::Test);
+            let summaries: Vec<_> = CompileTarget::ALL_FOUR
+                .iter()
+                .map(|&t| {
+                    let bin = compile(&prog, t);
+                    let s = run(&bin, &Input::test(), &mut NullSink);
+                    (bin, s)
+                })
+                .collect();
+            let (ref bin0, ref s0) = summaries[0];
+            for (bin, s) in &summaries[1..] {
+                // Procedure entries by symbol name must agree where the
+                // symbol exists in both.
+                for (i, p) in bin.procs.iter().enumerate() {
+                    if let Some(j) = bin0.proc_by_name(&p.name) {
+                        assert_eq!(
+                            s.proc_entries[i],
+                            s0.proc_entries[j.index()],
+                            "{}: proc {} count mismatch",
+                            w.name,
+                            p.name
+                        );
+                    }
+                }
+                // Total loop iterations (sum over back branches,
+                // re-expanded by unroll grouping) are conserved only
+                // when no unrolling hints exist; totals per source loop
+                // of *entries* are always conserved.
+                let mut entries0 = std::collections::BTreeMap::new();
+                for (i, l) in bin0.loops.iter().enumerate() {
+                    *entries0.entry(l.ground_truth_source).or_insert(0u64) +=
+                        s0.loop_entries[i];
+                }
+                let mut entries1 = std::collections::BTreeMap::new();
+                for (i, l) in bin.loops.iter().enumerate() {
+                    *entries1.entry(l.ground_truth_source).or_insert(0u64) +=
+                        s.loop_entries[i];
+                }
+                for (src, n1) in &entries1 {
+                    if let Some(n0) = entries0.get(src) {
+                        // Split clones multiply entries; normalize by
+                        // clone count is complex — require equality only
+                        // when both binaries have one lowering.
+                        let c0 = bin0
+                            .loops
+                            .iter()
+                            .filter(|l| l.ground_truth_source == *src)
+                            .count();
+                        let c1 = bin
+                            .loops
+                            .iter()
+                            .filter(|l| l.ground_truth_source == *src)
+                            .count();
+                        if c0 == 1 && c1 == 1 {
+                            assert_eq!(
+                                n1, n0,
+                                "{}: loop {src:?} entry count mismatch",
+                                w.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

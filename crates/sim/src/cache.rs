@@ -1,0 +1,246 @@
+//! A set-associative cache with pluggable replacement.
+
+use crate::config::{CacheLevelConfig, Replacement};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; `evicted` is the dirty line address pushed
+    /// out to make room, if any (clean evictions are dropped silently).
+    Miss {
+        /// Line-aligned address of a dirty victim, if one was evicted.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp or FIFO insertion stamp.
+    stamp: u64,
+}
+
+/// A single set-associative, write-back, write-allocate cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    ways: Vec<Way>, // sets × assoc, row-major by set
+    assoc: usize,
+    set_mask: u64,
+    line_shift: u32,
+    policy: Replacement,
+    tick: u64,
+    rng: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache from a level configuration.
+    pub fn new(config: &CacheLevelConfig, policy: Replacement) -> Self {
+        let sets = config.sets();
+        let assoc = config.associativity as usize;
+        Cache {
+            ways: vec![Way::default(); sets as usize * assoc],
+            assoc,
+            set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            policy,
+            tick: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    #[inline]
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        (set * self.assoc, line)
+    }
+
+    /// Accesses `addr`; on a miss the line is allocated (write-allocate
+    /// for both reads and writes, as in CMP$im's write-back caches).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.fetch(addr, is_write, true)
+    }
+
+    /// Core lookup/allocate machinery. `demand` controls whether the
+    /// hit/miss counters see this fetch (prefetches and write-back
+    /// fills are not demand traffic).
+    fn fetch(&mut self, addr: u64, is_write: bool, demand: bool) -> AccessOutcome {
+        self.tick += 1;
+        let (base, line) = self.set_range(addr);
+        let set = &mut self.ways[base..base + self.assoc];
+
+        // Lookup.
+        for w in set.iter_mut() {
+            if w.valid && w.tag == line {
+                if self.policy == Replacement::Lru {
+                    w.stamp = self.tick;
+                }
+                w.dirty |= is_write;
+                if demand {
+                    self.hits += 1;
+                }
+                return AccessOutcome::Hit;
+            }
+        }
+        if demand {
+            self.misses += 1;
+        }
+
+        // Victim selection: first invalid way, else policy choice.
+        let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid) {
+            i
+        } else {
+            match self.policy {
+                Replacement::Lru | Replacement::Fifo => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .expect("associativity >= 1"),
+                Replacement::Random => {
+                    self.rng = crate::xorshift(self.rng);
+                    (self.rng % self.assoc as u64) as usize
+                }
+            }
+        };
+
+        let victim = set[victim_idx];
+        let evicted_dirty = if victim.valid && victim.dirty {
+            Some(victim.tag << self.line_shift)
+        } else {
+            None
+        };
+        set[victim_idx] = Way {
+            tag: line,
+            valid: true,
+            dirty: is_write,
+            stamp: self.tick,
+        };
+        AccessOutcome::Miss { evicted_dirty }
+    }
+
+    /// Installs a line written back from an upper level (dirty fill
+    /// without a demand access). Returns a dirty victim if one was
+    /// displaced.
+    pub fn fill_dirty(&mut self, addr: u64) -> Option<u64> {
+        match self.fetch(addr, true, false) {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
+        }
+    }
+
+    /// Installs a clean line without demand accounting (prefetch fill).
+    /// Returns a dirty victim if one was displaced.
+    pub fn fill_clean(&mut self, addr: u64) -> Option<u64> {
+        match self.fetch(addr, false, false) {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> Cache {
+        // 4 sets × assoc ways × 64B lines.
+        let cfg = CacheLevelConfig {
+            capacity_bytes: u64::from(assoc) * 4 * 64,
+            associativity: assoc,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        Cache::new(&cfg, Replacement::Lru)
+    }
+
+    #[test]
+    fn second_access_hits() {
+        let mut c = tiny(2);
+        assert!(matches!(c.access(0x1000, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.access(0x1000, false), AccessOutcome::Hit);
+        assert_eq!(c.access(0x103F, false), AccessOutcome::Hit, "same line");
+        assert!(matches!(c.access(0x1040, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2);
+        // Three lines mapping to set 0 (stride = sets × line = 256).
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a now MRU
+        c.access(d, false); // evicts b
+        assert_eq!(c.access(a, false), AccessOutcome::Hit);
+        assert!(matches!(c.access(b, false), AccessOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim_address() {
+        let mut c = tiny(1);
+        c.access(0x0, true); // dirty
+        let out = c.access(0x100, false); // same set, evicts dirty 0x0
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: Some(0x0)
+            }
+        );
+        // Clean eviction reports nothing.
+        let out = c.access(0x200, false);
+        assert_eq!(out, AccessOutcome::Miss { evicted_dirty: None });
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let cfg = CacheLevelConfig {
+            capacity_bytes: 2 * 4 * 64,
+            associativity: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut c = Cache::new(&cfg, Replacement::Fifo);
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // touch a — irrelevant under FIFO
+        c.access(d, false); // evicts a (oldest insertion)
+        assert!(matches!(c.access(a, false), AccessOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_misses_mostly() {
+        let mut c = tiny(2); // 512 B total
+        let mut misses = 0;
+        for round in 0..10 {
+            for i in 0..64u64 {
+                if matches!(c.access(i * 64, false), AccessOutcome::Miss { .. }) {
+                    misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(misses, 640, "4 KB streamed through 512 B: all misses");
+    }
+}

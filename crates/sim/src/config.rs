@@ -1,0 +1,137 @@
+//! Memory-system configuration (the paper's Table 1).
+
+use crate::branch::BranchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible
+    /// by `associativity × line_bytes`) or not a power of two.
+    pub fn sets(&self) -> u64 {
+        let way_bytes = u64::from(self.associativity) * u64::from(self.line_bytes);
+        assert!(way_bytes > 0, "cache has zero way size");
+        assert_eq!(
+            self.capacity_bytes % way_bytes,
+            0,
+            "cache capacity not divisible by ways × line"
+        );
+        let sets = self.capacity_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        sets
+    }
+}
+
+/// Replacement policy of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's configuration).
+    #[default]
+    Lru,
+    /// First-in-first-out (for ablations and tests).
+    Fifo,
+    /// Pseudo-random (for ablations and tests).
+    Random,
+}
+
+/// Full memory-system configuration: three cache levels plus DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// First-level data cache.
+    pub l1: CacheLevelConfig,
+    /// Mid-level cache.
+    pub l2: CacheLevelConfig,
+    /// Last-level cache.
+    pub l3: CacheLevelConfig,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Replacement policy used by all levels.
+    pub replacement: Replacement,
+    /// Next-line prefetching into the mid-level cache on L1 demand
+    /// misses (off in the paper's Table 1 configuration; used by the
+    /// architecture-sweep experiments).
+    pub next_line_prefetch: bool,
+    /// Optional gshare branch predictor with mispredict penalties
+    /// (absent in the paper's memory-only CMP$im model).
+    pub branch: Option<BranchConfig>,
+}
+
+impl MemoryConfig {
+    /// The paper's Table 1: 32 KB 2-way L1, 512 KB 8-way L2, 1024 KB
+    /// 16-way L3, all 64-byte lines and write-back with LRU; hit
+    /// latencies 3 / 14 / 35 cycles and 250-cycle DRAM.
+    pub fn table1() -> Self {
+        MemoryConfig {
+            l1: CacheLevelConfig {
+                capacity_bytes: 32 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                hit_latency: 3,
+            },
+            l2: CacheLevelConfig {
+                capacity_bytes: 512 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                hit_latency: 14,
+            },
+            l3: CacheLevelConfig {
+                capacity_bytes: 1024 * 1024,
+                associativity: 16,
+                line_bytes: 64,
+                hit_latency: 35,
+            },
+            dram_latency: 250,
+            replacement: Replacement::Lru,
+            next_line_prefetch: false,
+            branch: None,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let c = MemoryConfig::table1();
+        assert_eq!(c.l1.sets(), 256); // 32K / (2 * 64)
+        assert_eq!(c.l2.sets(), 1024); // 512K / (8 * 64)
+        assert_eq!(c.l3.sets(), 1024); // 1M / (16 * 64)
+        assert_eq!(c.replacement, Replacement::Lru);
+        assert_eq!(c.dram_latency, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let c = CacheLevelConfig {
+            capacity_bytes: 3 * 64 * 2,
+            associativity: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let _ = c.sets();
+    }
+}

@@ -1,0 +1,251 @@
+//! The three-level non-inclusive write-back hierarchy of Table 1.
+
+use crate::cache::{AccessOutcome, Cache};
+use crate::config::MemoryConfig;
+use crate::stats::LevelStats;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// First-level cache hit.
+    L1,
+    /// Mid-level cache hit.
+    L2,
+    /// Last-level cache hit.
+    L3,
+    /// Missed everywhere; serviced by DRAM.
+    Dram,
+}
+
+/// A three-level data-cache hierarchy with write-back, write-allocate
+/// caches. Misses allocate in every level on the fill path (no
+/// inclusion is enforced, no back-invalidation — non-inclusive, as
+/// CMP$im models). Dirty victims are written back into the next level
+/// down, cascading to DRAM.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    latencies: [u64; 4],
+    writebacks_to_dram: u64,
+    next_line_prefetch: bool,
+    line_bytes: u64,
+    prefetches: u64,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy from a configuration.
+    pub fn new(config: &MemoryConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(&config.l1, config.replacement),
+            l2: Cache::new(&config.l2, config.replacement),
+            l3: Cache::new(&config.l3, config.replacement),
+            latencies: [
+                config.l1.hit_latency,
+                config.l2.hit_latency,
+                config.l3.hit_latency,
+                config.dram_latency,
+            ],
+            writebacks_to_dram: 0,
+            next_line_prefetch: config.next_line_prefetch,
+            line_bytes: u64::from(config.l1.line_bytes),
+            prefetches: 0,
+        }
+    }
+
+    /// Performs one access; returns the servicing level and its latency
+    /// in cycles.
+    #[inline]
+    pub fn access(&mut self, addr: u64, is_write: bool) -> (ServicedBy, u64) {
+        let l1_victim = match self.l1.access(addr, is_write) {
+            AccessOutcome::Hit => return (ServicedBy::L1, self.latencies[0]),
+            AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
+        };
+        // L1 dirty victim sinks into L2 (cascading).
+        if let Some(v) = l1_victim {
+            self.writeback_into_l2(v);
+        }
+        // Next-line prefetch: on an L1 demand miss, pull the following
+        // line into L2 (no latency charged to the demand access).
+        if self.next_line_prefetch {
+            self.prefetches += 1;
+            let next = (addr & !(self.line_bytes - 1)) + self.line_bytes;
+            if let Some(v) = self.l2.fill_clean(next) {
+                self.writeback_into_l3(v);
+            }
+        }
+
+        let l2_victim = match self.l2.access(addr, is_write) {
+            AccessOutcome::Hit => return (ServicedBy::L2, self.latencies[1]),
+            AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
+        };
+        if let Some(v) = l2_victim {
+            self.writeback_into_l3(v);
+        }
+
+        let l3_victim = match self.l3.access(addr, is_write) {
+            AccessOutcome::Hit => return (ServicedBy::L3, self.latencies[2]),
+            AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
+        };
+        if l3_victim.is_some() {
+            self.writebacks_to_dram += 1;
+        }
+        (ServicedBy::Dram, self.latencies[3])
+    }
+
+    fn writeback_into_l2(&mut self, addr: u64) {
+        if let Some(v) = self.l2.fill_dirty(addr) {
+            self.writeback_into_l3(v);
+        }
+    }
+
+    fn writeback_into_l3(&mut self, addr: u64) {
+        if self.l3.fill_dirty(addr).is_some() {
+            self.writebacks_to_dram += 1;
+        }
+    }
+
+    /// Per-level hit/miss statistics.
+    pub fn level_stats(&self) -> [LevelStats; 3] {
+        [
+            LevelStats {
+                hits: self.l1.hits(),
+                misses: self.l1.misses(),
+            },
+            LevelStats {
+                hits: self.l2.hits(),
+                misses: self.l2.misses(),
+            },
+            LevelStats {
+                hits: self.l3.hits(),
+                misses: self.l3.misses(),
+            },
+        ]
+    }
+
+    /// Dirty lines written all the way back to memory.
+    pub fn writebacks_to_dram(&self) -> u64 {
+        self.writebacks_to_dram
+    }
+
+    /// Prefetches issued (0 unless next-line prefetch is enabled).
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_follow_servicing_level() {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        let (lvl, lat) = h.access(0x1000, false);
+        assert_eq!(lvl, ServicedBy::Dram);
+        assert_eq!(lat, 250);
+        let (lvl, lat) = h.access(0x1000, false);
+        assert_eq!(lvl, ServicedBy::L1);
+        assert_eq!(lat, 3);
+    }
+
+    #[test]
+    fn l1_evictions_land_in_l2() {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        // Touch 3 lines in the same L1 set (L1: 256 sets × 64 B = 16 KB
+        // stride). With 2-way L1 the first line is evicted...
+        let stride = 256 * 64;
+        h.access(0, false);
+        h.access(stride, false);
+        h.access(2 * stride, false);
+        // ...but it is still in L2 (filled on the original miss).
+        let (lvl, _) = h.access(0, false);
+        assert_eq!(lvl, ServicedBy::L2);
+    }
+
+    #[test]
+    fn small_working_set_converges_to_l1_hits() {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        // 8 KB working set streamed repeatedly.
+        for _ in 0..5 {
+            for i in 0..128u64 {
+                h.access(0x4_0000 + i * 64, false);
+            }
+        }
+        let [l1, _, _] = h.level_stats();
+        assert_eq!(l1.misses, 128, "only compulsory misses");
+        assert_eq!(l1.hits, 4 * 128);
+    }
+
+    #[test]
+    fn dirty_data_eventually_reaches_dram() {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        // Write a footprint much larger than L3 (1 MB): dirty lines must
+        // cascade out to DRAM.
+        let lines: u32 = 3 * 1024 * 1024 / 64;
+        for round in 0..2 {
+            for i in 0..lines {
+                h.access(u64::from(i) * 64, true);
+            }
+            let _ = round;
+        }
+        assert!(h.writebacks_to_dram() > 0);
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_streaming_misses_into_l2_hits() {
+        let mut base_cfg = MemoryConfig::table1();
+        let mut pf_cfg = MemoryConfig::table1();
+        pf_cfg.next_line_prefetch = true;
+        let mut base = Hierarchy::new(&base_cfg);
+        let mut pf = Hierarchy::new(&pf_cfg);
+        base_cfg.next_line_prefetch = false; // silence unused-mut lint path
+        let _ = base_cfg;
+        // Stream 4 MB line by line: without prefetch every line goes to
+        // DRAM; with next-line prefetch most lines are L2 hits.
+        let mut base_lat = 0u64;
+        let mut pf_lat = 0u64;
+        for i in 0..65_536u64 {
+            base_lat += base.access(i * 64, false).1;
+            pf_lat += pf.access(i * 64, false).1;
+        }
+        assert!(pf.prefetches() > 0);
+        assert_eq!(base.prefetches(), 0);
+        assert!(
+            pf_lat * 2 < base_lat,
+            "prefetching should at least halve streaming latency: {pf_lat} vs {base_lat}"
+        );
+    }
+
+    #[test]
+    fn prefetch_does_not_pollute_demand_counters() {
+        let mut cfg = MemoryConfig::table1();
+        cfg.next_line_prefetch = true;
+        let mut h = Hierarchy::new(&cfg);
+        for i in 0..1000u64 {
+            h.access(i * 64, false);
+        }
+        let [l1, l2, _] = h.level_stats();
+        assert_eq!(l1.hits + l1.misses, 1000, "L1 sees only demand accesses");
+        // L2 demand lookups equal L1 misses; prefetch fills are not
+        // counted as demand.
+        assert_eq!(l2.hits + l2.misses, l1.misses);
+    }
+
+    #[test]
+    fn l2_sized_set_hits_in_l2() {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        // 256 KB working set: fits L2, not L1.
+        let lines: u32 = 256 * 1024 / 64;
+        for _ in 0..4 {
+            for i in 0..lines {
+                h.access(u64::from(i) * 64, false);
+            }
+        }
+        let [l1, l2, _] = h.level_stats();
+        assert!(l1.misses > lines as u64, "L1 thrashes");
+        // After the first cold round, L2 services the misses.
+        assert!(l2.hits > 2 * lines as u64, "L2 hits: {}", l2.hits);
+    }
+}

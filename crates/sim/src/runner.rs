@@ -1,0 +1,428 @@
+//! Simulation drivers: full runs and interval-sliced runs.
+//!
+//! The performance model is CMP$im's in-order core (§4): every
+//! instruction costs one cycle, plus each data access costs the hit
+//! latency of the level that services it. Sliced runs additionally
+//! report per-interval `(instructions, cycles)` so the harness can
+//! compute each interval's *in-context* CPI — the ground truth that
+//! simulation-point estimates are judged against.
+//!
+//! Slicing semantics match the profilers exactly:
+//! * fixed-length slices close after the basic block that reaches the
+//!   target (same rule as [`cbsp_profile::FliProfiler`]);
+//! * marker slices close when the boundary marker fires, *before* the
+//!   marker's following block (same rule as the VLI builder in
+//!   `cbsp-core`).
+
+use crate::branch::Gshare;
+use crate::config::MemoryConfig;
+use crate::hierarchy::{Hierarchy, ServicedBy};
+use crate::stats::{IntervalSim, SimStats};
+use cbsp_profile::{ExecPoint, MarkerCounts};
+use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
+
+/// The shared cache + accounting engine behind every simulation sink.
+#[derive(Debug)]
+struct Engine {
+    hierarchy: Hierarchy,
+    predictor: Option<Gshare>,
+    stats: SimStats,
+    cur: IntervalSim,
+    intervals: Vec<IntervalSim>,
+}
+
+impl Engine {
+    fn new(config: &MemoryConfig) -> Self {
+        Engine {
+            hierarchy: Hierarchy::new(config),
+            predictor: config.branch.as_ref().map(Gshare::new),
+            stats: SimStats::default(),
+            cur: IntervalSim::default(),
+            intervals: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn branch(&mut self, branch: u64, taken: bool) {
+        if let Some(p) = &mut self.predictor {
+            let penalty = p.resolve(branch, taken);
+            self.stats.cycles += penalty;
+            self.cur.cycles += penalty;
+        }
+    }
+
+    #[inline]
+    fn block(&mut self, instrs: u64) {
+        self.stats.instructions += instrs;
+        self.stats.cycles += instrs;
+        self.cur.instructions += instrs;
+        self.cur.cycles += instrs;
+    }
+
+    #[inline]
+    fn access(&mut self, addr: u64, is_write: bool) {
+        let (lvl, latency) = self.hierarchy.access(addr, is_write);
+        self.stats.accesses += 1;
+        self.stats.cycles += latency;
+        self.cur.accesses += 1;
+        self.cur.cycles += latency;
+        if lvl != ServicedBy::L1 {
+            self.cur.l1_misses += 1;
+        }
+        if lvl == ServicedBy::Dram {
+            self.stats.dram_accesses += 1;
+            self.cur.dram_accesses += 1;
+        }
+    }
+
+    fn close_interval(&mut self) {
+        self.intervals.push(self.cur);
+        self.cur = IntervalSim::default();
+    }
+
+    fn finish(mut self) -> (SimStats, Vec<IntervalSim>) {
+        if self.cur.instructions > 0 {
+            self.close_interval();
+        }
+        self.stats.levels = self.hierarchy.level_stats();
+        self.stats.dram_writebacks = self.hierarchy.writebacks_to_dram();
+        if let Some(p) = &self.predictor {
+            self.stats.branches = p.branches();
+            self.stats.branch_mispredicts = p.mispredicts();
+        }
+        (self.stats, self.intervals)
+    }
+}
+
+/// Sink for an unsliced full-program simulation.
+#[derive(Debug)]
+pub struct FullSim {
+    engine: Engine,
+}
+
+impl FullSim {
+    /// Creates a full-simulation sink.
+    pub fn new(config: &MemoryConfig) -> Self {
+        FullSim {
+            engine: Engine::new(config),
+        }
+    }
+
+    /// Finishes and returns the aggregate statistics.
+    pub fn finish(self) -> SimStats {
+        self.engine.finish().0
+    }
+}
+
+impl TraceSink for FullSim {
+    #[inline]
+    fn on_branch(&mut self, branch: u64, taken: bool) {
+        self.engine.branch(branch, taken);
+    }
+
+    #[inline]
+    fn on_block(&mut self, _: BlockId, instrs: u64) {
+        self.engine.block(instrs);
+    }
+
+    #[inline]
+    fn on_access(&mut self, addr: u64, is_write: bool) {
+        self.engine.access(addr, is_write);
+    }
+}
+
+/// Sink that slices the simulation into fixed-length intervals.
+#[derive(Debug)]
+pub struct FliSlicedSim {
+    engine: Engine,
+    target: u64,
+}
+
+impl FliSlicedSim {
+    /// Creates a sliced-simulation sink cutting every `target`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn new(config: &MemoryConfig, target: u64) -> Self {
+        assert!(target > 0, "interval target must be positive");
+        FliSlicedSim {
+            engine: Engine::new(config),
+            target,
+        }
+    }
+
+    /// Finishes, returning aggregate and per-interval statistics.
+    pub fn finish(self) -> (SimStats, Vec<IntervalSim>) {
+        self.engine.finish()
+    }
+}
+
+impl TraceSink for FliSlicedSim {
+    #[inline]
+    fn on_branch(&mut self, branch: u64, taken: bool) {
+        self.engine.branch(branch, taken);
+    }
+
+    #[inline]
+    fn on_block(&mut self, _: BlockId, instrs: u64) {
+        self.engine.block(instrs);
+        if self.engine.cur.instructions >= self.target {
+            self.engine.close_interval();
+        }
+    }
+
+    #[inline]
+    fn on_access(&mut self, addr: u64, is_write: bool) {
+        self.engine.access(addr, is_write);
+    }
+}
+
+/// Sink that slices the simulation at marker execution coordinates
+/// (the mapped VLI boundaries of `cbsp-core`).
+#[derive(Debug)]
+pub struct MarkerSlicedSim {
+    engine: Engine,
+    boundaries: Vec<ExecPoint>,
+    next: usize,
+    counts: MarkerCounts,
+}
+
+impl MarkerSlicedSim {
+    /// Creates a sink cutting at each of `boundaries`, which must be in
+    /// execution order for the binary being simulated.
+    pub fn new(config: &MemoryConfig, binary: &Binary, boundaries: Vec<ExecPoint>) -> Self {
+        MarkerSlicedSim {
+            engine: Engine::new(config),
+            boundaries,
+            next: 0,
+            counts: MarkerCounts::for_binary(binary),
+        }
+    }
+
+    /// Finishes, returning aggregate and per-interval statistics.
+    /// There is one interval per boundary plus a final tail (if it
+    /// executed any instructions).
+    pub fn finish(self) -> (SimStats, Vec<IntervalSim>) {
+        self.engine.finish()
+    }
+
+    /// Number of boundaries not yet reached (0 after a complete run).
+    pub fn unreached_boundaries(&self) -> usize {
+        self.boundaries.len() - self.next
+    }
+}
+
+impl TraceSink for MarkerSlicedSim {
+    #[inline]
+    fn on_branch(&mut self, branch: u64, taken: bool) {
+        self.engine.branch(branch, taken);
+    }
+
+    #[inline]
+    fn on_block(&mut self, _: BlockId, instrs: u64) {
+        self.engine.block(instrs);
+    }
+
+    #[inline]
+    fn on_access(&mut self, addr: u64, is_write: bool) {
+        self.engine.access(addr, is_write);
+    }
+
+    #[inline]
+    fn on_marker(&mut self, marker: Marker) {
+        let count = self.counts.observe(marker);
+        if let Some(b) = self.boundaries.get(self.next) {
+            if b.marker.to_marker() == marker && b.count == count {
+                self.engine.close_interval();
+                self.next += 1;
+            }
+        }
+    }
+}
+
+/// Simulates `binary` on `input` to completion.
+pub fn simulate_full(binary: &Binary, input: &Input, config: &MemoryConfig) -> SimStats {
+    let mut sink = FullSim::new(config);
+    run(binary, input, &mut sink);
+    sink.finish()
+}
+
+/// Simulates `binary` sliced into fixed-length intervals of `target`
+/// instructions. Returns `(whole-program stats, per-interval stats)`.
+pub fn simulate_fli_sliced(
+    binary: &Binary,
+    input: &Input,
+    config: &MemoryConfig,
+    target: u64,
+) -> (SimStats, Vec<IntervalSim>) {
+    let mut sink = FliSlicedSim::new(config, target);
+    run(binary, input, &mut sink);
+    sink.finish()
+}
+
+/// Simulates `binary` sliced at marker boundaries.
+///
+/// # Panics
+///
+/// Panics if some boundary was never reached — that means the
+/// boundaries do not belong to this `(binary, input)` pair.
+pub fn simulate_marker_sliced(
+    binary: &Binary,
+    input: &Input,
+    config: &MemoryConfig,
+    boundaries: &[ExecPoint],
+) -> (SimStats, Vec<IntervalSim>) {
+    let mut sink = MarkerSlicedSim::new(config, binary, boundaries.to_vec());
+    run(binary, input, &mut sink);
+    assert_eq!(
+        sink.unreached_boundaries(),
+        0,
+        "marker boundaries must all occur in this binary's execution"
+    );
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, CompileTarget, ProgramBuilder, Scale};
+
+    fn test_binary() -> Binary {
+        let mut b = ProgramBuilder::new("t");
+        let small = b.array_f64("small", 1_000); // 8 KB: L1-resident
+        let big = b.array_f64("big", 512_000); // 4 MB: DRAM tier
+        b.proc("main", |p| {
+            p.loop_fixed(60, |body| {
+                body.compute(50, |k| {
+                    k.seq(small, 8);
+                });
+            });
+            p.loop_fixed(60, |body| {
+                body.compute(50, |k| {
+                    k.random(big, 8);
+                });
+            });
+        });
+        compile(&b.finish(), CompileTarget::W32_O2)
+    }
+
+    #[test]
+    fn full_stats_are_consistent() {
+        let bin = test_binary();
+        let input = Input::new("t", 5, Scale::Test);
+        let s = simulate_full(&bin, &input, &MemoryConfig::table1());
+        assert!(s.instructions > 0);
+        assert!(s.cycles > s.instructions, "memory stalls add cycles");
+        assert_eq!(s.levels[0].hits + s.levels[0].misses, s.accesses);
+        assert!(s.cpi() > 1.0);
+    }
+
+    #[test]
+    fn random_dram_phase_has_higher_cpi_than_l1_phase() {
+        let bin = test_binary();
+        let input = Input::new("t", 5, Scale::Test);
+        let (_, intervals) =
+            simulate_fli_sliced(&bin, &input, &MemoryConfig::table1(), 1_000);
+        assert!(intervals.len() >= 4);
+        let first = intervals.first().expect("nonempty").cpi();
+        let last = intervals.last().expect("nonempty").cpi();
+        assert!(
+            last > first + 0.5,
+            "random DRAM phase ({last:.2}) must be slower than L1 phase ({first:.2})"
+        );
+    }
+
+    #[test]
+    fn sliced_totals_match_full_run() {
+        let bin = test_binary();
+        let input = Input::new("t", 5, Scale::Test);
+        let cfg = MemoryConfig::table1();
+        let full = simulate_full(&bin, &input, &cfg);
+        let (sliced_total, intervals) = simulate_fli_sliced(&bin, &input, &cfg, 2_000);
+        assert_eq!(full, sliced_total, "slicing must not change the simulation");
+        assert_eq!(
+            intervals.iter().map(|i| i.cycles).sum::<u64>(),
+            full.cycles
+        );
+        assert_eq!(
+            intervals.iter().map(|i| i.instructions).sum::<u64>(),
+            full.instructions
+        );
+    }
+
+    #[test]
+    fn marker_sliced_cuts_at_the_requested_points() {
+        use cbsp_profile::MarkerRef;
+        let bin = test_binary();
+        let input = Input::new("t", 5, Scale::Test);
+        let cfg = MemoryConfig::table1();
+        // Cut at the 30th back-branch of loop 0 and the 10th of loop 1.
+        let boundaries = vec![
+            ExecPoint {
+                marker: MarkerRef::LoopBack(0),
+                count: 30,
+            },
+            ExecPoint {
+                marker: MarkerRef::LoopBack(1),
+                count: 10,
+            },
+        ];
+        let (total, intervals) = simulate_marker_sliced(&bin, &input, &cfg, &boundaries);
+        assert_eq!(intervals.len(), 3);
+        assert_eq!(
+            intervals.iter().map(|i| i.instructions).sum::<u64>(),
+            total.instructions
+        );
+        // First interval: ~30 of 60 iterations of the first loop.
+        let whole = total.instructions as f64;
+        let frac = intervals[0].instructions as f64 / whole;
+        assert!((0.15..0.35).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn branch_predictor_adds_mispredict_cycles() {
+        use cbsp_program::{Cond, ProgramBuilder};
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_fixed(2_000, |body| {
+                body.if_else(
+                    Cond::Random { num: 1, den: 2 },
+                    |t| t.work(10),
+                    |e| e.work(10),
+                );
+            });
+        });
+        let bin = compile(&b.finish(), CompileTarget::W32_O2);
+        let input = Input::new("t", 9, Scale::Test);
+        let plain = simulate_full(&bin, &input, &MemoryConfig::table1());
+        let mut cfg = MemoryConfig::table1();
+        cfg.branch = Some(cbsp_sim_branch_default());
+        let predicted = simulate_full(&bin, &input, &cfg);
+        assert_eq!(plain.branches, 0);
+        assert!(predicted.branches > 2_000, "branches resolved");
+        // A 50/50 random branch per iteration: mispredict rate near 0.5
+        // on those, so cycles must grow measurably.
+        assert!(predicted.branch_mispredicts > predicted.branches / 8);
+        assert!(predicted.cycles > plain.cycles);
+        assert_eq!(predicted.instructions, plain.instructions);
+    }
+
+    fn cbsp_sim_branch_default() -> crate::branch::BranchConfig {
+        crate::branch::BranchConfig::default()
+    }
+
+    #[test]
+    #[should_panic(expected = "must all occur")]
+    fn unreachable_boundary_panics() {
+        use cbsp_profile::MarkerRef;
+        let bin = test_binary();
+        let input = Input::new("t", 5, Scale::Test);
+        let boundaries = vec![ExecPoint {
+            marker: MarkerRef::LoopBack(0),
+            count: 10_000_000,
+        }];
+        let _ = simulate_marker_sliced(&bin, &input, &MemoryConfig::table1(), &boundaries);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the cache and hierarchy invariants.
+
+use cbsp_sim::{AccessOutcome, Cache, CacheLevelConfig, Hierarchy, MemoryConfig, Replacement};
+use proptest::prelude::*;
+
+fn small_cache_config() -> CacheLevelConfig {
+    CacheLevelConfig {
+        capacity_bytes: 4 * 1024, // 8 sets x 8 ways x 64 B
+        associativity: 8,
+        line_bytes: 64,
+        hit_latency: 1,
+    }
+}
+
+fn addr_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..1_000_000, any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// An access immediately after a miss to the same line always hits,
+    /// under every replacement policy.
+    #[test]
+    fn repeat_access_hits(accesses in addr_strategy(),
+                          policy in prop_oneof![Just(Replacement::Lru),
+                                                Just(Replacement::Fifo),
+                                                Just(Replacement::Random)]) {
+        let mut cache = Cache::new(&small_cache_config(), policy);
+        for (addr, w) in accesses {
+            let _ = cache.access(addr, w);
+            prop_assert_eq!(cache.access(addr, false), AccessOutcome::Hit);
+        }
+    }
+
+    /// hits + misses always equals the number of demand accesses.
+    #[test]
+    fn hit_miss_accounting(accesses in addr_strategy()) {
+        let mut cache = Cache::new(&small_cache_config(), Replacement::Lru);
+        for &(addr, w) in &accesses {
+            let _ = cache.access(addr, w);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+    }
+
+    /// A working set no larger than one set's associativity never
+    /// conflicts under LRU: after the first (compulsory) misses,
+    /// everything hits forever.
+    #[test]
+    fn small_working_sets_never_thrash(lines in prop::collection::btree_set(0u64..8, 1..8),
+                                       rounds in 2usize..6) {
+        let mut cache = Cache::new(&small_cache_config(), Replacement::Lru);
+        // All chosen lines map to set 0 (stride = sets * line = 512 B).
+        let addrs: Vec<u64> = lines.iter().map(|l| l * 512).collect();
+        for a in &addrs {
+            let _ = cache.access(*a, false);
+        }
+        for _ in 0..rounds {
+            for a in &addrs {
+                prop_assert_eq!(cache.access(*a, false), AccessOutcome::Hit);
+            }
+        }
+        prop_assert_eq!(cache.misses(), addrs.len() as u64);
+    }
+
+    /// Dirty evictions only report lines that were actually written.
+    #[test]
+    fn only_written_lines_write_back(accesses in addr_strategy()) {
+        let mut cache = Cache::new(&small_cache_config(), Replacement::Lru);
+        let mut written = std::collections::BTreeSet::new();
+        for (addr, w) in accesses {
+            let line = addr & !63;
+            if let AccessOutcome::Miss { evicted_dirty: Some(v) } = cache.access(addr, w) {
+                prop_assert!(written.remove(&v), "evicted {v:#x} was never written");
+            }
+            if w {
+                written.insert(line);
+            }
+        }
+    }
+
+    /// Hierarchy latencies come only from the configured set, L1
+    /// accounting matches the access count, and the returned latency is
+    /// consistent with the servicing level.
+    #[test]
+    fn hierarchy_latency_accounting(accesses in addr_strategy()) {
+        let config = MemoryConfig::table1();
+        let mut h = Hierarchy::new(&config);
+        let mut total_latency = 0u64;
+        for &(addr, w) in &accesses {
+            let (lvl, lat) = h.access(addr, w);
+            let expect = match lvl {
+                cbsp_sim::ServicedBy::L1 => config.l1.hit_latency,
+                cbsp_sim::ServicedBy::L2 => config.l2.hit_latency,
+                cbsp_sim::ServicedBy::L3 => config.l3.hit_latency,
+                cbsp_sim::ServicedBy::Dram => config.dram_latency,
+            };
+            prop_assert_eq!(lat, expect);
+            total_latency += lat;
+        }
+        let [l1, _, _] = h.level_stats();
+        prop_assert_eq!(l1.hits + l1.misses, accesses.len() as u64);
+        prop_assert!(total_latency >= 3 * accesses.len() as u64);
+    }
+
+    /// The hierarchy is deterministic: same access stream, same stats.
+    #[test]
+    fn hierarchy_is_deterministic(accesses in addr_strategy()) {
+        let run = || {
+            let mut h = Hierarchy::new(&MemoryConfig::table1());
+            let mut sum = 0u64;
+            for &(addr, w) in &accesses {
+                sum += h.access(addr, w).1;
+            }
+            (sum, h.level_stats(), h.writebacks_to_dram())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Inclusive-of-L1 reads: a line that hits in L1 was not counted as
+    /// an access by L2/L3 (demand filtering).
+    #[test]
+    fn lower_levels_see_only_misses(accesses in addr_strategy()) {
+        let mut h = Hierarchy::new(&MemoryConfig::table1());
+        for &(addr, w) in &accesses {
+            let _ = h.access(addr, w);
+        }
+        let [l1, l2, _] = h.level_stats();
+        // L2 demand accesses = L1 misses (plus write-back fills, which
+        // are counted too; they can only add, never subtract).
+        prop_assert!(l2.hits + l2.misses >= l1.misses);
+    }
+}

@@ -1,0 +1,98 @@
+//! Bayesian Information Criterion scoring (paper §2.3 step 4).
+//!
+//! SimPoint scores each candidate clustering with the BIC of Pelleg &
+//! Moore's X-means (the paper's reference \[12\]): the log-likelihood of
+//! the data under a spherical identical-variance Gaussian mixture at the
+//! centroids, penalized by model complexity. Weighted vectors are
+//! treated as fractional multiplicities.
+
+use crate::kmeans::KMeansResult;
+
+/// BIC of `clustering` on weighted `data`. Higher is better.
+///
+/// # Panics
+///
+/// Debug-asserts that `weights` matches the labelled data size.
+pub fn bic(data: &[Vec<f64>], weights: &[f64], clustering: &KMeansResult) -> f64 {
+    debug_assert_eq!(data.len(), weights.len());
+    debug_assert_eq!(data.len(), clustering.labels.len());
+    let k = clustering.k();
+    let d = data.first().map_or(0, Vec::len) as f64;
+    let r: f64 = weights.iter().sum();
+
+    // Per-cluster effective sizes.
+    let mut r_j = vec![0.0f64; k];
+    for (i, &label) in clustering.labels.iter().enumerate() {
+        r_j[label as usize] += weights[i];
+    }
+
+    // Pooled maximum-likelihood variance per dimension.
+    let denom = (d * (r - k as f64)).max(f64::MIN_POSITIVE);
+    let sigma_sq = (clustering.wcss / denom).max(1e-12);
+
+    // Log-likelihood of the mixture.
+    let mut llh = 0.0;
+    for &rj in &r_j {
+        if rj > 0.0 {
+            llh += rj * (rj / r).ln();
+        }
+    }
+    llh -= (r * d / 2.0) * (2.0 * std::f64::consts::PI * sigma_sq).ln();
+    llh -= d * (r - k as f64) / 2.0;
+
+    // Complexity penalty: K-1 mixing weights + K*d centroid
+    // coordinates + 1 shared variance.
+    let p = (k as f64) * (d + 1.0);
+    llh - (p / 2.0) * r.max(1.0 + 1e-9).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    fn blobs(centers: &[f64], per: usize, spread: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut data = Vec::new();
+        for &c in centers {
+            for i in 0..per {
+                data.push(vec![c + spread * (i as f64 / per as f64 - 0.5), c]);
+            }
+        }
+        let n = data.len();
+        (data, vec![1.0; n])
+    }
+
+    #[test]
+    fn bic_prefers_true_k_over_underfit() {
+        let (data, w) = blobs(&[0.0, 50.0, 100.0], 12, 1.0);
+        let k1 = kmeans(&data, &w, 1, 3, 100);
+        let k3 = kmeans(&data, &w, 3, 3, 100);
+        assert!(
+            bic(&data, &w, &k3) > bic(&data, &w, &k1),
+            "true k=3 must beat k=1"
+        );
+    }
+
+    #[test]
+    fn bic_penalizes_gross_overfit() {
+        let (data, w) = blobs(&[0.0, 50.0], 16, 2.0);
+        let k2 = kmeans(&data, &w, 2, 3, 100);
+        let k20 = kmeans(&data, &w, 20, 3, 100);
+        assert!(
+            bic(&data, &w, &k2) > bic(&data, &w, &k20),
+            "k=2 must beat k=20 on two blobs"
+        );
+    }
+
+    #[test]
+    fn bic_is_finite_in_degenerate_cases() {
+        // All-identical points, k close to n.
+        let data = vec![vec![1.0, 1.0]; 6];
+        let w = vec![1.0; 6];
+        for k in 1..=5 {
+            let r = kmeans(&data, &w, k, 0, 20);
+            let s = bic(&data, &w, &r);
+            assert!(s.is_finite(), "k={k}: BIC {s} not finite");
+        }
+    }
+}

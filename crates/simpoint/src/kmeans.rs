@@ -1,0 +1,261 @@
+//! Weighted k-means with k-means++ seeding (paper §2.3 step 3).
+//!
+//! SimPoint 3.0 clusters projected interval vectors with k-means; in
+//! VLI mode each vector carries a weight proportional to the
+//! instructions its interval spans, so long intervals pull centroids
+//! harder than short ones ("considers the number of instructions in
+//! each interval during the clustering process", §3.2.4).
+
+use crate::vector::distance_sq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` of them.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster label per input vector.
+    pub labels: Vec<u32>,
+    /// Weighted within-cluster sum of squared distances.
+    pub wcss: f64,
+    /// Lloyd iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Runs weighted k-means on `data`.
+///
+/// `weights[i]` scales vector `i`'s influence on centroids and on the
+/// objective. `seed` fixes the k-means++ initialization. Runs Lloyd
+/// iterations until assignments stabilize or `max_iters` is reached.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `k` is zero or exceeds `data.len()`, or
+/// `weights.len() != data.len()`.
+pub fn kmeans(
+    data: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> KMeansResult {
+    assert!(!data.is_empty(), "kmeans needs at least one vector");
+    assert!(k >= 1 && k <= data.len(), "k={k} out of range for {} vectors", data.len());
+    assert_eq!(weights.len(), data.len(), "one weight per vector");
+    let dims = data[0].len();
+
+    let mut centroids = plus_plus_init(data, weights, k, seed);
+    let mut labels = vec![0u32; data.len()];
+    let mut iterations = 0;
+
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, v) in data.iter().enumerate() {
+            let best = nearest(v, &centroids).0 as u32;
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step (weighted means).
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut mass = vec![0.0; k];
+        for (i, v) in data.iter().enumerate() {
+            let c = labels[i] as usize;
+            mass[c] += weights[i];
+            for (s, x) in sums[c].iter_mut().zip(v) {
+                *s += weights[i] * x;
+            }
+        }
+        for c in 0..k {
+            if mass[c] > 0.0 {
+                for s in sums[c].iter_mut() {
+                    *s /= mass[c];
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            } else {
+                // Empty cluster: reseed to the point farthest from its
+                // centroid (standard k-means repair).
+                let far = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, v), (j, w)| {
+                        let a = distance_sq(v, &centroids[labels[*i] as usize]);
+                        let b = distance_sq(w, &centroids[labels[*j] as usize]);
+                        a.partial_cmp(&b).expect("distances are finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("data nonempty");
+                centroids[c] = data[far].clone();
+            }
+        }
+    }
+
+    let wcss = data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| weights[i] * distance_sq(v, &centroids[labels[i] as usize]))
+        .sum();
+    KMeansResult {
+        centroids,
+        labels,
+        wcss,
+        iterations,
+    }
+}
+
+/// Index and squared distance of the centroid nearest to `v`.
+pub fn nearest(v: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = distance_sq(v, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: the first centroid is weight-proportionally
+/// random; each next centroid is chosen with probability proportional
+/// to `weight × distance²` from the nearest already-chosen centroid.
+pub fn plus_plus_init(data: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    let total_w: f64 = weights.iter().sum();
+    let first = sample_index(&mut rng, weights, total_w);
+    centroids.push(data[first].clone());
+
+    let mut dist: Vec<f64> = data
+        .iter()
+        .map(|v| distance_sq(v, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let scores: Vec<f64> = dist
+            .iter()
+            .zip(weights)
+            .map(|(d, w)| d * w)
+            .collect();
+        let total: f64 = scores.iter().sum();
+        let next = if total > 0.0 {
+            sample_index(&mut rng, &scores, total)
+        } else {
+            // All points coincide with a centroid; any point will do.
+            rng.gen_range(0..data.len())
+        };
+        centroids.push(data[next].clone());
+        let newest = centroids.last().expect("just pushed");
+        for (d, v) in dist.iter_mut().zip(data) {
+            let nd = distance_sq(v, newest);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn sample_index(rng: &mut StdRng, scores: &[f64], total: f64) -> usize {
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut t = rng.gen_range(0.0..total);
+    for (i, s) in scores.iter().enumerate() {
+        t -= s;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    scores.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            data.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            data.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
+        }
+        let weights = vec![1.0; data.len()];
+        (data, weights)
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let (data, weights) = two_blobs();
+        let r = kmeans(&data, &weights, 2, 1, 100);
+        assert_eq!(r.k(), 2);
+        // All even indices (blob A) share a label; odd (blob B) share
+        // the other.
+        let a = r.labels[0];
+        let b = r.labels[1];
+        assert_ne!(a, b);
+        for i in 0..data.len() {
+            assert_eq!(r.labels[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(r.wcss < 1.0, "tight blobs: wcss = {}", r.wcss);
+    }
+
+    #[test]
+    fn k_equals_one_gives_weighted_mean() {
+        let data = vec![vec![0.0], vec![10.0]];
+        let weights = vec![3.0, 1.0];
+        let r = kmeans(&data, &weights, 1, 0, 50);
+        assert!((r.centroids[0][0] - 2.5).abs() < 1e-9, "weighted mean 2.5");
+    }
+
+    #[test]
+    fn heavy_weight_pulls_the_centroid() {
+        let data = vec![vec![0.0], vec![1.0], vec![100.0]];
+        let light = kmeans(&data, &[1.0, 1.0, 1.0], 1, 0, 50).centroids[0][0];
+        let heavy = kmeans(&data, &[1.0, 1.0, 10.0], 1, 0, 50).centroids[0][0];
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_wcss() {
+        let (data, weights) = two_blobs();
+        let r = kmeans(&data, &weights, data.len(), 5, 100);
+        assert!(r.wcss < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, weights) = two_blobs();
+        let a = kmeans(&data, &weights, 3, 9, 100);
+        let b = kmeans(&data, &weights, 3, 9, 100);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.wcss, b.wcss);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_larger_than_n_panics() {
+        let _ = kmeans(&[vec![1.0]], &[1.0], 2, 0, 10);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![vec![5.0, 5.0]; 8];
+        let r = kmeans(&data, &vec![1.0; 8], 3, 2, 50);
+        assert_eq!(r.labels.len(), 8);
+        assert!(r.wcss < 1e-18);
+    }
+}

@@ -1,0 +1,50 @@
+//! # cbsp-simpoint — SimPoint 3.0 reimplementation
+//!
+//! The phase-clustering engine of the paper's §2.3, rebuilt from the
+//! published algorithm:
+//!
+//! 1. normalize interval frequency vectors ([`vector`]),
+//! 2. reduce dimensionality with a random linear projection
+//!    ([`Projection`]),
+//! 3. run weighted k-means with k-means++ seeding over a range of k
+//!    ([`kmeans()`]),
+//! 4. score each clustering with the Bayesian Information Criterion and
+//!    pick the smallest k near the best score ([`bic()`]),
+//! 5. choose each cluster's centroid-nearest interval as its simulation
+//!    point and weight it by the cluster's instruction share
+//!    ([`analyze`]).
+//!
+//! Variable-length intervals are supported throughout: interval
+//! instruction counts weight the clustering, the BIC, and the phase
+//! weights (§3.2.4).
+//!
+//! ## Example
+//!
+//! ```
+//! use cbsp_simpoint::{analyze, SimPointConfig};
+//!
+//! // Six intervals alternating between two behaviours.
+//! let vectors: Vec<Vec<f64>> = (0..6)
+//!     .map(|i| if i % 2 == 0 { vec![9.0, 0.0] } else { vec![0.0, 9.0] })
+//!     .collect();
+//! let instrs = vec![1_000u64; 6];
+//! let result = analyze(&vectors, &instrs, &SimPointConfig::default());
+//! assert_eq!(result.k, 2);
+//! assert!((result.total_weight() - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bic;
+pub mod hamerly;
+pub mod kmeans;
+pub mod projection;
+pub mod select;
+pub mod vector;
+
+pub use bic::bic;
+pub use hamerly::kmeans_hamerly_from;
+pub use kmeans::{kmeans, KMeansResult};
+pub use projection::Projection;
+pub use select::{analyze, RepresentativePolicy, SimPoint, SimPointConfig, SimPointResult};

@@ -1,0 +1,135 @@
+//! Random linear projection (paper §2.3 step 2).
+//!
+//! BBVs have one dimension per static basic block — hundreds to tens of
+//! thousands. SimPoint projects them down to a small number of
+//! dimensions (15 by default) with a random matrix; by the
+//! Johnson–Lindenstrauss intuition, pairwise distances are approximately
+//! preserved while k-means gets dramatically cheaper and more robust.
+//!
+//! The projection matrix is never materialized: row `i` (for input
+//! dimension `i`) is regenerated on demand from `(seed, i)`, so
+//! projecting scales with the number of *nonzero* input entries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random projection from `in_dims` to `out_dims` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection {
+    seed: u64,
+    out_dims: usize,
+}
+
+impl Projection {
+    /// Creates a projection to `out_dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_dims` is zero.
+    pub fn new(seed: u64, out_dims: usize) -> Self {
+        assert!(out_dims > 0, "projection must keep at least one dimension");
+        Projection { seed, out_dims }
+    }
+
+    /// Output dimensionality.
+    pub fn out_dims(&self) -> usize {
+        self.out_dims
+    }
+
+    /// Row of the (virtual) projection matrix for input dimension `i`:
+    /// `out_dims` values uniform in `[-1, 1]`.
+    fn row(&self, i: usize) -> impl Iterator<Item = f64> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
+        );
+        let n = self.out_dims;
+        (0..n).map(move |_| rng.gen_range(-1.0..=1.0))
+    }
+
+    /// Projects `v` to the output space.
+    pub fn project(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.out_dims];
+        for (i, &x) in v.iter().enumerate() {
+            if x == 0.0 {
+                continue; // BBVs are sparse; skip zero mass
+            }
+            for (j, r) in self.row(i).enumerate() {
+                out[j] += x * r;
+            }
+        }
+        out
+    }
+
+    /// Projects a batch of vectors. If the input dimensionality is
+    /// already at most `out_dims`, the vectors are passed through
+    /// unchanged (projection would only add noise).
+    pub fn project_all(&self, vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if vectors.first().map_or(true, |v| v.len() <= self.out_dims) {
+            return vectors.to_vec();
+        }
+        vectors.iter().map(|v| self.project(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::distance_sq;
+
+    #[test]
+    fn projection_is_deterministic() {
+        let p = Projection::new(42, 4);
+        let v = vec![1.0, 0.0, 0.5, 0.25, 0.0, 0.125];
+        assert_eq!(p.project(&v), p.project(&v));
+        let q = Projection::new(43, 4);
+        assert_ne!(p.project(&v), q.project(&v));
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let p = Projection::new(7, 5);
+        let a = vec![0.2, 0.8, 0.0, 0.3];
+        let b = vec![0.5, 0.0, 0.1, 0.9];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let pa = p.project(&a);
+        let pb = p.project(&b);
+        let psum = p.project(&sum);
+        for j in 0..5 {
+            assert!((psum[j] - (pa[j] + pb[j])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_inputs_pass_through() {
+        let p = Projection::new(1, 15);
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(p.project_all(&vs), vs);
+    }
+
+    #[test]
+    fn distances_roughly_preserved_in_expectation() {
+        // Far-apart one-hot vectors must stay distinguishable from
+        // nearby ones after projection (JL sanity check, averaged over
+        // several seeds to avoid flakiness).
+        let dims = 200;
+        let mut near_ratio = 0.0;
+        for seed in 0..10 {
+            let p = Projection::new(seed, 15);
+            let mut a = vec![0.0; dims];
+            let mut b = vec![0.0; dims];
+            let mut c = vec![0.0; dims];
+            a[3] = 1.0;
+            b[3] = 0.9;
+            b[150] = 0.1; // close to a
+            c[150] = 1.0; // far from a
+            let (pa, pb, pc) = (p.project(&a), p.project(&b), p.project(&c));
+            near_ratio += distance_sq(&pa, &pb) / distance_sq(&pa, &pc).max(1e-12);
+        }
+        assert!(
+            near_ratio / 10.0 < 0.5,
+            "near pair should stay much closer than far pair"
+        );
+    }
+}

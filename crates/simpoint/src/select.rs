@@ -1,0 +1,481 @@
+//! The SimPoint driver (paper §2.3 steps 1–5): normalize → project →
+//! search k → pick the clustering → select representatives and weights.
+
+use crate::bic::bic;
+use crate::kmeans::{kmeans, KMeansResult};
+use crate::projection::Projection;
+use crate::vector::{distance_sq, normalized};
+use serde::{Deserialize, Serialize};
+
+/// How the representative interval of each phase is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepresentativePolicy {
+    /// The interval closest to the cluster centroid (SimPoint's
+    /// default, paper §2.3 step 5).
+    NearestCentroid,
+    /// The *earliest* interval whose distance to the centroid is within
+    /// `tolerance` (relative to the phase's distance spread) of the
+    /// best — SimPoint 3.0's "early simulation points" option
+    /// (Perelman et al., PACT 2003; the paper's reference \[13\]), which
+    /// trades a little representativeness for much less fast-forwarding
+    /// before each simulation region.
+    Earliest {
+        /// Allowed relative distance slack in `[0, 1]`.
+        tolerance: f64,
+    },
+}
+
+impl Default for RepresentativePolicy {
+    fn default() -> Self {
+        RepresentativePolicy::NearestCentroid
+    }
+}
+
+/// Configuration of a SimPoint analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimPointConfig {
+    /// Maximum number of clusters (phases). The paper uses 10 (§5.1).
+    pub max_k: usize,
+    /// Random-projection dimensionality (SimPoint default: 15).
+    pub projection_dims: usize,
+    /// BIC threshold θ ∈ \[0, 1\]: the chosen clustering is the smallest
+    /// k whose BIC reaches `min + θ·(max − min)` over the k search
+    /// (SimPoint default: 0.9).
+    pub bic_threshold: f64,
+    /// k-means restarts (random seeds) per k; the best WCSS wins.
+    pub restarts: usize,
+    /// Lloyd-iteration cap per k-means run.
+    pub max_iters: usize,
+    /// Master seed for projection and clustering.
+    pub seed: u64,
+    /// Representative-selection policy.
+    pub representative: RepresentativePolicy,
+    /// Use Hamerly's bounds-accelerated k-means instead of plain Lloyd
+    /// iteration (same k-means++ initialization, same fixed point,
+    /// fewer distance computations — see [`crate::hamerly`]).
+    pub accelerated: bool,
+}
+
+impl Default for SimPointConfig {
+    fn default() -> Self {
+        SimPointConfig {
+            max_k: 10,
+            projection_dims: 15,
+            bic_threshold: 0.9,
+            restarts: 5,
+            max_iters: 100,
+            seed: 0x51AD_2007,
+            representative: RepresentativePolicy::NearestCentroid,
+            accelerated: false,
+        }
+    }
+}
+
+/// One selected simulation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimPoint {
+    /// Phase (cluster) id in `0..k`.
+    pub phase: u32,
+    /// Index of the representative interval.
+    pub interval: usize,
+    /// Fraction of executed instructions in this phase, in `[0, 1]`.
+    pub weight: f64,
+    /// Mean squared distance of the phase's members to its centroid in
+    /// the projected space (a confidence signal: tight phases are
+    /// better represented by a single point). SimPoint 3.0 reports the
+    /// analogous per-cluster statistics.
+    pub variance: f64,
+}
+
+/// Result of a SimPoint analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimPointResult {
+    /// Chosen number of phases.
+    pub k: usize,
+    /// Phase label per interval.
+    pub labels: Vec<u32>,
+    /// One simulation point per phase, ordered by descending weight.
+    pub points: Vec<SimPoint>,
+    /// `(k, BIC)` for every k examined (diagnostics / ablations).
+    pub bic_scores: Vec<(usize, f64)>,
+}
+
+impl SimPointResult {
+    /// Total weight of all points (≈ 1).
+    pub fn total_weight(&self) -> f64 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+
+    /// The simulation point for `phase`.
+    pub fn point_for_phase(&self, phase: u32) -> Option<&SimPoint> {
+        self.points.iter().find(|p| p.phase == phase)
+    }
+}
+
+/// Runs the full SimPoint analysis on one binary's intervals.
+///
+/// `vectors[i]` is interval *i*'s (unnormalized) frequency vector and
+/// `instr_counts[i]` the instructions it spans. For fixed-length
+/// intervals all counts are (nearly) equal and this reduces to classic
+/// SimPoint; for variable-length intervals the counts weight both the
+/// clustering and the phase weights (§3.2.4).
+///
+/// # Panics
+///
+/// Panics if inputs are empty or lengths mismatch.
+pub fn analyze(
+    vectors: &[Vec<f64>],
+    instr_counts: &[u64],
+    config: &SimPointConfig,
+) -> SimPointResult {
+    assert!(!vectors.is_empty(), "need at least one interval");
+    assert_eq!(
+        vectors.len(),
+        instr_counts.len(),
+        "one instruction count per interval"
+    );
+
+    // Steps 1-2: normalize, project.
+    let normed: Vec<Vec<f64>> = vectors.iter().map(|v| normalized(v)).collect();
+    let projection = Projection::new(config.seed, config.projection_dims.max(1));
+    let data = projection.project_all(&normed);
+
+    // Interval weights: instructions, scaled to mean 1 so BIC's
+    // effective sample size matches the interval count.
+    let n = data.len();
+    let total_instr: f64 = instr_counts.iter().map(|&c| c as f64).sum();
+    let weights: Vec<f64> = if total_instr > 0.0 {
+        instr_counts
+            .iter()
+            .map(|&c| c as f64 * n as f64 / total_instr)
+            .collect()
+    } else {
+        vec![1.0; n]
+    };
+
+    // Step 3: k search with restarts.
+    let max_k = config.max_k.clamp(1, n);
+    let mut runs: Vec<(usize, KMeansResult, f64)> = Vec::with_capacity(max_k);
+    for k in 1..=max_k {
+        let mut best: Option<KMeansResult> = None;
+        for r in 0..config.restarts.max(1) {
+            let seed = config
+                .seed
+                .wrapping_add((k as u64) << 32)
+                .wrapping_add(r as u64);
+            let run = if config.accelerated {
+                let init = crate::kmeans::plus_plus_init(&data, &weights, k, seed);
+                crate::hamerly::kmeans_hamerly_from(&data, &weights, init, config.max_iters)
+            } else {
+                kmeans(&data, &weights, k, seed, config.max_iters)
+            };
+            if best.as_ref().map_or(true, |b| run.wcss < b.wcss) {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one restart");
+        let score = bic(&data, &weights, &best);
+        runs.push((k, best, score));
+    }
+
+    // Step 4: smallest k reaching the BIC threshold.
+    let bic_scores: Vec<(usize, f64)> = runs.iter().map(|(k, _, s)| (*k, *s)).collect();
+    let min = bic_scores.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let max = bic_scores
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cutoff = min + config.bic_threshold.clamp(0.0, 1.0) * (max - min);
+    let chosen_idx = runs
+        .iter()
+        .position(|(_, _, s)| *s >= cutoff - 1e-12)
+        .unwrap_or(runs.len() - 1);
+    let (k, clustering, _) = &runs[chosen_idx];
+
+    // Step 5: representatives (closest to centroid) and weights
+    // (instruction fraction per phase).
+    let mut points = Vec::with_capacity(*k);
+    for phase in 0..*k {
+        let members: Vec<usize> = clustering
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l as usize == phase)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue; // k-means can leave a label unused after repair
+        }
+        let centroid = &clustering.centroids[phase];
+        let dist_of = |i: usize| distance_sq(&data[i], centroid);
+        let nearest_member = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| dist_of(a).partial_cmp(&dist_of(b)).expect("finite distances"))
+            .expect("members nonempty");
+        let representative = match config.representative {
+            RepresentativePolicy::NearestCentroid => nearest_member,
+            RepresentativePolicy::Earliest { tolerance } => {
+                // Accept the earliest member within `tolerance` of the
+                // best distance, scaled by the phase's distance spread.
+                let best = dist_of(nearest_member);
+                let worst = members
+                    .iter()
+                    .copied()
+                    .map(dist_of)
+                    .fold(best, f64::max);
+                let cutoff = best + tolerance.clamp(0.0, 1.0) * (worst - best);
+                members
+                    .iter()
+                    .copied()
+                    .find(|&i| dist_of(i) <= cutoff + 1e-15)
+                    .unwrap_or(nearest_member)
+            }
+        };
+        let phase_instr: f64 = members.iter().map(|&i| instr_counts[i] as f64).sum();
+        let variance =
+            members.iter().copied().map(dist_of).sum::<f64>() / members.len() as f64;
+        points.push(SimPoint {
+            phase: phase as u32,
+            interval: representative,
+            weight: if total_instr > 0.0 {
+                phase_instr / total_instr
+            } else {
+                members.len() as f64 / n as f64
+            },
+            variance,
+        });
+    }
+    points.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+
+    SimPointResult {
+        k: points.len(),
+        labels: clustering.labels.clone(),
+        points,
+        bic_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `phases` synthetic phases of `per` intervals each; phase
+    /// `p` concentrates its BBV mass on blocks `[p*8, p*8+8)`.
+    fn phased_vectors(phases: usize, per: usize) -> (Vec<Vec<f64>>, Vec<u64>) {
+        let dims = phases * 8;
+        let mut vectors = Vec::new();
+        for p in 0..phases {
+            for i in 0..per {
+                let mut v = vec![0.0; dims];
+                for j in 0..8 {
+                    v[p * 8 + j] = 100.0 + ((i + j) % 3) as f64;
+                }
+                vectors.push(v);
+            }
+        }
+        let counts = vec![100_000u64; vectors.len()];
+        (vectors, counts)
+    }
+
+    #[test]
+    fn recovers_clear_phase_structure() {
+        let (vectors, counts) = phased_vectors(4, 10);
+        let r = analyze(&vectors, &counts, &SimPointConfig::default());
+        assert_eq!(r.k, 4, "four well-separated phases");
+        assert!((r.total_weight() - 1.0).abs() < 1e-9);
+        // Intervals of the same synthetic phase share a label.
+        for p in 0..4 {
+            let first = r.labels[p * 10];
+            for i in 0..10 {
+                assert_eq!(r.labels[p * 10 + i], first);
+            }
+        }
+        // Equal-size phases: each weight ≈ 1/4.
+        for pt in &r.points {
+            assert!((pt.weight - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn representative_belongs_to_its_phase() {
+        let (vectors, counts) = phased_vectors(3, 7);
+        let r = analyze(&vectors, &counts, &SimPointConfig::default());
+        for pt in &r.points {
+            assert_eq!(r.labels[pt.interval], pt.phase);
+        }
+    }
+
+    #[test]
+    fn single_behaviour_yields_one_phase() {
+        let vectors = vec![vec![5.0, 5.0, 0.0]; 30];
+        let counts = vec![1000u64; 30];
+        let r = analyze(&vectors, &counts, &SimPointConfig::default());
+        assert_eq!(r.k, 1);
+        assert_eq!(r.points[0].weight, 1.0);
+    }
+
+    #[test]
+    fn max_k_caps_the_phase_count() {
+        let (vectors, counts) = phased_vectors(8, 6);
+        let config = SimPointConfig {
+            max_k: 3,
+            ..SimPointConfig::default()
+        };
+        let r = analyze(&vectors, &counts, &config);
+        assert!(r.k <= 3, "got k={}", r.k);
+    }
+
+    #[test]
+    fn variable_interval_lengths_drive_weights() {
+        // Two phases; phase 0's intervals are 9x longer.
+        let mut vectors = Vec::new();
+        let mut counts = Vec::new();
+        for i in 0..10 {
+            let mut a = vec![0.0; 16];
+            a[0] = 10.0;
+            a[1] = (i % 3) as f64 * 0.1; // small within-phase jitter
+            vectors.push(a);
+            counts.push(900_000);
+            let mut b = vec![0.0; 16];
+            b[8] = 10.0;
+            b[9] = (i % 3) as f64 * 0.1;
+            vectors.push(b);
+            counts.push(100_000);
+        }
+        let r = analyze(&vectors, &counts, &SimPointConfig::default());
+        // BIC may split the jittered sub-behaviours further, but the
+        // instruction mass must land 90/10 across the two behaviour
+        // families (block 0 vs block 8).
+        let mass_a: f64 = r
+            .points
+            .iter()
+            .filter(|p| vectors[p.interval][0] > vectors[p.interval][8])
+            .map(|p| p.weight)
+            .sum();
+        assert!((mass_a - 0.9).abs() < 1e-6, "phase-A mass {mass_a}");
+        assert!((r.total_weight() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let (vectors, counts) = phased_vectors(5, 9);
+        let a = analyze(&vectors, &counts, &SimPointConfig::default());
+        let b = analyze(&vectors, &counts, &SimPointConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn earliest_policy_prefers_earlier_intervals() {
+        // Three phases whose members drift slightly: the earliest
+        // member is never the centroid-nearest, but it is within a
+        // generous tolerance.
+        let mut vectors = Vec::new();
+        for p in 0..3 {
+            for i in 0..10 {
+                let mut v = vec![0.0; 24];
+                v[p * 8] = 100.0;
+                v[p * 8 + 1] = i as f64; // drift: later members differ
+                vectors.push(v);
+            }
+        }
+        let counts = vec![1_000u64; vectors.len()];
+        let nearest = analyze(&vectors, &counts, &SimPointConfig::default());
+        let early_config = SimPointConfig {
+            representative: RepresentativePolicy::Earliest { tolerance: 1.0 },
+            ..SimPointConfig::default()
+        };
+        let early = analyze(&vectors, &counts, &early_config);
+        // Same clustering, but representatives are no later.
+        assert_eq!(early.k, nearest.k);
+        assert_eq!(early.labels, nearest.labels);
+        for (e, n) in early.points.iter().zip(&nearest.points) {
+            assert!(e.interval <= n.interval, "early {} > nearest {}", e.interval, n.interval);
+        }
+        // With tolerance 1.0 the earliest member of each phase wins.
+        for pt in &early.points {
+            let first_member = early
+                .labels
+                .iter()
+                .position(|&l| l == pt.phase)
+                .expect("phase has members");
+            assert_eq!(pt.interval, first_member);
+        }
+        // Zero tolerance reduces to the nearest-centroid choice.
+        let zero = analyze(
+            &vectors,
+            &counts,
+            &SimPointConfig {
+                representative: RepresentativePolicy::Earliest { tolerance: 0.0 },
+                ..SimPointConfig::default()
+            },
+        );
+        for (z, n) in zero.points.iter().zip(&nearest.points) {
+            assert_eq!(z.interval, n.interval);
+        }
+    }
+
+    #[test]
+    fn variance_reflects_phase_tightness() {
+        // Phase 0: identical members (zero variance). Phase 1: spread.
+        let mut vectors = Vec::new();
+        for _ in 0..8 {
+            let mut v = vec![0.0; 16];
+            v[0] = 50.0;
+            vectors.push(v);
+        }
+        for i in 0..8 {
+            let mut v = vec![0.0; 16];
+            v[8] = 50.0;
+            v[9] = 5.0 * i as f64;
+            vectors.push(v);
+        }
+        let counts = vec![1_000u64; vectors.len()];
+        // Cap k at 2 so the spread family stays one (loose) cluster.
+        let config = SimPointConfig {
+            max_k: 2,
+            ..SimPointConfig::default()
+        };
+        let r = analyze(&vectors, &counts, &config);
+        let tight = r
+            .points
+            .iter()
+            .find(|p| r.labels[0] == p.phase)
+            .expect("phase of interval 0");
+        assert!(tight.variance < 1e-12, "identical members: {}", tight.variance);
+        assert!(
+            r.points.iter().any(|p| p.variance > tight.variance),
+            "spread phase must have higher variance"
+        );
+    }
+
+    #[test]
+    fn accelerated_analysis_matches_plain_analysis() {
+        let (vectors, counts) = phased_vectors(4, 12);
+        let plain = analyze(&vectors, &counts, &SimPointConfig::default());
+        let fast = analyze(
+            &vectors,
+            &counts,
+            &SimPointConfig {
+                accelerated: true,
+                ..SimPointConfig::default()
+            },
+        );
+        assert_eq!(fast.k, plain.k);
+        assert_eq!(fast.labels, plain.labels);
+        for (a, b) in fast.points.iter().zip(&plain.points) {
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.interval, b.interval);
+            assert!((a.weight - b.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bic_scores_reported_for_every_k() {
+        let (vectors, counts) = phased_vectors(2, 12);
+        let r = analyze(&vectors, &counts, &SimPointConfig::default());
+        assert_eq!(r.bic_scores.len(), 10);
+        assert_eq!(r.bic_scores[0].0, 1);
+        assert_eq!(r.bic_scores[9].0, 10);
+    }
+}

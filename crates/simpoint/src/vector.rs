@@ -1,0 +1,79 @@
+//! Frequency-vector utilities.
+//!
+//! SimPoint's first step (paper §2.3 step 1): normalize each interval's
+//! frequency vector so its elements sum to 1, making intervals of
+//! different lengths comparable by *behaviour* rather than by volume.
+
+/// Normalizes `v` in place so its elements sum to 1.
+///
+/// Vectors with zero mass (an interval that executed nothing) are left
+/// untouched; callers should not produce them.
+pub fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Returns a normalized copy of `v`.
+pub fn normalized(v: &[f64]) -> Vec<f64> {
+    let mut out = v.to_vec();
+    normalize(&mut out);
+    out
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths.
+#[inline]
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Manhattan distance, used by SimPoint's original phase-comparison
+/// analyses; provided for completeness and ablations.
+#[inline]
+pub fn distance_l1(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_makes_unit_mass() {
+        let mut v = vec![2.0, 6.0, 0.0, 2.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.2, 0.6, 0.0, 0.2]);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vectors() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(distance_sq(&a, &b), 25.0);
+        assert_eq!(distance_l1(&a, &b), 7.0);
+        assert_eq!(distance_sq(&a, &a), 0.0);
+    }
+}

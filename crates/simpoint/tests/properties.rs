@@ -1,0 +1,170 @@
+//! Property-based tests of the SimPoint engine's invariants.
+
+use cbsp_simpoint::vector::{distance_sq, normalize, normalized};
+use cbsp_simpoint::{analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig};
+use proptest::prelude::*;
+
+fn vectors_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // n vectors of shared dimension d, strictly positive mass.
+    (2usize..40, 2usize..24).prop_flat_map(|(n, d)| {
+        prop::collection::vec(
+            prop::collection::vec(0.0f64..100.0, d).prop_filter("nonzero mass", |v| {
+                v.iter().sum::<f64>() > 1.0
+            }),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn normalization_produces_unit_mass(vs in vectors_strategy()) {
+        for v in &vs {
+            let n = normalized(v);
+            prop_assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // Order is preserved.
+            for (a, b) in v.iter().zip(&n) {
+                prop_assert!((a > &0.0) == (b > &0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn projection_preserves_linearity_and_determinism(
+        v in prop::collection::vec(0.0f64..10.0, 30),
+        scale in 0.1f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let p = Projection::new(seed, 8);
+        let pv = p.project(&v);
+        prop_assert_eq!(pv.clone(), p.project(&v));
+        let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
+        let ps = p.project(&scaled);
+        for (a, b) in pv.iter().zip(&ps) {
+            prop_assert!((a * scale - b).abs() < 1e-6 * (1.0 + a.abs() * scale));
+        }
+    }
+
+    #[test]
+    fn kmeans_output_is_well_formed(vs in vectors_strategy(), k in 1usize..6, seed in any::<u64>()) {
+        let k = k.min(vs.len());
+        let weights = vec![1.0; vs.len()];
+        let r = kmeans(&vs, &weights, k, seed, 50);
+        prop_assert_eq!(r.labels.len(), vs.len());
+        prop_assert_eq!(r.centroids.len(), k);
+        for &l in &r.labels {
+            prop_assert!((l as usize) < k);
+        }
+        prop_assert!(r.wcss >= 0.0 && r.wcss.is_finite());
+        // Every vector's own centroid is at least as close as the
+        // assigned distance sum implies (assignment optimality).
+        for (i, v) in vs.iter().enumerate() {
+            let own = distance_sq(v, &r.centroids[r.labels[i] as usize]);
+            for c in &r.centroids {
+                prop_assert!(own <= distance_sq(v, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_with_k_equals_n_is_exact(vs in vectors_strategy()) {
+        // Distinct points each get their own cluster => zero objective.
+        let mut unique = vs.clone();
+        unique.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        unique.dedup();
+        let weights = vec![1.0; unique.len()];
+        let r = kmeans(&unique, &weights, unique.len(), 0, 100);
+        prop_assert!(r.wcss < 1e-9, "wcss {}", r.wcss);
+    }
+
+    #[test]
+    fn bic_is_finite_for_any_clustering(vs in vectors_strategy(), k in 1usize..6) {
+        let k = k.min(vs.len());
+        let weights = vec![1.0; vs.len()];
+        let r = kmeans(&vs, &weights, k, 1, 50);
+        let score = bic(&vs, &weights, &r);
+        prop_assert!(score.is_finite());
+    }
+
+    #[test]
+    fn analyze_invariants_hold(vs in vectors_strategy(), instr_base in 1u64..1_000_000) {
+        let instrs: Vec<u64> = (0..vs.len()).map(|i| instr_base + i as u64).collect();
+        let r = analyze(&vs, &instrs, &SimPointConfig::default());
+        // Weights sum to 1 and every representative carries its own label.
+        prop_assert!((r.total_weight() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(r.labels.len(), vs.len());
+        for pt in &r.points {
+            prop_assert_eq!(r.labels[pt.interval], pt.phase);
+            prop_assert!(pt.weight > 0.0 && pt.weight <= 1.0 + 1e-12);
+        }
+        // Points are sorted by descending weight.
+        for w in r.points.windows(2) {
+            prop_assert!(w[0].weight >= w[1].weight);
+        }
+        // k respects the configured maximum.
+        prop_assert!(r.k >= 1 && r.k <= 10);
+    }
+
+    #[test]
+    fn weights_equal_phase_instruction_shares(vs in vectors_strategy()) {
+        let instrs: Vec<u64> = (0..vs.len()).map(|i| 1_000 + (i as u64 % 7) * 100).collect();
+        let total: u64 = instrs.iter().sum();
+        let r = analyze(&vs, &instrs, &SimPointConfig::default());
+        for pt in &r.points {
+            let share: u64 = r
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == pt.phase)
+                .map(|(i, _)| instrs[i])
+                .sum();
+            prop_assert!((pt.weight - share as f64 / total as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Hamerly's accelerated k-means is exact: from any start it reaches
+    /// an assignment that is a k-means fixed point (every vector is
+    /// assigned to its nearest centroid, and every centroid is its
+    /// members' weighted mean).
+    #[test]
+    fn hamerly_reaches_a_fixed_point(vs in vectors_strategy(), k in 1usize..5, seed in 0usize..1000) {
+        let k = k.min(vs.len());
+        let weights = vec![1.0; vs.len()];
+        let init: Vec<Vec<f64>> = (0..k).map(|i| vs[(seed + i * 7) % vs.len()].clone()).collect();
+        let r = kmeans_hamerly_from(&vs, &weights, init, 200);
+        // Assignment optimality.
+        for (i, v) in vs.iter().enumerate() {
+            let own = distance_sq(v, &r.centroids[r.labels[i] as usize]);
+            for c in &r.centroids {
+                prop_assert!(own <= distance_sq(v, c) + 1e-9);
+            }
+        }
+        // Centroid optimality (nonempty clusters only).
+        for c in 0..k {
+            let members: Vec<usize> = (0..vs.len()).filter(|&i| r.labels[i] as usize == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let dims = vs[0].len();
+            for d in 0..dims {
+                let mean: f64 = members.iter().map(|&i| vs[i][d]).sum::<f64>() / members.len() as f64;
+                prop_assert!((mean - r.centroids[c][d]).abs() < 1e-6,
+                    "cluster {c} dim {d}: mean {mean} vs centroid {}", r.centroids[c][d]);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(v in prop::collection::vec(0.0f64..50.0, 1..30)) {
+        prop_assume!(v.iter().sum::<f64>() > 0.0);
+        let mut once = v.clone();
+        normalize(&mut once);
+        let mut twice = once.clone();
+        normalize(&mut twice);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

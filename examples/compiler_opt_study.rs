@@ -1,0 +1,103 @@
+//! Compiler-optimization study — the paper's third motivating scenario
+//! (§1): "for a new architecture, the compiler team needs to evaluate
+//! the performance effects of compiler optimizations using simulation,
+//! before working prototypes of the processor are available."
+//!
+//! This example measures how well sampled simulation predicts the
+//! -O0 → -O2 speedup on two *different* memory-system designs, using
+//! one set of mappable simulation points for both binaries. It also
+//! answers the design-ranking question: which (binary, architecture)
+//! pair is fastest?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example compiler_opt_study
+//! ```
+
+use cross_binary_simpoints::core::weighted_cpi_with;
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::{CacheLevelConfig, IntervalSim};
+
+/// A hypothetical next-generation design: double the L2, faster DRAM.
+fn bigger_l2() -> MemoryConfig {
+    let mut m = MemoryConfig::table1();
+    m.l2 = CacheLevelConfig {
+        capacity_bytes: 1024 * 1024,
+        associativity: 16,
+        line_bytes: 64,
+        hit_latency: 16,
+    };
+    m.dram_latency = 200;
+    m
+}
+
+fn main() -> Result<(), CbspError> {
+    let input = Input::train();
+    let program = workloads::by_name("twolf").expect("in suite").build(Scale::Train);
+    let o0 = compile(&program, CompileTarget::W64_O0);
+    let o2 = compile(&program, CompileTarget::W64_O2);
+
+    // One set of simulation points, picked ONCE, reused for every
+    // (binary, architecture) combination — the whole point of the
+    // technique: the same parts of execution are measured everywhere.
+    let config = CbspConfig {
+        interval_target: 50_000,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&[&o0, &o2], &input, &config)?;
+    println!(
+        "{}: {} mappable points, {} phases\n",
+        program.name,
+        result.mappable.points.len(),
+        result.simpoint.k
+    );
+
+    let designs: [(&str, MemoryConfig); 2] =
+        [("table1", MemoryConfig::table1()), ("bigL2", bigger_l2())];
+
+    println!(
+        "{:<8} {:<8} {:>10} {:>10} {:>12} {:>12}",
+        "design", "binary", "true CPI", "est CPI", "true cycles", "est cycles"
+    );
+    let mut best_true = (f64::INFINITY, String::new());
+    let mut best_est = (f64::INFINITY, String::new());
+    for (dname, mem) in &designs {
+        for (b, bin) in [&o0, &o2].into_iter().enumerate() {
+            let (full, mut intervals) =
+                simulate_marker_sliced(bin, &input, mem, &result.boundaries[b]);
+            intervals.resize(result.interval_count(), IntervalSim::default());
+            let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+            let est_cpi =
+                weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);
+            let est_cycles = est_cpi * full.instructions as f64;
+            println!(
+                "{:<8} {:<8} {:>10.3} {:>10.3} {:>12} {:>12.0}",
+                dname,
+                bin.label(),
+                full.cpi(),
+                est_cpi,
+                full.cycles,
+                est_cycles
+            );
+            let key = format!("{dname}/{}", bin.label());
+            if (full.cycles as f64) < best_true.0 {
+                best_true = (full.cycles as f64, key.clone());
+            }
+            if est_cycles < best_est.0 {
+                best_est = (est_cycles, key);
+            }
+        }
+    }
+    println!(
+        "\nfastest (binary, architecture) pair: true = {}, estimated = {} -> {}",
+        best_true.1,
+        best_est.1,
+        if best_true.1 == best_est.1 {
+            "design decision CORRECT"
+        } else {
+            "design decision WRONG"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! ISA-extension study — the paper's first motivating scenario (§1):
+//! "one of the questions Intel architects want to answer is how their
+//! new processors will perform with 32-bit (IA32) and 64-bit (Intel64)
+//! binaries, and what is the difference in performance."
+//!
+//! For a set of benchmarks, this example estimates the 32-bit → 64-bit
+//! performance ratio with BOTH techniques (per-binary SimPoint and
+//! mappable cross-binary SimPoint) and compares each against the true
+//! ratio from full simulation — reproducing the Figure 5 methodology on
+//! a subset.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example isa_extension_study
+//! ```
+
+use cross_binary_simpoints::core::{weighted_cpi, weighted_cpi_with};
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::IntervalSim;
+
+const BENCHMARKS: [&str; 5] = ["mcf", "gcc", "crafty", "swim", "mesa"];
+const INTERVAL: u64 = 50_000;
+
+fn main() -> Result<(), CbspError> {
+    let input = Input::train();
+    let mem = MemoryConfig::table1();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "benchmark", "true", "per-bin", "mappable", "err(pb)", "err(map)"
+    );
+
+    for name in BENCHMARKS {
+        let program = workloads::by_name(name).expect("in suite").build(Scale::Train);
+        // The ISA comparison: optimized 32-bit vs optimized 64-bit.
+        let b32 = compile(&program, CompileTarget::W32_O2);
+        let b64 = compile(&program, CompileTarget::W64_O2);
+
+        // --- Ground truth.
+        let full32 = simulate_full(&b32, &input, &mem);
+        let full64 = simulate_full(&b64, &input, &mem);
+        let true_ratio = full32.cycles as f64 / full64.cycles as f64;
+
+        // --- Per-binary SimPoint: separate points per binary.
+        let sp_config = SimPointConfig::default();
+        let mut est = [0.0f64; 2];
+        for (i, bin) in [&b32, &b64].into_iter().enumerate() {
+            let analysis = run_per_binary(bin, &input, INTERVAL, &sp_config);
+            let (full, intervals) = simulate_fli_sliced(bin, &input, &mem, INTERVAL);
+            let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+            est[i] = weighted_cpi(&analysis.simpoint.points, &cpis) * full.instructions as f64;
+        }
+        let perbin_ratio = est[0] / est[1];
+
+        // --- Mappable cross-binary SimPoint: one set of points.
+        let config = CbspConfig {
+            interval_target: INTERVAL,
+            ..CbspConfig::default()
+        };
+        let result = run_cross_binary(&[&b32, &b64], &input, &config)?;
+        let mut est = [0.0f64; 2];
+        for (i, bin) in [&b32, &b64].into_iter().enumerate() {
+            let (full, mut intervals) =
+                simulate_marker_sliced(bin, &input, &mem, &result.boundaries[i]);
+            intervals.resize(result.interval_count(), IntervalSim::default());
+            let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+            est[i] = weighted_cpi_with(&result.simpoint.points, &result.weights[i], &cpis)
+                * full.instructions as f64;
+        }
+        let mapped_ratio = est[0] / est[1];
+
+        println!(
+            "{:<10} {:>9.3}x {:>9.3}x {:>9.3}x {:>8.2}% {:>8.2}%",
+            name,
+            true_ratio,
+            perbin_ratio,
+            mapped_ratio,
+            100.0 * ((true_ratio - perbin_ratio) / true_ratio).abs(),
+            100.0 * ((true_ratio - mapped_ratio) / true_ratio).abs()
+        );
+    }
+    println!("\n(ratio = 32-bit cycles / 64-bit cycles; >1 means 64-bit is faster)");
+    Ok(())
+}

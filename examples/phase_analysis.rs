@@ -1,0 +1,114 @@
+//! Phase analysis: look inside the cross-binary machinery.
+//!
+//! Shows, for one benchmark: the mappable points found per kind (and
+//! which were recovered from inlining), the variable-length intervals,
+//! the chosen phases with their per-binary weights, and a Table 2-style
+//! per-phase bias comparison — demonstrating the *consistent bias*
+//! property of mappable simulation points (paper §5.2.1).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example phase_analysis [benchmark]
+//! ```
+
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::IntervalSim;
+
+fn main() -> Result<(), CbspError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fma3d".to_string());
+    let program = workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; see cbsp_program::workloads"))
+        .build(Scale::Train);
+    let input = Input::train();
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+
+    let config = CbspConfig {
+        interval_target: 50_000,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)?;
+
+    // --- Mappable points.
+    let count = |k: PointKind| result.mappable.of_kind(k).count();
+    let recovered = result.mappable.points.iter().filter(|p| p.recovered).count();
+    println!("=== {name}: mappable points ===");
+    println!(
+        "procedure entries: {}, loop entries: {}, loop bodies: {} ({} recovered from inlining, {} procedures)",
+        count(PointKind::ProcEntry),
+        count(PointKind::LoopEntry),
+        count(PointKind::LoopBody),
+        recovered,
+        result.recovered_procs
+    );
+    for p in result.mappable.points.iter().filter(|p| p.recovered) {
+        println!("  recovered: {} (executes {} times in every binary)", p.label, p.execs);
+    }
+
+    // --- Intervals.
+    println!("\n=== variable-length intervals ===");
+    println!(
+        "{} intervals, average size {:.0} instructions (target {})",
+        result.interval_count(),
+        result.vli.average_interval_size(),
+        config.interval_target
+    );
+
+    // --- Phases and per-binary weights.
+    println!("\n=== phases (weights recalculated per binary) ===");
+    print!("{:<7}", "phase");
+    for bin in &binaries {
+        print!(" {:>8}", bin.label());
+    }
+    println!();
+    for pt in &result.simpoint.points {
+        print!("{:<7}", pt.phase);
+        for b in 0..binaries.len() {
+            print!(" {:>8.3}", result.weights[b][pt.phase as usize]);
+        }
+        println!();
+    }
+
+    // --- Per-phase bias across binaries (the consistency property).
+    println!("\n=== per-phase CPI bias (true vs simulation point), per binary ===");
+    let mem = MemoryConfig::table1();
+    let mut all_stats: Vec<Vec<IntervalSim>> = Vec::new();
+    for (b, bin) in binaries.iter().enumerate() {
+        let (_, mut intervals) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        intervals.resize(result.interval_count(), IntervalSim::default());
+        all_stats.push(intervals);
+    }
+    print!("{:<7}", "phase");
+    for bin in &binaries {
+        print!(" {:>9}", bin.label());
+    }
+    println!("   (bias = (true - SP) / true)");
+    for pt in &result.simpoint.points {
+        print!("{:<7}", pt.phase);
+        for stats in &all_stats {
+            let mut cyc = 0.0;
+            let mut ins = 0.0;
+            for (i, &l) in result.simpoint.labels.iter().enumerate() {
+                if l == pt.phase {
+                    cyc += stats[i].cycles as f64;
+                    ins += stats[i].instructions as f64;
+                }
+            }
+            let true_cpi = if ins > 0.0 { cyc / ins } else { 0.0 };
+            let sp_cpi = stats[pt.interval].cpi();
+            let bias = if true_cpi > 0.0 {
+                100.0 * (true_cpi - sp_cpi) / true_cpi
+            } else {
+                0.0
+            };
+            print!(" {:>8.2}%", bias);
+        }
+        println!();
+    }
+    println!("\nConsistent signs/magnitudes across a row = the consistent-bias property");
+    println!("that makes cross-binary speedup estimates trustworthy (paper §5.2.1).");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: one benchmark, four binaries, one set of cross-binary
+//! simulation points — then verify the estimated speedup against the
+//! true speedup from full simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cross_binary_simpoints::core::weighted_cpi_with;
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::IntervalSim;
+
+fn main() -> Result<(), CbspError> {
+    // 1. Build a program and compile the paper's four binaries:
+    //    {32-bit, 64-bit} x {unoptimized, optimized}.
+    let program = workloads::by_name("gzip").expect("gzip is in the suite").build(Scale::Train);
+    let input = Input::train();
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    println!("program: {} ({} binaries)", program.name, binaries.len());
+
+    // 2. Find one set of simulation points usable across all binaries.
+    let config = CbspConfig {
+        interval_target: 50_000,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)?;
+    println!(
+        "mappable points: {} ({} recovered procedures), {} intervals, {} phases",
+        result.mappable.points.len(),
+        result.recovered_procs,
+        result.interval_count(),
+        result.simpoint.k,
+    );
+
+    // 3. Simulate each binary only at the mapped points and extrapolate.
+    let mem = MemoryConfig::table1();
+    let mut est_cycles = [0.0f64; 4];
+    let mut true_cycles = [0.0f64; 4];
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full, mut intervals) =
+            simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        intervals.resize(result.interval_count(), IntervalSim::default());
+        let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+        let est = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);
+        est_cycles[b] = est * full.instructions as f64;
+        true_cycles[b] = full.cycles as f64;
+        println!(
+            "  {:<9} true CPI {:.3}  estimated CPI {:.3}",
+            bin.label(),
+            full.cpi(),
+            est
+        );
+    }
+
+    // 4. The question the paper asks: how much faster is the optimized
+    //    binary, and does sampled simulation answer it correctly?
+    let true_speedup = true_cycles[0] / true_cycles[1];
+    let est_speedup = est_cycles[0] / est_cycles[1];
+    println!(
+        "32u -> 32o speedup: true {:.3}x, estimated {:.3}x (error {:.2}%)",
+        true_speedup,
+        est_speedup,
+        100.0 * ((true_speedup - est_speedup) / true_speedup).abs()
+    );
+    Ok(())
+}

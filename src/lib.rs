@@ -1,0 +1,73 @@
+//! # Cross Binary Simulation Points
+//!
+//! A complete reproduction of *"Cross Binary Simulation Points"*
+//! (Perelman, Lau, Patil, Jaleel, Hamerly, Calder — ISPASS 2007) as a
+//! Rust workspace. This facade crate re-exports the workspace members:
+//!
+//! * [`program`] — the program substrate: source IR, a 21-benchmark
+//!   suite, an optimizing-compiler model producing the paper's four
+//!   binaries per program, and a deterministic trace-producing executor
+//!   (the role SPEC + Intel compilers + Pin play in the paper);
+//! * [`profile`] — instrumentation: BBV profiling, call/loop profiles,
+//!   marker execution coordinates, PinPoints-style region files;
+//! * [`simpoint`] — a SimPoint 3.0 reimplementation (random projection,
+//!   weighted k-means with k-means++, BIC model selection, simulation
+//!   point + weight selection, variable-length-interval support);
+//! * [`core`] — the paper's contribution: mappable points across
+//!   binaries, inline recovery, VLI construction, the six-step
+//!   cross-binary pipeline, and the evaluation metrics;
+//! * [`sim`] — a CMP$im-like simulator (in-order core, three-level
+//!   non-inclusive write-back cache hierarchy per the paper's Table 1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cross_binary_simpoints::prelude::*;
+//!
+//! // One benchmark, four binaries ({32, 64-bit} × {-O0, -O2}).
+//! let program = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+//! let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+//!     .iter()
+//!     .map(|&t| compile(&program, t))
+//!     .collect();
+//!
+//! // One set of simulation points, mapped across all four binaries.
+//! let config = CbspConfig { interval_target: 20_000, ..CbspConfig::default() };
+//! let result = run_cross_binary(
+//!     &binaries.iter().collect::<Vec<_>>(),
+//!     &Input::test(),
+//!     &config,
+//! )?;
+//! assert_eq!(result.boundaries.len(), 4);
+//! # Ok::<(), CbspError>(())
+//! ```
+//!
+//! See `examples/` for full scenarios (ISA-extension comparison,
+//! compiler-optimization evaluation, phase analysis) and the
+//! `cbsp-bench` crate for the harness regenerating every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cbsp_core as core;
+pub use cbsp_profile as profile;
+pub use cbsp_program as program;
+pub use cbsp_sim as sim;
+pub use cbsp_simpoint as simpoint;
+
+/// Convenient single import for the common workflow.
+pub mod prelude {
+    pub use cbsp_core::{
+        run_cross_binary, run_per_binary, CbspConfig, CbspError, CrossBinaryResult,
+        MappableSet, PerBinaryResult, PointKind,
+    };
+    pub use cbsp_profile::{profile_fli, CallLoopProfile, ExecPoint, MarkerRef, PinPointsFile};
+    pub use cbsp_program::{
+        compile, run, workloads, Binary, CompileTarget, Input, NullSink, Scale, TraceSink,
+    };
+    pub use cbsp_sim::{
+        simulate_fli_sliced, simulate_full, simulate_marker_sliced, MemoryConfig, SimStats,
+    };
+    pub use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
+}

@@ -1,0 +1,240 @@
+//! End-to-end integration tests: the full cross-binary pipeline against
+//! the full simulator, spanning every workspace crate.
+
+use cross_binary_simpoints::core::{weighted_cpi, weighted_cpi_with};
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::IntervalSim;
+
+const INTERVAL: u64 = 20_000;
+
+fn binaries_of(name: &str) -> (Vec<Binary>, Input) {
+    let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+    let binaries = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    (binaries, Input::test())
+}
+
+fn cross(binaries: &[Binary], input: &Input) -> cross_binary_simpoints::core::CrossBinaryResult {
+    let config = CbspConfig {
+        interval_target: INTERVAL,
+        ..CbspConfig::default()
+    };
+    run_cross_binary(&binaries.iter().collect::<Vec<_>>(), input, &config)
+        .expect("pipeline succeeds on same-program binaries")
+}
+
+#[test]
+fn vli_estimates_track_truth_on_every_binary() {
+    let (binaries, input) = binaries_of("gzip");
+    let result = cross(&binaries, &input);
+    let mem = MemoryConfig::table1();
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full, mut intervals) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        intervals.resize(result.interval_count(), IntervalSim::default());
+        let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+        let est = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);
+        let err = (full.cpi() - est).abs() / full.cpi();
+        assert!(
+            err < 0.10,
+            "{}: VLI CPI estimate {est:.3} vs true {:.3} (err {err:.3})",
+            bin.label(),
+            full.cpi()
+        );
+    }
+}
+
+#[test]
+fn fli_estimates_track_truth_on_every_binary() {
+    let (binaries, input) = binaries_of("swim");
+    let mem = MemoryConfig::table1();
+    for bin in &binaries {
+        let analysis = run_per_binary(bin, &input, INTERVAL, &SimPointConfig::default());
+        let (full, intervals) = simulate_fli_sliced(bin, &input, &mem, INTERVAL);
+        assert_eq!(intervals.len(), analysis.intervals.len(), "slicings align");
+        for (sim, prof) in intervals.iter().zip(&analysis.intervals) {
+            assert_eq!(sim.instructions, prof.instrs, "interval boundaries agree");
+        }
+        let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+        let est = weighted_cpi(&analysis.simpoint.points, &cpis);
+        let err = (full.cpi() - est).abs() / full.cpi();
+        assert!(err < 0.10, "{}: FLI err {err:.3}", bin.label());
+    }
+}
+
+#[test]
+fn mapped_boundaries_reach_every_binary_and_partition_it() {
+    let (binaries, input) = binaries_of("art");
+    let result = cross(&binaries, &input);
+    let mem = MemoryConfig::table1();
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full, intervals) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        let sum: u64 = intervals.iter().map(|i| i.instructions).sum();
+        assert_eq!(sum, full.instructions, "{}: partition", bin.label());
+        let cycles: u64 = intervals.iter().map(|i| i.cycles).sum();
+        assert_eq!(cycles, full.cycles, "{}: cycle partition", bin.label());
+    }
+}
+
+#[test]
+fn per_binary_weights_reflect_instruction_shares() {
+    let (binaries, input) = binaries_of("apsi");
+    let result = cross(&binaries, &input);
+    for b in 0..binaries.len() {
+        let total: u64 = result.interval_instrs[b].iter().sum();
+        for pt in &result.simpoint.points {
+            let phase_instrs: u64 = result
+                .simpoint
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == pt.phase)
+                .map(|(i, _)| result.interval_instrs[b][i])
+                .sum();
+            let expect = phase_instrs as f64 / total as f64;
+            let got = result.weights[b][pt.phase as usize];
+            assert!(
+                (expect - got).abs() < 1e-12,
+                "binary {b} phase {}: weight {got} != share {expect}",
+                pt.phase
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let (binaries, input) = binaries_of("twolf");
+    let a = cross(&binaries, &input);
+    let b = cross(&binaries, &input);
+    assert_eq!(a.simpoint, b.simpoint);
+    assert_eq!(a.boundaries, b.boundaries);
+    assert_eq!(a.weights, b.weights);
+    assert_eq!(a.mappable.points.len(), b.mappable.points.len());
+}
+
+#[test]
+fn primary_choice_changes_intervals_but_not_mappability() {
+    let (binaries, input) = binaries_of("eon");
+    let refs: Vec<&Binary> = binaries.iter().collect();
+    for primary in 0..4 {
+        let config = CbspConfig {
+            interval_target: INTERVAL,
+            primary,
+            ..CbspConfig::default()
+        };
+        let result = run_cross_binary(&refs, &input, &config).expect("any primary works");
+        assert_eq!(result.primary, primary);
+        assert!(result.interval_count() >= 1);
+        // Weights still sum to 1 in every binary.
+        for w in &result.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // The tail interval can be empty in at most... no binary should
+        // have more than one zero-instruction mapped interval.
+        for slices in &result.interval_instrs {
+            let zeros = slices.iter().filter(|&&s| s == 0).count();
+            assert!(zeros <= 1, "primary {primary}: {zeros} empty intervals");
+        }
+    }
+}
+
+#[test]
+fn pipelines_work_on_two_binary_sets() {
+    // The paper's first scenario compares exactly two binaries (IA32 vs
+    // Intel64). The pipeline must work for any subset, not just all four.
+    let (binaries, input) = binaries_of("mcf");
+    let config = CbspConfig {
+        interval_target: INTERVAL,
+        ..CbspConfig::default()
+    };
+    let pair = [&binaries[1], &binaries[3]]; // 32o vs 64o
+    let result = run_cross_binary(&pair, &input, &config).expect("two binaries suffice");
+    assert_eq!(result.boundaries.len(), 2);
+    assert_eq!(result.weights.len(), 2);
+    // Two binaries share MORE mappable points than four (fewer
+    // constraints to satisfy).
+    let all = cross(&binaries, &input);
+    assert!(
+        result.mappable.points.len() >= all.mappable.points.len(),
+        "2-binary set: {} points vs 4-binary: {}",
+        result.mappable.points.len(),
+        all.mappable.points.len()
+    );
+    let mem = MemoryConfig::table1();
+    for (b, bin) in pair.iter().enumerate() {
+        let (full, ivs) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        assert_eq!(
+            ivs.iter().map(|i| i.instructions).sum::<u64>(),
+            full.instructions
+        );
+    }
+}
+
+#[test]
+fn pipelines_work_on_three_binary_sets() {
+    let (binaries, input) = binaries_of("vpr");
+    let config = CbspConfig {
+        interval_target: INTERVAL,
+        primary: 2,
+        ..CbspConfig::default()
+    };
+    let trio = [&binaries[0], &binaries[2], &binaries[3]];
+    let result = run_cross_binary(&trio, &input, &config).expect("three binaries");
+    assert_eq!(result.primary, 2);
+    assert_eq!(result.boundaries.len(), 3);
+    for w in &result.weights {
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn single_binary_set_degenerates_to_per_binary_vli() {
+    // With one binary everything is trivially mappable; the pipeline
+    // must still run (useful for its VLI mode alone).
+    let (binaries, input) = binaries_of("eon");
+    let config = CbspConfig {
+        interval_target: INTERVAL,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&[&binaries[0]], &input, &config).expect("one binary");
+    assert_eq!(result.boundaries.len(), 1);
+    assert!(result.interval_count() > 2);
+    assert!((result.weights[0].iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn speedup_estimates_beat_per_binary_on_the_hard_cases() {
+    // gcc is the paper's Table 2 case: per-binary clustering regroups
+    // behaviours differently in different binaries. The mappable scheme
+    // must estimate the 32u -> 64u speedup at least as well.
+    let (binaries, input) = binaries_of("gcc");
+    let result = cross(&binaries, &input);
+    let mem = MemoryConfig::table1();
+
+    let mut true_cycles = [0.0f64; 4];
+    let mut vli_cycles = [0.0f64; 4];
+    let mut fli_cycles = [0.0f64; 4];
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full, mut ivs) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        ivs.resize(result.interval_count(), IntervalSim::default());
+        let cpis: Vec<f64> = ivs.iter().map(IntervalSim::cpi).collect();
+        true_cycles[b] = full.cycles as f64;
+        vli_cycles[b] = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis)
+            * full.instructions as f64;
+
+        let analysis = run_per_binary(bin, &input, INTERVAL, &SimPointConfig::default());
+        let (_, fivs) = simulate_fli_sliced(bin, &input, &mem, INTERVAL);
+        let fcpis: Vec<f64> = fivs.iter().map(IntervalSim::cpi).collect();
+        fli_cycles[b] = weighted_cpi(&analysis.simpoint.points, &fcpis) * full.instructions as f64;
+    }
+    let true_speedup = true_cycles[0] / true_cycles[2];
+    let vli_err = ((true_speedup - vli_cycles[0] / vli_cycles[2]) / true_speedup).abs();
+    let fli_err = ((true_speedup - fli_cycles[0] / fli_cycles[2]) / true_speedup).abs();
+    assert!(
+        vli_err <= fli_err + 0.01,
+        "VLI ({vli_err:.4}) should not lose to FLI ({fli_err:.4}) on gcc"
+    );
+    assert!(vli_err < 0.05, "VLI speedup error {vli_err:.4} too large");
+}

@@ -1,0 +1,104 @@
+//! Accuracy integration tests at Train scale: the headline claims of
+//! the paper, asserted as thresholds the implementation must keep.
+//!
+//! These run three benchmarks end to end (profiling, clustering,
+//! mapping, simulation) and check both schemes' CPI accuracy plus the
+//! cross-binary consistency property that motivates the technique.
+
+use cross_binary_simpoints::core::{weighted_cpi, weighted_cpi_with};
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::sim::IntervalSim;
+
+const INTERVAL: u64 = 50_000;
+
+struct Evaluated {
+    true_cycles: [f64; 4],
+    vli_cycles: [f64; 4],
+    fli_cycles: [f64; 4],
+}
+
+fn evaluate(name: &str) -> Evaluated {
+    let program = workloads::by_name(name).expect("in suite").build(Scale::Train);
+    let input = Input::train();
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let config = CbspConfig {
+        interval_target: INTERVAL,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+        .expect("pipeline succeeds");
+    let mem = MemoryConfig::table1();
+
+    let mut out = Evaluated {
+        true_cycles: [0.0; 4],
+        vli_cycles: [0.0; 4],
+        fli_cycles: [0.0; 4],
+    };
+    for (b, bin) in binaries.iter().enumerate() {
+        let (full, mut ivs) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        ivs.resize(result.interval_count(), IntervalSim::default());
+        let cpis: Vec<f64> = ivs.iter().map(IntervalSim::cpi).collect();
+        out.true_cycles[b] = full.cycles as f64;
+        out.vli_cycles[b] = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis)
+            * full.instructions as f64;
+
+        let analysis = run_per_binary(bin, &input, INTERVAL, &SimPointConfig::default());
+        let (_, fivs) = simulate_fli_sliced(bin, &input, &mem, INTERVAL);
+        let fcpis: Vec<f64> = fivs.iter().map(IntervalSim::cpi).collect();
+        out.fli_cycles[b] =
+            weighted_cpi(&analysis.simpoint.points, &fcpis) * full.instructions as f64;
+    }
+    out
+}
+
+fn speedup_err(cycles: &[f64; 4], truth: &[f64; 4], a: usize, b: usize) -> f64 {
+    let t = truth[a] / truth[b];
+    let e = cycles[a] / cycles[b];
+    ((t - e) / t).abs()
+}
+
+#[test]
+fn both_schemes_estimate_cpi_within_five_percent() {
+    for name in ["gzip", "crafty", "mesa"] {
+        let e = evaluate(name);
+        for b in 0..4 {
+            let vli = (e.true_cycles[b] - e.vli_cycles[b]).abs() / e.true_cycles[b];
+            let fli = (e.true_cycles[b] - e.fli_cycles[b]).abs() / e.true_cycles[b];
+            assert!(vli < 0.05, "{name} bin{b}: VLI cycle error {vli:.4}");
+            assert!(fli < 0.05, "{name} bin{b}: FLI cycle error {fli:.4}");
+        }
+    }
+}
+
+#[test]
+fn cross_binary_speedups_are_accurate_under_vli() {
+    // All four of the paper's pair configurations, on three benchmarks:
+    // the mapped scheme must estimate speedups within 5%.
+    for name in ["gzip", "crafty", "mesa"] {
+        let e = evaluate(name);
+        for (a, b) in [(0, 1), (2, 3), (0, 2), (1, 3)] {
+            let err = speedup_err(&e.vli_cycles, &e.true_cycles, a, b);
+            assert!(err < 0.05, "{name} pair ({a},{b}): VLI speedup error {err:.4}");
+        }
+    }
+}
+
+#[test]
+fn optimized_binaries_really_are_faster() {
+    // Sanity of the substrate itself: -O2 cuts total cycles by at
+    // least 1.5x, and the speedup survives in both widths.
+    for name in ["gzip", "mesa"] {
+        let e = evaluate(name);
+        assert!(
+            e.true_cycles[0] / e.true_cycles[1] > 1.5,
+            "{name}: 32-bit O0/O2 cycle ratio too small"
+        );
+        assert!(
+            e.true_cycles[2] / e.true_cycles[3] > 1.5,
+            "{name}: 64-bit O0/O2 cycle ratio too small"
+        );
+    }
+}

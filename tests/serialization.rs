@@ -1,0 +1,117 @@
+//! Serialization integration tests: PinPoints region files and analysis
+//! results round-trip through JSON, so simulation regions can be handed
+//! between the profiling and simulation stages as files (the way the
+//! paper's PinPoints tool chain works).
+
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::profile::{RegionBound, SimRegion};
+
+fn pipeline(name: &str) -> (Vec<Binary>, Input, cross_binary_simpoints::core::CrossBinaryResult) {
+    let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+    let input = Input::test();
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let config = CbspConfig {
+        interval_target: 20_000,
+        ..CbspConfig::default()
+    };
+    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+        .expect("pipeline succeeds");
+    (binaries, input, result)
+}
+
+#[test]
+fn pinpoints_files_round_trip_through_json() {
+    let (binaries, input, result) = pipeline("bzip2");
+    for (b, bin) in binaries.iter().enumerate() {
+        let file = result.pinpoints_for(b, bin, &input);
+        assert_eq!(file.validate(), Ok(()));
+        let json = serde_json::to_string_pretty(&file).expect("serializes");
+        let back: PinPointsFile = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, file);
+        assert_eq!(back.binary, bin.label());
+    }
+}
+
+#[test]
+fn per_binary_pinpoints_round_trip() {
+    let (binaries, input, _) = pipeline("eon");
+    let analysis = run_per_binary(&binaries[1], &input, 20_000, &SimPointConfig::default());
+    let file = analysis.pinpoints(&binaries[1], &input);
+    assert_eq!(file.validate(), Ok(()));
+    let json = serde_json::to_string(&file).expect("serializes");
+    let back: PinPointsFile = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, file);
+    // FLI regions use instruction-offset bounds.
+    for r in &back.regions {
+        assert!(matches!(r.start, RegionBound::Instr(_)));
+        assert!(matches!(r.end, RegionBound::Instr(_)));
+    }
+}
+
+#[test]
+fn simpoint_results_round_trip() {
+    let (_, _, result) = pipeline("gzip");
+    let json = serde_json::to_string(&result.simpoint).expect("serializes");
+    let back: SimPointResult = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, result.simpoint);
+}
+
+#[test]
+fn mappable_sets_round_trip() {
+    let (_, _, result) = pipeline("fma3d");
+    let json = serde_json::to_string(&result.mappable).expect("serializes");
+    let back: cross_binary_simpoints::core::MappableSet =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, result.mappable);
+    assert!(back.points.iter().any(|p| p.recovered), "fma3d recovers inlined loops");
+}
+
+#[test]
+fn binaries_round_trip_through_json() {
+    // Binaries themselves are serializable (useful for caching compiled
+    // artifacts between tool invocations).
+    let program = workloads::by_name("art").expect("in suite").build(Scale::Test);
+    let bin = compile(&program, CompileTarget::W64_O2);
+    let json = serde_json::to_string(&bin).expect("serializes");
+    let back: Binary = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, bin);
+    // And the deserialized binary executes identically.
+    let a = cross_binary_simpoints::program::run(&bin, &Input::test(), &mut NullSink);
+    let b = cross_binary_simpoints::program::run(&back, &Input::test(), &mut NullSink);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hand_written_region_files_validate() {
+    use cross_binary_simpoints::profile::{ExecPoint, MarkerRef};
+    let file = PinPointsFile {
+        program: "demo".into(),
+        binary: "demo-32o".into(),
+        input: "ref".into(),
+        interval_target: 100_000,
+        regions: vec![
+            SimRegion {
+                phase: 0,
+                weight: 0.5,
+                start: RegionBound::Instr(0),
+                end: RegionBound::Instr(100_000),
+            },
+            SimRegion {
+                phase: 1,
+                weight: 0.5,
+                start: RegionBound::Point(ExecPoint {
+                    marker: MarkerRef::LoopEntry(2),
+                    count: 10,
+                }),
+                end: RegionBound::Point(ExecPoint {
+                    marker: MarkerRef::LoopEntry(2),
+                    count: 11,
+                }),
+            },
+        ],
+    };
+    assert_eq!(file.validate(), Ok(()));
+}

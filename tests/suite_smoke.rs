@@ -1,0 +1,133 @@
+//! Suite-wide smoke test: the full cross-binary pipeline must succeed,
+//! with its structural invariants, on every one of the 21 benchmarks.
+//! (Accuracy thresholds live in `estimation_accuracy.rs`; this test is
+//! about breadth — no workload may break any pipeline stage.)
+
+use cross_binary_simpoints::prelude::*;
+
+#[test]
+fn every_benchmark_survives_the_full_pipeline() {
+    let input = Input::test();
+    let config = CbspConfig {
+        interval_target: 30_000,
+        ..CbspConfig::default()
+    };
+    for w in workloads::suite() {
+        let program = w.build(Scale::Test);
+        let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&program, t))
+            .collect();
+        let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
+
+        // Structure.
+        assert!(result.interval_count() >= 1, "{}", w.name);
+        assert!(
+            result.simpoint.k >= 1 && result.simpoint.k <= 10,
+            "{}: k = {}",
+            w.name,
+            result.simpoint.k
+        );
+        assert!(
+            !result.mappable.points.is_empty(),
+            "{}: no mappable points at all",
+            w.name
+        );
+        // Weights are proper distributions in every binary.
+        for (b, weights) in result.weights.iter().enumerate() {
+            let total: f64 = weights.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} binary {b}: weights sum {total}",
+                w.name
+            );
+        }
+        // Every boundary is expressed in each binary's own marker space.
+        for (b, bounds) in result.boundaries.iter().enumerate() {
+            for bp in bounds {
+                let in_range = match bp.marker {
+                    cross_binary_simpoints::profile::MarkerRef::Proc(i) => {
+                        (i as usize) < binaries[b].procs.len()
+                    }
+                    cross_binary_simpoints::profile::MarkerRef::LoopEntry(i)
+                    | cross_binary_simpoints::profile::MarkerRef::LoopBack(i) => {
+                        (i as usize) < binaries[b].loops.len()
+                    }
+                };
+                assert!(in_range, "{} binary {b}: marker out of range", w.name);
+            }
+        }
+        // PinPoints files validate for every binary.
+        for (b, bin) in binaries.iter().enumerate() {
+            let pp = result.pinpoints_for(b, bin, &input);
+            assert_eq!(pp.validate(), Ok(()), "{} binary {b}", w.name);
+        }
+    }
+}
+
+#[test]
+fn per_binary_baseline_survives_every_benchmark() {
+    let input = Input::test();
+    for w in workloads::suite() {
+        let program = w.build(Scale::Test);
+        // One binary per benchmark suffices for breadth here.
+        let bin = compile(&program, CompileTarget::W64_O0);
+        let analysis = run_per_binary(&bin, &input, 30_000, &SimPointConfig::default());
+        assert!(analysis.interval_count() >= 1, "{}", w.name);
+        assert!(
+            (analysis.simpoint.total_weight() - 1.0).abs() < 1e-9,
+            "{}",
+            w.name
+        );
+        let pp = analysis.pinpoints(&bin, &input);
+        assert_eq!(pp.validate(), Ok(()), "{}", w.name);
+    }
+}
+
+#[test]
+fn expected_hazards_appear_where_designed() {
+    // The workload suite encodes specific cross-binary hazards; verify
+    // they are present (so a workload edit cannot silently drop the
+    // phenomenon an experiment depends on).
+    let input = Input::test();
+    let config = CbspConfig {
+        interval_target: 30_000,
+        ..CbspConfig::default()
+    };
+    let analyze = |name: &str| {
+        let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&program, t))
+            .collect();
+        run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+            .expect("pipeline runs")
+    };
+
+    // fma3d, crafty, wupwise: inline recovery succeeds.
+    for name in ["fma3d", "crafty", "wupwise"] {
+        let r = analyze(name);
+        assert!(r.recovered_procs > 0, "{name}: expected inline recovery");
+    }
+    // applu: recovery fails (identical solver signatures) and intervals
+    // balloon.
+    let applu = analyze("applu");
+    assert_eq!(applu.recovered_procs, 0, "applu recovery must stay ambiguous");
+    assert!(
+        applu.vli.average_interval_size() > 2.0 * 30_000.0,
+        "applu intervals must balloon: {}",
+        applu.vli.average_interval_size()
+    );
+    // equake, sixtrack, swim, gzip, lucas: an unrolled loop exists, so at
+    // least one loop body is unmappable while its entry is mappable.
+    for name in ["equake", "sixtrack", "swim", "gzip", "lucas"] {
+        let r = analyze(name);
+        let entries = r.mappable.of_kind(PointKind::LoopEntry).count();
+        let bodies = r.mappable.of_kind(PointKind::LoopBody).count();
+        assert!(
+            bodies < entries,
+            "{name}: unrolling should cost at least one loop body ({bodies} vs {entries})"
+        );
+    }
+}
