@@ -96,7 +96,9 @@ fn bench_full_simulation(c: &mut Criterion) {
     group.sample_size(10);
     let input = Input::test();
     for name in ["gzip", "mcf"] {
-        let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name(name)
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W32_O2);
         group.bench_with_input(BenchmarkId::new("test_scale", name), &bin, |b, bin| {
             b.iter(|| black_box(simulate_full(bin, &input, &MemoryConfig::table1())))

@@ -7,7 +7,9 @@ use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn setup(name: &str) -> (Vec<Binary>, Vec<CallLoopProfile>, Input) {
-    let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+    let prog = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
     let input = Input::test();
     let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
         .iter()
@@ -105,7 +107,9 @@ fn bench_region_sim_and_bbfile(c: &mut Criterion) {
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     for name in ["gcc", "swim"] {
-        let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name(name)
+            .expect("in suite")
+            .build(Scale::Test);
         group.bench_with_input(BenchmarkId::new("w64_o2", name), &prog, |b, prog| {
             b.iter(|| black_box(compile(prog, CompileTarget::W64_O2)))
         });

@@ -24,13 +24,17 @@ fn bench_projection(c: &mut Criterion) {
     for &dims in &[128usize, 512, 2048] {
         let (vectors, _) = synthetic_bbvs(64, dims, 4);
         let p = Projection::new(42, 15);
-        group.bench_with_input(BenchmarkId::new("project_64_vectors", dims), &dims, |b, _| {
-            b.iter(|| {
-                for v in &vectors {
-                    black_box(p.project(v));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("project_64_vectors", dims),
+            &dims,
+            |b, _| {
+                b.iter(|| {
+                    for v in &vectors {
+                        black_box(p.project(v));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,9 +12,7 @@
 use cbsp_core::{
     relative_error, run_cross_binary, speedup, speedup_error, weighted_cpi_with, CbspConfig,
 };
-use cbsp_program::{
-    compile_with, workloads, Binary, CompileOptions, CompileTarget, Input, Scale,
-};
+use cbsp_program::{compile_with, workloads, Binary, CompileOptions, CompileTarget, Input, Scale};
 use cbsp_sim::{simulate_marker_sliced, IntervalSim, MemoryConfig};
 use cbsp_simpoint::{RepresentativePolicy, SimPointConfig};
 use std::fmt::Write as _;

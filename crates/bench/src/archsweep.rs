@@ -157,7 +157,11 @@ pub fn render(rows: &[ArchSweepRow], archs: &[ArchVariant]) -> String {
         let _ = writeln!(
             s,
             " {:>10}",
-            if r.best_pair_correct { "correct" } else { "WRONG" }
+            if r.best_pair_correct {
+                "correct"
+            } else {
+                "WRONG"
+            }
         );
     }
     s

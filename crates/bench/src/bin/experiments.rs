@@ -4,14 +4,16 @@
 //! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|table2|table3]
 //!             [--scale test|train|ref] [--interval N]
 //!             [--benchmarks a,b,c] [--threads N] [--json FILE]
+//!             [--cache-dir DIR]
 //! ```
 
 use cbsp_bench::{
-    evaluate_benchmark, mpki_eval, phase_bias, report, run_ablations, run_suite,
+    evaluate_benchmark_with, mpki_eval, phase_bias, report, run_ablations, run_suite_with,
     standard_archs, sweep_benchmark, Pair,
 };
 use cbsp_program::Scale;
 use cbsp_sim::MemoryConfig;
+use cbsp_store::ArtifactStore;
 
 struct Options {
     artifact: String,
@@ -20,6 +22,7 @@ struct Options {
     benchmarks: Vec<String>,
     threads: usize,
     json: Option<String>,
+    cache_dir: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -30,6 +33,7 @@ fn parse_args() -> Options {
         benchmarks: Vec::new(),
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         json: None,
+        cache_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,11 +69,17 @@ fn parse_args() -> Options {
             "--json" => {
                 opts.json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
             }
+            "--cache-dir" => {
+                opts.cache_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--cache-dir needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds] \
                      [--scale test|train|ref] [--interval N] \
-                     [--benchmarks a,b,c] [--threads N] [--json FILE]"
+                     [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -88,6 +98,11 @@ fn die(msg: &str) -> ! {
 fn main() {
     let opts = parse_args();
     let mem = MemoryConfig::table1();
+    let store: Option<ArtifactStore> = opts
+        .cache_dir
+        .as_ref()
+        .map(|dir| ArtifactStore::open(dir.as_str()).unwrap_or_else(|e| die(&e.to_string())));
+    let store = store.as_ref();
 
     match opts.artifact.as_str() {
         "table1" => {
@@ -96,12 +111,20 @@ fn main() {
         }
         "table2" | "table3" => {
             let (name, pair, labels) = if opts.artifact == "table2" {
-                ("gcc", Pair::P32u64u, ("32-bit Unoptimized", "64-bit Unoptimized"))
+                (
+                    "gcc",
+                    Pair::P32u64u,
+                    ("32-bit Unoptimized", "64-bit Unoptimized"),
+                )
             } else {
-                ("apsi", Pair::P32o64o, ("32-bit Optimized", "64-bit Optimized"))
+                (
+                    "apsi",
+                    Pair::P32o64o,
+                    ("32-bit Optimized", "64-bit Optimized"),
+                )
             };
             eprintln!("evaluating {name} at {:?} scale...", opts.scale);
-            let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+            let run = evaluate_benchmark_with(name, opts.scale, opts.interval, &mem, store);
             let t = phase_bias(&run, pair, 3);
             print!("{}", report::phase_table(&t, labels));
             return;
@@ -119,7 +142,7 @@ fn main() {
             );
             for name in names {
                 eprintln!("  evaluating {name}...");
-                let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+                let run = evaluate_benchmark_with(name, opts.scale, opts.interval, &mem, store);
                 let m = mpki_eval(&run);
                 println!(
                     "{:<10} {:>10.3} {:>7.2}% {:>7.2}%",
@@ -140,7 +163,12 @@ fn main() {
             let mut rows = Vec::new();
             for name in names {
                 eprintln!("  seed stability on {name}...");
-                rows.push(cbsp_bench::seed_stability(name, opts.scale, opts.interval, 5));
+                rows.push(cbsp_bench::seed_stability(
+                    name,
+                    opts.scale,
+                    opts.interval,
+                    5,
+                ));
             }
             print!("{}", cbsp_bench::seeds::render(&rows));
             return;
@@ -154,7 +182,11 @@ fn main() {
             let mut rows = Vec::new();
             for name in names {
                 eprintln!("  phase-marker study on {name}...");
-                rows.push(cbsp_bench::softmark_benchmark(name, opts.scale, opts.interval));
+                rows.push(cbsp_bench::softmark_benchmark(
+                    name,
+                    opts.scale,
+                    opts.interval,
+                ));
             }
             print!("{}", cbsp_bench::softmark_study::render(&rows));
             return;
@@ -168,7 +200,11 @@ fn main() {
             let mut rows = Vec::new();
             for name in names {
                 eprintln!("  warmup study on {name}...");
-                rows.push(cbsp_bench::warmup_benchmark(name, opts.scale, opts.interval));
+                rows.push(cbsp_bench::warmup_benchmark(
+                    name,
+                    opts.scale,
+                    opts.interval,
+                ));
             }
             print!("{}", cbsp_bench::warmup::render(&rows));
             return;
@@ -210,7 +246,14 @@ fn main() {
         "running suite at {:?} scale, interval target {}...",
         opts.scale, opts.interval
     );
-    let results = run_suite(&opts.benchmarks, opts.scale, opts.interval, &mem, opts.threads);
+    let results = run_suite_with(
+        &opts.benchmarks,
+        opts.scale,
+        opts.interval,
+        &mem,
+        opts.threads,
+        store,
+    );
     if let Some(path) = &opts.json {
         let json = serde_json::to_string_pretty(&results).expect("results serialize");
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
@@ -234,7 +277,7 @@ fn main() {
                 ("gcc", Pair::P32u64u, ("32u", "64u")),
                 ("apsi", Pair::P32o64o, ("32o", "64o")),
             ] {
-                let run = evaluate_benchmark(name, opts.scale, opts.interval, &mem);
+                let run = evaluate_benchmark_with(name, opts.scale, opts.interval, &mem, store);
                 let t = phase_bias(&run, pair, 3);
                 println!("{}", report::phase_table(&t, labels));
             }

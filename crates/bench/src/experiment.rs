@@ -9,6 +9,7 @@ use cbsp_core::{
 };
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
 use cbsp_sim::{simulate_fli_sliced, simulate_marker_sliced, IntervalSim, MemoryConfig, SimStats};
+use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
 use serde::{Deserialize, Serialize};
 
 /// The four standard binaries, in paper order.
@@ -193,8 +194,24 @@ pub fn evaluate_benchmark(
     interval_target: u64,
     mem: &MemoryConfig,
 ) -> BenchmarkRun {
-    let workload = workloads::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    evaluate_benchmark_with(name, scale, interval_target, mem, None)
+}
+
+/// [`evaluate_benchmark`] with an optional artifact store: when given,
+/// pipeline stages are served from / written to the store, so repeated
+/// experiment runs (or runs sharing benchmarks) skip recomputation.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload suite or the store fails.
+pub fn evaluate_benchmark_with(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+    store: Option<&ArtifactStore>,
+) -> BenchmarkRun {
+    let workload = workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let prog = workload.build(scale);
     let input = match scale {
         Scale::Test => Input::test(),
@@ -212,7 +229,17 @@ pub fn evaluate_benchmark(
         interval_target,
         ..CbspConfig::default()
     };
-    let cross = run_cross_binary(&bin_refs, &input, &config).expect("same-program binaries");
+    let cross = match store {
+        Some(store) => {
+            let orchestrator = Orchestrator::new(store, CachePolicy::ReadWrite);
+            let description = format!("bench {name} scale={scale:?} interval={interval_target}");
+            orchestrator
+                .run_cross_binary(&bin_refs, &input, &config, &description)
+                .expect("same-program binaries")
+                .0
+        }
+        None => run_cross_binary(&bin_refs, &input, &config).expect("same-program binaries"),
+    };
 
     // Per-binary (FLI) pipeline.
     let per_binary: Vec<PerBinaryResult> = binaries
@@ -341,11 +368,8 @@ pub fn mpki_eval(run: &BenchmarkRun) -> MpkiEval {
             .iter()
             .map(IntervalSim::dram_mpki)
             .collect();
-        out.vli_est[b] = weighted_metric_with(
-            &run.cross.simpoint.points,
-            &run.cross.weights[b],
-            &vli_vals,
-        );
+        out.vli_est[b] =
+            weighted_metric_with(&run.cross.simpoint.points, &run.cross.weights[b], &vli_vals);
         let fli_vals: Vec<f64> = run.fli_interval_stats[b]
             .iter()
             .map(IntervalSim::dram_mpki)

@@ -4,7 +4,7 @@
 //! the paper reports, so a run of the `experiments` binary can be read
 //! side by side with the paper.
 
-use crate::experiment::{PhaseBias, Pair};
+use crate::experiment::{Pair, PhaseBias};
 use crate::suite::SuiteResults;
 use cbsp_sim::MemoryConfig;
 use std::fmt::Write as _;
@@ -18,7 +18,11 @@ pub fn table1(mem: &MemoryConfig) -> String {
          {:<10} {:>9} {:>7} {:>10} {:>12} {:>10}",
         "Level", "Capacity", "Assoc", "Line Size", "Hit Latency", "Type"
     );
-    for (name, l) in [("FLC(L1D)", &mem.l1), ("MLC(L2D)", &mem.l2), ("LLC(L3D)", &mem.l3)] {
+    for (name, l) in [
+        ("FLC(L1D)", &mem.l1),
+        ("MLC(L2D)", &mem.l2),
+        ("LLC(L3D)", &mem.l3),
+    ] {
         let _ = writeln!(
             s,
             "{:<10} {:>7}KB {:>6}-way {:>8}B {:>10} cy {:>10}",
@@ -132,7 +136,12 @@ fn speedup_figure(r: &SuiteResults, title: &str, pairs: [Pair; 2]) -> String {
     let _ = writeln!(s, "{title}");
     let _ = write!(s, "{:<10}", "benchmark");
     for p in pairs {
-        let _ = write!(s, " {:>11} {:>11}", format!("fli_{}", p.label()), format!("vli_{}", p.label()));
+        let _ = write!(
+            s,
+            " {:>11} {:>11}",
+            format!("fli_{}", p.label()),
+            format!("vli_{}", p.label())
+        );
     }
     let _ = writeln!(s);
     for e in &r.benchmarks {
@@ -191,9 +200,16 @@ pub fn phase_table(t: &PhaseBias, binary_labels: (&str, &str)) -> String {
     let _ = writeln!(
         s,
         "{:<6} {:<6} | {:>7} {:>9} {:>8} {:>8} | {:>7} {:>9} {:>8} {:>8}",
-        "scheme", "phase",
-        "weight", "true CPI", "SP CPI", "err",
-        "weight", "true CPI", "SP CPI", "err"
+        "scheme",
+        "phase",
+        "weight",
+        "true CPI",
+        "SP CPI",
+        "err",
+        "weight",
+        "true CPI",
+        "SP CPI",
+        "err"
     );
     for (scheme, rows) in [("VLI", &t.vli), ("FLI", &t.fli)] {
         for i in 0..rows[0].len().max(rows[1].len()) {
@@ -256,12 +272,7 @@ mod tests {
 
     #[test]
     fn phase_table_renders() {
-        let run = evaluate_benchmark(
-            "apsi",
-            Scale::Test,
-            20_000,
-            &MemoryConfig::table1(),
-        );
+        let run = evaluate_benchmark("apsi", Scale::Test, 20_000, &MemoryConfig::table1());
         let t = phase_bias(&run, crate::experiment::Pair::P32o64o, 3);
         let s = phase_table(&t, ("32o", "64o"));
         assert!(s.contains("VLI"));

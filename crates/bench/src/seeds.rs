@@ -37,7 +37,11 @@ impl SeedRow {
 
     /// Spread (max − min) of the speedup estimates across seeds.
     pub fn speedup_spread(&self) -> f64 {
-        let min = self.est_speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = self
+            .est_speedups
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let max = self
             .est_speedups
             .iter()
@@ -117,7 +121,11 @@ pub fn render(rows: &[SeedRow]) -> String {
         "Seed stability (mappable SimPoint, {} seeds per benchmark)\n\
          {:<10} {:>12} {:>14} {:>14} {:>14}",
         rows.first().map_or(0, |r| r.seeds),
-        "benchmark", "true 32u64u", "worst sp err", "sp spread", "worst CPI err"
+        "benchmark",
+        "true 32u64u",
+        "worst sp err",
+        "sp spread",
+        "worst CPI err"
     );
     for r in rows {
         let _ = writeln!(

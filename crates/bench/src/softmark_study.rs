@@ -7,8 +7,8 @@
 use cbsp_core::{
     marker_period_stats, relative_error, select_phase_markers, slice_at_marker, weighted_cpi,
 };
-use cbsp_program::{compile, workloads, CompileTarget, Input, Scale};
 use cbsp_profile::MarkerRef;
+use cbsp_program::{compile, workloads, CompileTarget, Input, Scale};
 use cbsp_sim::{simulate_fli_sliced, simulate_marker_sliced, IntervalSim, MemoryConfig};
 use cbsp_simpoint::{analyze, SimPointConfig};
 use std::fmt::Write as _;

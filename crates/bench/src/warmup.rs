@@ -10,7 +10,9 @@
 
 use cbsp_core::{run_cross_binary, CbspConfig};
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
-use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions_with, MemoryConfig, Warmup};
+use cbsp_sim::{
+    estimate_cpi_from_regions, simulate_full, simulate_regions_with, MemoryConfig, Warmup,
+};
 use std::fmt::Write as _;
 
 /// Result row for one benchmark.

@@ -1,14 +1,12 @@
 //! The `cbsp` subcommands.
 
 use crate::opts::{read_json, write_json, Opts};
-use cbsp_core::{
-    marker_period_stats, run_cross_binary, run_per_binary, select_phase_markers, CbspConfig,
-    PointKind,
-};
+use cbsp_core::{marker_period_stats, run_per_binary, select_phase_markers, CbspConfig, PointKind};
 use cbsp_profile::{parse_bb, write_bb, PinPointsFile, ProcHotness};
 use cbsp_program::{compile, workloads, Binary, CompileTarget, OptLevel, Width};
 use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
 use cbsp_simpoint::{analyze, SimPointConfig};
+use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
 
 /// `cbsp list` — the benchmark suite.
 pub fn list(_opts: &Opts) -> Result<(), String> {
@@ -34,8 +32,7 @@ fn parse_target(s: &str) -> Result<CompileTarget, String> {
 pub fn compile_cmd(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
     let target = parse_target(opts.flag("target").unwrap_or("32o"))?;
-    let workload =
-        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let binary = compile(&workload.build(opts.scale()?), target);
     let out = opts
         .flag("out")
@@ -93,8 +90,11 @@ pub fn inspect(opts: &Opts) -> Result<(), String> {
         println!("    L{i} in {proc} @ {line}{unroll}");
     }
     if opts.flag("code").is_some() {
-        println!("
-{}", binary.disassemble());
+        println!(
+            "
+{}",
+            binary.disassemble()
+        );
     }
     Ok(())
 }
@@ -145,7 +145,10 @@ pub fn simpoint(opts: &Opts) -> Result<(), String> {
         result.k,
         config.max_k
     );
-    println!("{:>6} {:>9} {:>8} {:>12}", "phase", "interval", "weight", "variance");
+    println!(
+        "{:>6} {:>9} {:>8} {:>12}",
+        "phase", "interval", "weight", "variance"
+    );
     for p in &result.points {
         println!(
             "{:>6} {:>9} {:>8.4} {:>12.6}",
@@ -159,14 +162,16 @@ pub fn simpoint(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `cbsp cross <benchmark> [--interval N] [--scale S] [--out-dir D]` —
-/// the full six-step pipeline; writes the four binaries and their
-/// PinPoints region files.
+/// `cbsp cross <benchmark> [--interval N] [--scale S] [--out-dir D]
+/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — the full six-step
+/// pipeline; writes the four binaries and their PinPoints region files.
+/// Stages are served from the content-addressed artifact store when
+/// their inputs are unchanged.
 pub fn cross(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
-    let workload =
-        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let program = workload.build(opts.scale()?);
+    let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let scale = opts.scale()?;
+    let program = workload.build(scale);
     let input = opts.input()?;
     let config = CbspConfig {
         interval_target: opts.flag_or("interval", 100_000u64)?,
@@ -179,8 +184,37 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
         .iter()
         .map(|&t| compile(&program, t))
         .collect();
-    let result = run_cross_binary(&binaries.iter().collect::<Vec<_>>(), &input, &config)
+    let policy = opts.cache_policy()?;
+    let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
+    let orchestrator = Orchestrator::new(&store, policy);
+    let description = format!(
+        "cross {name} scale={scale:?} interval={}",
+        config.interval_target
+    );
+    let (result, report) = orchestrator
+        .run_cross_binary(
+            &binaries.iter().collect::<Vec<_>>(),
+            &input,
+            &config,
+            &description,
+        )
         .map_err(|e| e.to_string())?;
+    if policy == CachePolicy::Bypass {
+        println!("cache: bypassed (--no-cache)");
+    } else {
+        let summary: Vec<String> = report
+            .stage_summary()
+            .iter()
+            .map(|(stage, hits, total)| format!("{stage} {hits}/{total}"))
+            .collect();
+        println!(
+            "cache: {} of {} stage executions served from {} ({})",
+            report.hits(),
+            report.outcomes.len(),
+            opts.cache_dir(),
+            summary.join(", ")
+        );
+    }
 
     println!(
         "{name}: {} mappable points ({} proc entries, {} loop entries, {} loop bodies; {} procedures recovered)",
@@ -249,10 +283,7 @@ pub fn markers(opts: &Opts) -> Result<(), String> {
             }
             cbsp_profile::MarkerRef::LoopEntry(i) => {
                 let l = &binary.loops[i as usize];
-                format!(
-                    "loop in {}",
-                    binary.procs[l.proc.index()].name
-                )
+                format!("loop in {}", binary.procs[l.proc.index()].name)
             }
             cbsp_profile::MarkerRef::LoopBack(i) => format!("loop-body #{i}"),
         };
@@ -271,8 +302,7 @@ pub fn markers(opts: &Opts) -> Result<(), String> {
 /// `cbsp source <benchmark> [--scale S]` — pseudo-C source listing.
 pub fn source(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
-    let workload =
-        workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     print!("{}", workload.build(opts.scale()?));
     Ok(())
 }
@@ -366,4 +396,48 @@ pub fn perbinary(opts: &Opts) -> Result<(), String> {
     write_json(&out, &pp)?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// `cbsp cache <stats|gc> [--cache-dir D]` — inspect or garbage-collect
+/// the content-addressed artifact store.
+pub fn cache(opts: &Opts) -> Result<(), String> {
+    let action = opts.positional(0, "cache action (stats|gc)")?;
+    let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
+    match action {
+        "stats" => {
+            let stats = store.stats().map_err(|e| e.to_string())?;
+            println!(
+                "store {}: {} artifacts, {} bytes, {} manifests",
+                opts.cache_dir(),
+                stats.artifacts,
+                stats.bytes,
+                stats.manifests
+            );
+            for (stage, s) in &stats.per_stage {
+                println!("  {stage:<10} {} artifacts, {} bytes", s.artifacts, s.bytes);
+            }
+            for manifest in store.manifests().map_err(|e| e.to_string())? {
+                let hits = manifest.stages.iter().filter(|s| s.hit).count();
+                println!(
+                    "  run {}  {}  ({hits}/{} stage executions from cache)",
+                    &manifest.run_key[..12.min(manifest.run_key.len())],
+                    manifest.description,
+                    manifest.stages.len()
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let report = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "gc {}: removed {} artifacts ({} bytes), kept {}",
+                opts.cache_dir(),
+                report.removed,
+                report.reclaimed_bytes,
+                report.kept
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown cache action {other} (stats|gc)")),
+    }
 }

@@ -43,8 +43,11 @@ commands:
       [--interval N] [--scale S] [--out FILE]
   cross <bench>                cross-binary pipeline over all four binaries
       [--interval N] [--scale S] [--out-dir DIR]
+      [--cache-dir DIR] [--no-cache 1] [--refresh 1]
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]
+  cache <stats|gc>             inspect or garbage-collect the artifact store
+      [--cache-dir DIR]
 ";
 
 fn main() {
@@ -69,6 +72,7 @@ fn main() {
         "perbinary" => commands::perbinary(&opts),
         "cross" => commands::cross(&opts),
         "simulate" => commands::simulate(&opts),
+        "cache" => commands::cache(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

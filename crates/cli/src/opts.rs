@@ -62,6 +62,24 @@ impl Opts {
         })
     }
 
+    /// The artifact-store directory from `--cache-dir` (default
+    /// `.cbsp-cache`).
+    pub fn cache_dir(&self) -> &str {
+        self.flag("cache-dir").unwrap_or(".cbsp-cache")
+    }
+
+    /// The cache policy from `--no-cache 1` / `--refresh 1`.
+    pub fn cache_policy(&self) -> Result<cbsp_store::CachePolicy, String> {
+        let no_cache = self.flag_or("no-cache", 0u8)? != 0;
+        let refresh = self.flag_or("refresh", 0u8)? != 0;
+        match (no_cache, refresh) {
+            (true, true) => Err("--no-cache and --refresh are mutually exclusive".into()),
+            (true, false) => Ok(cbsp_store::CachePolicy::Bypass),
+            (false, true) => Ok(cbsp_store::CachePolicy::Refresh),
+            (false, false) => Ok(cbsp_store::CachePolicy::ReadWrite),
+        }
+    }
+
     /// Requires the n-th positional argument.
     pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
         self.positional

@@ -59,7 +59,9 @@ fn compile_inspect_profile_simpoint_chain() {
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["compile", "gzip", "--target", "32o", "--scale", "test", "--out", "bin.json"],
+            &[
+                "compile", "gzip", "--target", "32o", "--scale", "test", "--out", "bin.json",
+            ],
         ),
         "compile",
     );
@@ -73,7 +75,16 @@ fn compile_inspect_profile_simpoint_chain() {
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["profile", "bin.json", "--interval", "20000", "--scale", "test", "--out", "p.bb"],
+            &[
+                "profile",
+                "bin.json",
+                "--interval",
+                "20000",
+                "--scale",
+                "test",
+                "--out",
+                "p.bb",
+            ],
         ),
         "profile",
     );
@@ -82,7 +93,10 @@ fn compile_inspect_profile_simpoint_chain() {
     assert!(bb.starts_with('T'));
 
     let out = assert_ok(
-        &cbsp(&dir, &["simpoint", "p.bb", "--max-k", "6", "--out", "sp.json"]),
+        &cbsp(
+            &dir,
+            &["simpoint", "p.bb", "--max-k", "6", "--out", "sp.json"],
+        ),
         "simpoint",
     );
     assert!(out.contains("phases"));
@@ -95,7 +109,16 @@ fn cross_then_simulate_regions() {
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["cross", "swim", "--scale", "test", "--interval", "20000", "--out-dir", "out"],
+            &[
+                "cross",
+                "swim",
+                "--scale",
+                "test",
+                "--interval",
+                "20000",
+                "--out-dir",
+                "out",
+            ],
         ),
         "cross",
     );
@@ -128,19 +151,120 @@ fn cross_then_simulate_regions() {
 }
 
 #[test]
+fn cross_serves_warm_run_from_cache() {
+    let dir = temp_dir("cache");
+    let args = &[
+        "cross",
+        "mcf",
+        "--scale",
+        "test",
+        "--interval",
+        "20000",
+        "--out-dir",
+        "out",
+        "--cache-dir",
+        "store",
+    ];
+    let cold = assert_ok(&cbsp(&dir, args), "cold cross");
+    assert!(
+        cold.contains("cache: 0 of"),
+        "cold run computes everything:\n{cold}"
+    );
+
+    let warm = assert_ok(&cbsp(&dir, args), "warm cross");
+    // All 8 stage executions (4 profiles + mappable + vli + simpoint +
+    // map) served from the store on the second run.
+    assert!(
+        warm.contains("cache: 8 of 8 stage executions"),
+        "warm run fully cached:\n{warm}"
+    );
+    for stage in [
+        "profile 4/4",
+        "mappable 1/1",
+        "vli 1/1",
+        "simpoint 1/1",
+        "map 1/1",
+    ] {
+        assert!(warm.contains(stage), "missing {stage} in:\n{warm}");
+    }
+
+    // Cached results are identical to an uncached run.
+    let nocache = assert_ok(
+        &cbsp(
+            &dir,
+            &[
+                "cross",
+                "mcf",
+                "--scale",
+                "test",
+                "--interval",
+                "20000",
+                "--out-dir",
+                "plain",
+                "--no-cache",
+                "1",
+            ],
+        ),
+        "uncached cross",
+    );
+    assert!(nocache.contains("cache: bypassed"));
+    for label in ["mcf-32u", "mcf-32o", "mcf-64u", "mcf-64o"] {
+        let cached = std::fs::read(dir.join(format!("out/{label}.pinpoints.json")))
+            .expect("cached pinpoints");
+        let plain = std::fs::read(dir.join(format!("plain/{label}.pinpoints.json")))
+            .expect("uncached pinpoints");
+        assert_eq!(cached, plain, "{label} region files differ");
+    }
+
+    let stats = assert_ok(
+        &cbsp(&dir, &["cache", "stats", "--cache-dir", "store"]),
+        "stats",
+    );
+    assert!(
+        stats.contains("8 artifacts"),
+        "store holds the run:\n{stats}"
+    );
+    assert!(stats.contains("run "), "manifests listed:\n{stats}");
+    assert!(
+        stats.contains("cross mcf"),
+        "run description shown:\n{stats}"
+    );
+
+    // Everything is referenced by a manifest, so gc removes nothing.
+    let gc = assert_ok(&cbsp(&dir, &["cache", "gc", "--cache-dir", "store"]), "gc");
+    assert!(gc.contains("removed 0 artifacts"), "{gc}");
+    assert!(gc.contains("kept 8"), "{gc}");
+
+    let bad = cbsp(&dir, &["cache", "shred", "--cache-dir", "store"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown cache action"));
+}
+
+#[test]
 fn perbinary_produces_a_valid_region_file() {
     let dir = temp_dir("perbinary");
     assert_ok(
         &cbsp(
             &dir,
-            &["compile", "eon", "--target", "64u", "--scale", "test", "--out", "eon.json"],
+            &[
+                "compile", "eon", "--target", "64u", "--scale", "test", "--out", "eon.json",
+            ],
         ),
         "compile",
     );
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["perbinary", "eon.json", "--interval", "20000", "--scale", "test", "--out", "pp.json"],
+            &[
+                "perbinary",
+                "eon.json",
+                "--interval",
+                "20000",
+                "--scale",
+                "test",
+                "--out",
+                "pp.json",
+            ],
         ),
         "perbinary",
     );
@@ -149,7 +273,16 @@ fn perbinary_produces_a_valid_region_file() {
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["simulate", "eon.json", "--regions", "pp.json", "--full", "1", "--scale", "test"],
+            &[
+                "simulate",
+                "eon.json",
+                "--regions",
+                "pp.json",
+                "--full",
+                "1",
+                "--scale",
+                "test",
+            ],
         ),
         "simulate",
     );
@@ -162,14 +295,26 @@ fn hot_source_and_markers_commands() {
     assert_ok(
         &cbsp(
             &dir,
-            &["compile", "swim", "--target", "32o", "--scale", "test", "--out", "swim.json"],
+            &[
+                "compile",
+                "swim",
+                "--target",
+                "32o",
+                "--scale",
+                "test",
+                "--out",
+                "swim.json",
+            ],
         ),
         "compile",
     );
 
     let out = assert_ok(&cbsp(&dir, &["hot", "swim.json", "--scale", "test"]), "hot");
-    assert!(out.contains("calc1"), "hot procedures listed:
-{out}");
+    assert!(
+        out.contains("calc1"),
+        "hot procedures listed:
+{out}"
+    );
     assert!(out.contains('%'));
 
     let out = assert_ok(&cbsp(&dir, &["source", "swim"]), "source");
@@ -179,32 +324,64 @@ fn hot_source_and_markers_commands() {
     let out = assert_ok(
         &cbsp(
             &dir,
-            &["markers", "swim.json", "--scale", "test", "--interval", "20000"],
+            &[
+                "markers",
+                "swim.json",
+                "--scale",
+                "test",
+                "--interval",
+                "20000",
+            ],
         ),
         "markers",
     );
     assert!(out.contains("markers profiled"), "{out}");
 
-    let out = assert_ok(&cbsp(&dir, &["inspect", "swim.json", "--code", "1"]), "inspect --code");
-    assert!(out.contains("instrs"), "lowered code shown:
-{out}");
+    let out = assert_ok(
+        &cbsp(&dir, &["inspect", "swim.json", "--code", "1"]),
+        "inspect --code",
+    );
+    assert!(
+        out.contains("instrs"),
+        "lowered code shown:
+{out}"
+    );
 }
 
 #[test]
 fn simulate_rejects_mismatched_region_files() {
     let dir = temp_dir("mismatch");
     assert_ok(
-        &cbsp(&dir, &["compile", "art", "--target", "32o", "--scale", "test", "--out", "art.json"]),
+        &cbsp(
+            &dir,
+            &[
+                "compile", "art", "--target", "32o", "--scale", "test", "--out", "art.json",
+            ],
+        ),
         "compile art",
     );
     assert_ok(
-        &cbsp(&dir, &["compile", "mcf", "--target", "32o", "--scale", "test", "--out", "mcf.json"]),
+        &cbsp(
+            &dir,
+            &[
+                "compile", "mcf", "--target", "32o", "--scale", "test", "--out", "mcf.json",
+            ],
+        ),
         "compile mcf",
     );
     assert_ok(
         &cbsp(
             &dir,
-            &["perbinary", "mcf.json", "--interval", "20000", "--scale", "test", "--out", "pp.json"],
+            &[
+                "perbinary",
+                "mcf.json",
+                "--interval",
+                "20000",
+                "--scale",
+                "test",
+                "--out",
+                "pp.json",
+            ],
         ),
         "perbinary mcf",
     );
@@ -212,7 +389,14 @@ fn simulate_rejects_mismatched_region_files() {
     // not be reachable, but the command itself must not crash.
     let out = cbsp(
         &dir,
-        &["simulate", "art.json", "--regions", "pp.json", "--scale", "test"],
+        &[
+            "simulate",
+            "art.json",
+            "--regions",
+            "pp.json",
+            "--scale",
+            "test",
+        ],
     );
     assert!(out.status.success(), "graceful handling of foreign regions");
 }

@@ -30,6 +30,32 @@ pub enum CbspError {
         /// The offending marker (in primary-binary coordinates).
         marker: MarkerRef,
     },
+    /// A stored artifact's checksum did not match its payload: the file
+    /// was truncated or modified on disk after being written.
+    ArtifactCorrupt {
+        /// Content key of the corrupt artifact.
+        key: String,
+        /// What the verifier found wrong.
+        detail: String,
+    },
+    /// A stored artifact exists but was written under an incompatible
+    /// schema version and cannot be decoded.
+    ArtifactVersionMismatch {
+        /// Content key of the artifact.
+        key: String,
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The artifact store itself could not be read or written (I/O).
+    StoreIo {
+        /// Path involved in the failed operation.
+        path: String,
+        /// Stringified OS error (kept as text so the error stays
+        /// `Clone + PartialEq`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CbspError {
@@ -46,6 +72,20 @@ impl fmt::Display for CbspError {
             ),
             CbspError::UnmappableBoundary { marker } => {
                 write!(f, "interval boundary {marker} is not a mappable point")
+            }
+            CbspError::ArtifactCorrupt { key, detail } => {
+                write!(f, "artifact {key} is corrupt: {detail}")
+            }
+            CbspError::ArtifactVersionMismatch {
+                key,
+                found,
+                supported,
+            } => write!(
+                f,
+                "artifact {key} has schema version {found}, this build supports {supported}"
+            ),
+            CbspError::StoreIo { path, detail } => {
+                write!(f, "artifact store I/O error at {path}: {detail}")
             }
         }
     }

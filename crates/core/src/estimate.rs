@@ -46,11 +46,7 @@ pub fn weighted_cpi(points: &[SimPoint], interval_cpis: &[f64]) -> f64 {
 /// Whole-program CPI estimate with externally recalculated phase
 /// weights (the cross-binary scheme, §3.2.6): `phase_weights[phase]`
 /// replaces each point's stored weight.
-pub fn weighted_cpi_with(
-    points: &[SimPoint],
-    phase_weights: &[f64],
-    interval_cpis: &[f64],
-) -> f64 {
+pub fn weighted_cpi_with(points: &[SimPoint], phase_weights: &[f64], interval_cpis: &[f64]) -> f64 {
     weighted_metric_with(points, phase_weights, interval_cpis)
 }
 

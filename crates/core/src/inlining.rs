@@ -87,7 +87,9 @@ pub fn recover_inlined(
 
     let mut recovered_procs = 0;
     for name in all_names {
-        let present: Vec<usize> = (0..n).filter(|&i| name_maps[i].contains_key(name)).collect();
+        let present: Vec<usize> = (0..n)
+            .filter(|&i| name_maps[i].contains_key(name))
+            .collect();
         if present.len() == n || present.is_empty() {
             continue;
         }
@@ -262,8 +264,12 @@ mod tests {
         assert_eq!(recovered, 1);
         let rec: Vec<_> = set.points.iter().filter(|p| p.recovered).collect();
         assert_eq!(rec.len(), 2, "entry + body points");
-        assert!(rec.iter().any(|p| p.kind == PointKind::LoopEntry && p.execs == 10));
-        assert!(rec.iter().any(|p| p.kind == PointKind::LoopBody && p.execs == 70));
+        assert!(rec
+            .iter()
+            .any(|p| p.kind == PointKind::LoopEntry && p.execs == 10));
+        assert!(rec
+            .iter()
+            .any(|p| p.kind == PointKind::LoopBody && p.execs == 70));
     }
 
     #[test]

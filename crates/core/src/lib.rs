@@ -60,6 +60,9 @@ pub use estimate::{
 };
 pub use mappable::{find_mappable_points, MappablePoint, MappableSet, PointKind};
 pub use perbinary::{run_per_binary, PerBinaryResult};
+pub use pipeline::{
+    map_stage, mappable_stage, profile_stage, run_cross_binary, simpoint_stage, validate_binaries,
+    vli_stage, CbspConfig, CrossBinaryResult, MappableStage, MappedSlicing,
+};
 pub use softmarkers::{marker_period_stats, select_phase_markers, slice_at_marker, MarkerStats};
-pub use pipeline::{run_cross_binary, CbspConfig, CrossBinaryResult};
 pub use vli::{build_vli, slice_instr_counts, VliProfile};

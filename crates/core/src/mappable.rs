@@ -117,16 +117,9 @@ impl MappableSet {
 /// # Panics
 ///
 /// Panics if `binaries` and `profiles` differ in length or are empty.
-pub fn find_mappable_points(
-    binaries: &[&Binary],
-    profiles: &[&CallLoopProfile],
-) -> MappableSet {
+pub fn find_mappable_points(binaries: &[&Binary], profiles: &[&CallLoopProfile]) -> MappableSet {
     assert!(!binaries.is_empty(), "need at least one binary");
-    assert_eq!(
-        binaries.len(),
-        profiles.len(),
-        "one profile per binary"
-    );
+    assert_eq!(binaries.len(), profiles.len(), "one profile per binary");
     let n = binaries.len();
     let mut points = Vec::new();
 
@@ -135,7 +128,9 @@ pub fn find_mappable_points(
     let mut by_name: BTreeMap<&str, Vec<Option<(u32, u64)>>> = BTreeMap::new();
     for (bi, bin) in binaries.iter().enumerate() {
         for (pi, proc) in bin.procs.iter().enumerate() {
-            let entry = by_name.entry(proc.name.as_str()).or_insert_with(|| vec![None; n]);
+            let entry = by_name
+                .entry(proc.name.as_str())
+                .or_insert_with(|| vec![None; n]);
             // Duplicate symbol within one binary would be ambiguous; our
             // compiler never emits one, but guard anyway.
             if entry[bi].is_some() {
@@ -165,7 +160,8 @@ pub fn find_mappable_points(
     // --- Loops, matched by debug line. -------------------------------
     // line -> per-binary (loop index, entries, backs); ambiguous when a
     // binary has several loops on one line.
-    let mut by_line: BTreeMap<u32, Vec<Option<(u32, u64, u64)>>> = BTreeMap::new();
+    type LoopsPerBinary = Vec<Option<(u32, u64, u64)>>;
+    let mut by_line: BTreeMap<u32, LoopsPerBinary> = BTreeMap::new();
     for (bi, bin) in binaries.iter().enumerate() {
         for (li, lp) in bin.loops.iter().enumerate() {
             let Some(line) = lp.line else {
@@ -314,7 +310,11 @@ mod tests {
         // Only main survives as a procedure point.
         assert_eq!(set.of_kind(PointKind::ProcEntry).count(), 1);
         // hot's loop has no line in O2 binaries: unmatched here.
-        assert_eq!(set.of_kind(PointKind::LoopEntry).count(), 1, "only main's loop");
+        assert_eq!(
+            set.of_kind(PointKind::LoopEntry).count(),
+            1,
+            "only main's loop"
+        );
     }
 
     #[test]
@@ -342,7 +342,9 @@ mod tests {
     fn density_predicts_interval_inflation() {
         use cbsp_program::{workloads, Scale};
         let analyze_suite = |name: &str| {
-            let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+            let prog = workloads::by_name(name)
+                .expect("in suite")
+                .build(Scale::Test);
             let input = Input::test();
             let bins: Vec<Binary> = CompileTarget::ALL_FOUR
                 .iter()

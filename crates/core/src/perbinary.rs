@@ -89,7 +89,9 @@ mod tests {
 
     #[test]
     fn per_binary_analysis_is_well_formed() {
-        let prog = workloads::by_name("art").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("art")
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W32_O2);
         let input = Input::test();
         let r = run_per_binary(&bin, &input, 20_000, &SimPointConfig::default());
@@ -102,7 +104,9 @@ mod tests {
 
     #[test]
     fn interval_start_offsets_are_cumulative() {
-        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("gzip")
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W64_O0);
         let r = run_per_binary(&bin, &Input::test(), 30_000, &SimPointConfig::default());
         assert_eq!(r.interval_start(0), 0);
@@ -118,7 +122,9 @@ mod tests {
     fn different_binaries_may_cluster_differently() {
         // Not asserted as a hard property (they *can* agree), but the
         // machinery must at least produce independent results per binary.
-        let prog = workloads::by_name("gcc").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("gcc")
+            .expect("in suite")
+            .build(Scale::Test);
         let input = Input::test();
         let a = run_per_binary(
             &compile(&prog, CompileTarget::W32_O0),

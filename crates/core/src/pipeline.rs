@@ -22,10 +22,11 @@ use crate::vli::{build_vli, slice_instr_counts, VliProfile};
 use cbsp_profile::{CallLoopProfile, ExecPoint, PinPointsFile, RegionBound, SimRegion};
 use cbsp_program::{Binary, Input};
 use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Configuration of a cross-binary analysis.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CbspConfig {
     /// Desired interval size in instructions (the paper uses 100M on
     /// SPEC; the default here is scaled to the synthetic suite).
@@ -50,7 +51,7 @@ impl Default for CbspConfig {
 }
 
 /// Result of the cross-binary pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossBinaryResult {
     /// The mappable-point set.
     pub mappable: MappableSet,
@@ -116,17 +117,35 @@ impl CrossBinaryResult {
     }
 }
 
-/// Runs the full cross-binary pipeline over `binaries`.
+/// Output of the *mappable* stage: the cross-binary point set plus the
+/// inline-recovery count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappableStage {
+    /// The mappable-point set across all binaries.
+    pub set: MappableSet,
+    /// Procedures whose loops inline recovery re-mapped.
+    pub recovered_procs: usize,
+}
+
+/// Output of the *map* stage: the primary slicing carried onto every
+/// binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedSlicing {
+    /// Interval boundaries translated to each binary.
+    pub boundaries: Vec<Vec<ExecPoint>>,
+    /// Instructions per mapped interval, per binary.
+    pub interval_instrs: Vec<Vec<u64>>,
+    /// Recalculated phase weights per binary.
+    pub weights: Vec<Vec<f64>>,
+}
+
+/// Validates the binary set and configuration before any pipeline work.
 ///
 /// # Errors
 ///
 /// Returns an error when the binary set is empty, mixes programs, or
 /// the primary index is out of range.
-pub fn run_cross_binary(
-    binaries: &[&Binary],
-    input: &Input,
-    config: &CbspConfig,
-) -> Result<CrossBinaryResult, CbspError> {
+pub fn validate_binaries(binaries: &[&Binary], config: &CbspConfig) -> Result<(), CbspError> {
     if binaries.is_empty() {
         return Err(CbspError::EmptyBinarySet);
     }
@@ -143,30 +162,65 @@ pub fn run_cross_binary(
             found: b.program.clone(),
         });
     }
+    Ok(())
+}
 
-    // Steps 1-2: profiles and mappable points.
-    let profiles: Vec<CallLoopProfile> = binaries
-        .iter()
-        .map(|b| CallLoopProfile::collect(b, input))
-        .collect();
+/// Pipeline step 1 for one binary: its call/loop execution profile.
+pub fn profile_stage(binary: &Binary, input: &Input) -> CallLoopProfile {
+    CallLoopProfile::collect(binary, input)
+}
+
+/// Pipeline step 2: mappable points across all binaries, with inlined
+/// loops recovered (paper §3.2.1–§3.2.2).
+pub fn mappable_stage(binaries: &[&Binary], profiles: &[CallLoopProfile]) -> MappableStage {
     let prof_refs: Vec<&CallLoopProfile> = profiles.iter().collect();
-    let mut mappable = find_mappable_points(binaries, &prof_refs);
-    let recovered_procs = recover_inlined(binaries, &prof_refs, &mut mappable);
+    let mut set = find_mappable_points(binaries, &prof_refs);
+    let recovered_procs = recover_inlined(binaries, &prof_refs, &mut set);
+    MappableStage {
+        set,
+        recovered_procs,
+    }
+}
 
-    // Step 3: VLIs on the primary binary.
-    let primary = config.primary;
-    let vli = build_vli(
-        binaries[primary],
+/// Pipeline step 3: variable-length intervals on the primary binary
+/// (paper §3.2.3).
+pub fn vli_stage(
+    binaries: &[&Binary],
+    input: &Input,
+    config: &CbspConfig,
+    mappable: &MappableSet,
+) -> VliProfile {
+    build_vli(
+        binaries[config.primary],
         input,
         config.interval_target,
-        &mappable.markers_of(primary),
-    );
+        &mappable.markers_of(config.primary),
+    )
+}
 
-    // Step 4: SimPoint on the primary's interval BBVs.
+/// Pipeline step 4: SimPoint clustering of the primary's interval BBVs.
+pub fn simpoint_stage(vli: &VliProfile, config: &SimPointConfig) -> SimPointResult {
     let vectors: Vec<Vec<f64>> = vli.intervals.iter().map(|i| i.bbv.clone()).collect();
     let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
-    let simpoint = analyze(&vectors, &instrs, &config.simpoint);
+    analyze(&vectors, &instrs, config)
+}
 
+/// Pipeline steps 5–6: translate interval boundaries to every binary
+/// and recalculate per-binary instruction counts and phase weights
+/// (paper §3.2.4).
+///
+/// # Errors
+///
+/// Returns [`CbspError::UnmappableBoundary`] if a VLI boundary uses a
+/// marker outside the mappable set (an internal invariant violation).
+pub fn map_stage(
+    binaries: &[&Binary],
+    input: &Input,
+    primary: usize,
+    mappable: &MappableSet,
+    vli: &VliProfile,
+    simpoint: &SimPointResult,
+) -> Result<MappedSlicing, CbspError> {
     // Step 5: translate boundaries to every binary. Build a translation
     // table once (primary marker → per-binary markers).
     let mut table: BTreeMap<cbsp_profile::MarkerRef, usize> = BTreeMap::new();
@@ -192,6 +246,7 @@ pub fn run_cross_binary(
     }
 
     // Step 6: per-binary interval instruction counts and phase weights.
+    let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
     let n_intervals = vli.intervals.len();
     let k = simpoint
         .points
@@ -222,6 +277,52 @@ pub fn run_cross_binary(
         weights.push(w);
     }
 
+    Ok(MappedSlicing {
+        boundaries,
+        interval_instrs,
+        weights,
+    })
+}
+
+/// Runs the full cross-binary pipeline over `binaries`.
+///
+/// This is the uncached composition of the stage functions
+/// ([`profile_stage`] → [`mappable_stage`] → [`vli_stage`] →
+/// [`simpoint_stage`] → [`map_stage`]); the `cbsp-store` crate wraps
+/// the same stages with a content-addressed artifact cache.
+///
+/// # Errors
+///
+/// Returns an error when the binary set is empty, mixes programs, or
+/// the primary index is out of range.
+pub fn run_cross_binary(
+    binaries: &[&Binary],
+    input: &Input,
+    config: &CbspConfig,
+) -> Result<CrossBinaryResult, CbspError> {
+    validate_binaries(binaries, config)?;
+
+    // Steps 1-2: profiles and mappable points.
+    let profiles: Vec<CallLoopProfile> = binaries.iter().map(|b| profile_stage(b, input)).collect();
+    let MappableStage {
+        set: mappable,
+        recovered_procs,
+    } = mappable_stage(binaries, &profiles);
+
+    // Step 3: VLIs on the primary binary.
+    let primary = config.primary;
+    let vli = vli_stage(binaries, input, config, &mappable);
+
+    // Step 4: SimPoint on the primary's interval BBVs.
+    let simpoint = simpoint_stage(&vli, &config.simpoint);
+
+    // Steps 5-6: boundary translation and weight recalculation.
+    let MappedSlicing {
+        boundaries,
+        interval_instrs,
+        weights,
+    } = map_stage(binaries, input, primary, &mappable, &vli, &simpoint)?;
+
     Ok(CrossBinaryResult {
         mappable,
         recovered_procs,
@@ -240,7 +341,9 @@ mod tests {
     use cbsp_program::{compile, workloads, CompileTarget, Scale};
 
     fn run_for(name: &str) -> (Vec<Binary>, Input, CrossBinaryResult) {
-        let prog = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name(name)
+            .expect("in suite")
+            .build(Scale::Test);
         let input = Input::test();
         let bins: Vec<Binary> = CompileTarget::ALL_FOUR
             .iter()
@@ -276,17 +379,22 @@ mod tests {
         // Same phase structure everywhere (labels come from the primary),
         // but weights are binary-specific.
         let w0 = &r.weights[0];
-        assert!(r.weights.iter().any(|w| {
-            w.iter()
-                .zip(w0)
-                .any(|(a, b)| (a - b).abs() > 1e-6)
-        }), "at least one binary should reweight phases");
+        assert!(
+            r.weights
+                .iter()
+                .any(|w| { w.iter().zip(w0).any(|(a, b)| (a - b).abs() > 1e-6) }),
+            "at least one binary should reweight phases"
+        );
     }
 
     #[test]
     fn errors_are_reported() {
-        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
-        let other = workloads::by_name("mcf").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("gzip")
+            .expect("in suite")
+            .build(Scale::Test);
+        let other = workloads::by_name("mcf")
+            .expect("in suite")
+            .build(Scale::Test);
         let a = compile(&prog, CompileTarget::W32_O0);
         let b = compile(&other, CompileTarget::W32_O2);
         let input = Input::test();
@@ -313,8 +421,8 @@ mod tests {
     #[test]
     fn pinpoints_files_validate() {
         let (bins, input, r) = run_for("gzip");
-        for b in 0..4 {
-            let pp = r.pinpoints_for(b, &bins[b], &input);
+        for (b, bin) in bins.iter().enumerate() {
+            let pp = r.pinpoints_for(b, bin, &input);
             assert_eq!(pp.validate(), Ok(()), "binary {b}");
             assert_eq!(pp.regions.len(), r.simpoint.points.len());
         }

@@ -216,7 +216,9 @@ mod tests {
     fn swim_timestep_markers_are_nearly_perfect() {
         // swim's calc procedures are called once per timestep with very
         // regular work: their entry markers must show tiny variability.
-        let prog = workloads::by_name("swim").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("swim")
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W32_O2);
         let input = cbsp_program::Input::test();
         let stats = marker_period_stats(&bin, &input);
@@ -246,7 +248,9 @@ mod tests {
 
     #[test]
     fn slicing_partitions_execution() {
-        let prog = workloads::by_name("art").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("art")
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W64_O2);
         let input = cbsp_program::Input::test();
         let full = cbsp_program::run(&bin, &input, &mut cbsp_program::NullSink);

@@ -10,9 +10,10 @@
 
 use cbsp_profile::{BbvBuilder, ExecPoint, Interval, MarkerCounts, MarkerRef};
 use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
+use serde::{Deserialize, Serialize};
 
 /// The primary binary's variable-length-interval profile.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VliProfile {
     /// The intervals, in execution order.
     pub intervals: Vec<Interval>,

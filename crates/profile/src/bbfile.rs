@@ -78,7 +78,9 @@ pub fn parse_bb(text: &str) -> Result<Vec<Interval>, ParseBbError> {
             message,
         };
         let Some(rest) = line.strip_prefix('T') else {
-            return Err(err(format!("expected line to start with 'T', got {line:?}")));
+            return Err(err(format!(
+                "expected line to start with 'T', got {line:?}"
+            )));
         };
         let mut entries = Vec::new();
         for token in rest.split_whitespace() {
@@ -176,7 +178,9 @@ mod tests {
     #[test]
     fn real_profile_round_trips_through_text() {
         use cbsp_program::{compile, workloads, CompileTarget, Input, Scale};
-        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+        let prog = workloads::by_name("gzip")
+            .expect("in suite")
+            .build(Scale::Test);
         let bin = compile(&prog, CompileTarget::W32_O2);
         let intervals = crate::fli::profile_fli(&bin, &Input::test(), 20_000);
         let text = write_bb(&intervals);

@@ -9,6 +9,7 @@
 //! and need mappable markers instead.
 
 use cbsp_program::BlockId;
+use serde::{Deserialize, Serialize};
 
 /// Accumulates one interval's basic-block vector.
 #[derive(Debug, Clone)]
@@ -51,7 +52,7 @@ impl BbvBuilder {
 }
 
 /// One profiled interval: its BBV and the instructions it spans.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Interval {
     /// Unnormalized, instruction-weighted basic-block vector.
     pub bbv: Vec<f64>,

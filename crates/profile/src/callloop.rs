@@ -5,7 +5,7 @@
 //! Together with symbol names and debug line numbers, this is all the
 //! observable information the cross-binary matcher may use.
 
-use cbsp_program::{run, Binary, BinProcId, Input, LStmt, NullSink};
+use cbsp_program::{run, BinProcId, Binary, Input, LStmt, NullSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 

@@ -6,7 +6,7 @@
 //! binary would report). Useful for sanity-checking workloads and for
 //! the `cbsp hot` command.
 
-use cbsp_program::{run, Binary, BinProcId, BlockId, Input, TraceSink};
+use cbsp_program::{run, BinProcId, Binary, BlockId, Input, TraceSink};
 
 /// Instruction attribution per procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +64,7 @@ impl ProcHotness {
                 )
             })
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, count, _)| std::cmp::Reverse(count));
         v
     }
 }

@@ -11,9 +11,7 @@ use cbsp_program::{BinLoopId, BinProcId, Marker, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// A serializable reference to a marker within one binary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MarkerRef {
     /// Procedure entry point.
     Proc(u32),
@@ -56,9 +54,7 @@ impl std::fmt::Display for MarkerRef {
 
 /// A specific point in one binary's execution: the `count`-th execution
 /// (1-based) of `marker`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ExecPoint {
     /// Which marker.
     pub marker: MarkerRef,

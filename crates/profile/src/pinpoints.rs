@@ -62,7 +62,10 @@ impl PinPointsFile {
         let mut phases = std::collections::BTreeSet::new();
         for r in &self.regions {
             if !(0.0..=1.0 + 1e-9).contains(&r.weight) {
-                return Err(format!("region phase {} weight {} out of range", r.phase, r.weight));
+                return Err(format!(
+                    "region phase {} weight {} out of range",
+                    r.phase, r.weight
+                ));
             }
             if !phases.insert(r.phase) {
                 return Err(format!("duplicate phase {}", r.phase));

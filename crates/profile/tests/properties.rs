@@ -1,7 +1,9 @@
 //! Property-based tests of the profiling primitives, driven by raw
 //! synthetic event streams (no program needed).
 
-use cbsp_profile::{parse_bb, write_bb, BbvBuilder, FliProfiler, Interval, MarkerCounts, MarkerRef};
+use cbsp_profile::{
+    parse_bb, write_bb, BbvBuilder, FliProfiler, Interval, MarkerCounts, MarkerRef,
+};
 use cbsp_program::{BinLoopId, BinProcId, BlockId, Marker, TraceSink};
 use proptest::prelude::*;
 

@@ -33,7 +33,7 @@ pub fn assign(arrays: &[ArrayDecl], target: CompileTarget) -> DataLayout {
             len: a.len.max(1),
         });
         let footprint = a.len.max(1) * u64::from(elem_bytes);
-        cursor = (base + footprint + PAGE - 1) / PAGE * PAGE + PAGE;
+        cursor = (base + footprint).div_ceil(PAGE) * PAGE + PAGE;
     }
     DataLayout {
         arrays: placed,

@@ -9,7 +9,7 @@
 //! constant branches and deletes removable kernels.
 
 use super::{layout, scale, CompileOptions, CompileTarget, OptLevel};
-use crate::binary::{Binary, BinLoop, BinProc, CloneRole, LStmt, LoweredLoop, StaticBlock};
+use crate::binary::{BinLoop, BinProc, Binary, CloneRole, LStmt, LoweredLoop, StaticBlock};
 use crate::ids::{BinLoopId, BinProcId, BlockId, ProcId};
 use crate::memory::ArrayOp;
 use crate::source::{Cond, LoopStmt, SourceProgram, Stmt};
@@ -103,7 +103,13 @@ impl Lowerer<'_> {
 
     /// Lowers `stmts` into `out`. `in_inline` is true inside an inlined
     /// body (degrades loop line info).
-    fn lower_stmts(&mut self, stmts: &[Stmt], proc: BinProcId, in_inline: bool, out: &mut Vec<LStmt>) {
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        proc: BinProcId,
+        in_inline: bool,
+        out: &mut Vec<LStmt>,
+    ) {
         for s in stmts {
             self.lower_stmt(s, proc, in_inline, out);
         }
@@ -337,10 +343,13 @@ mod tests {
 
         let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
         assert!(o0.proc_by_name("hot").is_some());
-        assert_eq!(o0.loops[0].line.is_some(), true);
+        assert!(o0.loops[0].line.is_some());
 
         let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
-        assert!(o2.proc_by_name("hot").is_none(), "symbol gone after inlining");
+        assert!(
+            o2.proc_by_name("hot").is_none(),
+            "symbol gone after inlining"
+        );
         assert_eq!(o2.loops.len(), 1);
         assert!(o2.loops[0].line.is_none(), "inlined loop line degraded");
     }
@@ -463,6 +472,9 @@ mod tests {
         let o2 = super::super::compile(&prog, CompileTarget::W32_O2);
         assert_eq!(o0.loops[0].unroll, 1);
         assert_eq!(o2.loops[0].unroll, 4);
-        assert_eq!(o2.loops[0].line, o0.loops[0].line, "unrolling keeps the line");
+        assert_eq!(
+            o2.loops[0].line, o0.loops[0].line,
+            "unrolling keeps the line"
+        );
     }
 }

@@ -92,12 +92,8 @@ impl CompileTarget {
 
     /// The paper's standard set of four binaries, in the order
     /// `32U, 32O, 64U, 64O`.
-    pub const ALL_FOUR: [CompileTarget; 4] = [
-        Self::W32_O0,
-        Self::W32_O2,
-        Self::W64_O0,
-        Self::W64_O2,
-    ];
+    pub const ALL_FOUR: [CompileTarget; 4] =
+        [Self::W32_O0, Self::W32_O2, Self::W64_O0, Self::W64_O2];
 
     /// Short label: `"32u"`, `"32o"`, `"64u"`, or `"64o"`.
     pub fn suffix(self) -> &'static str {
@@ -117,21 +113,13 @@ impl std::fmt::Display for CompileTarget {
 }
 
 /// Compiler configuration beyond the target itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// Whether inlined bodies keep usable line information. Real
     /// compilers of the paper's era did not preserve enough for branch
     /// matching; set `true` only for ablation studies (it makes the
     /// inline-recovery machinery of `cbsp-core` unnecessary).
     pub preserve_inline_lines: bool,
-}
-
-impl Default for CompileOptions {
-    fn default() -> Self {
-        CompileOptions {
-            preserve_inline_lines: false,
-        }
-    }
 }
 
 /// Compiles `source` for `target` with default [`CompileOptions`].

@@ -13,7 +13,13 @@ impl Binary {
     /// Renders the lowered code of every procedure.
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "; {} — {} blocks, {} loops", self.label(), self.blocks.len(), self.loops.len());
+        let _ = writeln!(
+            out,
+            "; {} — {} blocks, {} loops",
+            self.label(),
+            self.blocks.len(),
+            self.loops.len()
+        );
         for (pi, body) in self.code.iter().enumerate() {
             let p = &self.procs[pi];
             let _ = writeln!(out, "\n{}:  ; source {}", p.name, p.line);

@@ -331,7 +331,11 @@ impl<'b, S: TraceSink> Executor<'b, '_, S> {
     }
 
     fn eval_cond(&mut self, cond: Cond, site: Line) -> bool {
-        let ctx = self.loop_ctx.last().copied().unwrap_or(LoopCtx { iter: 0, entry: 0 });
+        let ctx = self
+            .loop_ctx
+            .last()
+            .copied()
+            .unwrap_or(LoopCtx { iter: 0, entry: 0 });
         match cond {
             Cond::Always => true,
             Cond::Never => false,
@@ -624,7 +628,14 @@ mod tests {
         });
         let bin = compile(&b.finish(), CompileTarget::W32_O0);
         let (mut x, mut y) = (Counter::default(), Counter::default());
-        run(&bin, &Input::test(), &mut TeeSink { a: &mut x, b: &mut y });
+        run(
+            &bin,
+            &Input::test(),
+            &mut TeeSink {
+                a: &mut x,
+                b: &mut y,
+            },
+        );
         assert_eq!(x, y);
         assert!(x.blocks > 0 && x.accesses > 0 && x.markers > 0);
     }
@@ -638,11 +649,7 @@ mod tests {
         b.proc("main", |p| {
             p.loop_fixed(10, |outer| {
                 outer.loop_fixed(4, |inner| {
-                    inner.if_else(
-                        Cond::EntryLt(3),
-                        |t| t.call("early"),
-                        |e| e.call("late"),
-                    );
+                    inner.if_else(Cond::EntryLt(3), |t| t.call("early"), |e| e.call("late"));
                 });
             });
         });

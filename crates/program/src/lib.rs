@@ -33,8 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod builder;
 pub mod binary;
+mod builder;
 pub mod compiler;
 mod disasm;
 pub mod exec;
@@ -46,7 +46,9 @@ pub mod rng;
 pub mod source;
 pub mod workloads;
 
-pub use binary::{Binary, BinLoop, BinProc, CloneRole, DataLayout, LStmt, LoweredLoop, StaticBlock};
+pub use binary::{
+    BinLoop, BinProc, Binary, CloneRole, DataLayout, LStmt, LoweredLoop, StaticBlock,
+};
 pub use builder::{BodyBuilder, KernelBuilder, ProgramBuilder};
 pub use compiler::{compile, compile_with, CompileOptions, CompileTarget, OptLevel, Width};
 pub use exec::{run, ExecSummary, Marker, NullSink, TeeSink, TraceSink};

@@ -87,7 +87,11 @@ fn write_stmts(
                 if l.hints.split {
                     hints.push_str(" #[split]");
                 }
-                writeln!(f, "for {trip} times{hints} {{  // {} line {}", l.id, l.line.0)?;
+                writeln!(
+                    f,
+                    "for {trip} times{hints} {{  // {} line {}",
+                    l.id, l.line.0
+                )?;
                 write_stmts(f, prog, &l.body, depth + 1)?;
                 indent(f, depth)?;
                 writeln!(f, "}}")?;
@@ -158,7 +162,10 @@ mod tests {
             "} else {",
             "helper();",
         ] {
-            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+            assert!(
+                listing.contains(needle),
+                "missing {needle:?} in:\n{listing}"
+            );
         }
     }
 

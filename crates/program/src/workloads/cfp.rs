@@ -63,7 +63,14 @@ pub(super) fn ammp(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(neigh, l3_elems(&d)), (forces, l2_elems(&d)), (coords, dram_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (neigh, l3_elems(&d)),
+            (forces, l2_elems(&d)),
+            (coords, dram_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -139,7 +146,14 @@ pub(super) fn applu(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(rsd, l2_elems(&d)), (u, dram_elems(&d)), (flux, l2_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (rsd, l2_elems(&d)),
+            (u, dram_elems(&d)),
+            (flux, l2_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -192,7 +206,14 @@ pub(super) fn apsi(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(field, l2_elems(&d)), (index, dram_elems(&d)), (work, l1_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (field, l2_elems(&d)),
+            (index, dram_elems(&d)),
+            (work, l1_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -294,7 +315,14 @@ pub(super) fn equake(scale: Scale) -> SourceProgram {
             },
         );
     });
-    super::helpers::define_init(&mut b, &[(k_matrix, dram_elems(&d)), (disp, l2_elems(&d)), (vel, l1_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (k_matrix, dram_elems(&d)),
+            (disp, l2_elems(&d)),
+            (vel, l1_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -355,7 +383,14 @@ pub(super) fn fma3d(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(nodes, l3_elems(&d)), (elems, l2_elems(&d)), (contact, dram_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (nodes, l3_elems(&d)),
+            (elems, l2_elems(&d)),
+            (contact, dram_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -453,7 +488,14 @@ pub(super) fn mesa(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(verts, l2_elems(&d)), (fb, l3_elems(&d)), (tex, l2_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (verts, l2_elems(&d)),
+            (fb, l3_elems(&d)),
+            (tex, l2_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -494,7 +536,14 @@ pub(super) fn sixtrack(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(particles, l1_elems(&d)), (lattice, l1_elems(&d)), (dump, l3_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (particles, l1_elems(&d)),
+            (lattice, l1_elems(&d)),
+            (dump, l3_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -544,7 +593,14 @@ pub(super) fn swim(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(u, dram_elems(&d) / 2), (v, dram_elems(&d) / 2), (pnew, l3_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (u, dram_elems(&d) / 2),
+            (v, dram_elems(&d) / 2),
+            (pnew, l3_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -585,6 +641,9 @@ pub(super) fn wupwise(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(gauge, dram_elems(&d) / 2), (spinor, l3_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[(gauge, dram_elems(&d) / 2), (spinor, l3_elems(&d))],
+    );
     b.finish()
 }

@@ -62,7 +62,14 @@ pub(super) fn bzip2(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(block, l2_elems(&d)), (sorted, l3_elems(&d)), (huff, l1_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (block, l2_elems(&d)),
+            (sorted, l3_elems(&d)),
+            (huff, l1_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -230,7 +237,16 @@ pub(super) fn gcc(scale: Scale) -> SourceProgram {
             });
         });
     }
-    super::helpers::define_init(&mut b, &[(rtl, l3_elems(&d)), (symtab, l2_elems(&d)), (regs, l1_elems(&d)), (text, l2_elems(&d)), (df, dram_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (rtl, l3_elems(&d)),
+            (symtab, l2_elems(&d)),
+            (regs, l1_elems(&d)),
+            (text, l2_elems(&d)),
+            (df, dram_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -321,7 +337,14 @@ pub(super) fn mcf(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(arcs, dram_elems(&d)), (nodes, l3_elems(&d)), (basket, l1_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (arcs, dram_elems(&d)),
+            (nodes, l3_elems(&d)),
+            (basket, l1_elems(&d)),
+        ],
+    );
     b.finish()
 }
 
@@ -369,7 +392,14 @@ pub(super) fn perlbmk(scale: Scale) -> SourceProgram {
             });
         });
     });
-    super::helpers::define_init(&mut b, &[(heap, l3_elems(&d)), (stack, l1_elems(&d)), (strings, l2_elems(&d))]);
+    super::helpers::define_init(
+        &mut b,
+        &[
+            (heap, l3_elems(&d)),
+            (stack, l1_elems(&d)),
+            (strings, l2_elems(&d)),
+        ],
+    );
     b.finish()
 }
 

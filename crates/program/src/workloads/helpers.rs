@@ -43,30 +43,6 @@ pub(crate) fn dram_elems(d: &D) -> u64 {
     128_000 * d.d
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tiers_are_strictly_increasing() {
-        let d = dims(Scale::Reference);
-        assert!(l1_elems(&d) < l2_elems(&d));
-        assert!(l2_elems(&d) < l3_elems(&d));
-        assert!(l3_elems(&d) < dram_elems(&d));
-    }
-
-    #[test]
-    fn reference_tiers_straddle_the_cache_capacities() {
-        let d = dims(Scale::Reference);
-        // f64 = 8 bytes.
-        assert!(l1_elems(&d) * 8 <= 32 * 1024, "L1 tier fits in 32 KB L1");
-        assert!(l2_elems(&d) * 8 > 32 * 1024, "L2 tier exceeds L1");
-        assert!(l2_elems(&d) * 8 <= 512 * 1024, "L2 tier fits in 512 KB L2");
-        assert!(l3_elems(&d) * 8 > 512 * 1024, "L3 tier exceeds L2");
-        assert!(dram_elems(&d) * 8 > 1024 * 1024, "DRAM tier exceeds 1 MB L3");
-    }
-}
-
 /// Defines an `init_data` procedure that writes through every line of
 /// the given arrays once (stride ≈ one access per 64-byte line).
 ///
@@ -91,4 +67,31 @@ pub(crate) fn define_init(
             });
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_strictly_increasing() {
+        let d = dims(Scale::Reference);
+        assert!(l1_elems(&d) < l2_elems(&d));
+        assert!(l2_elems(&d) < l3_elems(&d));
+        assert!(l3_elems(&d) < dram_elems(&d));
+    }
+
+    #[test]
+    fn reference_tiers_straddle_the_cache_capacities() {
+        let d = dims(Scale::Reference);
+        // f64 = 8 bytes.
+        assert!(l1_elems(&d) * 8 <= 32 * 1024, "L1 tier fits in 32 KB L1");
+        assert!(l2_elems(&d) * 8 > 32 * 1024, "L2 tier exceeds L1");
+        assert!(l2_elems(&d) * 8 <= 512 * 1024, "L2 tier fits in 512 KB L2");
+        assert!(l3_elems(&d) * 8 > 512 * 1024, "L3 tier exceeds L2");
+        assert!(
+            dram_elems(&d) * 8 > 1024 * 1024,
+            "DRAM tier exceeds 1 MB L3"
+        );
+    }
 }

@@ -41,7 +41,9 @@ pub struct Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -57,27 +59,111 @@ impl Workload {
 /// The full 21-benchmark suite, in the paper's (alphabetical) order.
 pub fn suite() -> &'static [Workload] {
     const SUITE: &[Workload] = &[
-        Workload { name: "ammp", description: "molecular dynamics: neighbour-list gather + periodic rebuild", build: cfp::ammp },
-        Workload { name: "applu", description: "PDE solver; inlined+split loops defeat mapping (paper's hard case)", build: cfp::applu },
-        Workload { name: "apsi", description: "pollutant transport; pointer footprint shifts phases per width", build: cfp::apsi },
-        Workload { name: "art", description: "neural-net recognition; scan phases give way to training", build: cfp::art },
-        Workload { name: "bzip2", description: "block compression with periodic decompress verification", build: cint::bzip2 },
-        Workload { name: "crafty", description: "chess search; branchy, L1-resident, inlined evaluator", build: cint::crafty },
-        Workload { name: "eon", description: "probabilistic ray tracing with random reflection branches", build: cint::eon },
-        Workload { name: "equake", description: "earthquake simulation; gather-heavy sparse matvec", build: cfp::equake },
-        Workload { name: "fma3d", description: "crash simulation; inlined element kernels (recovery succeeds)", build: cfp::fma3d },
-        Workload { name: "gcc", description: "13-pass compiler pipeline; more behaviours than cluster budget", build: cint::gcc },
-        Workload { name: "gzip", description: "LZ77 compression; sliding-window gather, unrolled CRC", build: cint::gzip },
-        Workload { name: "lucas", description: "primality testing via FFT; strided butterflies", build: cfp::lucas },
-        Workload { name: "mcf", description: "network simplex; DRAM pointer chasing, width-dependent footprint", build: cint::mcf },
-        Workload { name: "mesa", description: "software rendering; vertex/raster/texture stages", build: cfp::mesa },
-        Workload { name: "perlbmk", description: "interpreter; regex/eval dispatch with GC sweeps", build: cint::perlbmk },
-        Workload { name: "sixtrack", description: "particle tracking; tiny working set, lowest CPI", build: cfp::sixtrack },
-        Workload { name: "swim", description: "shallow-water stencils; the textbook regular-phase program", build: cfp::swim },
-        Workload { name: "twolf", description: "placement annealing; trip counts ramp down with temperature", build: cint::twolf },
-        Workload { name: "vortex", description: "OO database; build/query/delete mega-phases", build: cint::vortex },
-        Workload { name: "vpr", description: "FPGA place (anneal) then route (strided graph walks)", build: cint::vpr },
-        Workload { name: "wupwise", description: "lattice QCD; inlined SU(3) kernel, periodic reductions", build: cfp::wupwise },
+        Workload {
+            name: "ammp",
+            description: "molecular dynamics: neighbour-list gather + periodic rebuild",
+            build: cfp::ammp,
+        },
+        Workload {
+            name: "applu",
+            description: "PDE solver; inlined+split loops defeat mapping (paper's hard case)",
+            build: cfp::applu,
+        },
+        Workload {
+            name: "apsi",
+            description: "pollutant transport; pointer footprint shifts phases per width",
+            build: cfp::apsi,
+        },
+        Workload {
+            name: "art",
+            description: "neural-net recognition; scan phases give way to training",
+            build: cfp::art,
+        },
+        Workload {
+            name: "bzip2",
+            description: "block compression with periodic decompress verification",
+            build: cint::bzip2,
+        },
+        Workload {
+            name: "crafty",
+            description: "chess search; branchy, L1-resident, inlined evaluator",
+            build: cint::crafty,
+        },
+        Workload {
+            name: "eon",
+            description: "probabilistic ray tracing with random reflection branches",
+            build: cint::eon,
+        },
+        Workload {
+            name: "equake",
+            description: "earthquake simulation; gather-heavy sparse matvec",
+            build: cfp::equake,
+        },
+        Workload {
+            name: "fma3d",
+            description: "crash simulation; inlined element kernels (recovery succeeds)",
+            build: cfp::fma3d,
+        },
+        Workload {
+            name: "gcc",
+            description: "13-pass compiler pipeline; more behaviours than cluster budget",
+            build: cint::gcc,
+        },
+        Workload {
+            name: "gzip",
+            description: "LZ77 compression; sliding-window gather, unrolled CRC",
+            build: cint::gzip,
+        },
+        Workload {
+            name: "lucas",
+            description: "primality testing via FFT; strided butterflies",
+            build: cfp::lucas,
+        },
+        Workload {
+            name: "mcf",
+            description: "network simplex; DRAM pointer chasing, width-dependent footprint",
+            build: cint::mcf,
+        },
+        Workload {
+            name: "mesa",
+            description: "software rendering; vertex/raster/texture stages",
+            build: cfp::mesa,
+        },
+        Workload {
+            name: "perlbmk",
+            description: "interpreter; regex/eval dispatch with GC sweeps",
+            build: cint::perlbmk,
+        },
+        Workload {
+            name: "sixtrack",
+            description: "particle tracking; tiny working set, lowest CPI",
+            build: cfp::sixtrack,
+        },
+        Workload {
+            name: "swim",
+            description: "shallow-water stencils; the textbook regular-phase program",
+            build: cfp::swim,
+        },
+        Workload {
+            name: "twolf",
+            description: "placement annealing; trip counts ramp down with temperature",
+            build: cint::twolf,
+        },
+        Workload {
+            name: "vortex",
+            description: "OO database; build/query/delete mega-phases",
+            build: cint::vortex,
+        },
+        Workload {
+            name: "vpr",
+            description: "FPGA place (anneal) then route (strided graph walks)",
+            build: cint::vpr,
+        },
+        Workload {
+            name: "wupwise",
+            description: "lattice QCD; inlined SU(3) kernel, periodic reductions",
+            build: cfp::wupwise,
+        },
     ];
     SUITE
 }
@@ -191,13 +277,11 @@ mod tests {
                 // of *entries* are always conserved.
                 let mut entries0 = std::collections::BTreeMap::new();
                 for (i, l) in bin0.loops.iter().enumerate() {
-                    *entries0.entry(l.ground_truth_source).or_insert(0u64) +=
-                        s0.loop_entries[i];
+                    *entries0.entry(l.ground_truth_source).or_insert(0u64) += s0.loop_entries[i];
                 }
                 let mut entries1 = std::collections::BTreeMap::new();
                 for (i, l) in bin.loops.iter().enumerate() {
-                    *entries1.entry(l.ground_truth_source).or_insert(0u64) +=
-                        s.loop_entries[i];
+                    *entries1.entry(l.ground_truth_source).or_insert(0u64) += s.loop_entries[i];
                 }
                 for (src, n1) in &entries1 {
                     if let Some(n0) = entries0.get(src) {
@@ -215,11 +299,7 @@ mod tests {
                             .filter(|l| l.ground_truth_source == *src)
                             .count();
                         if c0 == 1 && c1 == 1 {
-                            assert_eq!(
-                                n1, n0,
-                                "{}: loop {src:?} entry count mismatch",
-                                w.name
-                            );
+                            assert_eq!(n1, n0, "{}: loop {src:?} entry count mismatch", w.name);
                         }
                     }
                 }

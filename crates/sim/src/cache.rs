@@ -175,10 +175,16 @@ mod tests {
     #[test]
     fn second_access_hits() {
         let mut c = tiny(2);
-        assert!(matches!(c.access(0x1000, false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(0x1000, false),
+            AccessOutcome::Miss { .. }
+        ));
         assert_eq!(c.access(0x1000, false), AccessOutcome::Hit);
         assert_eq!(c.access(0x103F, false), AccessOutcome::Hit, "same line");
-        assert!(matches!(c.access(0x1040, false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(0x1040, false),
+            AccessOutcome::Miss { .. }
+        ));
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 2);
     }
@@ -209,7 +215,12 @@ mod tests {
         );
         // Clean eviction reports nothing.
         let out = c.access(0x200, false);
-        assert_eq!(out, AccessOutcome::Miss { evicted_dirty: None });
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl CacheLevelConfig {
             "cache capacity not divisible by ways × line"
         );
         let sets = self.capacity_bytes / way_bytes;
-        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two"
+        );
         sets
     }
 }

@@ -323,8 +323,7 @@ mod tests {
     fn random_dram_phase_has_higher_cpi_than_l1_phase() {
         let bin = test_binary();
         let input = Input::new("t", 5, Scale::Test);
-        let (_, intervals) =
-            simulate_fli_sliced(&bin, &input, &MemoryConfig::table1(), 1_000);
+        let (_, intervals) = simulate_fli_sliced(&bin, &input, &MemoryConfig::table1(), 1_000);
         assert!(intervals.len() >= 4);
         let first = intervals.first().expect("nonempty").cpi();
         let last = intervals.last().expect("nonempty").cpi();
@@ -342,10 +341,7 @@ mod tests {
         let full = simulate_full(&bin, &input, &cfg);
         let (sliced_total, intervals) = simulate_fli_sliced(&bin, &input, &cfg, 2_000);
         assert_eq!(full, sliced_total, "slicing must not change the simulation");
-        assert_eq!(
-            intervals.iter().map(|i| i.cycles).sum::<u64>(),
-            full.cycles
-        );
+        assert_eq!(intervals.iter().map(|i| i.cycles).sum::<u64>(), full.cycles);
         assert_eq!(
             intervals.iter().map(|i| i.instructions).sum::<u64>(),
             full.instructions

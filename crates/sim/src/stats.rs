@@ -84,7 +84,11 @@ impl std::fmt::Display for SimStats {
             self.cycles,
             self.cpi()
         )?;
-        for (name, l) in [("L1", &self.levels[0]), ("L2", &self.levels[1]), ("L3", &self.levels[2])] {
+        for (name, l) in [
+            ("L1", &self.levels[0]),
+            ("L2", &self.levels[1]),
+            ("L3", &self.levels[2]),
+        ] {
             writeln!(
                 f,
                 "  {name}: {} hits, {} misses ({:.2}% miss rate)",
@@ -185,9 +189,18 @@ mod tests {
             cycles: 2500,
             accesses: 300,
             levels: [
-                LevelStats { hits: 200, misses: 100 },
-                LevelStats { hits: 60, misses: 40 },
-                LevelStats { hits: 30, misses: 10 },
+                LevelStats {
+                    hits: 200,
+                    misses: 100,
+                },
+                LevelStats {
+                    hits: 60,
+                    misses: 40,
+                },
+                LevelStats {
+                    hits: 30,
+                    misses: 10,
+                },
             ],
             dram_accesses: 10,
             dram_writebacks: 2,
@@ -195,14 +208,23 @@ mod tests {
             branch_mispredicts: 5,
         };
         let text = s.to_string();
-        for needle in ["CPI 2.500", "L1", "33.33% miss rate", "MPKI", "mispredicted"] {
+        for needle in [
+            "CPI 2.500",
+            "L1",
+            "33.33% miss rate",
+            "MPKI",
+            "mispredicted",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
     }
 
     #[test]
     fn miss_rate() {
-        let l = LevelStats { hits: 75, misses: 25 };
+        let l = LevelStats {
+            hits: 75,
+            misses: 25,
+        };
         assert_eq!(l.miss_rate(), 0.25);
         assert_eq!(LevelStats::default().miss_rate(), 0.0);
     }

@@ -48,7 +48,11 @@ pub fn kmeans(
     max_iters: usize,
 ) -> KMeansResult {
     assert!(!data.is_empty(), "kmeans needs at least one vector");
-    assert!(k >= 1 && k <= data.len(), "k={k} out of range for {} vectors", data.len());
+    assert!(
+        k >= 1 && k <= data.len(),
+        "k={k} out of range for {} vectors",
+        data.len()
+    );
     assert_eq!(weights.len(), data.len(), "one weight per vector");
     let dims = data[0].len();
 
@@ -140,16 +144,9 @@ pub fn plus_plus_init(data: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -
     let first = sample_index(&mut rng, weights, total_w);
     centroids.push(data[first].clone());
 
-    let mut dist: Vec<f64> = data
-        .iter()
-        .map(|v| distance_sq(v, &centroids[0]))
-        .collect();
+    let mut dist: Vec<f64> = data.iter().map(|v| distance_sq(v, &centroids[0])).collect();
     while centroids.len() < k {
-        let scores: Vec<f64> = dist
-            .iter()
-            .zip(weights)
-            .map(|(d, w)| d * w)
-            .collect();
+        let scores: Vec<f64> = dist.iter().zip(weights).map(|(d, w)| d * w).collect();
         let total: f64 = scores.iter().sum();
         let next = if total > 0.0 {
             sample_index(&mut rng, &scores, total)
@@ -254,7 +251,7 @@ mod tests {
     #[test]
     fn identical_points_do_not_crash() {
         let data = vec![vec![5.0, 5.0]; 8];
-        let r = kmeans(&data, &vec![1.0; 8], 3, 2, 50);
+        let r = kmeans(&data, &[1.0; 8], 3, 2, 50);
         assert_eq!(r.labels.len(), 8);
         assert!(r.wcss < 1e-18);
     }

@@ -66,7 +66,7 @@ impl Projection {
     /// already at most `out_dims`, the vectors are passed through
     /// unchanged (projection would only add noise).
     pub fn project_all(&self, vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        if vectors.first().map_or(true, |v| v.len() <= self.out_dims) {
+        if vectors.first().is_none_or(|v| v.len() <= self.out_dims) {
             return vectors.to_vec();
         }
         vectors.iter().map(|v| self.project(v)).collect()

@@ -1,5 +1,8 @@
 //! Property-based tests of the SimPoint engine's invariants.
 
+// Index-heavy math assertions read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
 use cbsp_simpoint::vector::{distance_sq, normalize, normalized};
 use cbsp_simpoint::{analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig};
 use proptest::prelude::*;
@@ -8,9 +11,8 @@ fn vectors_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     // n vectors of shared dimension d, strictly positive mass.
     (2usize..40, 2usize..24).prop_flat_map(|(n, d)| {
         prop::collection::vec(
-            prop::collection::vec(0.0f64..100.0, d).prop_filter("nonzero mass", |v| {
-                v.iter().sum::<f64>() > 1.0
-            }),
+            prop::collection::vec(0.0f64..100.0, d)
+                .prop_filter("nonzero mass", |v| v.iter().sum::<f64>() > 1.0),
             n,
         )
     })

@@ -1,0 +1,57 @@
+//! # cbsp-store — content-addressed artifacts + incremental pipeline
+//!
+//! Infrastructure the paper's experiments lean on implicitly: profiling
+//! and clustering runs are deterministic functions of their inputs, so
+//! their outputs can be cached on disk and shared across CLI runs,
+//! benchmark sweeps, and figure regeneration.
+//!
+//! Two layers:
+//!
+//! * [`ArtifactStore`] — a content-addressed on-disk store. Artifacts
+//!   are keyed by the SHA-256 of a canonical description of their
+//!   inputs, written as checksummed, schema-versioned JSON envelopes,
+//!   and described by human-readable run manifests. Corruption is
+//!   detected on read and reported as a typed
+//!   [`CbspError`](cbsp_core::CbspError) — never a panic.
+//! * [`Orchestrator`] — the `cbsp-core` pipeline as a five-stage graph
+//!   (`profile → mappable → vli → simpoint → map`) with per-stage cache
+//!   lookup, key-chained invalidation, and parallel profile collection
+//!   across binaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbsp_program::{workloads, compile, CompileTarget, Input, Scale};
+//! use cbsp_core::CbspConfig;
+//! use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
+//!
+//! let dir = std::env::temp_dir().join(format!("cbsp-store-doc-{}", std::process::id()));
+//! let store = ArtifactStore::open(&dir).expect("store opens");
+//! let prog = workloads::by_name("swim").expect("in suite").build(Scale::Test);
+//! let bins: Vec<_> = CompileTarget::ALL_FOUR.iter().map(|&t| compile(&prog, t)).collect();
+//! let refs: Vec<_> = bins.iter().collect();
+//! let config = CbspConfig { interval_target: 20_000, ..CbspConfig::default() };
+//!
+//! let orch = Orchestrator::new(&store, CachePolicy::ReadWrite);
+//! let (first, cold) = orch
+//!     .run_cross_binary(&refs, &Input::test(), &config, "swim/test")
+//!     .expect("pipeline runs");
+//! let (second, warm) = orch
+//!     .run_cross_binary(&refs, &Input::test(), &config, "swim/test")
+//!     .expect("pipeline runs");
+//! assert_eq!(first, second);
+//! assert_eq!(cold.hits(), 0);
+//! assert_eq!(warm.misses(), 0);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod orchestrator;
+pub mod sha256;
+pub mod store;
+
+pub use orchestrator::{CachePolicy, Orchestrator, RunReport, StageOutcome, STAGE_ORDER};
+pub use sha256::{hex_digest, Sha256};
+pub use store::{
+    canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,
+    RunManifest, StageKey, StageStats, StoreStats, SCHEMA_VERSION,
+};

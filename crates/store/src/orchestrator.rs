@@ -1,0 +1,338 @@
+//! The stage-graph orchestrator: the cross-binary pipeline of
+//! `cbsp-core` expressed as named, individually cached stages.
+//!
+//! ```text
+//! profile(b0) ─┐
+//! profile(b1) ─┼─► mappable ─► vli ─► simpoint ─► map
+//! profile(b…) ─┘
+//! ```
+//!
+//! Each stage's content key is derived from everything that determines
+//! its output — the binaries (hashed), the workload input, the stage
+//! configuration, and the keys of upstream stages — so editing any
+//! input invalidates exactly the downstream stages and nothing else.
+//! Profile collection, the only per-binary stage, runs its binaries in
+//! parallel on scoped threads.
+
+use cbsp_core::{
+    map_stage, mappable_stage, profile_stage, simpoint_stage, validate_binaries, vli_stage,
+    CbspConfig, CbspError, CrossBinaryResult, MappableStage, MappedSlicing,
+};
+use cbsp_profile::CallLoopProfile;
+use cbsp_program::{Binary, Input};
+use cbsp_simpoint::SimPointResult;
+use serde::Value;
+
+use crate::sha256::hex_digest;
+use crate::store::{
+    canonical_json, content_hash, key_part, stage_key, ArtifactStore, ManifestStage, RunManifest,
+    StageKey,
+};
+
+/// The five pipeline stages, in dependency order.
+pub const STAGE_ORDER: [&str; 5] = ["profile", "mappable", "vli", "simpoint", "map"];
+
+/// How the orchestrator uses the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Serve hits from the store; write misses back (the default).
+    #[default]
+    ReadWrite,
+    /// Recompute every stage and overwrite stored artifacts.
+    Refresh,
+    /// Compute everything; never read or write the store.
+    Bypass,
+}
+
+/// What happened to one stage execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageOutcome {
+    /// Stage name (one of [`STAGE_ORDER`]).
+    pub stage: String,
+    /// Display label (e.g. the binary a profile covers).
+    pub label: String,
+    /// The artifact's content key.
+    pub key: StageKey,
+    /// `true` if served from the store without recomputation.
+    pub hit: bool,
+}
+
+/// Cache behaviour of one orchestrated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Key identifying the run (hash over its stage keys).
+    pub run_key: String,
+    /// One outcome per stage execution (profiles appear once per
+    /// binary).
+    pub outcomes: Vec<StageOutcome>,
+}
+
+impl RunReport {
+    /// Stage executions served from the store.
+    pub fn hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.hit).count()
+    }
+
+    /// Stage executions that were recomputed.
+    pub fn misses(&self) -> usize {
+        self.outcomes.len() - self.hits()
+    }
+
+    /// Per-stage `(name, hits, executions)` in pipeline order.
+    pub fn stage_summary(&self) -> Vec<(&'static str, usize, usize)> {
+        STAGE_ORDER
+            .iter()
+            .map(|&name| {
+                let of_stage = self.outcomes.iter().filter(|o| o.stage == name);
+                let total = of_stage.clone().count();
+                let hits = of_stage.filter(|o| o.hit).count();
+                (name, hits, total)
+            })
+            .collect()
+    }
+
+    /// Number of pipeline stages (out of [`STAGE_ORDER`]'s five) whose
+    /// executions were *all* served from the store.
+    pub fn stages_fully_hit(&self) -> usize {
+        self.stage_summary()
+            .iter()
+            .filter(|(_, hits, total)| total > &0 && hits == total)
+            .count()
+    }
+}
+
+/// Runs pipeline stages against an [`ArtifactStore`] under a
+/// [`CachePolicy`].
+#[derive(Debug, Clone)]
+pub struct Orchestrator<'s> {
+    store: &'s ArtifactStore,
+    policy: CachePolicy,
+}
+
+impl<'s> Orchestrator<'s> {
+    /// Creates an orchestrator over `store`.
+    pub fn new(store: &'s ArtifactStore, policy: CachePolicy) -> Self {
+        Orchestrator { store, policy }
+    }
+
+    /// Runs one stage through the cache: look up under `key`, compute
+    /// on miss, store the result. A corrupt stored artifact is treated
+    /// as a miss and repaired in place (the typed error is only
+    /// surfaced to direct `ArtifactStore::get` callers); other store
+    /// errors propagate.
+    fn cached<T, F>(
+        &self,
+        stage: &'static str,
+        label: &str,
+        key: &StageKey,
+        compute: F,
+    ) -> Result<(T, StageOutcome), CbspError>
+    where
+        T: serde::Serialize + serde::de::DeserializeOwned,
+        F: FnOnce() -> Result<T, CbspError>,
+    {
+        let mut repair = false;
+        if self.policy == CachePolicy::ReadWrite {
+            match self.store.get::<T>(stage, key) {
+                Ok(Some(value)) => {
+                    return Ok((
+                        value,
+                        StageOutcome {
+                            stage: stage.to_string(),
+                            label: label.to_string(),
+                            key: key.clone(),
+                            hit: true,
+                        },
+                    ))
+                }
+                Ok(None) => {}
+                Err(
+                    CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. },
+                ) => repair = true,
+                Err(other) => return Err(other),
+            }
+        }
+        let value = compute()?;
+        match self.policy {
+            CachePolicy::Bypass => {}
+            CachePolicy::Refresh => self.store.put_overwrite(stage, key, &value)?,
+            CachePolicy::ReadWrite => {
+                if repair {
+                    self.store.put_overwrite(stage, key, &value)?;
+                } else {
+                    self.store.put(stage, key, &value)?;
+                }
+            }
+        }
+        Ok((
+            value,
+            StageOutcome {
+                stage: stage.to_string(),
+                label: label.to_string(),
+                key: key.clone(),
+                hit: false,
+            },
+        ))
+    }
+
+    /// Runs the full cross-binary pipeline with per-stage caching,
+    /// returning the result (identical to
+    /// [`cbsp_core::run_cross_binary`] on the same inputs) and the
+    /// cache report. `description` labels the run in its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors from the pipeline and
+    /// [`CbspError::StoreIo`] on store failure.
+    pub fn run_cross_binary(
+        &self,
+        binaries: &[&Binary],
+        input: &Input,
+        config: &CbspConfig,
+        description: &str,
+    ) -> Result<(CrossBinaryResult, RunReport), CbspError> {
+        validate_binaries(binaries, config)?;
+        let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(binaries.len() + 4);
+
+        let bin_hashes: Vec<String> = binaries.iter().map(|b| content_hash(*b)).collect();
+        let input_hash = content_hash(input);
+        let hash_parts: Vec<Value> = bin_hashes.iter().map(|h| Value::Str(h.clone())).collect();
+
+        // Stage 1 — profile, in parallel across binaries.
+        let profile_keys: Vec<StageKey> = bin_hashes
+            .iter()
+            .map(|h| {
+                stage_key(
+                    "profile",
+                    &[Value::Str(h.clone()), Value::Str(input_hash.clone())],
+                )
+            })
+            .collect();
+        let mut profiles: Vec<CallLoopProfile> = Vec::with_capacity(binaries.len());
+        let results: Vec<Result<(CallLoopProfile, StageOutcome), CbspError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = binaries
+                    .iter()
+                    .zip(&profile_keys)
+                    .map(|(&binary, key)| {
+                        scope.spawn(move || {
+                            self.cached("profile", &binary.label(), key, || {
+                                Ok(profile_stage(binary, input))
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("profile worker must not panic"))
+                    .collect()
+            });
+        for result in results {
+            let (profile, outcome) = result?;
+            profiles.push(profile);
+            outcomes.push(outcome);
+        }
+
+        // Stage 2 — mappable points across all binaries.
+        let mut mappable_inputs = hash_parts.clone();
+        mappable_inputs.push(Value::Str(input_hash.clone()));
+        let mappable_key = stage_key("mappable", &mappable_inputs);
+        let (mappable, outcome) = self.cached("mappable", "all binaries", &mappable_key, || {
+            Ok(mappable_stage(binaries, &profiles))
+        })?;
+        outcomes.push(outcome);
+        let MappableStage {
+            set: mappable,
+            recovered_procs,
+        } = mappable;
+
+        // Stage 3 — variable-length intervals on the primary.
+        let vli_key = stage_key(
+            "vli",
+            &[
+                Value::Str(bin_hashes[config.primary].clone()),
+                Value::Str(input_hash.clone()),
+                Value::UInt(config.interval_target),
+                Value::UInt(config.primary as u64),
+                Value::Str(mappable_key.as_hex().to_string()),
+            ],
+        );
+        let (vli, outcome) =
+            self.cached("vli", &binaries[config.primary].label(), &vli_key, || {
+                Ok(vli_stage(binaries, input, config, &mappable))
+            })?;
+        outcomes.push(outcome);
+
+        // Stage 4 — SimPoint clustering of the primary's intervals.
+        let simpoint_key = stage_key(
+            "simpoint",
+            &[
+                Value::Str(vli_key.as_hex().to_string()),
+                key_part(&config.simpoint),
+            ],
+        );
+        let (simpoint, outcome): (SimPointResult, _) =
+            self.cached("simpoint", "primary intervals", &simpoint_key, || {
+                Ok(simpoint_stage(&vli, &config.simpoint))
+            })?;
+        outcomes.push(outcome);
+
+        // Stage 5 — boundary translation and per-binary weights.
+        let mut map_inputs = hash_parts;
+        map_inputs.push(Value::Str(input_hash));
+        map_inputs.push(Value::UInt(config.primary as u64));
+        map_inputs.push(Value::Str(mappable_key.as_hex().to_string()));
+        map_inputs.push(Value::Str(vli_key.as_hex().to_string()));
+        map_inputs.push(Value::Str(simpoint_key.as_hex().to_string()));
+        let map_key = stage_key("map", &map_inputs);
+        let (mapped, outcome): (MappedSlicing, _) =
+            self.cached("map", "all binaries", &map_key, || {
+                map_stage(binaries, input, config.primary, &mappable, &vli, &simpoint)
+            })?;
+        outcomes.push(outcome);
+
+        let run_key = run_key_of(&outcomes);
+        if self.policy != CachePolicy::Bypass {
+            self.store.write_manifest(&RunManifest {
+                schema: crate::store::SCHEMA_VERSION,
+                run_key: run_key.clone(),
+                description: description.to_string(),
+                finished_unix: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_secs()),
+                stages: outcomes
+                    .iter()
+                    .map(|o| ManifestStage {
+                        stage: o.stage.clone(),
+                        label: o.label.clone(),
+                        key: o.key.as_hex().to_string(),
+                        hit: o.hit,
+                    })
+                    .collect(),
+            })?;
+        }
+
+        let result = CrossBinaryResult {
+            mappable,
+            recovered_procs,
+            primary: config.primary,
+            vli,
+            simpoint,
+            boundaries: mapped.boundaries,
+            interval_instrs: mapped.interval_instrs,
+            weights: mapped.weights,
+        };
+        Ok((result, RunReport { run_key, outcomes }))
+    }
+}
+
+/// A run's identity: the hash of its ordered stage keys.
+fn run_key_of(outcomes: &[StageOutcome]) -> String {
+    let doc = Value::Array(
+        outcomes
+            .iter()
+            .map(|o| Value::Str(o.key.as_hex().to_string()))
+            .collect(),
+    );
+    hex_digest(canonical_json(&doc).as_bytes())
+}

@@ -34,7 +34,9 @@ fn bigger_l2() -> MemoryConfig {
 
 fn main() -> Result<(), CbspError> {
     let input = Input::train();
-    let program = workloads::by_name("twolf").expect("in suite").build(Scale::Train);
+    let program = workloads::by_name("twolf")
+        .expect("in suite")
+        .build(Scale::Train);
     let o0 = compile(&program, CompileTarget::W64_O0);
     let o2 = compile(&program, CompileTarget::W64_O2);
 
@@ -68,8 +70,7 @@ fn main() -> Result<(), CbspError> {
                 simulate_marker_sliced(bin, &input, mem, &result.boundaries[b]);
             intervals.resize(result.interval_count(), IntervalSim::default());
             let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
-            let est_cpi =
-                weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);
+            let est_cpi = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);
             let est_cycles = est_cpi * full.instructions as f64;
             println!(
                 "{:<8} {:<8} {:>10.3} {:>10.3} {:>12} {:>12.0}",

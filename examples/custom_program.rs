@@ -92,7 +92,11 @@ fn main() -> Result<(), CbspError> {
             "  {:<28} executes {:>7}x{}",
             p.label,
             p.execs,
-            if p.recovered { "   (recovered from inlining)" } else { "" }
+            if p.recovered {
+                "   (recovered from inlining)"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -31,7 +31,9 @@ fn main() -> Result<(), CbspError> {
     );
 
     for name in BENCHMARKS {
-        let program = workloads::by_name(name).expect("in suite").build(Scale::Train);
+        let program = workloads::by_name(name)
+            .expect("in suite")
+            .build(Scale::Train);
         // The ISA comparison: optimized 32-bit vs optimized 64-bit.
         let b32 = compile(&program, CompileTarget::W32_O2);
         let b64 = compile(&program, CompileTarget::W64_O2);

@@ -16,7 +16,9 @@ use cross_binary_simpoints::prelude::*;
 use cross_binary_simpoints::sim::IntervalSim;
 
 fn main() -> Result<(), CbspError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "fma3d".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fma3d".to_string());
     let program = workloads::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark {name}; see cbsp_program::workloads"))
         .build(Scale::Train);
@@ -34,7 +36,12 @@ fn main() -> Result<(), CbspError> {
 
     // --- Mappable points.
     let count = |k: PointKind| result.mappable.of_kind(k).count();
-    let recovered = result.mappable.points.iter().filter(|p| p.recovered).count();
+    let recovered = result
+        .mappable
+        .points
+        .iter()
+        .filter(|p| p.recovered)
+        .count();
     println!("=== {name}: mappable points ===");
     println!(
         "procedure entries: {}, loop entries: {}, loop bodies: {} ({} recovered from inlining, {} procedures)",
@@ -45,7 +52,10 @@ fn main() -> Result<(), CbspError> {
         result.recovered_procs
     );
     for p in result.mappable.points.iter().filter(|p| p.recovered) {
-        println!("  recovered: {} (executes {} times in every binary)", p.label, p.execs);
+        println!(
+            "  recovered: {} (executes {} times in every binary)",
+            p.label, p.execs
+        );
     }
 
     // --- Intervals.

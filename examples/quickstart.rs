@@ -15,7 +15,9 @@ use cross_binary_simpoints::sim::IntervalSim;
 fn main() -> Result<(), CbspError> {
     // 1. Build a program and compile the paper's four binaries:
     //    {32-bit, 64-bit} x {unoptimized, optimized}.
-    let program = workloads::by_name("gzip").expect("gzip is in the suite").build(Scale::Train);
+    let program = workloads::by_name("gzip")
+        .expect("gzip is in the suite")
+        .build(Scale::Train);
     let input = Input::train();
     let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
         .iter()

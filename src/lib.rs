@@ -59,8 +59,8 @@ pub use cbsp_simpoint as simpoint;
 /// Convenient single import for the common workflow.
 pub mod prelude {
     pub use cbsp_core::{
-        run_cross_binary, run_per_binary, CbspConfig, CbspError, CrossBinaryResult,
-        MappableSet, PerBinaryResult, PointKind,
+        run_cross_binary, run_per_binary, CbspConfig, CbspError, CrossBinaryResult, MappableSet,
+        PerBinaryResult, PointKind,
     };
     pub use cbsp_profile::{profile_fli, CallLoopProfile, ExecPoint, MarkerRef, PinPointsFile};
     pub use cbsp_program::{

@@ -8,7 +8,9 @@ use cross_binary_simpoints::sim::IntervalSim;
 const INTERVAL: u64 = 20_000;
 
 fn binaries_of(name: &str) -> (Vec<Binary>, Input) {
-    let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
     let binaries = CompileTarget::ALL_FOUR
         .iter()
         .map(|&t| compile(&program, t))
@@ -31,7 +33,8 @@ fn vli_estimates_track_truth_on_every_binary() {
     let result = cross(&binaries, &input);
     let mem = MemoryConfig::table1();
     for (b, bin) in binaries.iter().enumerate() {
-        let (full, mut intervals) = simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
+        let (full, mut intervals) =
+            simulate_marker_sliced(bin, &input, &mem, &result.boundaries[b]);
         intervals.resize(result.interval_count(), IntervalSim::default());
         let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
         let est = weighted_cpi_with(&result.simpoint.points, &result.weights[b], &cpis);

@@ -18,7 +18,9 @@ struct Evaluated {
 }
 
 fn evaluate(name: &str) -> Evaluated {
-    let program = workloads::by_name(name).expect("in suite").build(Scale::Train);
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Train);
     let input = Input::train();
     let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
         .iter()
@@ -81,7 +83,10 @@ fn cross_binary_speedups_are_accurate_under_vli() {
         let e = evaluate(name);
         for (a, b) in [(0, 1), (2, 3), (0, 2), (1, 3)] {
             let err = speedup_err(&e.vli_cycles, &e.true_cycles, a, b);
-            assert!(err < 0.05, "{name} pair ({a},{b}): VLI speedup error {err:.4}");
+            assert!(
+                err < 0.05,
+                "{name} pair ({a},{b}): VLI speedup error {err:.4}"
+            );
         }
     }
 }

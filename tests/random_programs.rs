@@ -4,7 +4,7 @@
 
 use cbsp_core::{run_cross_binary, CbspConfig};
 use cbsp_program::{
-    compile, run, Binary, Cond, CompileTarget, Input, LoopHints, NullSink, ProgramBuilder, Scale,
+    compile, run, Binary, CompileTarget, Cond, Input, LoopHints, NullSink, ProgramBuilder, Scale,
     SourceProgram, TripCount,
 };
 use proptest::prelude::*;
@@ -13,9 +13,21 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum StmtSpec {
     Work(u32),
-    Kernel { work: u32, seq: u32, removable: bool },
-    Loop { trip: TripSpec, hints: LoopHints, body: Vec<StmtSpec> },
-    If { cond: Cond, then_body: Vec<StmtSpec>, else_body: Vec<StmtSpec> },
+    Kernel {
+        work: u32,
+        seq: u32,
+        removable: bool,
+    },
+    Loop {
+        trip: TripSpec,
+        hints: LoopHints,
+        body: Vec<StmtSpec>,
+    },
+    If {
+        cond: Cond,
+        then_body: Vec<StmtSpec>,
+        else_body: Vec<StmtSpec>,
+    },
     CallHelper(u8),
 }
 
@@ -62,17 +74,31 @@ fn hints_strategy() -> impl Strategy<Value = LoopHints> {
 fn stmt_strategy() -> impl Strategy<Value = StmtSpec> {
     let leaf = prop_oneof![
         (5u32..60).prop_map(StmtSpec::Work),
-        (5u32..60, 1u32..8, any::<bool>())
-            .prop_map(|(work, seq, removable)| StmtSpec::Kernel { work, seq, removable }),
+        (5u32..60, 1u32..8, any::<bool>()).prop_map(|(work, seq, removable)| StmtSpec::Kernel {
+            work,
+            seq,
+            removable
+        }),
         (0u8..3).prop_map(StmtSpec::CallHelper),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (trip_strategy(), hints_strategy(), prop::collection::vec(inner.clone(), 1..4))
+            (
+                trip_strategy(),
+                hints_strategy(),
+                prop::collection::vec(inner.clone(), 1..4)
+            )
                 .prop_map(|(trip, hints, body)| StmtSpec::Loop { trip, hints, body }),
-            (cond_strategy(), prop::collection::vec(inner.clone(), 0..3),
-             prop::collection::vec(inner, 0..3))
-                .prop_map(|(cond, then_body, else_body)| StmtSpec::If { cond, then_body, else_body }),
+            (
+                cond_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(cond, then_body, else_body)| StmtSpec::If {
+                    cond,
+                    then_body,
+                    else_body
+                }),
         ]
     })
 }
@@ -90,7 +116,11 @@ fn emit(specs: &[StmtSpec], b: &mut cbsp_program::BodyBuilder<'_>, arr: cbsp_pro
     for s in specs {
         match s {
             StmtSpec::Work(w) => b.work(*w),
-            StmtSpec::Kernel { work, seq, removable } => b.compute(*work, |k| {
+            StmtSpec::Kernel {
+                work,
+                seq,
+                removable,
+            } => b.compute(*work, |k| {
                 k.seq(arr, *seq);
                 if *removable {
                     k.removable();
@@ -99,8 +129,16 @@ fn emit(specs: &[StmtSpec], b: &mut cbsp_program::BodyBuilder<'_>, arr: cbsp_pro
             StmtSpec::Loop { trip, hints, body } => {
                 b.loop_with(trip.trip(), *hints, |inner| emit(body, inner, arr));
             }
-            StmtSpec::If { cond, then_body, else_body } => {
-                b.if_else(*cond, |t| emit(then_body, t, arr), |e| emit(else_body, e, arr));
+            StmtSpec::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                b.if_else(
+                    *cond,
+                    |t| emit(then_body, t, arr),
+                    |e| emit(else_body, e, arr),
+                );
             }
             StmtSpec::CallHelper(i) => b.call(&format!("helper{}", i % 3)),
         }

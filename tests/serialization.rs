@@ -6,8 +6,16 @@
 use cross_binary_simpoints::prelude::*;
 use cross_binary_simpoints::profile::{RegionBound, SimRegion};
 
-fn pipeline(name: &str) -> (Vec<Binary>, Input, cross_binary_simpoints::core::CrossBinaryResult) {
-    let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+fn pipeline(
+    name: &str,
+) -> (
+    Vec<Binary>,
+    Input,
+    cross_binary_simpoints::core::CrossBinaryResult,
+) {
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
     let input = Input::test();
     let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
         .iter()
@@ -66,14 +74,19 @@ fn mappable_sets_round_trip() {
     let back: cross_binary_simpoints::core::MappableSet =
         serde_json::from_str(&json).expect("deserializes");
     assert_eq!(back, result.mappable);
-    assert!(back.points.iter().any(|p| p.recovered), "fma3d recovers inlined loops");
+    assert!(
+        back.points.iter().any(|p| p.recovered),
+        "fma3d recovers inlined loops"
+    );
 }
 
 #[test]
 fn binaries_round_trip_through_json() {
     // Binaries themselves are serializable (useful for caching compiled
     // artifacts between tool invocations).
-    let program = workloads::by_name("art").expect("in suite").build(Scale::Test);
+    let program = workloads::by_name("art")
+        .expect("in suite")
+        .build(Scale::Test);
     let bin = compile(&program, CompileTarget::W64_O2);
     let json = serde_json::to_string(&bin).expect("serializes");
     let back: Binary = serde_json::from_str(&json).expect("deserializes");

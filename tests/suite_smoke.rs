@@ -96,7 +96,9 @@ fn expected_hazards_appear_where_designed() {
         ..CbspConfig::default()
     };
     let analyze = |name: &str| {
-        let program = workloads::by_name(name).expect("in suite").build(Scale::Test);
+        let program = workloads::by_name(name)
+            .expect("in suite")
+            .build(Scale::Test);
         let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
             .iter()
             .map(|&t| compile(&program, t))
@@ -113,7 +115,10 @@ fn expected_hazards_appear_where_designed() {
     // applu: recovery fails (identical solver signatures) and intervals
     // balloon.
     let applu = analyze("applu");
-    assert_eq!(applu.recovered_procs, 0, "applu recovery must stay ambiguous");
+    assert_eq!(
+        applu.recovered_procs, 0,
+        "applu recovery must stay ambiguous"
+    );
     assert!(
         applu.vli.average_interval_size() > 2.0 * 30_000.0,
         "applu intervals must balloon: {}",

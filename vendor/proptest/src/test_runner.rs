@@ -1,0 +1,73 @@
+//! Deterministic test-case generator state and per-test configuration.
+
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block, mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test is abandoned.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a generated case is
+/// discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// The generator driving all strategies: deterministic per test name so
+/// failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded stably from `name` (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in name.as_bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples from a `rand`-style range (used by the numeric strategy
+    /// impls).
+    pub fn sample_range<T, R: rand::distributions::uniform::SampleRange<T>>(
+        &mut self,
+        range: R,
+    ) -> T {
+        self.inner.gen_range(range)
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline, API-compatible subset of `rand` 0.8 for this workspace.
+//!
+//! Provides [`rngs::StdRng`], [`Rng`], and [`SeedableRng`] with the
+//! `gen_range`/`gen` surface the workspace uses. The generator is
+//! xoshiro256** seeded through SplitMix64 — statistically strong and
+//! deterministic per seed, though its streams differ from the real
+//! crate's ChaCha12-based `StdRng` (all in-repo consumers only rely on
+//! determinism, not on specific streams).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the standard distribution of `T`.
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Creates a generator from OS entropy — here, from the system
+    /// clock (the workspace never uses this; present for completeness).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x9E37_79B9, |d| d.subsec_nanos());
+        Self::seed_from_u64(u64::from(nanos) ^ 0xA076_1D64_78BD_642F)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro
+            // authors for seeding from narrow state.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions and range sampling, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+
+    /// The standard distribution of a type (`rng.gen::<T>()`).
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample<R: Rng>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for bool {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            // 53 uniform bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Uniform range sampling, mirroring
+    /// `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::{Range, RangeInclusive, Rng};
+
+        /// Ranges from which a single value can be sampled.
+        pub trait SampleRange<T> {
+            /// Draws one value uniformly from the range.
+            fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range");
+                        let span = (self.end as u128 - self.start as u128) as u64;
+                        // Multiply-shift bounded sampling (Lemire); the
+                        // slight bias at 2^64 spans is irrelevant here.
+                        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                        (self.start as i128 + hi as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range");
+                        let span = (hi as i128 - lo as i128 + 1) as u128;
+                        let draw = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                        (lo as i128 + draw) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                lo + unit * (hi - lo)
+            }
+        }
+    }
+}
+
+/// Convenient glob-import surface, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

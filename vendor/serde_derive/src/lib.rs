@@ -1,0 +1,427 @@
+//! Derive macros for the workspace's offline serde subset.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; instead the derive input is parsed directly from
+//! [`proc_macro::TokenTree`]s. Supported shapes cover everything this
+//! workspace derives: non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. Generated
+//! impls target the `serde::Serialize` / `serde::Deserialize` traits of
+//! the vendored `serde` crate and follow real serde's JSON conventions
+//! (externally tagged enums, transparent newtype structs).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut tokens);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+/// Tracks `<`/`>` nesting; bracket/paren groups arrive pre-grouped.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Consume a trailing comma, if any (explicit discriminants are
+        // not supported and would trip the panic above on `=`).
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut pairs = ::std::vec::Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    s,
+                    "pairs.push((::std::string::String::from(\"{f}\"), \
+                     serde::Serialize::serialize_value(&self.{f})));"
+                );
+            }
+            s.push_str("serde::Value::Object(pairs)");
+            s
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} => serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             serde::Serialize::serialize_value(f0))]),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inner = String::from("let mut pairs = ::std::vec::Vec::new();\n");
+                        for f in fields {
+                            let _ = writeln!(
+                                inner,
+                                "pairs.push((::std::string::String::from(\"{f}\"), \
+                                 serde::Serialize::serialize_value({f})));"
+                            );
+                        }
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} {{ {binders} }} => {{ {inner} \
+                             serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Object(pairs))]) }},"
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let pairs = value.as_object().ok_or_else(|| \
+                 serde::__private::unexpected(\"struct {name}\", value))?;\n\
+                 let _ = pairs;\n"
+            );
+            let mut ctor = String::new();
+            for f in fields {
+                let _ = writeln!(
+                    ctor,
+                    "{f}: match serde::__private::get(pairs, \"{f}\") {{\n\
+                         Some(v) => serde::Deserialize::deserialize_value(v)?,\n\
+                         None => serde::Deserialize::deserialize_missing(\"{f}\")?,\n\
+                     }},"
+                );
+            }
+            let _ = write!(s, "::std::result::Result::Ok({name} {{ {ctor} }})");
+            s
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(serde::Deserialize::deserialize_value(value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 serde::__private::unexpected(\"tuple struct {name}\", value))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 serde::Error::custom(\"wrong tuple length for {name}\")); }}\n"
+            );
+            let args: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            let _ = write!(s, "::std::result::Result::Ok({name}({}))", args.join(", "));
+            s
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = writeln!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             serde::Deserialize::deserialize_value(inner)?)),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let args: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::deserialize_value(\
+                                     serde::__private::tuple_elem(\"{name}\", items, {i})?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 serde::__private::unexpected(\"{name}::{vn} payload\", inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},",
+                            args.join(", ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut ctor = String::new();
+                        for f in fields {
+                            let _ = writeln!(
+                                ctor,
+                                "{f}: match serde::__private::get(fields, \"{f}\") {{\n\
+                                     Some(v) => serde::Deserialize::deserialize_value(v)?,\n\
+                                     None => serde::Deserialize::deserialize_missing(\"{f}\")?,\n\
+                                 }},"
+                            );
+                        }
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => {{\n\
+                                 let fields = inner.as_object().ok_or_else(|| \
+                                 serde::__private::unexpected(\"{name}::{vn} payload\", inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {ctor} }})\n\
+                             }},"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(\
+                             serde::__private::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(\
+                                 serde::__private::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(\
+                         serde::__private::unexpected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &serde::Value) -> \
+                 ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
