@@ -1,0 +1,73 @@
+//! Distance-kernel microbenchmark: the flat [`VectorSet`] storage with
+//! the unrolled `distance_sq` kernel against the nested-`Vec` layout
+//! with a naive scalar loop (the engine's pre-flat representation).
+//!
+//! The workload is the clustering hot loop: for every point, distance
+//! to every one of `k` centroids.
+
+use cbsp_simpoint::{distance_sq, VectorSet};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const K: usize = 16;
+
+/// Deterministic synthetic points (no RNG: keeps runs comparable).
+fn synthetic(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|j| ((i * 31 + j * 7) % 97) as f64 * 0.25)
+                .collect()
+        })
+        .collect()
+}
+
+/// The pre-VectorSet kernel: plain scalar loop over nested Vecs.
+fn scalar_distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+fn bench_distance_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernel");
+    for &dims in &[15usize, 64, 240] {
+        let rows = synthetic(1024, dims);
+        let centroid_rows = synthetic(K, dims);
+        let flat = VectorSet::from_rows(&rows);
+        let centroids = VectorSet::from_rows(&centroid_rows);
+
+        group.bench_with_input(
+            BenchmarkId::new("nested_vec_scalar", dims),
+            &dims,
+            |b, _| {
+                b.iter(|| {
+                    let mut sum = 0.0;
+                    for v in &rows {
+                        for cent in &centroid_rows {
+                            sum += scalar_distance_sq(v, cent);
+                        }
+                    }
+                    black_box(sum)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("flat_unrolled", dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for v in flat.rows() {
+                    for cent in centroids.rows() {
+                        sum += distance_sq(v, cent);
+                    }
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_kernel);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Parallel-clustering benchmark: weighted Lloyd k-means on the shared
+//! pool at 1/2/4/8 threads. Results are bit-identical at every pool
+//! size, so this measures pure scheduling + reduction overhead against
+//! the parallel speedup.
+
+use cbsp_simpoint::{kmeans_with, Pool, VectorSet};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic synthetic points in `phases` separated clusters.
+fn synthetic(n: usize, dims: usize, phases: usize) -> (VectorSet, Vec<f64>) {
+    let mut data = VectorSet::with_capacity(dims, n);
+    let mut row = vec![0.0; dims];
+    for i in 0..n {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let phase_offset = (i % phases) as f64 * 50.0;
+            *slot = phase_offset + ((i * 13 + j * 5) % 17) as f64 * 0.5;
+        }
+        data.push(&row);
+    }
+    let weights = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    (data, weights)
+}
+
+fn bench_kmeans_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_parallel");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        let (data, weights) = synthetic(n, 15, 8);
+        for &threads in &[1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}_k8"), threads),
+                &threads,
+                |b, _| b.iter(|| black_box(kmeans_with(&data, &weights, 8, 3, 100, &pool))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans_parallel);
+criterion_main!(benches);

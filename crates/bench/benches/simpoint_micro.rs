@@ -1,7 +1,9 @@
 //! Microbenchmarks of the SimPoint engine: projection, k-means, BIC,
 //! and the full `analyze` driver at realistic interval counts.
 
-use cbsp_simpoint::{analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig};
+use cbsp_simpoint::{
+    analyze, bic, kmeans, kmeans_hamerly_from, Pool, Projection, SimPointConfig, VectorSet,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Synthetic BBVs: `n` intervals over `dims` blocks in `phases` phases.
@@ -17,6 +19,15 @@ fn synthetic_bbvs(n: usize, dims: usize, phases: usize) -> (Vec<Vec<f64>>, Vec<u
         vectors.push(v);
     }
     (vectors, vec![100_000; n])
+}
+
+/// Synthetic BBVs projected to SimPoint's 15 dimensions.
+fn projected(n: usize, dims: usize, phases: usize) -> (VectorSet, Vec<f64>) {
+    let (vectors, counts) = synthetic_bbvs(n, dims, phases);
+    let p = Projection::new(1, 15);
+    let data = p.project_all(&VectorSet::from_rows(&vectors), &Pool::serial());
+    let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    (data, weights)
 }
 
 fn bench_projection(c: &mut Criterion) {
@@ -42,10 +53,7 @@ fn bench_projection(c: &mut Criterion) {
 fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
     for &n in &[100usize, 400, 1600] {
-        let (vectors, counts) = synthetic_bbvs(n, 240, 6);
-        let p = Projection::new(1, 15);
-        let data = p.project_all(&vectors);
-        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let (data, weights) = projected(n, 240, 6);
         group.bench_with_input(BenchmarkId::new("k8", n), &n, |b, _| {
             b.iter(|| black_box(kmeans(&data, &weights, 8, 3, 100)))
         });
@@ -56,11 +64,11 @@ fn bench_kmeans(c: &mut Criterion) {
 fn bench_hamerly_vs_lloyd(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans_engines");
     for &n in &[400usize, 1600] {
-        let (vectors, counts) = synthetic_bbvs(n, 240, 6);
-        let p = Projection::new(1, 15);
-        let data = p.project_all(&vectors);
-        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
-        let init: Vec<Vec<f64>> = (0..8).map(|i| data[i * n / 8].clone()).collect();
+        let (data, weights) = projected(n, 240, 6);
+        let mut init = VectorSet::new(data.dims());
+        for i in 0..8 {
+            init.push(data.row(i * n / 8));
+        }
         group.bench_with_input(BenchmarkId::new("lloyd_k8", n), &n, |b, _| {
             b.iter(|| black_box(kmeans(&data, &weights, 8, 3, 100)))
         });
@@ -72,10 +80,7 @@ fn bench_hamerly_vs_lloyd(c: &mut Criterion) {
 }
 
 fn bench_bic(c: &mut Criterion) {
-    let (vectors, counts) = synthetic_bbvs(400, 240, 6);
-    let p = Projection::new(1, 15);
-    let data = p.project_all(&vectors);
-    let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let (data, weights) = projected(400, 240, 6);
     let clustering = kmeans(&data, &weights, 6, 3, 100);
     c.bench_function("bic/400x15", |b| {
         b.iter(|| black_box(bic(&data, &weights, &clustering)))

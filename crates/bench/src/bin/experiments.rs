@@ -77,7 +77,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds] \
+                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf] \
                      [--scale test|train|ref] [--interval N] \
                      [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR]"
                 );
@@ -222,6 +222,26 @@ fn main() {
                 rows.push(sweep_benchmark(name, opts.scale, opts.interval, &archs));
             }
             print!("{}", cbsp_bench::archsweep::render(&rows, &archs));
+            return;
+        }
+        "perf" => {
+            // Performance baseline: pipeline stage wall times at 1 vs N
+            // threads, written to BENCH_simpoint.json.
+            let name = opts
+                .benchmarks
+                .first()
+                .map_or("gcc", String::as_str)
+                .to_string();
+            eprintln!(
+                "perf baseline on {name} at {:?} scale, 1 vs {} threads...",
+                opts.scale, opts.threads
+            );
+            let r = cbsp_bench::run_perf(&name, opts.scale, opts.interval, opts.threads, &mem);
+            print!("{}", cbsp_bench::perf::render(&r));
+            let path = opts.json.as_deref().unwrap_or("BENCH_simpoint.json");
+            let json = serde_json::to_string_pretty(&r).expect("report serializes");
+            std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            eprintln!("wrote {path}");
             return;
         }
         "ablation" => {

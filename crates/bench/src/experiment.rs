@@ -7,8 +7,12 @@ use cbsp_core::{
     weighted_cpi_with, weighted_metric, weighted_metric_with, CbspConfig, CrossBinaryResult,
     PerBinaryResult,
 };
+use cbsp_par::Pool;
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
-use cbsp_sim::{simulate_fli_sliced, simulate_marker_sliced, IntervalSim, MemoryConfig, SimStats};
+use cbsp_sim::{
+    simulate_fli_sliced_all, simulate_marker_sliced_all, IntervalSim, MemoryConfig, SimStats,
+};
+use cbsp_simpoint::SimPointConfig;
 use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
 use serde::{Deserialize, Serialize};
 
@@ -211,6 +215,25 @@ pub fn evaluate_benchmark_with(
     mem: &MemoryConfig,
     store: Option<&ArtifactStore>,
 ) -> BenchmarkRun {
+    evaluate_benchmark_pooled(name, scale, interval_target, mem, store, &Pool::auto())
+}
+
+/// [`evaluate_benchmark_with`] with explicit parallelism: compilation,
+/// the cross-binary pipeline, the per-binary FLI analyses, and the
+/// detailed simulations all fan out over `pool`. Results are
+/// bit-identical at any pool size.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload suite or the store fails.
+pub fn evaluate_benchmark_pooled(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+    store: Option<&ArtifactStore>,
+    pool: &Pool,
+) -> BenchmarkRun {
     let workload = workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let prog = workload.build(scale);
     let input = match scale {
@@ -218,15 +241,19 @@ pub fn evaluate_benchmark_with(
         Scale::Train => Input::train(),
         Scale::Reference => Input::reference(),
     };
-    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
-        .iter()
-        .map(|&t| compile(&prog, t))
-        .collect();
+    let binaries: Vec<Binary> = pool.run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
+        compile(&prog, CompileTarget::ALL_FOUR[i])
+    });
     let bin_refs: Vec<&Binary> = binaries.iter().collect();
 
-    // Cross-binary (VLI) pipeline.
+    // Cross-binary (VLI) pipeline; the pipeline's internal stages use
+    // the same thread budget.
     let config = CbspConfig {
         interval_target,
+        simpoint: SimPointConfig {
+            threads: pool.threads(),
+            ..SimPointConfig::default()
+        },
         ..CbspConfig::default()
     };
     let cross = match store {
@@ -241,21 +268,29 @@ pub fn evaluate_benchmark_with(
         None => run_cross_binary(&bin_refs, &input, &config).expect("same-program binaries"),
     };
 
-    // Per-binary (FLI) pipeline.
-    let per_binary: Vec<PerBinaryResult> = binaries
-        .iter()
-        .map(|b| run_per_binary(b, &input, interval_target, &config.simpoint))
-        .collect();
+    // Per-binary (FLI) pipeline: four independent analyses side by
+    // side, each clustering with its share of the thread budget.
+    let fli_config = SimPointConfig {
+        threads: pool.split(binaries.len()).threads(),
+        ..config.simpoint
+    };
+    let per_binary: Vec<PerBinaryResult> = pool.run_indexed(binaries.len(), |b| {
+        run_per_binary(&binaries[b], &input, interval_target, &fli_config)
+    });
 
-    // Detailed simulation, sliced both ways.
+    // Detailed simulation, sliced both ways: eight full-program
+    // simulations (4 binaries × 2 slicings), all independent.
+    let marker_sliced = simulate_marker_sliced_all(&bin_refs, &input, mem, &cross.boundaries, pool);
+    let fli_sliced = simulate_fli_sliced_all(&bin_refs, &input, mem, interval_target, pool);
     let mut true_stats = [SimStats::default(); 4];
     let mut vli_interval_stats = Vec::with_capacity(4);
     let mut fli_interval_stats = Vec::with_capacity(4);
-    for (b, bin) in binaries.iter().enumerate() {
-        let (full_v, mut ivs_v) = simulate_marker_sliced(bin, &input, mem, &cross.boundaries[b]);
+    for (b, ((full_v, mut ivs_v), (full_f, ivs_f))) in
+        marker_sliced.into_iter().zip(fli_sliced).enumerate()
+    {
         ivs_v.resize(cross.interval_count(), IntervalSim::default());
-        let (full_f, ivs_f) = simulate_fli_sliced(bin, &input, mem, interval_target);
         debug_assert_eq!(full_v, full_f, "slicing must not change the simulation");
+        let _ = full_f;
         true_stats[b] = full_v;
         vli_interval_stats.push(ivs_v);
         fli_interval_stats.push(ivs_f);

@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod archsweep;
 pub mod experiment;
+pub mod perf;
 pub mod report;
 pub mod seeds;
 pub mod softmark_study;
@@ -34,9 +35,10 @@ pub mod warmup;
 pub use ablation::{run_ablations, standard_variants, Variant, VariantResult};
 pub use archsweep::{standard_archs, sweep_benchmark, ArchSweepRow, ArchVariant};
 pub use experiment::{
-    evaluate_benchmark, evaluate_benchmark_with, mpki_eval, phase_bias, BenchmarkEval,
-    BenchmarkRun, MpkiEval, Pair, PhaseBias, PhaseRow, SchemeEval,
+    evaluate_benchmark, evaluate_benchmark_pooled, evaluate_benchmark_with, mpki_eval, phase_bias,
+    BenchmarkEval, BenchmarkRun, MpkiEval, Pair, PhaseBias, PhaseRow, SchemeEval,
 };
+pub use perf::{run_perf, PerfReport, StageTime};
 pub use seeds::{seed_stability, SeedRow};
 pub use softmark_study::{softmark_benchmark, SoftMarkRow};
 pub use suite::{run_suite, run_suite_with, SuiteResults};

@@ -1,0 +1,242 @@
+//! Performance baseline: per-stage wall time of the cross-binary
+//! pipeline at 1 thread vs N threads (the `perf` artifact,
+//! `BENCH_simpoint.json`).
+//!
+//! Runs the pipeline stage by stage — compile, profile, mappable, VLI,
+//! SimPoint clustering, boundary mapping, detailed simulation — once
+//! serially and once on a pool, timing each stage, and checks that the
+//! two runs produce identical results (the engine's determinism
+//! guarantee, measured rather than assumed).
+
+use cbsp_core::{
+    map_stage, mappable_stage, profile_stage_all, simpoint_stage, vli_stage, CbspConfig,
+    MappableStage, MappedSlicing,
+};
+use cbsp_par::Pool;
+use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
+use cbsp_sim::{simulate_marker_sliced_all, MemoryConfig};
+use cbsp_simpoint::{SimPointConfig, SimPointResult};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall time of one pipeline stage at both thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTime {
+    /// Stage name.
+    pub stage: String,
+    /// Milliseconds with one thread.
+    pub serial_ms: f64,
+    /// Milliseconds with the full pool.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The full perf baseline (serialized to `BENCH_simpoint.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Benchmark measured.
+    pub benchmark: String,
+    /// Scale the run used.
+    pub scale: String,
+    /// Interval-size target in instructions.
+    pub interval_target: u64,
+    /// Threads in the parallel configuration.
+    pub threads: usize,
+    /// Per-stage times, in pipeline order.
+    pub stages: Vec<StageTime>,
+    /// End-to-end serial milliseconds.
+    pub total_serial_ms: f64,
+    /// End-to-end parallel milliseconds.
+    pub total_parallel_ms: f64,
+    /// End-to-end speedup.
+    pub total_speedup: f64,
+    /// `true` — the serial and parallel runs produced identical
+    /// clusterings and weights (checked, not assumed).
+    pub results_identical: bool,
+}
+
+struct MeasuredRun {
+    times: Vec<(&'static str, f64)>,
+    simpoint: SimPointResult,
+    weights: Vec<Vec<f64>>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn measure(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    threads: usize,
+    mem: &MemoryConfig,
+) -> MeasuredRun {
+    let workload = workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let prog = workload.build(scale);
+    let input = match scale {
+        Scale::Test => Input::test(),
+        Scale::Train => Input::train(),
+        Scale::Reference => Input::reference(),
+    };
+    let pool = Pool::new(threads);
+    let config = CbspConfig {
+        interval_target,
+        simpoint: SimPointConfig {
+            threads,
+            ..SimPointConfig::default()
+        },
+        ..CbspConfig::default()
+    };
+    let mut times = Vec::new();
+
+    let t = Instant::now();
+    let binaries: Vec<Binary> = pool.run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
+        compile(&prog, CompileTarget::ALL_FOUR[i])
+    });
+    times.push(("compile", ms(t)));
+    let bin_refs: Vec<&Binary> = binaries.iter().collect();
+
+    let t = Instant::now();
+    let profiles = profile_stage_all(&bin_refs, &input, &pool);
+    times.push(("profile", ms(t)));
+
+    let t = Instant::now();
+    let MappableStage { set: mappable, .. } = mappable_stage(&bin_refs, &profiles);
+    times.push(("mappable", ms(t)));
+
+    let t = Instant::now();
+    let vli = vli_stage(&bin_refs, &input, &config, &mappable);
+    times.push(("vli", ms(t)));
+
+    let t = Instant::now();
+    let simpoint = simpoint_stage(&vli, &config.simpoint);
+    times.push(("simpoint", ms(t)));
+
+    let t = Instant::now();
+    let MappedSlicing {
+        boundaries,
+        weights,
+        ..
+    } = map_stage(
+        &bin_refs,
+        &input,
+        config.primary,
+        &mappable,
+        &vli,
+        &simpoint,
+        &pool,
+    )
+    .expect("same-program binaries map cleanly");
+    times.push(("map", ms(t)));
+
+    let t = Instant::now();
+    let sims = simulate_marker_sliced_all(&bin_refs, &input, mem, &boundaries, &pool);
+    times.push(("detailed_sim", ms(t)));
+    drop(sims);
+
+    MeasuredRun {
+        times,
+        simpoint,
+        weights,
+    }
+}
+
+/// Measures the pipeline at 1 thread and at `threads`, returning the
+/// per-stage comparison.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload suite.
+pub fn run_perf(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    threads: usize,
+    mem: &MemoryConfig,
+) -> PerfReport {
+    let threads = threads.max(2);
+    let serial = measure(name, scale, interval_target, 1, mem);
+    let parallel = measure(name, scale, interval_target, threads, mem);
+
+    let stages: Vec<StageTime> = serial
+        .times
+        .iter()
+        .zip(&parallel.times)
+        .map(|(&(stage, s_ms), &(_, p_ms))| StageTime {
+            stage: stage.to_string(),
+            serial_ms: s_ms,
+            parallel_ms: p_ms,
+            speedup: if p_ms > 0.0 { s_ms / p_ms } else { 1.0 },
+        })
+        .collect();
+    let total_serial_ms: f64 = stages.iter().map(|s| s.serial_ms).sum();
+    let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
+    PerfReport {
+        benchmark: name.to_string(),
+        scale: format!("{scale:?}"),
+        interval_target,
+        threads,
+        stages,
+        total_serial_ms,
+        total_parallel_ms,
+        total_speedup: if total_parallel_ms > 0.0 {
+            total_serial_ms / total_parallel_ms
+        } else {
+            1.0
+        },
+        results_identical: serial.simpoint == parallel.simpoint
+            && serial.weights == parallel.weights,
+    }
+}
+
+/// Renders a perf report as an aligned text table.
+pub fn render(r: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline stage wall time — {} ({} scale, interval {}), 1 vs {} threads\n",
+        r.benchmark, r.scale, r.interval_target, r.threads
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>9}\n",
+        "stage", "serial ms", "parallel ms", "speedup"
+    ));
+    for s in &r.stages {
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>12.1} {:>8.2}x\n",
+            s.stage, s.serial_ms, s.parallel_ms, s.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "{:<14} {:>12.1} {:>12.1} {:>8.2}x\n",
+        "total", r.total_serial_ms, r.total_parallel_ms, r.total_speedup
+    ));
+    out.push_str(&format!(
+        "results identical across thread counts: {}\n",
+        r.results_identical
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_report_is_complete_and_identical() {
+        let r = run_perf("gzip", Scale::Test, 20_000, 4, &MemoryConfig::table1());
+        assert_eq!(r.stages.len(), 7);
+        assert!(r.total_serial_ms > 0.0);
+        assert!(r.total_parallel_ms > 0.0);
+        assert!(
+            r.results_identical,
+            "serial and parallel runs must produce identical results"
+        );
+        let text = render(&r);
+        assert!(text.contains("simpoint"));
+        assert!(text.contains("detailed_sim"));
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("total_speedup"));
+    }
+}

@@ -1,11 +1,13 @@
 //! Suite-level experiment driver: evaluates every benchmark and
 //! aggregates the data behind each figure.
 
-use crate::experiment::{evaluate_benchmark_with, BenchmarkEval, Pair};
+use crate::experiment::{evaluate_benchmark_pooled, BenchmarkEval, Pair};
+use cbsp_par::Pool;
 use cbsp_program::{workloads, Scale};
 use cbsp_sim::MemoryConfig;
 use cbsp_store::ArtifactStore;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Results for the whole suite.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,33 +72,25 @@ pub fn run_suite_with(
             .collect()
     };
 
-    let threads = threads.max(1).min(selected.len().max(1));
-    let mut evals: Vec<Option<BenchmarkEval>> = vec![None; selected.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let evals_mutex = std::sync::Mutex::new(&mut evals);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= selected.len() {
-                    break;
-                }
-                let run = evaluate_benchmark_with(selected[i], scale, interval_target, mem, store);
-                let mut guard = evals_mutex.lock().expect("no poisoned workers");
-                guard[i] = Some(run.eval);
-                eprintln!("  [{}/{}] {} done", i + 1, selected.len(), selected[i]);
-            });
-        }
+    // Split the thread budget: benchmarks fan out across the pool, and
+    // each evaluation's inner stages (pipeline, clustering, detailed
+    // sims) share the remainder, so `threads` bounds total parallelism.
+    let budget = Pool::new(threads.max(1));
+    let outer = Pool::new(budget.threads().min(selected.len().max(1)));
+    let inner = budget.split(outer.threads());
+    let done = AtomicUsize::new(0);
+    let benchmarks = outer.run_indexed(selected.len(), |i| {
+        let run =
+            evaluate_benchmark_pooled(selected[i], scale, interval_target, mem, store, &inner);
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("  [{}/{}] {} done", finished, selected.len(), selected[i]);
+        run.eval
     });
 
     SuiteResults {
         scale: format!("{scale:?}"),
         interval_target,
-        benchmarks: evals
-            .into_iter()
-            .map(|e| e.expect("every benchmark evaluated"))
-            .collect(),
+        benchmarks,
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::opts::{read_json, write_json, Opts};
 use cbsp_core::{marker_period_stats, run_per_binary, select_phase_markers, CbspConfig, PointKind};
+use cbsp_par::Pool;
 use cbsp_profile::{parse_bb, write_bb, PinPointsFile, ProcHotness};
 use cbsp_program::{compile, workloads, Binary, CompileTarget, OptLevel, Width};
 use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
@@ -162,11 +163,12 @@ pub fn simpoint(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `cbsp cross <benchmark> [--interval N] [--scale S] [--out-dir D]
-/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — the full six-step
-/// pipeline; writes the four binaries and their PinPoints region files.
-/// Stages are served from the content-addressed artifact store when
-/// their inputs are unchanged.
+/// `cbsp cross <benchmark> [--interval N] [--scale S] [--threads N]
+/// [--out-dir D] [--cache-dir D] [--no-cache 1] [--refresh 1]` — the
+/// full six-step pipeline; writes the four binaries and their PinPoints
+/// region files. Stages are served from the content-addressed artifact
+/// store when their inputs are unchanged. `--threads` sizes the shared
+/// pool (0 = one per core); output is bit-identical at every setting.
 pub fn cross(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
     let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
@@ -175,15 +177,19 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let config = CbspConfig {
         interval_target: opts.flag_or("interval", 100_000u64)?,
+        simpoint: SimPointConfig {
+            threads: opts.threads()?,
+            ..SimPointConfig::default()
+        },
         ..CbspConfig::default()
     };
     let out_dir = opts.flag("out-dir").unwrap_or(".");
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
 
-    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
-        .iter()
-        .map(|&t| compile(&program, t))
-        .collect();
+    let pool = Pool::new(config.simpoint.threads);
+    let binaries: Vec<Binary> = pool.run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
+        compile(&program, CompileTarget::ALL_FOUR[i])
+    });
     let policy = opts.cache_policy()?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
     let orchestrator = Orchestrator::new(&store, policy);

@@ -42,7 +42,7 @@ commands:
   perbinary <binary.json>      classic per-binary SimPoint -> region file
       [--interval N] [--scale S] [--out FILE]
   cross <bench>                cross-binary pipeline over all four binaries
-      [--interval N] [--scale S] [--out-dir DIR]
+      [--interval N] [--scale S] [--threads N] [--out-dir DIR]
       [--cache-dir DIR] [--no-cache 1] [--refresh 1]
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]

@@ -62,6 +62,12 @@ impl Opts {
         })
     }
 
+    /// Worker-thread count from `--threads N` (default 0 = one per
+    /// available core). Results are bit-identical at every setting.
+    pub fn threads(&self) -> Result<usize, String> {
+        self.flag_or("threads", 0usize)
+    }
+
     /// The artifact-store directory from `--cache-dir` (default
     /// `.cbsp-cache`).
     pub fn cache_dir(&self) -> &str {

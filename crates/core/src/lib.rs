@@ -61,8 +61,11 @@ pub use estimate::{
 pub use mappable::{find_mappable_points, MappablePoint, MappableSet, PointKind};
 pub use perbinary::{run_per_binary, PerBinaryResult};
 pub use pipeline::{
-    map_stage, mappable_stage, profile_stage, run_cross_binary, simpoint_stage, validate_binaries,
-    vli_stage, CbspConfig, CrossBinaryResult, MappableStage, MappedSlicing,
+    map_stage, mappable_stage, profile_stage, profile_stage_all, run_cross_binary, simpoint_stage,
+    validate_binaries, vli_stage, CbspConfig, CrossBinaryResult, MappableStage, MappedSlicing,
 };
-pub use softmarkers::{marker_period_stats, select_phase_markers, slice_at_marker, MarkerStats};
+pub use softmarkers::{
+    marker_period_stats, marker_period_stats_all, select_phase_markers, slice_at_marker,
+    MarkerStats,
+};
 pub use vli::{build_vli, slice_instr_counts, VliProfile};

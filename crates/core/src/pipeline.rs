@@ -19,6 +19,7 @@ use crate::error::CbspError;
 use crate::inlining::recover_inlined;
 use crate::mappable::{find_mappable_points, MappableSet};
 use crate::vli::{build_vli, slice_instr_counts, VliProfile};
+use cbsp_par::Pool;
 use cbsp_profile::{CallLoopProfile, ExecPoint, PinPointsFile, RegionBound, SimRegion};
 use cbsp_program::{Binary, Input};
 use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
@@ -170,6 +171,13 @@ pub fn profile_stage(binary: &Binary, input: &Input) -> CallLoopProfile {
     CallLoopProfile::collect(binary, input)
 }
 
+/// Pipeline step 1 for every binary, fanned out over `pool` (one job
+/// per binary; profiles are independent full-program runs and dominate
+/// the pre-clustering wall time).
+pub fn profile_stage_all(binaries: &[&Binary], input: &Input, pool: &Pool) -> Vec<CallLoopProfile> {
+    pool.run_indexed(binaries.len(), |i| profile_stage(binaries[i], input))
+}
+
 /// Pipeline step 2: mappable points across all binaries, with inlined
 /// loops recovered (paper §3.2.1–§3.2.2).
 pub fn mappable_stage(binaries: &[&Binary], profiles: &[CallLoopProfile]) -> MappableStage {
@@ -220,17 +228,17 @@ pub fn map_stage(
     mappable: &MappableSet,
     vli: &VliProfile,
     simpoint: &SimPointResult,
+    pool: &Pool,
 ) -> Result<MappedSlicing, CbspError> {
     // Step 5: translate boundaries to every binary. Build a translation
-    // table once (primary marker → per-binary markers).
+    // table once (primary marker → per-binary markers), then translate
+    // per binary in parallel (each binary's column is independent).
     let mut table: BTreeMap<cbsp_profile::MarkerRef, usize> = BTreeMap::new();
     for (pi, p) in mappable.points.iter().enumerate() {
         table.insert(p.per_binary[primary], pi);
     }
-    let mut boundaries = Vec::with_capacity(binaries.len());
-    for b in 0..binaries.len() {
-        let translated: Result<Vec<ExecPoint>, CbspError> = vli
-            .boundaries
+    let translated = pool.run_indexed(binaries.len(), |b| {
+        vli.boundaries
             .iter()
             .map(|bp| {
                 let pi = table
@@ -241,11 +249,16 @@ pub fn map_stage(
                     count: bp.count,
                 })
             })
-            .collect();
-        boundaries.push(translated?);
+            .collect::<Result<Vec<ExecPoint>, CbspError>>()
+    });
+    let mut boundaries = Vec::with_capacity(binaries.len());
+    for t in translated {
+        boundaries.push(t?);
     }
 
     // Step 6: per-binary interval instruction counts and phase weights.
+    // `slice_instr_counts` replays each non-primary binary's full
+    // execution, so the per-binary fan-out is the expensive part.
     let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
     let n_intervals = vli.intervals.len();
     let k = simpoint
@@ -254,13 +267,11 @@ pub fn map_stage(
         .map(|p| p.phase as usize + 1)
         .max()
         .unwrap_or(1);
-    let mut interval_instrs = Vec::with_capacity(binaries.len());
-    let mut weights = Vec::with_capacity(binaries.len());
-    for (b, bin) in binaries.iter().enumerate() {
+    let sliced = pool.run_indexed(binaries.len(), |b| {
         let mut slices = if b == primary {
             instrs.clone()
         } else {
-            slice_instr_counts(bin, input, &boundaries[b])
+            slice_instr_counts(binaries[b], input, &boundaries[b])
         };
         slices.resize(n_intervals, 0); // zero-length tail in this binary
         let total: u64 = slices.iter().sum();
@@ -273,6 +284,11 @@ pub fn map_stage(
                 *x /= total as f64;
             }
         }
+        (slices, w)
+    });
+    let mut interval_instrs = Vec::with_capacity(binaries.len());
+    let mut weights = Vec::with_capacity(binaries.len());
+    for (slices, w) in sliced {
         interval_instrs.push(slices);
         weights.push(w);
     }
@@ -301,9 +317,10 @@ pub fn run_cross_binary(
     config: &CbspConfig,
 ) -> Result<CrossBinaryResult, CbspError> {
     validate_binaries(binaries, config)?;
+    let pool = Pool::new(config.simpoint.threads);
 
     // Steps 1-2: profiles and mappable points.
-    let profiles: Vec<CallLoopProfile> = binaries.iter().map(|b| profile_stage(b, input)).collect();
+    let profiles = profile_stage_all(binaries, input, &pool);
     let MappableStage {
         set: mappable,
         recovered_procs,
@@ -321,7 +338,7 @@ pub fn run_cross_binary(
         boundaries,
         interval_instrs,
         weights,
-    } = map_stage(binaries, input, primary, &mappable, &vli, &simpoint)?;
+    } = map_stage(binaries, input, primary, &mappable, &vli, &simpoint, &pool)?;
 
     Ok(CrossBinaryResult {
         mappable,

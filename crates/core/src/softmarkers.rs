@@ -16,6 +16,7 @@
 //! markers at a fixed pitch); it exists to compare against and to
 //! explore the design space the related work covers.
 
+use cbsp_par::Pool;
 use cbsp_profile::{BbvBuilder, Interval, MarkerRef};
 use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,17 @@ pub fn marker_period_stats(binary: &Binary, input: &Input) -> Vec<MarkerStats> {
     let mut out = to_stats(MarkerRef::Proc, &sink.procs);
     out.extend(to_stats(MarkerRef::LoopEntry, &sink.loops));
     out
+}
+
+/// [`marker_period_stats`] for a batch of binaries, fanned out over
+/// `pool` (each call replays one binary's full execution; the runs are
+/// independent). Results are in input order.
+pub fn marker_period_stats_all(
+    binaries: &[&Binary],
+    input: &Input,
+    pool: &Pool,
+) -> Vec<Vec<MarkerStats>> {
+    pool.run_indexed(binaries.len(), |i| marker_period_stats(binaries[i], input))
 }
 
 /// Selects phase-marker candidates: mean period within

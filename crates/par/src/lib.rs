@@ -1,0 +1,304 @@
+//! # cbsp-par — scoped thread pool with deterministic reduction
+//!
+//! The workspace's shared parallel substrate. Every hot path that fans
+//! out — the k×restart clustering grid, per-binary profiling, the
+//! Lloyd assignment loop, per-binary detailed simulation — goes through
+//! this crate instead of hand-rolled `std::thread::scope` worker loops.
+//!
+//! Two design rules make the parallelism safe to use anywhere in the
+//! pipeline:
+//!
+//! 1. **Determinism by construction.** Work is expressed as fixed-size
+//!    chunks of an index range. Chunk boundaries depend only on the
+//!    input size (never on the thread count), each chunk is folded
+//!    serially, and partial results are merged *in chunk order* on the
+//!    caller's thread. Floating-point reductions therefore associate
+//!    identically at any thread count: `threads = 1` and `threads = 64`
+//!    produce bit-identical results.
+//! 2. **No unsafe, no dependencies.** Workers are scoped threads
+//!    (`std::thread::scope`); results land in per-slot mutexes indexed
+//!    by job id, so no ordering is ever inferred from completion order.
+//!
+//! A [`Pool`] is a lightweight handle (just a thread count); it spawns
+//! scoped workers per parallel call. That makes it freely shareable and
+//! nestable — inner code running on a worker can itself hold a serial
+//! pool — at the cost of a per-call spawn (~tens of microseconds per
+//! thread), which the intended call sites (whole k-means runs, whole
+//! program simulations, Lloyd iterations over thousands of points)
+//! amortize comfortably. Calls with a single chunk or a single job
+//! run inline on the caller's thread, so small inputs never pay for
+//! threads they cannot use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of index elements per chunk for chunked operations.
+///
+/// Fixed (never derived from the thread count) so that reduction trees
+/// — and therefore floating-point results — are identical at any
+/// parallelism level.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+/// Number of worker threads the machine offers (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A shareable handle describing how much parallelism to use.
+///
+/// `Pool` is cheap to create and copy; it owns no threads. Each
+/// parallel call spawns scoped workers for its own duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::auto()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers; `0` means
+    /// [`available_threads()`].
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: if threads == 0 {
+                available_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// A pool sized to the machine.
+    pub fn auto() -> Pool {
+        Pool::new(0)
+    }
+
+    /// A single-threaded pool: every call runs inline on the caller.
+    pub fn serial() -> Pool {
+        Pool { threads: 1 }
+    }
+
+    /// Worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if this pool never spawns.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Splits `self.threads()` among `outer` concurrent callers: the
+    /// pool an inner computation should use when `outer` of them run
+    /// side by side (≥ 1 thread each).
+    pub fn split(&self, outer: usize) -> Pool {
+        Pool {
+            threads: (self.threads / outer.max(1)).max(1),
+        }
+    }
+
+    /// Runs `f(i)` for every `i` in `0..n` and returns the results in
+    /// index order. Jobs are claimed dynamically by up to
+    /// `min(threads, n)` scoped workers; with one worker (or one job)
+    /// everything runs inline, in order, on the caller's thread.
+    ///
+    /// Each `f(i)` must be a pure function of `i` for the output to be
+    /// deterministic — the pool guarantees placement, not purity.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i);
+                    *slots[i].lock().expect("worker slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker slot lock")
+                    .expect("every job ran")
+            })
+            .collect()
+    }
+
+    /// Splits `0..n` into [`chunk_ranges`]-style chunks of `chunk`
+    /// elements, folds each chunk with `fold`, and returns the per-chunk
+    /// results **in chunk order**.
+    ///
+    /// The chunk layout depends only on `(n, chunk)`, so any
+    /// fold-then-merge built on top of this is bit-identical at every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero; propagates panics from `fold`.
+    pub fn map_chunks<A, F>(&self, n: usize, chunk: usize, fold: F) -> Vec<A>
+    where
+        A: Send,
+        F: Fn(Range<usize>) -> A + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunks = n.div_ceil(chunk);
+        self.run_indexed(chunks, |c| {
+            let start = c * chunk;
+            fold(start..(start + chunk).min(n))
+        })
+    }
+
+    /// Deterministic chunked reduction over `0..n`: folds each chunk
+    /// serially with `fold`, then merges the partials in chunk order on
+    /// the caller's thread. Returns `None` when `n == 0`.
+    ///
+    /// This is the reduction primitive behind the parallel Lloyd update
+    /// step: per-chunk partial centroid sums merged left-to-right give
+    /// the same floating-point sum regardless of which worker computed
+    /// which chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero; propagates panics from the closures.
+    pub fn reduce_chunks<A, F, M>(&self, n: usize, chunk: usize, fold: F, mut merge: M) -> Option<A>
+    where
+        A: Send,
+        F: Fn(Range<usize>) -> A + Sync,
+        M: FnMut(A, A) -> A,
+    {
+        let mut partials = self.map_chunks(n, chunk, fold).into_iter();
+        let first = partials.next()?;
+        Some(partials.fold(first, &mut merge))
+    }
+}
+
+/// The chunk layout [`Pool::map_chunks`] uses: consecutive
+/// `chunk`-sized ranges covering `0..n` (last one possibly short).
+pub fn chunk_ranges(n: usize, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..n.div_ceil(chunk)).map(move |c| {
+        let start = c * chunk;
+        start..(start + chunk).min(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.run_indexed(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.run_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn chunk_layout_is_thread_independent() {
+        let ranges: Vec<_> = chunk_ranges(10, 4).collect();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(0, 4).count(), 0);
+        assert_eq!(chunk_ranges(4, 4).collect::<Vec<_>>(), vec![0..4]);
+    }
+
+    #[test]
+    fn reduction_is_bit_identical_across_thread_counts() {
+        // A floating-point sum whose value depends on association
+        // order: if chunking or merge order varied with the thread
+        // count, these results would differ in the low bits.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761_usize) % 1_000_003) as f64 * 1e-7 + 1e9)
+            .collect();
+        let sum_with = |threads: usize| {
+            Pool::new(threads)
+                .reduce_chunks(
+                    values.len(),
+                    64,
+                    |r| r.map(|i| values[i]).fold(0.0f64, |a, b| a + b),
+                    |a, b| a + b,
+                )
+                .expect("nonempty")
+        };
+        let s1 = sum_with(1);
+        for threads in [2, 3, 5, 8, 16] {
+            assert_eq!(s1.to_bits(), sum_with(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_chunks_empty_is_none() {
+        let pool = Pool::new(4);
+        assert_eq!(
+            pool.reduce_chunks(0, 8, |_| 0.0f64, |a: f64, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn split_distributes_threads() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.split(2).threads(), 4);
+        assert_eq!(pool.split(3).threads(), 2);
+        assert_eq!(pool.split(100).threads(), 1);
+        assert_eq!(pool.split(0).threads(), 8);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert_eq!(Pool::new(0).threads(), available_threads());
+        assert!(Pool::serial().is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        let _ = Pool::serial().map_chunks(10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).run_indexed(16, |i| {
+                if i == 7 {
+                    panic!("job 7 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -42,11 +42,12 @@ pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheLevelConfig, MemoryConfig, Replacement};
 pub use hierarchy::{Hierarchy, ServicedBy};
 pub use regions::{
-    estimate_cpi_from_regions, simulate_regions, simulate_regions_with, RegionStats, Warmup,
+    estimate_cpi_from_regions, simulate_regions, simulate_regions_all, simulate_regions_with,
+    RegionStats, Warmup,
 };
 pub use runner::{
-    simulate_fli_sliced, simulate_full, simulate_marker_sliced, FliSlicedSim, FullSim,
-    MarkerSlicedSim,
+    simulate_fli_sliced, simulate_fli_sliced_all, simulate_full, simulate_full_all,
+    simulate_marker_sliced, simulate_marker_sliced_all, FliSlicedSim, FullSim, MarkerSlicedSim,
 };
 pub use stats::{IntervalSim, LevelStats, SimStats};
 

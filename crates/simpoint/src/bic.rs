@@ -7,17 +7,18 @@
 //! treated as fractional multiplicities.
 
 use crate::kmeans::KMeansResult;
+use crate::vector::VectorSet;
 
 /// BIC of `clustering` on weighted `data`. Higher is better.
 ///
 /// # Panics
 ///
 /// Debug-asserts that `weights` matches the labelled data size.
-pub fn bic(data: &[Vec<f64>], weights: &[f64], clustering: &KMeansResult) -> f64 {
+pub fn bic(data: &VectorSet, weights: &[f64], clustering: &KMeansResult) -> f64 {
     debug_assert_eq!(data.len(), weights.len());
     debug_assert_eq!(data.len(), clustering.labels.len());
     let k = clustering.k();
-    let d = data.first().map_or(0, Vec::len) as f64;
+    let d = data.dims() as f64;
     let r: f64 = weights.iter().sum();
 
     // Per-cluster effective sizes.
@@ -51,11 +52,11 @@ mod tests {
     use super::*;
     use crate::kmeans::kmeans;
 
-    fn blobs(centers: &[f64], per: usize, spread: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut data = Vec::new();
+    fn blobs(centers: &[f64], per: usize, spread: f64) -> (VectorSet, Vec<f64>) {
+        let mut data = VectorSet::new(2);
         for &c in centers {
             for i in 0..per {
-                data.push(vec![c + spread * (i as f64 / per as f64 - 0.5), c]);
+                data.push(&[c + spread * (i as f64 / per as f64 - 0.5), c]);
             }
         }
         let n = data.len();
@@ -87,7 +88,7 @@ mod tests {
     #[test]
     fn bic_is_finite_in_degenerate_cases() {
         // All-identical points, k close to n.
-        let data = vec![vec![1.0, 1.0]; 6];
+        let data = VectorSet::from_rows(&vec![vec![1.0, 1.0]; 6]);
         let w = vec![1.0; 6];
         for k in 1..=5 {
             let r = kmeans(&data, &w, k, 0, 20);

@@ -9,9 +9,14 @@
 //! [`crate::kmeans`]: given the same initialization it converges to the
 //! same fixed point, only faster — which the equivalence tests and the
 //! `simpoint_micro` benchmarks verify.
+//!
+//! The algorithm's point-skipping control flow is inherently irregular,
+//! so this path stays serial; it operates on the same flat
+//! [`VectorSet`] storage as the parallel Lloyd engine and benefits from
+//! the same cache-friendly row layout and unrolled distance kernel.
 
 use crate::kmeans::KMeansResult;
-use crate::vector::distance_sq;
+use crate::vector::{distance_sq, VectorSet};
 
 /// Runs Hamerly-accelerated k-means from explicit initial centroids.
 ///
@@ -22,23 +27,24 @@ use crate::vector::distance_sq;
 ///
 /// Panics if inputs are empty or sizes mismatch.
 pub fn kmeans_hamerly_from(
-    data: &[Vec<f64>],
+    data: &VectorSet,
     weights: &[f64],
-    mut centroids: Vec<Vec<f64>>,
+    mut centroids: VectorSet,
     max_iters: usize,
 ) -> KMeansResult {
     assert!(!data.is_empty(), "kmeans needs at least one vector");
     assert_eq!(weights.len(), data.len(), "one weight per vector");
     let k = centroids.len();
     assert!(k >= 1 && k <= data.len(), "k out of range");
-    let dims = data[0].len();
+    let dims = data.dims();
+    assert_eq!(dims, centroids.dims(), "centroid dimensionality mismatch");
 
     // Initial assignment with full distance computations, establishing
     // the bounds.
     let mut labels = vec![0u32; data.len()];
     let mut upper = vec![0.0f64; data.len()]; // distance to assigned centroid
     let mut lower = vec![0.0f64; data.len()]; // distance to 2nd closest
-    for (i, v) in data.iter().enumerate() {
+    for (i, v) in data.rows().enumerate() {
         let (a, du, dl) = two_nearest(v, &centroids);
         labels[i] = a as u32;
         upper[i] = du;
@@ -50,29 +56,33 @@ pub fn kmeans_hamerly_from(
         iterations = iter + 1;
 
         // Move centroids to weighted means of their members.
-        let mut sums = vec![vec![0.0; dims]; k];
+        let mut sums = vec![0.0f64; k * dims];
         let mut mass = vec![0.0f64; k];
-        for (i, v) in data.iter().enumerate() {
+        for (i, v) in data.rows().enumerate() {
             let c = labels[i] as usize;
             mass[c] += weights[i];
-            for (s, x) in sums[c].iter_mut().zip(v) {
+            for (s, x) in sums[c * dims..(c + 1) * dims].iter_mut().zip(v) {
                 *s += weights[i] * x;
             }
         }
         let mut moved = vec![0.0f64; k];
         let mut max_moved = 0.0f64;
         let mut second_moved = 0.0f64;
+        let mut scratch = vec![0.0f64; dims];
         for c in 0..k {
-            let new = if mass[c] > 0.0 {
-                sums[c].iter().map(|s| s / mass[c]).collect::<Vec<f64>>()
+            let old = centroids.row(c);
+            if mass[c] > 0.0 {
+                for (out, s) in scratch.iter_mut().zip(&sums[c * dims..(c + 1) * dims]) {
+                    *out = s / mass[c];
+                }
+                moved[c] = distance_sq(&scratch, old).sqrt();
+                centroids.row_mut(c).copy_from_slice(&scratch);
             } else {
                 // Empty cluster: keep it in place (plain Lloyd repair
                 // strategies differ here; staying put keeps the
                 // algorithm exact w.r.t. its own fixed point).
-                centroids[c].clone()
-            };
-            moved[c] = distance_sq(&new, &centroids[c]).sqrt();
-            centroids[c] = new;
+                moved[c] = 0.0;
+            }
             if moved[c] > max_moved {
                 second_moved = max_moved;
                 max_moved = moved[c];
@@ -87,19 +97,19 @@ pub fn kmeans_hamerly_from(
         // Half the minimum distance from each centroid to another
         // centroid: if upper[i] is below this, the point cannot switch.
         let mut half_min_dist = vec![f64::INFINITY; k];
-        for a in 0..k {
+        for (a, slot) in half_min_dist.iter_mut().enumerate() {
             for b in 0..k {
                 if a != b {
-                    let d = distance_sq(&centroids[a], &centroids[b]).sqrt() / 2.0;
-                    if d < half_min_dist[a] {
-                        half_min_dist[a] = d;
+                    let d = distance_sq(centroids.row(a), centroids.row(b)).sqrt() / 2.0;
+                    if d < *slot {
+                        *slot = d;
                     }
                 }
             }
         }
 
         // Update bounds and reassign only where the bounds fail.
-        for (i, v) in data.iter().enumerate() {
+        for (i, v) in data.rows().enumerate() {
             let a = labels[i] as usize;
             upper[i] += moved[a];
             // The second-closest centroid moved at most max_moved (or
@@ -115,7 +125,7 @@ pub fn kmeans_hamerly_from(
                 continue; // cannot have changed assignment
             }
             // Tighten the upper bound; re-check.
-            upper[i] = distance_sq(v, &centroids[a]).sqrt();
+            upper[i] = distance_sq(v, centroids.row(a)).sqrt();
             if upper[i] <= bound {
                 continue;
             }
@@ -128,9 +138,9 @@ pub fn kmeans_hamerly_from(
     }
 
     let wcss = data
-        .iter()
+        .rows()
         .enumerate()
-        .map(|(i, v)| weights[i] * distance_sq(v, &centroids[labels[i] as usize]))
+        .map(|(i, v)| weights[i] * distance_sq(v, centroids.row(labels[i] as usize)))
         .sum();
     KMeansResult {
         centroids,
@@ -142,10 +152,10 @@ pub fn kmeans_hamerly_from(
 
 /// Returns `(argmin, d_min, d_second)` over centroid *Euclidean*
 /// distances.
-fn two_nearest(v: &[f64], centroids: &[Vec<f64>]) -> (usize, f64, f64) {
+fn two_nearest(v: &[f64], centroids: &VectorSet) -> (usize, f64, f64) {
     let mut best = (0usize, f64::INFINITY);
     let mut second = f64::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
+    for (c, centroid) in centroids.rows().enumerate() {
         let d = distance_sq(v, centroid).sqrt();
         if d < best.1 {
             second = best.1;
@@ -161,8 +171,8 @@ fn two_nearest(v: &[f64], centroids: &[Vec<f64>]) -> (usize, f64, f64) {
 mod tests {
     use super::*;
 
-    fn blobs(n_per: usize, centers: &[(f64, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut data = Vec::new();
+    fn blobs(n_per: usize, centers: &[(f64, f64)]) -> (VectorSet, Vec<f64>) {
+        let mut data = VectorSet::new(2);
         let mut x = 0x1234_5678u64;
         for &(cx, cy) in centers {
             for _ in 0..n_per {
@@ -171,59 +181,70 @@ mod tests {
                 x ^= x << 17;
                 let jx = (x % 1000) as f64 / 1000.0;
                 let jy = ((x >> 10) % 1000) as f64 / 1000.0;
-                data.push(vec![cx + jx, cy + jy]);
+                data.push(&[cx + jx, cy + jy]);
             }
         }
         let w = vec![1.0; data.len()];
         (data, w)
     }
 
+    fn init_from(data: &VectorSet, indices: &[usize]) -> VectorSet {
+        let mut init = VectorSet::with_capacity(data.dims(), indices.len());
+        for &i in indices {
+            init.push(data.row(i));
+        }
+        init
+    }
+
     /// Plain Lloyd from the same start, as the ground truth.
     fn lloyd_from(
-        data: &[Vec<f64>],
+        data: &VectorSet,
         weights: &[f64],
-        mut centroids: Vec<Vec<f64>>,
+        mut centroids: VectorSet,
         max_iters: usize,
     ) -> KMeansResult {
         let k = centroids.len();
-        let dims = data[0].len();
+        let dims = data.dims();
         let mut labels = vec![0u32; data.len()];
-        for (i, v) in data.iter().enumerate() {
+        for (i, v) in data.rows().enumerate() {
             labels[i] = crate::kmeans::nearest(v, &centroids).0 as u32;
         }
         let mut iterations = 0;
         for iter in 0..max_iters {
             iterations = iter + 1;
-            let mut sums = vec![vec![0.0; dims]; k];
+            let mut sums = vec![0.0f64; k * dims];
             let mut mass = vec![0.0f64; k];
-            for (i, v) in data.iter().enumerate() {
+            for (i, v) in data.rows().enumerate() {
                 let c = labels[i] as usize;
                 mass[c] += weights[i];
-                for (s, x) in sums[c].iter_mut().zip(v) {
+                for (s, x) in sums[c * dims..(c + 1) * dims].iter_mut().zip(v) {
                     *s += weights[i] * x;
                 }
             }
             let mut any_moved = false;
             for c in 0..k {
                 if mass[c] > 0.0 {
-                    let new: Vec<f64> = sums[c].iter().map(|s| s / mass[c]).collect();
-                    if distance_sq(&new, &centroids[c]) > 0.0 {
+                    let new: Vec<f64> = sums[c * dims..(c + 1) * dims]
+                        .iter()
+                        .map(|s| s / mass[c])
+                        .collect();
+                    if distance_sq(&new, centroids.row(c)) > 0.0 {
                         any_moved = true;
                     }
-                    centroids[c] = new;
+                    centroids.row_mut(c).copy_from_slice(&new);
                 }
             }
             if !any_moved && iter > 0 {
                 break;
             }
-            for (i, v) in data.iter().enumerate() {
+            for (i, v) in data.rows().enumerate() {
                 labels[i] = crate::kmeans::nearest(v, &centroids).0 as u32;
             }
         }
         let wcss = data
-            .iter()
+            .rows()
             .enumerate()
-            .map(|(i, v)| weights[i] * distance_sq(v, &centroids[labels[i] as usize]))
+            .map(|(i, v)| weights[i] * distance_sq(v, centroids.row(labels[i] as usize)))
             .sum();
         KMeansResult {
             centroids,
@@ -236,7 +257,7 @@ mod tests {
     #[test]
     fn matches_lloyd_on_separated_blobs() {
         let (data, w) = blobs(40, &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]);
-        let init = vec![data[0].clone(), data[40].clone(), data[80].clone()];
+        let init = init_from(&data, &[0, 40, 80]);
         let fast = kmeans_hamerly_from(&data, &w, init.clone(), 100);
         let slow = lloyd_from(&data, &w, init, 100);
         assert_eq!(fast.labels, slow.labels);
@@ -247,7 +268,7 @@ mod tests {
     fn matches_lloyd_on_overlapping_blobs() {
         // Overlap forces real reassignments across iterations.
         let (data, w) = blobs(60, &[(0.0, 0.0), (1.2, 0.4), (0.5, 1.0)]);
-        let init = vec![data[3].clone(), data[70].clone(), data[130].clone()];
+        let init = init_from(&data, &[3, 70, 130]);
         let fast = kmeans_hamerly_from(&data, &w, init.clone(), 200);
         let slow = lloyd_from(&data, &w, init, 200);
         assert_eq!(fast.labels, slow.labels, "exactness under churn");
@@ -256,22 +277,22 @@ mod tests {
 
     #[test]
     fn respects_weights() {
-        let data = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let data = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
         let w = vec![1.0, 1.0, 8.0];
-        let init = vec![vec![0.5], vec![9.0]];
+        let init = VectorSet::from_rows(&[vec![0.5], vec![9.0]]);
         let r = kmeans_hamerly_from(&data, &w, init, 50);
         // The heavy point owns its centroid exactly.
-        assert!((r.centroids[1][0] - 10.0).abs() < 1e-9);
-        assert!((r.centroids[0][0] - 0.5).abs() < 1e-9);
+        assert!((r.centroids.row(1)[0] - 10.0).abs() < 1e-9);
+        assert!((r.centroids.row(0)[0] - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn single_cluster_converges_to_weighted_mean() {
         let (data, w) = blobs(50, &[(5.0, 5.0)]);
-        let init = vec![vec![0.0, 0.0]];
+        let init = VectorSet::from_rows(&[vec![0.0, 0.0]]);
         let r = kmeans_hamerly_from(&data, &w, init, 50);
-        let mean_x: f64 = data.iter().map(|v| v[0]).sum::<f64>() / data.len() as f64;
-        assert!((r.centroids[0][0] - mean_x).abs() < 1e-9);
+        let mean_x: f64 = data.rows().map(|v| v[0]).sum::<f64>() / data.len() as f64;
+        assert!((r.centroids.row(0)[0] - mean_x).abs() < 1e-9);
         assert_eq!(r.labels, vec![0; data.len()]);
     }
 }

@@ -18,6 +18,17 @@
 //! instruction counts weight the clustering, the BIC, and the phase
 //! weights (§3.2.4).
 //!
+//! ## Performance architecture
+//!
+//! Vectors live in a flat row-major [`VectorSet`] (one allocation, no
+//! per-row pointer chase) and every distance goes through the unrolled
+//! [`vector::distance_sq`] kernel. The k×restart search grid, the Lloyd
+//! assignment loop, and normalization/projection all fan out over a
+//! [`cbsp_par::Pool`] sized by [`SimPointConfig::threads`]; every
+//! reduction is chunked with thread-count-independent boundaries and
+//! merged in chunk order, so results are **bit-identical at any thread
+//! count**.
+//!
 //! ## Example
 //!
 //! ```
@@ -44,7 +55,9 @@ pub mod select;
 pub mod vector;
 
 pub use bic::bic;
+pub use cbsp_par::Pool;
 pub use hamerly::kmeans_hamerly_from;
-pub use kmeans::{kmeans, KMeansResult};
+pub use kmeans::{kmeans, kmeans_with, KMeansResult};
 pub use projection::Projection;
 pub use select::{analyze, RepresentativePolicy, SimPoint, SimPointConfig, SimPointResult};
+pub use vector::{distance_sq, VectorSet};

@@ -10,8 +10,14 @@
 //! dimension `i`) is regenerated on demand from `(seed, i)`, so
 //! projecting scales with the number of *nonzero* input entries.
 
+use crate::vector::VectorSet;
+use cbsp_par::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Rows per parallel projection chunk. Fixed so the output layout (and
+/// the work split) never depends on the thread count.
+const PROJECT_CHUNK: usize = 64;
 
 /// A seeded random projection from `in_dims` to `out_dims` dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,14 +68,29 @@ impl Projection {
         out
     }
 
-    /// Projects a batch of vectors. If the input dimensionality is
-    /// already at most `out_dims`, the vectors are passed through
-    /// unchanged (projection would only add noise).
-    pub fn project_all(&self, vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        if vectors.first().is_none_or(|v| v.len() <= self.out_dims) {
-            return vectors.to_vec();
+    /// Projects a batch of vectors, fanning rows out over `pool`. If
+    /// the input dimensionality is already at most `out_dims`, the
+    /// vectors are passed through unchanged (projection would only add
+    /// noise).
+    ///
+    /// Each row's projection is an independent pure function of
+    /// `(seed, row)`, so the result is identical at any thread count.
+    pub fn project_all(&self, vectors: &VectorSet, pool: &Pool) -> VectorSet {
+        if vectors.is_empty() || vectors.dims() <= self.out_dims {
+            return vectors.clone();
         }
-        vectors.iter().map(|v| self.project(v)).collect()
+        let chunks = pool.map_chunks(vectors.len(), PROJECT_CHUNK, |range| {
+            let mut flat = Vec::with_capacity(range.len() * self.out_dims);
+            for i in range {
+                flat.extend_from_slice(&self.project(vectors.row(i)));
+            }
+            flat
+        });
+        let mut data = Vec::with_capacity(vectors.len() * self.out_dims);
+        for chunk in chunks {
+            data.extend_from_slice(&chunk);
+        }
+        VectorSet::from_flat(self.out_dims, data)
     }
 }
 
@@ -104,8 +125,31 @@ mod tests {
     #[test]
     fn small_inputs_pass_through() {
         let p = Projection::new(1, 15);
-        let vs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        assert_eq!(p.project_all(&vs), vs);
+        let vs = VectorSet::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(p.project_all(&vs, &Pool::serial()), vs);
+    }
+
+    #[test]
+    fn batch_projection_is_thread_count_invariant() {
+        let p = Projection::new(11, 6);
+        let mut vs = VectorSet::new(40);
+        for i in 0..200usize {
+            let mut row = vec![0.0; 40];
+            row[i % 40] = 1.0 + i as f64 * 0.01;
+            row[(i * 7) % 40] += 0.5;
+            vs.push(&row);
+        }
+        let serial = p.project_all(&vs, &Pool::serial());
+        assert_eq!(serial.len(), 200);
+        assert_eq!(serial.dims(), 6);
+        for threads in [2, 8] {
+            let pooled = p.project_all(&vs, &Pool::new(threads));
+            assert_eq!(serial, pooled, "threads={threads}");
+        }
+        // Rows match the single-vector API exactly.
+        for i in [0usize, 63, 64, 199] {
+            assert_eq!(serial.row(i), &p.project(vs.row(i))[..]);
+        }
     }
 
     #[test]

@@ -4,8 +4,13 @@
 use crate::bic::bic;
 use crate::kmeans::{kmeans, KMeansResult};
 use crate::projection::Projection;
-use crate::vector::{distance_sq, normalized};
+use crate::vector::{distance_sq, normalized, VectorSet};
+use cbsp_par::Pool;
 use serde::{Deserialize, Serialize};
+
+/// Intervals per normalization chunk (fixed: layout is thread-count
+/// independent).
+const NORM_CHUNK: usize = 256;
 
 /// How the representative interval of each phase is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +62,13 @@ pub struct SimPointConfig {
     /// iteration (same k-means++ initialization, same fixed point,
     /// fewer distance computations — see [`crate::hamerly`]).
     pub accelerated: bool,
+    /// Worker threads for the analysis (`0` = all available cores).
+    ///
+    /// Purely an execution knob: the k×restart search grid and the
+    /// chunked reductions inside k-means are deterministic by
+    /// construction, so the result is bit-identical at every value.
+    /// Cache/artifact keys must therefore ignore this field.
+    pub threads: usize,
 }
 
 impl Default for SimPointConfig {
@@ -70,6 +82,7 @@ impl Default for SimPointConfig {
             seed: 0x51AD_2007,
             representative: RepresentativePolicy::NearestCentroid,
             accelerated: false,
+            threads: 0,
         }
     }
 }
@@ -137,11 +150,33 @@ pub fn analyze(
         instr_counts.len(),
         "one instruction count per interval"
     );
+    let in_dims = vectors[0].len();
+    assert!(in_dims > 0, "intervals need at least one dimension");
+    assert!(
+        vectors.iter().all(|v| v.len() == in_dims),
+        "intervals must share dimensionality"
+    );
+    let pool = Pool::new(config.threads);
 
-    // Steps 1-2: normalize, project.
-    let normed: Vec<Vec<f64>> = vectors.iter().map(|v| normalized(v)).collect();
+    // Steps 1-2: normalize, project — both chunk-parallel over fixed
+    // ranges, so the flat output layout is thread-count independent.
+    let normed = {
+        let chunks = pool.map_chunks(vectors.len(), NORM_CHUNK, |range| {
+            let mut flat = Vec::with_capacity(range.len() * in_dims);
+            for i in range {
+                flat.extend_from_slice(&normalized(&vectors[i]));
+            }
+            flat
+        });
+        let mut flat = Vec::with_capacity(vectors.len() * in_dims);
+        for chunk in chunks {
+            flat.extend_from_slice(&chunk);
+        }
+        VectorSet::from_flat(in_dims, flat)
+    };
     let projection = Projection::new(config.seed, config.projection_dims.max(1));
-    let data = projection.project_all(&normed);
+    let data = projection.project_all(&normed, &pool);
+    drop(normed);
 
     // Interval weights: instructions, scaled to mean 1 so BIC's
     // effective sample size matches the interval count.
@@ -156,22 +191,34 @@ pub fn analyze(
         vec![1.0; n]
     };
 
-    // Step 3: k search with restarts.
+    // Step 3: k search with restarts. The whole k×restart grid fans out
+    // over the pool — one cell per (k, restart), each running a serial
+    // k-means — and the per-k best is reduced afterwards in restart
+    // order with a strict `<` (first minimum wins), exactly matching
+    // the serial nested-loop order. Since each cell is a pure function
+    // of its seed, the selection is identical at any thread count.
     let max_k = config.max_k.clamp(1, n);
+    let restarts = config.restarts.max(1);
+    let cell_runs = pool.run_indexed(max_k * restarts, |cell| {
+        let k = cell / restarts + 1;
+        let r = cell % restarts;
+        let seed = config
+            .seed
+            .wrapping_add((k as u64) << 32)
+            .wrapping_add(r as u64);
+        if config.accelerated {
+            let init = crate::kmeans::plus_plus_init(&data, &weights, k, seed);
+            crate::hamerly::kmeans_hamerly_from(&data, &weights, init, config.max_iters)
+        } else {
+            kmeans(&data, &weights, k, seed, config.max_iters)
+        }
+    });
     let mut runs: Vec<(usize, KMeansResult, f64)> = Vec::with_capacity(max_k);
+    let mut cells = cell_runs.into_iter();
     for k in 1..=max_k {
         let mut best: Option<KMeansResult> = None;
-        for r in 0..config.restarts.max(1) {
-            let seed = config
-                .seed
-                .wrapping_add((k as u64) << 32)
-                .wrapping_add(r as u64);
-            let run = if config.accelerated {
-                let init = crate::kmeans::plus_plus_init(&data, &weights, k, seed);
-                crate::hamerly::kmeans_hamerly_from(&data, &weights, init, config.max_iters)
-            } else {
-                kmeans(&data, &weights, k, seed, config.max_iters)
-            };
+        for _ in 0..restarts {
+            let run = cells.next().expect("one run per grid cell");
             if best.as_ref().is_none_or(|b| run.wcss < b.wcss) {
                 best = Some(run);
             }
@@ -212,8 +259,8 @@ pub fn analyze(
         if members.is_empty() {
             continue; // k-means can leave a label unused after repair
         }
-        let centroid = &clustering.centroids[phase];
-        let dist_of = |i: usize| distance_sq(&data[i], centroid);
+        let centroid = clustering.centroids.row(phase);
+        let dist_of = |i: usize| distance_sq(data.row(i), centroid);
         let nearest_member = members
             .iter()
             .copied()
@@ -485,6 +532,33 @@ mod tests {
             assert_eq!(a.phase, b.phase);
             assert_eq!(a.interval, b.interval);
             assert!((a.weight - b.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analysis_is_bit_identical_at_any_thread_count() {
+        let (vectors, counts) = phased_vectors(5, 11);
+        let serial = analyze(
+            &vectors,
+            &counts,
+            &SimPointConfig {
+                threads: 1,
+                ..SimPointConfig::default()
+            },
+        );
+        for threads in [2, 8] {
+            let pooled = analyze(
+                &vectors,
+                &counts,
+                &SimPointConfig {
+                    threads,
+                    ..SimPointConfig::default()
+                },
+            );
+            assert_eq!(serial, pooled, "threads={threads} must match exactly");
+            for ((_, a), (_, b)) in serial.bic_scores.iter().zip(&pooled.bic_scores) {
+                assert_eq!(a.to_bits(), b.to_bits(), "BIC bits at threads={threads}");
+            }
         }
     }
 

@@ -4,7 +4,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use cbsp_simpoint::vector::{distance_sq, normalize, normalized};
-use cbsp_simpoint::{analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig};
+use cbsp_simpoint::{
+    analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig, VectorSet,
+};
 use proptest::prelude::*;
 
 fn vectors_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -53,7 +55,8 @@ proptest! {
     fn kmeans_output_is_well_formed(vs in vectors_strategy(), k in 1usize..6, seed in any::<u64>()) {
         let k = k.min(vs.len());
         let weights = vec![1.0; vs.len()];
-        let r = kmeans(&vs, &weights, k, seed, 50);
+        let data = VectorSet::from_rows(&vs);
+        let r = kmeans(&data, &weights, k, seed, 50);
         prop_assert_eq!(r.labels.len(), vs.len());
         prop_assert_eq!(r.centroids.len(), k);
         for &l in &r.labels {
@@ -63,8 +66,8 @@ proptest! {
         // Every vector's own centroid is at least as close as the
         // assigned distance sum implies (assignment optimality).
         for (i, v) in vs.iter().enumerate() {
-            let own = distance_sq(v, &r.centroids[r.labels[i] as usize]);
-            for c in &r.centroids {
+            let own = distance_sq(v, r.centroids.row(r.labels[i] as usize));
+            for c in r.centroids.rows() {
                 prop_assert!(own <= distance_sq(v, c) + 1e-9);
             }
         }
@@ -77,7 +80,8 @@ proptest! {
         unique.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         unique.dedup();
         let weights = vec![1.0; unique.len()];
-        let r = kmeans(&unique, &weights, unique.len(), 0, 100);
+        let data = VectorSet::from_rows(&unique);
+        let r = kmeans(&data, &weights, unique.len(), 0, 100);
         prop_assert!(r.wcss < 1e-9, "wcss {}", r.wcss);
     }
 
@@ -85,8 +89,9 @@ proptest! {
     fn bic_is_finite_for_any_clustering(vs in vectors_strategy(), k in 1usize..6) {
         let k = k.min(vs.len());
         let weights = vec![1.0; vs.len()];
-        let r = kmeans(&vs, &weights, k, 1, 50);
-        let score = bic(&vs, &weights, &r);
+        let data = VectorSet::from_rows(&vs);
+        let r = kmeans(&data, &weights, k, 1, 50);
+        let score = bic(&data, &weights, &r);
         prop_assert!(score.is_finite());
     }
 
@@ -134,12 +139,19 @@ proptest! {
     fn hamerly_reaches_a_fixed_point(vs in vectors_strategy(), k in 1usize..5, seed in 0usize..1000) {
         let k = k.min(vs.len());
         let weights = vec![1.0; vs.len()];
-        let init: Vec<Vec<f64>> = (0..k).map(|i| vs[(seed + i * 7) % vs.len()].clone()).collect();
-        let r = kmeans_hamerly_from(&vs, &weights, init, 200);
+        let data = VectorSet::from_rows(&vs);
+        let init = {
+            let mut init = VectorSet::with_capacity(data.dims(), k);
+            for i in 0..k {
+                init.push(data.row((seed + i * 7) % vs.len()));
+            }
+            init
+        };
+        let r = kmeans_hamerly_from(&data, &weights, init, 200);
         // Assignment optimality.
         for (i, v) in vs.iter().enumerate() {
-            let own = distance_sq(v, &r.centroids[r.labels[i] as usize]);
-            for c in &r.centroids {
+            let own = distance_sq(v, r.centroids.row(r.labels[i] as usize));
+            for c in r.centroids.rows() {
                 prop_assert!(own <= distance_sq(v, c) + 1e-9);
             }
         }
@@ -152,9 +164,28 @@ proptest! {
             let dims = vs[0].len();
             for d in 0..dims {
                 let mean: f64 = members.iter().map(|&i| vs[i][d]).sum::<f64>() / members.len() as f64;
-                prop_assert!((mean - r.centroids[c][d]).abs() < 1e-6,
-                    "cluster {c} dim {d}: mean {mean} vs centroid {}", r.centroids[c][d]);
+                prop_assert!((mean - r.centroids.row(c)[d]).abs() < 1e-6,
+                    "cluster {c} dim {d}: mean {mean} vs centroid {}", r.centroids.row(c)[d]);
             }
+        }
+    }
+
+    /// The clustering engine's parallelism is invisible in the output:
+    /// the full analysis at 8 threads equals the 1-thread analysis
+    /// exactly, for arbitrary workloads and seeds.
+    #[test]
+    fn analysis_is_thread_count_invariant(
+        vs in vectors_strategy(),
+        instr_base in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let instrs: Vec<u64> = (0..vs.len()).map(|i| instr_base + i as u64).collect();
+        let config = SimPointConfig { seed, threads: 1, ..SimPointConfig::default() };
+        let serial = analyze(&vs, &instrs, &config);
+        let pooled = analyze(&vs, &instrs, &SimPointConfig { threads: 8, ..config });
+        prop_assert_eq!(&serial, &pooled);
+        for ((_, a), (_, b)) in serial.bic_scores.iter().zip(&pooled.bic_scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

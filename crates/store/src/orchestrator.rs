@@ -18,9 +18,10 @@ use cbsp_core::{
     map_stage, mappable_stage, profile_stage, simpoint_stage, validate_binaries, vli_stage,
     CbspConfig, CbspError, CrossBinaryResult, MappableStage, MappedSlicing,
 };
+use cbsp_par::Pool;
 use cbsp_profile::CallLoopProfile;
 use cbsp_program::{Binary, Input};
-use cbsp_simpoint::SimPointResult;
+use cbsp_simpoint::{SimPointConfig, SimPointResult};
 use serde::Value;
 
 use crate::sha256::hex_digest;
@@ -208,24 +209,13 @@ impl<'s> Orchestrator<'s> {
                 )
             })
             .collect();
+        let pool = Pool::new(config.simpoint.threads);
         let mut profiles: Vec<CallLoopProfile> = Vec::with_capacity(binaries.len());
         let results: Vec<Result<(CallLoopProfile, StageOutcome), CbspError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = binaries
-                    .iter()
-                    .zip(&profile_keys)
-                    .map(|(&binary, key)| {
-                        scope.spawn(move || {
-                            self.cached("profile", &binary.label(), key, || {
-                                Ok(profile_stage(binary, input))
-                            })
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("profile worker must not panic"))
-                    .collect()
+            pool.run_indexed(binaries.len(), |i| {
+                self.cached("profile", &binaries[i].label(), &profile_keys[i], || {
+                    Ok(profile_stage(binaries[i], input))
+                })
             });
         for result in results {
             let (profile, outcome) = result?;
@@ -264,11 +254,19 @@ impl<'s> Orchestrator<'s> {
         outcomes.push(outcome);
 
         // Stage 4 — SimPoint clustering of the primary's intervals.
+        // `threads` is an execution knob with no effect on the result
+        // (the clustering is bit-identical at any thread count), so it
+        // is normalized out of the content-addressed key: runs at
+        // different thread counts share cache entries.
+        let key_config = SimPointConfig {
+            threads: 0,
+            ..config.simpoint
+        };
         let simpoint_key = stage_key(
             "simpoint",
             &[
                 Value::Str(vli_key.as_hex().to_string()),
-                key_part(&config.simpoint),
+                key_part(&key_config),
             ],
         );
         let (simpoint, outcome): (SimPointResult, _) =
@@ -287,7 +285,15 @@ impl<'s> Orchestrator<'s> {
         let map_key = stage_key("map", &map_inputs);
         let (mapped, outcome): (MappedSlicing, _) =
             self.cached("map", "all binaries", &map_key, || {
-                map_stage(binaries, input, config.primary, &mappable, &vli, &simpoint)
+                map_stage(
+                    binaries,
+                    input,
+                    config.primary,
+                    &mappable,
+                    &vli,
+                    &simpoint,
+                    &pool,
+                )
             })?;
         outcomes.push(outcome);
 

@@ -1,0 +1,80 @@
+//! Thread-count determinism: the full cross-binary pipeline must
+//! produce byte-identical results at `threads = 1` and `threads = 8`.
+//!
+//! This is the engine's central parallelism contract (fixed chunk
+//! sizes, partial reductions merged in chunk order), checked here at
+//! the outermost observable boundary — the [`CrossBinaryResult`] and
+//! its serialized JSON — rather than per component.
+
+use cross_binary_simpoints::core::CrossBinaryResult;
+use cross_binary_simpoints::prelude::*;
+use proptest::prelude::*;
+
+fn run_at(name: &str, interval: u64, seed: u64, threads: usize) -> CrossBinaryResult {
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let config = CbspConfig {
+        interval_target: interval,
+        simpoint: SimPointConfig {
+            seed,
+            threads,
+            ..SimPointConfig::default()
+        },
+        ..CbspConfig::default()
+    };
+    run_cross_binary(
+        &binaries.iter().collect::<Vec<_>>(),
+        &Input::test(),
+        &config,
+    )
+    .expect("pipeline succeeds on same-program binaries")
+}
+
+#[test]
+fn pipeline_is_byte_identical_across_thread_counts() {
+    for name in ["gzip", "mcf"] {
+        let serial = run_at(name, 20_000, 42, 1);
+        let pooled = run_at(name, 20_000, 42, 8);
+        assert_eq!(serial, pooled, "{name}: results differ by thread count");
+        let serial_json = serde_json::to_string(&serial).expect("serializes");
+        let pooled_json = serde_json::to_string(&pooled).expect("serializes");
+        assert_eq!(
+            serial_json, pooled_json,
+            "{name}: serialized results differ by thread count"
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_serial() {
+    // threads = 0 (one worker per core) must also be identical.
+    let serial = run_at("swim", 20_000, 7, 1);
+    let auto = run_at("swim", 20_000, 7, 0);
+    assert_eq!(serial, auto);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Byte-identical output at 1 vs 8 threads over random seeds and
+    /// interval targets on small workloads.
+    #[test]
+    fn pipeline_thread_determinism_over_seeds(
+        seed in any::<u64>(),
+        interval in 10_000u64..40_000,
+        which in 0usize..3,
+    ) {
+        let name = ["gzip", "swim", "mcf"][which];
+        let serial = run_at(name, interval, seed, 1);
+        let pooled = run_at(name, interval, seed, 8);
+        prop_assert_eq!(&serial, &pooled);
+        let serial_json = serde_json::to_string(&serial).expect("serializes");
+        let pooled_json = serde_json::to_string(&pooled).expect("serializes");
+        prop_assert_eq!(serial_json, pooled_json);
+    }
+}
