@@ -6,10 +6,19 @@
 //!             [--benchmarks a,b,c] [--threads N] [--json FILE]
 //!             [--cache-dir DIR]
 //! ```
+//!
+//! CI regression gates (exit 0 = pass, 1 = regression, 2 = usage):
+//!
+//! ```text
+//! experiments perf compare [--baseline BENCH_simpoint.json]
+//!                          [--current FILE] [--tolerance 0.25]
+//! experiments accuracy-gate [--ref results_ref.json] [--tolerance 0.02]
+//!                           [--benchmarks a,b,c] [--cache-dir DIR]
+//! ```
 
 use cbsp_bench::{
     evaluate_benchmark_with, mpki_eval, phase_bias, report, run_ablations, run_suite_with,
-    standard_archs, sweep_benchmark, Pair,
+    standard_archs, sweep_benchmark, Pair, PerfReport, SuiteResults,
 };
 use cbsp_program::Scale;
 use cbsp_sim::MemoryConfig;
@@ -17,24 +26,36 @@ use cbsp_store::ArtifactStore;
 
 struct Options {
     artifact: String,
+    /// Second positional, e.g. the `compare` in `perf compare`.
+    sub: Option<String>,
     scale: Scale,
     interval: u64,
     benchmarks: Vec<String>,
     threads: usize,
     json: Option<String>,
     cache_dir: Option<String>,
+    baseline: String,
+    current: Option<String>,
+    reference: String,
+    tolerance: Option<f64>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         artifact: "all".to_string(),
+        sub: None,
         scale: Scale::Reference,
         interval: 100_000,
         benchmarks: Vec::new(),
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         json: None,
         cache_dir: None,
+        baseline: "BENCH_simpoint.json".to_string(),
+        current: None,
+        reference: "results_ref.json".to_string(),
+        tolerance: None,
     };
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -75,19 +96,61 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--cache-dir needs a path")),
                 );
             }
+            "--baseline" => {
+                opts.baseline = args
+                    .next()
+                    .unwrap_or_else(|| die("--baseline needs a path"));
+            }
+            "--current" => {
+                opts.current = Some(args.next().unwrap_or_else(|| die("--current needs a path")));
+            }
+            "--ref" => {
+                opts.reference = args.next().unwrap_or_else(|| die("--ref needs a path"));
+            }
+            "--tolerance" => {
+                opts.tolerance = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("bad --tolerance")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf] \
+                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf [compare]|accuracy-gate] \
                      [--scale test|train|ref] [--interval N] \
-                     [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR]"
+                     [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR] \
+                     [--baseline FILE] [--current FILE] [--ref FILE] [--tolerance T]"
                 );
                 std::process::exit(0);
             }
-            name if !name.starts_with('-') => opts.artifact = name.to_string(),
+            name if !name.starts_with('-') => positional.push(name.to_string()),
             other => die(&format!("unknown option {other}")),
         }
     }
+    let mut positional = positional.into_iter();
+    if let Some(artifact) = positional.next() {
+        opts.artifact = artifact;
+    }
+    opts.sub = positional.next();
+    if let Some(extra) = positional.next() {
+        die(&format!("unexpected argument {extra}"));
+    }
     opts
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> T {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")))
+}
+
+fn parse_scale(name: &str) -> Scale {
+    match name {
+        "Test" | "test" => Scale::Test,
+        "Train" | "train" => Scale::Train,
+        "Reference" | "ref" | "reference" => Scale::Reference,
+        other => die(&format!("unknown scale {other:?} in baseline file")),
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -97,6 +160,12 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let opts = parse_args();
+    if opts.sub.is_some() && opts.artifact != "perf" {
+        die(&format!(
+            "unexpected argument {}",
+            opts.sub.as_deref().unwrap_or_default()
+        ));
+    }
     let mem = MemoryConfig::table1();
     let store: Option<ArtifactStore> = opts
         .cache_dir
@@ -224,7 +293,37 @@ fn main() {
             print!("{}", cbsp_bench::archsweep::render(&rows, &archs));
             return;
         }
+        "perf" if opts.sub.as_deref() == Some("compare") => {
+            // CI perf gate: current parallel wall times vs the
+            // committed baseline, within --tolerance (default 25%).
+            let baseline: PerfReport = read_json(&opts.baseline);
+            let current: PerfReport = match &opts.current {
+                Some(path) => read_json(path),
+                None => {
+                    // No --current: measure now, at the baseline's own
+                    // configuration so the comparison is apples-to-apples.
+                    eprintln!(
+                        "perf compare: measuring {} at {} scale, 1 vs {} threads...",
+                        baseline.benchmark, baseline.scale, baseline.threads
+                    );
+                    cbsp_bench::run_perf(
+                        &baseline.benchmark,
+                        parse_scale(&baseline.scale),
+                        baseline.interval_target,
+                        baseline.threads,
+                        &mem,
+                    )
+                }
+            };
+            let tolerance = opts.tolerance.unwrap_or(0.25);
+            let c = cbsp_bench::compare(&baseline, &current, tolerance);
+            print!("{}", cbsp_bench::render_compare(&c));
+            std::process::exit(i32::from(c.regressed()));
+        }
         "perf" => {
+            if let Some(sub) = &opts.sub {
+                die(&format!("unknown perf subcommand {sub}"));
+            }
             // Performance baseline: pipeline stage wall times at 1 vs N
             // threads, written to BENCH_simpoint.json.
             let name = opts
@@ -243,6 +342,36 @@ fn main() {
             std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
             eprintln!("wrote {path}");
             return;
+        }
+        "accuracy-gate" => {
+            // CI accuracy gate: rerun the suite at the reference's own
+            // scale/interval and require per-benchmark CPI and speedup
+            // errors within --tolerance (default 0.02 absolute) of the
+            // committed results_ref.json.
+            let mut reference: SuiteResults = read_json(&opts.reference);
+            if !opts.benchmarks.is_empty() {
+                // Local spot-check: gate only the requested subset.
+                reference
+                    .benchmarks
+                    .retain(|b| opts.benchmarks.contains(&b.name));
+            }
+            let scale = parse_scale(&reference.scale);
+            eprintln!(
+                "accuracy gate: rerunning suite at {scale:?} scale, interval {}...",
+                reference.interval_target
+            );
+            let current = run_suite_with(
+                &opts.benchmarks,
+                scale,
+                reference.interval_target,
+                &mem,
+                opts.threads,
+                store,
+            );
+            let slack = opts.tolerance.unwrap_or(0.02);
+            let g = cbsp_bench::accuracy_gate(&current, &reference, slack);
+            print!("{}", cbsp_bench::render_gate(&g));
+            std::process::exit(i32::from(!g.passed()));
         }
         "ablation" => {
             let names: Vec<&str> = if opts.benchmarks.is_empty() {

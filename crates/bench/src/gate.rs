@@ -1,0 +1,259 @@
+//! Accuracy regression gate: the current tree's suite results vs the
+//! committed reference (`results_ref.json`).
+//!
+//! The engine is deterministic, so on an unmodified tree the current
+//! run reproduces the reference exactly and the gate is trivially
+//! green. The gate exists for *algorithm* changes: it allows any
+//! improvement, and any degradation up to `slack` (absolute, in
+//! relative-error units — `0.02` = two percentage points), per
+//! benchmark and per metric. Checked metrics:
+//!
+//! * mean CPI error across the four binaries, VLI and FLI
+//!   (the bars of Figure 3);
+//! * speedup estimation error for each of the four binary pairs,
+//!   VLI and FLI (Figures 4 and 5).
+
+use crate::experiment::Pair;
+use crate::suite::SuiteResults;
+use serde::{Deserialize, Serialize};
+
+/// One failed check: a metric that degraded beyond the allowed slack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateFailure {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Metric label, e.g. `"vli cpi_err"` or `"fli speedup_err 32u64u"`.
+    pub metric: String,
+    /// Reference value (fractional relative error).
+    pub reference: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+/// Result of [`accuracy_gate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Allowed absolute degradation per metric.
+    pub slack: f64,
+    /// Total number of checks performed.
+    pub checks: usize,
+    /// Checks that degraded beyond `slack`.
+    pub failures: Vec<GateFailure>,
+    /// Benchmarks present in only one of the two result sets, or a
+    /// scale/interval mismatch — always a failure.
+    pub mismatches: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when every check passed and the result sets line up.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.mismatches.is_empty()
+    }
+}
+
+/// Compares `current` suite results against the committed `reference`,
+/// failing any per-benchmark CPI-error or speedup-error metric that is
+/// more than `slack` worse than the reference.
+pub fn accuracy_gate(current: &SuiteResults, reference: &SuiteResults, slack: f64) -> GateReport {
+    let mut report = GateReport {
+        slack,
+        checks: 0,
+        failures: Vec::new(),
+        mismatches: Vec::new(),
+    };
+    if current.scale != reference.scale {
+        report.mismatches.push(format!(
+            "scale mismatch: reference {:?}, current {:?}",
+            reference.scale, current.scale
+        ));
+    }
+    if current.interval_target != reference.interval_target {
+        report.mismatches.push(format!(
+            "interval mismatch: reference {}, current {}",
+            reference.interval_target, current.interval_target
+        ));
+    }
+
+    for r in &reference.benchmarks {
+        let Some(c) = current.benchmarks.iter().find(|c| c.name == r.name) else {
+            report
+                .mismatches
+                .push(format!("benchmark {:?} missing from current run", r.name));
+            continue;
+        };
+        let mut check = |metric: String, ref_v: f64, cur_v: f64| {
+            report.checks += 1;
+            if cur_v > ref_v + slack {
+                report.failures.push(GateFailure {
+                    benchmark: r.name.clone(),
+                    metric,
+                    reference: ref_v,
+                    current: cur_v,
+                });
+            }
+        };
+        check(
+            "vli cpi_err".into(),
+            r.vli.avg_cpi_err(),
+            c.vli.avg_cpi_err(),
+        );
+        check(
+            "fli cpi_err".into(),
+            r.fli.avg_cpi_err(),
+            c.fli.avg_cpi_err(),
+        );
+        for pair in Pair::ALL {
+            check(
+                format!("vli speedup_err {}", pair.label()),
+                r.speedup_err(true, pair),
+                c.speedup_err(true, pair),
+            );
+            check(
+                format!("fli speedup_err {}", pair.label()),
+                r.speedup_err(false, pair),
+                c.speedup_err(false, pair),
+            );
+        }
+    }
+    for c in &current.benchmarks {
+        if !reference.benchmarks.iter().any(|r| r.name == c.name) {
+            report
+                .mismatches
+                .push(format!("benchmark {:?} missing from reference", c.name));
+        }
+    }
+    report
+}
+
+/// Renders a gate report: every failure as a diff row, then a verdict.
+pub fn render_gate(g: &GateReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Accuracy gate — {} checks vs reference, slack {:.2} (absolute)\n",
+        g.checks, g.slack
+    ));
+    if !g.failures.is_empty() {
+        out.push_str(&format!(
+            "{:<10} {:<24} {:>10} {:>10} {:>8}\n",
+            "benchmark", "metric", "reference", "current", "delta"
+        ));
+        for f in &g.failures {
+            out.push_str(&format!(
+                "{:<10} {:<24} {:>9.2}% {:>9.2}% {:>+7.2}%\n",
+                f.benchmark,
+                f.metric,
+                100.0 * f.reference,
+                100.0 * f.current,
+                100.0 * (f.current - f.reference)
+            ));
+        }
+    }
+    for m in &g.mismatches {
+        out.push_str(&format!("mismatch: {m}\n"));
+    }
+    out.push_str(if g.passed() {
+        "accuracy gate: PASS\n"
+    } else {
+        "accuracy gate: FAIL\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{BenchmarkEval, SchemeEval};
+    use cbsp_sim::SimStats;
+
+    fn scheme(cpi_err: f64, cycles: [f64; 4]) -> SchemeEval {
+        SchemeEval {
+            num_points: [3; 4],
+            cpi_est: [1.0; 4],
+            cpi_err: [cpi_err; 4],
+            cycles_est: cycles,
+        }
+    }
+
+    fn eval(name: &str, vli_err: f64, vli_cycles: [f64; 4]) -> BenchmarkEval {
+        let stats = SimStats {
+            instructions: 1_000,
+            cycles: 2_000,
+            ..SimStats::default()
+        };
+        BenchmarkEval {
+            name: name.to_string(),
+            true_stats: [stats; 4],
+            fli: scheme(0.01, [2_000.0; 4]),
+            vli: scheme(vli_err, vli_cycles),
+            vli_avg_interval: 100_000.0,
+            vli_max_interval: 200_000,
+            mappable_points: 10,
+            recovered_procs: 0,
+            interval_target: 100_000,
+        }
+    }
+
+    fn suite(benchmarks: Vec<BenchmarkEval>) -> SuiteResults {
+        SuiteResults {
+            scale: "Reference".into(),
+            interval_target: 100_000,
+            benchmarks,
+        }
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        let g = accuracy_gate(&reference.clone(), &reference, 0.02);
+        assert!(g.passed(), "{}", render_gate(&g));
+        assert_eq!(g.checks, 10, "2 cpi checks + 4 pairs x 2 schemes");
+    }
+
+    #[test]
+    fn degradation_beyond_slack_fails_with_diff() {
+        let reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        let current = suite(vec![eval("gzip", 0.09, [2_000.0; 4])]);
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert_eq!(g.failures.len(), 1);
+        assert_eq!(g.failures[0].metric, "vli cpi_err");
+        let text = render_gate(&g);
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("gzip"), "{text}");
+    }
+
+    #[test]
+    fn degradation_within_slack_passes() {
+        let reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        let current = suite(vec![eval("gzip", 0.03, [2_000.0; 4])]);
+        assert!(accuracy_gate(&current, &reference, 0.02).passed());
+    }
+
+    #[test]
+    fn speedup_error_regression_fails() {
+        let reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        // True speedup of every pair is 1.0 (identical true cycles);
+        // skewed cycle estimates put the estimated speedups far off.
+        let current = suite(vec![eval(
+            "gzip",
+            0.02,
+            [2_000.0, 4_000.0, 2_000.0, 2_000.0],
+        )]);
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert!(g.failures.iter().any(|f| f.metric.contains("speedup_err")));
+    }
+
+    #[test]
+    fn missing_benchmark_and_config_mismatch_fail() {
+        let reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        let current = suite(Vec::new());
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert!(g.mismatches[0].contains("gzip"));
+
+        let mut current = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        current.interval_target = 50_000;
+        assert!(!accuracy_gate(&current, &reference, 0.02).passed());
+    }
+}

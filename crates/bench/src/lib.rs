@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod archsweep;
 pub mod experiment;
+pub mod gate;
 pub mod perf;
 pub mod report;
 pub mod seeds;
@@ -38,7 +39,10 @@ pub use experiment::{
     evaluate_benchmark, evaluate_benchmark_pooled, evaluate_benchmark_with, mpki_eval, phase_bias,
     BenchmarkEval, BenchmarkRun, MpkiEval, Pair, PhaseBias, PhaseRow, SchemeEval,
 };
-pub use perf::{run_perf, PerfReport, StageTime};
+pub use gate::{accuracy_gate, render_gate, GateFailure, GateReport};
+pub use perf::{
+    compare, render_compare, run_perf, CompareRow, PerfComparison, PerfReport, StageTime,
+};
 pub use seeds::{seed_stability, SeedRow};
 pub use softmark_study::{softmark_benchmark, SoftMarkRow};
 pub use suite::{run_suite, run_suite_with, SuiteResults};

@@ -13,10 +13,13 @@ use cbsp_core::{
     MappableStage, MappedSlicing,
 };
 use cbsp_par::Pool;
-use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
+use cbsp_program::{
+    compile, compile_cost_estimate_ns, workloads, Binary, CompileTarget, Input, Scale,
+};
 use cbsp_sim::{simulate_marker_sliced_all, MemoryConfig};
 use cbsp_simpoint::{SimPointConfig, SimPointResult};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Wall time of one pipeline stage at both thread counts.
@@ -54,6 +57,10 @@ pub struct PerfReport {
     /// `true` — the serial and parallel runs produced identical
     /// clusterings and weights (checked, not assumed).
     pub results_identical: bool,
+    /// Counter snapshot from the parallel run (`cbsp-trace`): pool
+    /// queue-wait/exec nanoseconds, k-means iterations, Hamerly bound
+    /// skips, intervals produced, … — the *why* behind the timings.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 struct MeasuredRun {
@@ -92,9 +99,14 @@ fn measure(
     let mut times = Vec::new();
 
     let t = Instant::now();
-    let binaries: Vec<Binary> = pool.run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
-        compile(&prog, CompileTarget::ALL_FOUR[i])
-    });
+    let binaries: Vec<Binary> = {
+        let _span = cbsp_trace::span_labeled("stage/compile", || name.to_string());
+        let est = compile_cost_estimate_ns(&prog) * CompileTarget::ALL_FOUR.len() as u64;
+        pool.for_work(est)
+            .run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
+                compile(&prog, CompileTarget::ALL_FOUR[i])
+            })
+    };
     times.push(("compile", ms(t)));
     let bin_refs: Vec<&Binary> = binaries.iter().collect();
 
@@ -158,7 +170,19 @@ pub fn run_perf(
 ) -> PerfReport {
     let threads = threads.max(2);
     let serial = measure(name, scale, interval_target, 1, mem);
+
+    // Trace only the parallel run, so the embedded counters explain the
+    // numbers the gate actually guards (queue wait, bound skips, cache
+    // traffic at N threads). Restore the collector state afterwards.
+    let was_enabled = cbsp_trace::enabled();
+    cbsp_trace::reset();
+    cbsp_trace::enable();
     let parallel = measure(name, scale, interval_target, threads, mem);
+    let metrics = cbsp_trace::snapshot().counters;
+    if !was_enabled {
+        cbsp_trace::disable();
+    }
+    cbsp_trace::reset();
 
     let stages: Vec<StageTime> = serial
         .times
@@ -188,7 +212,136 @@ pub fn run_perf(
         },
         results_identical: serial.simpoint == parallel.simpoint
             && serial.weights == parallel.weights,
+        metrics,
     }
+}
+
+/// One stage of a baseline-vs-current comparison ([`compare`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Stage name (or `"total"`).
+    pub stage: String,
+    /// Baseline parallel milliseconds.
+    pub base_ms: f64,
+    /// Current parallel milliseconds.
+    pub cur_ms: f64,
+    /// `cur_ms / base_ms` (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// `true` when the stage slowed down beyond tolerance *and* is big
+    /// enough to matter (see [`compare`]).
+    pub regressed: bool,
+}
+
+/// Stages faster than this (in both baseline and current) are reported
+/// but never fail the gate: timer noise on sub-5 ms stages dwarfs any
+/// real regression, and CI runners are noisy.
+pub const COMPARE_MIN_MS: f64 = 5.0;
+
+/// Result of comparing a current perf run against a committed baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfComparison {
+    /// Allowed fractional slowdown (0.25 = current may be 25% slower).
+    pub tolerance: f64,
+    /// Per-stage rows in baseline order, then a `"total"` row.
+    pub rows: Vec<CompareRow>,
+    /// Stages present in only one of the two reports (schema drift —
+    /// always a failure, a silently dropped stage is not a speedup).
+    pub mismatched_stages: Vec<String>,
+    /// `false` if the current run lost cross-thread determinism.
+    pub results_identical: bool,
+}
+
+impl PerfComparison {
+    /// `true` when the gate should fail the build.
+    pub fn regressed(&self) -> bool {
+        !self.results_identical
+            || !self.mismatched_stages.is_empty()
+            || self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Compares the current report's parallel wall times against the
+/// committed baseline, flagging any stage (or the total) that got more
+/// than `tolerance` slower. Stages under [`COMPARE_MIN_MS`] in both
+/// reports are shown but exempt from failing; the total row never is.
+pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> PerfComparison {
+    let row = |stage: &str, base_ms: f64, cur_ms: f64, exemptable: bool| {
+        let ratio = if base_ms > 0.0 { cur_ms / base_ms } else { 1.0 };
+        let too_small = exemptable && base_ms < COMPARE_MIN_MS && cur_ms < COMPARE_MIN_MS;
+        CompareRow {
+            stage: stage.to_string(),
+            base_ms,
+            cur_ms,
+            ratio,
+            regressed: ratio > 1.0 + tolerance && !too_small,
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut mismatched = Vec::new();
+    let cur_stage = |name: &str| current.stages.iter().find(|s| s.stage == name);
+    for b in &baseline.stages {
+        match cur_stage(&b.stage) {
+            Some(c) => rows.push(row(&b.stage, b.parallel_ms, c.parallel_ms, true)),
+            None => mismatched.push(b.stage.clone()),
+        }
+    }
+    for c in &current.stages {
+        if !baseline.stages.iter().any(|b| b.stage == c.stage) {
+            mismatched.push(c.stage.clone());
+        }
+    }
+    rows.push(row(
+        "total",
+        baseline.total_parallel_ms,
+        current.total_parallel_ms,
+        false,
+    ));
+
+    PerfComparison {
+        tolerance,
+        rows,
+        mismatched_stages: mismatched,
+        results_identical: current.results_identical,
+    }
+}
+
+/// Renders a comparison as an aligned table with a PASS/FAIL verdict.
+pub fn render_compare(c: &PerfComparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Perf gate — parallel wall time vs committed baseline (tolerance {:.0}%)\n",
+        c.tolerance * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>8}  {}\n",
+        "stage", "baseline ms", "current ms", "ratio", "verdict"
+    ));
+    for r in &c.rows {
+        let verdict = if r.regressed {
+            "REGRESSED"
+        } else if r.ratio > 1.0 + c.tolerance {
+            "ok (below min size)"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>12.1} {:>7.2}x  {}\n",
+            r.stage, r.base_ms, r.cur_ms, r.ratio, verdict
+        ));
+    }
+    for s in &c.mismatched_stages {
+        out.push_str(&format!("stage {s:?} present in only one report — FAIL\n"));
+    }
+    if !c.results_identical {
+        out.push_str("current run lost cross-thread determinism — FAIL\n");
+    }
+    out.push_str(if c.regressed() {
+        "perf gate: FAIL\n"
+    } else {
+        "perf gate: PASS\n"
+    });
+    out
 }
 
 /// Renders a perf report as an aligned text table.
@@ -216,6 +369,19 @@ pub fn render(r: &PerfReport) -> String {
         "results identical across thread counts: {}\n",
         r.results_identical
     ));
+    let key = |name: &str| r.metrics.get(name).copied().unwrap_or(0);
+    if !r.metrics.is_empty() {
+        out.push_str(&format!(
+            "parallel-run counters: {} fan-outs, {} pool jobs ({} inline), \
+             queue wait {:.1} ms, {} k-means iterations, {} bound skips\n",
+            key("pool/fan_outs"),
+            key("pool/jobs_executed"),
+            key("pool/jobs_inline"),
+            key("pool/queue_wait_ns") as f64 / 1e6,
+            key("simpoint/kmeans_iterations"),
+            key("simpoint/hamerly_bound_skips"),
+        ));
+    }
     out
 }
 
@@ -225,6 +391,7 @@ mod tests {
 
     #[test]
     fn perf_report_is_complete_and_identical() {
+        let _guard = cbsp_trace::test_lock();
         let r = run_perf("gzip", Scale::Test, 20_000, 4, &MemoryConfig::table1());
         assert_eq!(r.stages.len(), 7);
         assert!(r.total_serial_ms > 0.0);
@@ -233,10 +400,94 @@ mod tests {
             r.results_identical,
             "serial and parallel runs must produce identical results"
         );
+        assert!(
+            r.metrics.contains_key("pipeline/intervals_produced"),
+            "parallel run must embed trace counters, got {:?}",
+            r.metrics.keys().collect::<Vec<_>>()
+        );
+        assert!(r.metrics.contains_key("simpoint/kmeans_iterations"));
         let text = render(&r);
         assert!(text.contains("simpoint"));
         assert!(text.contains("detailed_sim"));
+        assert!(text.contains("parallel-run counters"));
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("total_speedup"));
+        assert!(json.contains("kmeans_iterations"));
+        let back: PerfReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, r);
+    }
+
+    fn toy_report(parallel_ms: &[(&str, f64)], identical: bool) -> PerfReport {
+        let stages: Vec<StageTime> = parallel_ms
+            .iter()
+            .map(|&(stage, p)| StageTime {
+                stage: stage.to_string(),
+                serial_ms: p * 2.0,
+                parallel_ms: p,
+                speedup: 2.0,
+            })
+            .collect();
+        let total: f64 = stages.iter().map(|s| s.parallel_ms).sum();
+        PerfReport {
+            benchmark: "gcc".into(),
+            scale: "Reference".into(),
+            interval_target: 100_000,
+            threads: 8,
+            stages,
+            total_serial_ms: total * 2.0,
+            total_parallel_ms: total,
+            total_speedup: 2.0,
+            results_identical: identical,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = toy_report(&[("compile", 10.0), ("simpoint", 100.0)], true);
+        let cur = toy_report(&[("compile", 11.0), ("simpoint", 120.0)], true);
+        let c = compare(&base, &cur, 0.25);
+        assert!(!c.regressed(), "{}", render_compare(&c));
+        assert!(render_compare(&c).contains("PASS"));
+    }
+
+    #[test]
+    fn compare_fails_on_regression_beyond_tolerance() {
+        let base = toy_report(&[("compile", 10.0), ("simpoint", 100.0)], true);
+        let cur = toy_report(&[("compile", 10.0), ("simpoint", 140.0)], true);
+        let c = compare(&base, &cur, 0.25);
+        assert!(c.regressed());
+        let text = render_compare(&c);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        // The 40% simpoint regression also drags the total past 25%.
+        assert!(c.rows.iter().any(|r| r.stage == "total" && r.regressed));
+    }
+
+    #[test]
+    fn compare_exempts_sub_minimum_stages_but_not_total() {
+        // 2 ms -> 4 ms is a 2x "regression" that is pure timer noise.
+        let base = toy_report(&[("mappable", 2.0), ("simpoint", 100.0)], true);
+        let cur = toy_report(&[("mappable", 4.0), ("simpoint", 100.0)], true);
+        let c = compare(&base, &cur, 0.25);
+        assert!(
+            !c.rows.iter().any(|r| r.stage == "mappable" && r.regressed),
+            "sub-{COMPARE_MIN_MS} ms stages must not fail the gate"
+        );
+        assert!(render_compare(&c).contains("below min size"));
+    }
+
+    #[test]
+    fn compare_fails_on_schema_drift_and_lost_determinism() {
+        let base = toy_report(&[("compile", 10.0), ("simpoint", 100.0)], true);
+        let cur = toy_report(&[("compile", 10.0)], true);
+        let c = compare(&base, &cur, 0.25);
+        assert_eq!(c.mismatched_stages, vec!["simpoint".to_string()]);
+        assert!(c.regressed());
+
+        let cur = toy_report(&[("compile", 10.0), ("simpoint", 100.0)], false);
+        let c = compare(&base, &cur, 0.25);
+        assert!(c.regressed());
+        assert!(render_compare(&c).contains("determinism"));
     }
 }

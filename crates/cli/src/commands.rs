@@ -4,7 +4,9 @@ use crate::opts::{read_json, write_json, Opts};
 use cbsp_core::{marker_period_stats, run_per_binary, select_phase_markers, CbspConfig, PointKind};
 use cbsp_par::Pool;
 use cbsp_profile::{parse_bb, write_bb, PinPointsFile, ProcHotness};
-use cbsp_program::{compile, workloads, Binary, CompileTarget, OptLevel, Width};
+use cbsp_program::{
+    compile, compile_cost_estimate_ns, workloads, Binary, CompileTarget, OptLevel, Width,
+};
 use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
 use cbsp_simpoint::{analyze, SimPointConfig};
 use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
@@ -187,9 +189,17 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
 
     let pool = Pool::new(config.simpoint.threads);
-    let binaries: Vec<Binary> = pool.run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
-        compile(&program, CompileTarget::ALL_FOUR[i])
-    });
+    // Compiling all four binaries is microseconds of work; the
+    // work-size gate keeps it off the pool unless the program is big
+    // enough to amortize the fan-out.
+    let binaries: Vec<Binary> = {
+        let _span = cbsp_trace::span_labeled("stage/compile", || name.to_string());
+        let est = compile_cost_estimate_ns(&program) * CompileTarget::ALL_FOUR.len() as u64;
+        pool.for_work(est)
+            .run_indexed(CompileTarget::ALL_FOUR.len(), |i| {
+                compile(&program, CompileTarget::ALL_FOUR[i])
+            })
+    };
     let policy = opts.cache_policy()?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
     let orchestrator = Orchestrator::new(&store, policy);

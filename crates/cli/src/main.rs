@@ -48,6 +48,11 @@ commands:
       --regions FILE [--full 1] [--scale S]
   cache <stats|gc>             inspect or garbage-collect the artifact store
       [--cache-dir DIR]
+
+observability (any command):
+  --trace-out FILE             write a Chrome trace-event JSON of the run
+                               (load in chrome://tracing or ui.perfetto.dev)
+  --metrics-json FILE          write a flat counters/gauges/span snapshot
 ";
 
 fn main() {
@@ -60,6 +65,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => fail(&e),
     };
+    opts.enable_tracing();
     let result = match command.as_str() {
         "list" => commands::list(&opts),
         "compile" => commands::compile_cmd(&opts),
@@ -79,7 +85,7 @@ fn main() {
         }
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     };
-    if let Err(e) = result {
+    if let Err(e) = result.and_then(|()| opts.export_tracing()) {
         fail(&e);
     }
 }

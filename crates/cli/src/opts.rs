@@ -86,6 +86,49 @@ impl Opts {
         }
     }
 
+    /// Chrome trace-event output path from `--trace-out FILE`.
+    /// Present ⇒ tracing is enabled for the run.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.flag("trace-out")
+    }
+
+    /// Flat metrics snapshot output path from `--metrics-json FILE`.
+    /// Present ⇒ tracing is enabled for the run.
+    pub fn metrics_out(&self) -> Option<&str> {
+        self.flag("metrics-json")
+    }
+
+    /// Enables the trace collector when either observability flag is
+    /// set; returns whether it was enabled.
+    pub fn enable_tracing(&self) -> bool {
+        let wanted = self.trace_out().is_some() || self.metrics_out().is_some();
+        if wanted {
+            cbsp_trace::reset();
+            cbsp_trace::enable();
+        }
+        wanted
+    }
+
+    /// Writes the requested observability artifacts (and disables the
+    /// collector) if `--trace-out` / `--metrics-json` were given.
+    pub fn export_tracing(&self) -> Result<(), String> {
+        if self.trace_out().is_none() && self.metrics_out().is_none() {
+            return Ok(());
+        }
+        if let Some(path) = self.trace_out() {
+            std::fs::write(path, cbsp_trace::chrome_trace_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
+        }
+        if let Some(path) = self.metrics_out() {
+            std::fs::write(path, cbsp_trace::metrics_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("metrics written to {path}");
+        }
+        cbsp_trace::disable();
+        Ok(())
+    }
+
     /// Requires the n-th positional argument.
     pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
         self.positional

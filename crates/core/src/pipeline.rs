@@ -168,6 +168,7 @@ pub fn validate_binaries(binaries: &[&Binary], config: &CbspConfig) -> Result<()
 
 /// Pipeline step 1 for one binary: its call/loop execution profile.
 pub fn profile_stage(binary: &Binary, input: &Input) -> CallLoopProfile {
+    let _span = cbsp_trace::span_labeled("stage/profile", || binary.label());
     CallLoopProfile::collect(binary, input)
 }
 
@@ -181,6 +182,7 @@ pub fn profile_stage_all(binaries: &[&Binary], input: &Input, pool: &Pool) -> Ve
 /// Pipeline step 2: mappable points across all binaries, with inlined
 /// loops recovered (paper §3.2.1–§3.2.2).
 pub fn mappable_stage(binaries: &[&Binary], profiles: &[CallLoopProfile]) -> MappableStage {
+    let _span = cbsp_trace::span("stage/mappable");
     let prof_refs: Vec<&CallLoopProfile> = profiles.iter().collect();
     let mut set = find_mappable_points(binaries, &prof_refs);
     let recovered_procs = recover_inlined(binaries, &prof_refs, &mut set);
@@ -198,16 +200,20 @@ pub fn vli_stage(
     config: &CbspConfig,
     mappable: &MappableSet,
 ) -> VliProfile {
-    build_vli(
+    let _span = cbsp_trace::span("stage/vli");
+    let vli = build_vli(
         binaries[config.primary],
         input,
         config.interval_target,
         &mappable.markers_of(config.primary),
-    )
+    );
+    cbsp_trace::add("pipeline/intervals_produced", vli.intervals.len() as u64);
+    vli
 }
 
 /// Pipeline step 4: SimPoint clustering of the primary's interval BBVs.
 pub fn simpoint_stage(vli: &VliProfile, config: &SimPointConfig) -> SimPointResult {
+    let _span = cbsp_trace::span("stage/simpoint");
     let vectors: Vec<Vec<f64>> = vli.intervals.iter().map(|i| i.bbv.clone()).collect();
     let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
     analyze(&vectors, &instrs, config)
@@ -230,6 +236,7 @@ pub fn map_stage(
     simpoint: &SimPointResult,
     pool: &Pool,
 ) -> Result<MappedSlicing, CbspError> {
+    let _span = cbsp_trace::span("stage/map");
     // Step 5: translate boundaries to every binary. Build a translation
     // table once (primary marker → per-binary markers), then translate
     // per binary in parallel (each binary's column is independent).

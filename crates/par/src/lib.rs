@@ -35,6 +35,18 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Estimated serial work, in nanoseconds, below which a parallel
+/// fan-out costs more in scoped-thread spawn and queue overhead than
+/// it can possibly save. The per-call spawn cost is on the order of
+/// tens of microseconds per worker; one millisecond of total work is
+/// the point where an 8-way fan-out reliably wins.
+pub const PARALLEL_WORK_THRESHOLD_NS: u64 = 1_000_000;
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Default number of index elements per chunk for chunked operations.
 ///
@@ -96,6 +108,25 @@ impl Pool {
         self.threads == 1
     }
 
+    /// Downgrades to a serial pool when `estimated_serial_ns` of total
+    /// work is too small to amortize a fan-out (below
+    /// [`PARALLEL_WORK_THRESHOLD_NS`]); otherwise returns `self`
+    /// unchanged.
+    ///
+    /// Stages with statically predictable cost (e.g. compiling a
+    /// source program whose statement count is known) use this to skip
+    /// pool fan-out entirely instead of paying more in spawn and queue
+    /// wait than the work itself costs — the `BENCH_simpoint.json`
+    /// compile stage regression that motivated it ran 4 jobs of ~15 µs
+    /// against ~100 µs of spawn overhead.
+    pub fn for_work(&self, estimated_serial_ns: u64) -> Pool {
+        if estimated_serial_ns < PARALLEL_WORK_THRESHOLD_NS {
+            Pool::serial()
+        } else {
+            *self
+        }
+    }
+
     /// Splits `self.threads()` among `outer` concurrent callers: the
     /// pool an inner computation should use when `outer` of them run
     /// side by side (≥ 1 thread each).
@@ -123,20 +154,51 @@ impl Pool {
     {
         let workers = self.threads.min(n);
         if workers <= 1 {
+            cbsp_trace::add("pool/jobs_inline", n as u64);
             return (0..n).map(f).collect();
         }
+        // When tracing is on, each worker accumulates its queue-wait
+        // (claim time minus fan-out start — time the job sat waiting
+        // while workers were busy or still spawning) and execute time
+        // locally, then merges once into the global counters. When
+        // off, `submitted` is `None` and the loop takes no clock
+        // readings at all.
+        let submitted = cbsp_trace::enabled().then(Instant::now);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut jobs = 0u64;
+                    let mut queue_wait_ns = 0u64;
+                    let mut exec_ns = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(t0) = submitted {
+                            let claimed = Instant::now();
+                            queue_wait_ns = queue_wait_ns.saturating_add(elapsed_ns(t0));
+                            let result = f(i);
+                            exec_ns = exec_ns.saturating_add(elapsed_ns(claimed));
+                            jobs += 1;
+                            *slots[i].lock().expect("worker slot lock") = Some(result);
+                        } else {
+                            let result = f(i);
+                            *slots[i].lock().expect("worker slot lock") = Some(result);
+                        }
                     }
-                    let result = f(i);
-                    *slots[i].lock().expect("worker slot lock") = Some(result);
+                    if submitted.is_some() {
+                        cbsp_trace::add("pool/jobs_executed", jobs);
+                        cbsp_trace::add("pool/queue_wait_ns", queue_wait_ns);
+                        cbsp_trace::add("pool/exec_ns", exec_ns);
+                    }
                 });
+            }
+            if submitted.is_some() {
+                cbsp_trace::add("pool/fan_outs", 1);
+                cbsp_trace::add("pool/workers_spawned", workers as u64);
             }
         });
         slots
@@ -287,6 +349,66 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         let _ = Pool::serial().map_chunks(10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn for_work_gates_small_fan_outs() {
+        let pool = Pool::new(8);
+        assert!(pool.for_work(0).is_serial());
+        assert!(pool.for_work(PARALLEL_WORK_THRESHOLD_NS - 1).is_serial());
+        assert_eq!(pool.for_work(PARALLEL_WORK_THRESHOLD_NS), pool);
+        assert_eq!(pool.for_work(u64::MAX), pool);
+        // A serial pool stays serial regardless of the estimate.
+        assert!(Pool::serial().for_work(u64::MAX).is_serial());
+    }
+
+    #[test]
+    fn trace_counters_merge_exactly_under_concurrent_jobs() {
+        let _guard = cbsp_trace::test_lock();
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let out = Pool::new(8).run_indexed(200, |i| {
+            cbsp_trace::add("par/test_jobs", 1);
+            i * 3
+        });
+        Pool::serial().run_indexed(5, |_| ());
+        let snap = cbsp_trace::snapshot();
+        cbsp_trace::disable();
+        cbsp_trace::reset();
+        assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+        // Per-job increments from 8 concurrent workers merge without
+        // loss, and the pool's own batched counters agree.
+        assert_eq!(snap.counters["par/test_jobs"], 200);
+        assert_eq!(snap.counters["pool/jobs_executed"], 200);
+        assert_eq!(snap.counters["pool/jobs_inline"], 5);
+        assert_eq!(snap.counters["pool/fan_outs"], 1);
+        assert_eq!(snap.counters["pool/workers_spawned"], 8);
+        assert!(snap.counters.contains_key("pool/exec_ns"));
+        assert!(snap.counters.contains_key("pool/queue_wait_ns"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let _guard = cbsp_trace::test_lock();
+        let values: Vec<f64> = (0..5000).map(|i| (i as f64).sin() * 1e6).collect();
+        let sum = |pool: &Pool| {
+            pool.reduce_chunks(
+                values.len(),
+                64,
+                |r| r.map(|i| values[i]).fold(0.0f64, |a, b| a + b),
+                |a, b| a + b,
+            )
+            .expect("nonempty")
+        };
+        let pool = Pool::new(8);
+        cbsp_trace::disable();
+        let off = sum(&pool);
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let on = sum(&pool);
+        cbsp_trace::disable();
+        cbsp_trace::reset();
+        assert_eq!(off.to_bits(), on.to_bits());
     }
 
     #[test]

@@ -245,9 +245,12 @@ impl TraceSink for MarkerSlicedSim {
 
 /// Simulates `binary` on `input` to completion.
 pub fn simulate_full(binary: &Binary, input: &Input, config: &MemoryConfig) -> SimStats {
+    let _span = cbsp_trace::span_labeled("sim/full", || binary.label());
     let mut sink = FullSim::new(config);
     run(binary, input, &mut sink);
-    sink.finish()
+    let stats = sink.finish();
+    cbsp_trace::add("sim/instructions", stats.instructions);
+    stats
 }
 
 /// Simulates `binary` sliced into fixed-length intervals of `target`
@@ -258,9 +261,12 @@ pub fn simulate_fli_sliced(
     config: &MemoryConfig,
     target: u64,
 ) -> (SimStats, Vec<IntervalSim>) {
+    let _span = cbsp_trace::span_labeled("sim/fli_sliced", || binary.label());
     let mut sink = FliSlicedSim::new(config, target);
     run(binary, input, &mut sink);
-    sink.finish()
+    let (stats, intervals) = sink.finish();
+    cbsp_trace::add("sim/instructions", stats.instructions);
+    (stats, intervals)
 }
 
 /// Simulates `binary` sliced at marker boundaries.
@@ -275,6 +281,7 @@ pub fn simulate_marker_sliced(
     config: &MemoryConfig,
     boundaries: &[ExecPoint],
 ) -> (SimStats, Vec<IntervalSim>) {
+    let _span = cbsp_trace::span_labeled("sim/marker_sliced", || binary.label());
     let mut sink = MarkerSlicedSim::new(config, binary, boundaries.to_vec());
     run(binary, input, &mut sink);
     assert_eq!(
@@ -282,7 +289,9 @@ pub fn simulate_marker_sliced(
         0,
         "marker boundaries must all occur in this binary's execution"
     );
-    sink.finish()
+    let (stats, intervals) = sink.finish();
+    cbsp_trace::add("sim/instructions", stats.instructions);
+    (stats, intervals)
 }
 
 /// [`simulate_full`] for a batch of binaries, one job per binary fanned

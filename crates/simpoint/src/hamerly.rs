@@ -51,6 +51,12 @@ pub fn kmeans_hamerly_from(
         lower[i] = dl;
     }
 
+    // Bound-effectiveness tallies, kept in locals (a register increment
+    // per point) and merged into the trace counters once per run.
+    let mut bound_skips = 0u64;
+    let mut tighten_skips = 0u64;
+    let mut full_recomputes = 0u64;
+
     let mut iterations = 0;
     for iter in 0..max_iters.max(1) {
         iterations = iter + 1;
@@ -122,20 +128,27 @@ pub fn kmeans_hamerly_from(
 
             let bound = lower[i].max(half_min_dist[a]);
             if upper[i] <= bound {
+                bound_skips += 1;
                 continue; // cannot have changed assignment
             }
             // Tighten the upper bound; re-check.
             upper[i] = distance_sq(v, centroids.row(a)).sqrt();
             if upper[i] <= bound {
+                tighten_skips += 1;
                 continue;
             }
             // Full recomputation for this point.
+            full_recomputes += 1;
             let (na, du, dl) = two_nearest(v, &centroids);
             labels[i] = na as u32;
             upper[i] = du;
             lower[i] = dl;
         }
     }
+
+    cbsp_trace::add("simpoint/hamerly_bound_skips", bound_skips);
+    cbsp_trace::add("simpoint/hamerly_tighten_skips", tighten_skips);
+    cbsp_trace::add("simpoint/hamerly_full_recomputes", full_recomputes);
 
     let wcss = data
         .rows()

@@ -161,6 +161,7 @@ pub fn analyze(
     // Steps 1-2: normalize, project — both chunk-parallel over fixed
     // ranges, so the flat output layout is thread-count independent.
     let normed = {
+        let _span = cbsp_trace::span("simpoint/normalize");
         let chunks = pool.map_chunks(vectors.len(), NORM_CHUNK, |range| {
             let mut flat = Vec::with_capacity(range.len() * in_dims);
             for i in range {
@@ -175,7 +176,10 @@ pub fn analyze(
         VectorSet::from_flat(in_dims, flat)
     };
     let projection = Projection::new(config.seed, config.projection_dims.max(1));
-    let data = projection.project_all(&normed, &pool);
+    let data = {
+        let _span = cbsp_trace::span("simpoint/project");
+        projection.project_all(&normed, &pool)
+    };
     drop(normed);
 
     // Interval weights: instructions, scaled to mean 1 so BIC's
@@ -199,6 +203,7 @@ pub fn analyze(
     // of its seed, the selection is identical at any thread count.
     let max_k = config.max_k.clamp(1, n);
     let restarts = config.restarts.max(1);
+    let search_span = cbsp_trace::span("simpoint/search");
     let cell_runs = pool.run_indexed(max_k * restarts, |cell| {
         let k = cell / restarts + 1;
         let r = cell % restarts;
@@ -206,12 +211,15 @@ pub fn analyze(
             .seed
             .wrapping_add((k as u64) << 32)
             .wrapping_add(r as u64);
-        if config.accelerated {
+        let run = if config.accelerated {
             let init = crate::kmeans::plus_plus_init(&data, &weights, k, seed);
             crate::hamerly::kmeans_hamerly_from(&data, &weights, init, config.max_iters)
         } else {
             kmeans(&data, &weights, k, seed, config.max_iters)
-        }
+        };
+        cbsp_trace::add("simpoint/kmeans_runs", 1);
+        cbsp_trace::add("simpoint/kmeans_iterations", run.iterations as u64);
+        run
     });
     let mut runs: Vec<(usize, KMeansResult, f64)> = Vec::with_capacity(max_k);
     let mut cells = cell_runs.into_iter();
@@ -227,6 +235,7 @@ pub fn analyze(
         let score = bic(&data, &weights, &best);
         runs.push((k, best, score));
     }
+    drop(search_span);
 
     // Step 4: smallest k reaching the BIC threshold.
     let bic_scores: Vec<(usize, f64)> = runs.iter().map(|(k, _, s)| (*k, *s)).collect();

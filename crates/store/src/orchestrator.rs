@@ -136,6 +136,10 @@ impl<'s> Orchestrator<'s> {
         if self.policy == CachePolicy::ReadWrite {
             match self.store.get::<T>(stage, key) {
                 Ok(Some(value)) => {
+                    cbsp_trace::add("store/hits", 1);
+                    if cbsp_trace::enabled() {
+                        cbsp_trace::add(&format!("store/hit/{stage}"), 1);
+                    }
                     return Ok((
                         value,
                         StageOutcome {
@@ -144,13 +148,22 @@ impl<'s> Orchestrator<'s> {
                             key: key.clone(),
                             hit: true,
                         },
-                    ))
+                    ));
                 }
                 Ok(None) => {}
                 Err(
                     CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. },
-                ) => repair = true,
+                ) => {
+                    repair = true;
+                    cbsp_trace::add("store/repairs", 1);
+                }
                 Err(other) => return Err(other),
+            }
+        }
+        if self.policy != CachePolicy::Bypass {
+            cbsp_trace::add("store/misses", 1);
+            if cbsp_trace::enabled() {
+                cbsp_trace::add(&format!("store/miss/{stage}"), 1);
             }
         }
         let value = compute()?;

@@ -259,6 +259,7 @@ impl ArtifactStore {
         key: &StageKey,
         value: &T,
     ) -> Result<(), CbspError> {
+        let _span = cbsp_trace::span_labeled("store/put", || stage.to_string());
         let payload = serde_json::to_value(value).expect("serialization cannot fail");
         let checksum = hex_digest(canonical_json(&payload).as_bytes());
         let envelope = Value::Object(vec![
@@ -278,6 +279,7 @@ impl ArtifactStore {
         let tmp = path.with_extension(tmp_suffix());
         std::fs::write(&tmp, &text).map_err(|e| io_err(&tmp, e))?;
         std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        cbsp_trace::add("store/bytes_written", text.len() as u64);
         Ok(())
     }
 
@@ -298,12 +300,14 @@ impl ArtifactStore {
         stage: &str,
         key: &StageKey,
     ) -> Result<Option<T>, CbspError> {
+        let _span = cbsp_trace::span_labeled("store/get", || stage.to_string());
         let path = self.object_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(io_err(&path, e)),
         };
+        cbsp_trace::add("store/bytes_read", text.len() as u64);
         let envelope: Value = serde_json::parse(&text)
             .map_err(|e| corrupt(key, format!("unparseable envelope: {e}")))?;
         let fields = envelope
@@ -494,6 +498,8 @@ impl ArtifactStore {
         for path in doomed {
             std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
         }
+        cbsp_trace::add("store/evicted", report.removed);
+        cbsp_trace::add("store/evicted_bytes", report.reclaimed_bytes);
         Ok(report)
     }
 }

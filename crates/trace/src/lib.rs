@@ -1,0 +1,548 @@
+//! # cbsp-trace — pipeline observability
+//!
+//! Zero-dependency (std-only) instrumentation layer for the CBSP
+//! pipeline: thread-safe span timers with hierarchical
+//! `stage/substage` names, monotonic counters, gauges, and two
+//! exporters — Chrome trace-event JSON (loadable in `chrome://tracing`
+//! or Perfetto) and a flat machine-readable `metrics.json` snapshot.
+//!
+//! ## Overhead contract
+//!
+//! Tracing is **disabled by default**. Every instrumentation entry
+//! point ([`span`], [`add`], [`gauge`]) starts with a single relaxed
+//! atomic load; when tracing is disabled that is the *entire* cost —
+//! no allocation, no lock, no clock read. Instrumentation never
+//! branches on pipeline data, so enabling it cannot change any
+//! computed result: the 1-vs-8-thread byte-identical determinism
+//! guarantees hold with tracing on or off.
+//!
+//! ## Model
+//!
+//! - **Spans** measure wall-clock duration of a named scope. A span is
+//!   recorded when its guard drops, tagged with a small sequential id
+//!   for the recording thread. Names are `'static` hierarchical paths
+//!   (`"stage/profile"`, `"pool/job"`); an optional per-instance label
+//!   carries dynamic context (a binary name, a store stage key).
+//! - **Counters** are monotonic `u64` sums merged under one lock;
+//!   concurrent increments from pool workers are safe and total
+//!   correctly (see the counter-merge tests in `cbsp-par`).
+//! - **Gauges** are last-write-wins `f64` observations.
+//!
+//! ## Exporters
+//!
+//! [`chrome_trace_json`] emits `{"traceEvents": [...]}` with complete
+//! (`"ph": "X"`) events in microseconds relative to the collector
+//! epoch. [`metrics_json`] emits `{schema, counters, gauges, spans}`
+//! where `spans` aggregates per-name `{count, total_ns}`. Both are
+//! plain strings; callers decide where to write them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch. One relaxed load on every instrumentation
+/// call; everything else is behind it.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Returns whether tracing is currently enabled.
+///
+/// Use this to skip *preparing* expensive span labels; the
+/// instrumentation entry points all perform this check themselves.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on. Events recorded after this call are kept until
+/// [`reset`].
+pub fn enable() {
+    state(); // materialize the collector (and its epoch) eagerly
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Already-recorded data is retained and still
+/// exportable; in-flight span guards created while enabled will still
+/// record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded events, counters and gauges, and restarts the
+/// trace epoch. Does not change the enabled flag.
+pub fn reset() {
+    let st = state();
+    st.events.lock().expect("trace events lock").clear();
+    st.counters.lock().expect("trace counters lock").clear();
+    st.gauges.lock().expect("trace gauges lock").clear();
+    *st.epoch.lock().expect("trace epoch lock") = Instant::now();
+}
+
+/// One completed span occurrence.
+struct Event {
+    name: &'static str,
+    label: Option<String>,
+    tid: u64,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+/// The global collector. Lives behind a `OnceLock`; all mutation is
+/// mutex-guarded so recording is safe from any pool worker.
+struct State {
+    epoch: Mutex<Instant>,
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+fn state() -> &'static State {
+    static STATE: OnceLock<State> = OnceLock::new();
+    STATE.get_or_init(|| State {
+        epoch: Mutex::new(Instant::now()),
+        events: Mutex::new(Vec::new()),
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Small sequential id for the calling thread (1, 2, 3, ... in first
+/// instrumentation-call order). Chrome trace `tid`s stay readable this
+/// way, unlike the opaque 64-bit OS thread ids.
+fn thread_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TAG: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+/// RAII span guard: records a completed event when dropped. A no-op
+/// (and allocation-free) when tracing was disabled at creation.
+#[must_use = "a span measures the scope it lives in; binding it to _ drops it immediately"]
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+struct SpanRec {
+    name: &'static str,
+    label: Option<String>,
+    start: Instant,
+}
+
+/// Starts a span with a static hierarchical name, e.g.
+/// `"stage/simpoint"`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { rec: None };
+    }
+    Span {
+        rec: Some(SpanRec {
+            name,
+            label: None,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Starts a span with a dynamic label. The label closure only runs
+/// when tracing is enabled, so formatting costs nothing when off.
+#[inline]
+pub fn span_labeled<F: FnOnce() -> String>(name: &'static str, label: F) -> Span {
+    if !enabled() {
+        return Span { rec: None };
+    }
+    Span {
+        rec: Some(SpanRec {
+            name,
+            label: Some(label()),
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        let dur_ns = saturating_ns(rec.start.elapsed().as_nanos());
+        let st = state();
+        let epoch = *st.epoch.lock().expect("trace epoch lock");
+        // `duration_since` saturates to zero if a reset() moved the
+        // epoch past this span's start.
+        let start_ns = saturating_ns(rec.start.duration_since(epoch).as_nanos());
+        st.events.lock().expect("trace events lock").push(Event {
+            name: rec.name,
+            label: rec.label,
+            tid: thread_tag(),
+            start_ns,
+            dur_ns,
+        });
+    }
+}
+
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when tracing is
+/// disabled or `delta` is zero.
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut counters = state().counters.lock().expect("trace counters lock");
+    match counters.get_mut(name) {
+        Some(v) => *v = v.saturating_add(delta),
+        None => {
+            counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Records a last-write-wins gauge observation. No-op when disabled.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    state()
+        .gauges
+        .lock()
+        .expect("trace gauges lock")
+        .insert(name.to_string(), value);
+}
+
+/// Aggregate of all occurrences of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanTotal {
+    /// Number of recorded occurrences.
+    pub count: u64,
+    /// Sum of recorded durations, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Point-in-time copy of the collector's aggregates, in plain
+/// `BTreeMap`s so downstream crates can embed them with whatever
+/// serializer they use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-span-name totals.
+    pub spans: BTreeMap<String, SpanTotal>,
+}
+
+/// Takes a snapshot of current counters, gauges, and span totals.
+pub fn snapshot() -> Snapshot {
+    let st = state();
+    let counters = st.counters.lock().expect("trace counters lock").clone();
+    let gauges = st.gauges.lock().expect("trace gauges lock").clone();
+    let mut spans: BTreeMap<String, SpanTotal> = BTreeMap::new();
+    for ev in st.events.lock().expect("trace events lock").iter() {
+        let slot = spans.entry(ev.name.to_string()).or_insert(SpanTotal {
+            count: 0,
+            total_ns: 0,
+        });
+        slot.count += 1;
+        slot.total_ns = slot.total_ns.saturating_add(ev.dur_ns);
+    }
+    Snapshot {
+        counters,
+        gauges,
+        spans,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporters (hand-written JSON; this crate stays std-only)
+// ---------------------------------------------------------------------
+
+/// Escapes `s` as the body of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_value(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Formats an `f64` so it parses back as a JSON *float* (a trailing
+/// `.0` is kept for integral values); non-finite values become `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders all recorded spans as a Chrome trace-event JSON document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}` with complete
+/// (`"ph": "X"`) events, timestamps in microseconds since the trace
+/// epoch. Load the output in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn chrome_trace_json() -> String {
+    let st = state();
+    let events = st.events.lock().expect("trace events lock");
+    let mut indices: Vec<usize> = (0..events.len()).collect();
+    indices.sort_by_key(|&i| (events[i].start_ns, events[i].tid));
+
+    let mut out = String::with_capacity(256 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"cbsp\"}}",
+    );
+    for &i in &indices {
+        let ev = &events[i];
+        out.push(',');
+        out.push_str("{\"name\":");
+        push_str_value(&mut out, ev.name);
+        out.push_str(",\"cat\":\"cbsp\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", ev.tid);
+        out.push_str(",\"ts\":");
+        push_f64(&mut out, ev.start_ns as f64 / 1000.0);
+        out.push_str(",\"dur\":");
+        push_f64(&mut out, ev.dur_ns as f64 / 1000.0);
+        if let Some(label) = &ev.label {
+            out.push_str(",\"args\":{\"label\":");
+            push_str_value(&mut out, label);
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders the current [`Snapshot`] as flat machine-readable JSON:
+/// `{"schema": 1, "counters": {...}, "gauges": {...}, "spans":
+/// {"name": {"count": n, "total_ns": n}, ...}}`.
+pub fn metrics_json() -> String {
+    snapshot().to_json()
+}
+
+impl Snapshot {
+    /// Serializes this snapshot in the `metrics.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":1,\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            out.push(':');
+            push_f64(&mut out, *v);
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, t)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"total_ns\":{}}}",
+                t.count, t.total_ns
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Guard + helpers for tests that manipulate the global collector.
+///
+/// The collector is process-global, and Rust runs `#[test]`s in one
+/// binary concurrently; tests that enable/reset tracing must hold this
+/// lock for their whole body or they will observe each other's events.
+/// Poisoning is ignored: a failed test must not cascade.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert_and_allocation_free() {
+        let _guard = test_lock();
+        disable();
+        reset();
+        {
+            let s = span("stage/test");
+            assert!(s.rec.is_none(), "no record captured while disabled");
+        }
+        let _ = span_labeled("stage/test", || unreachable!("label closure must not run"));
+        add("counter/test", 5);
+        gauge("gauge/test", 1.5);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn records_spans_counters_gauges() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        {
+            let _outer = span("stage/outer");
+            let _inner = span_labeled("stage/inner", || "gcc".to_string());
+        }
+        add("pipeline/intervals_produced", 7);
+        add("pipeline/intervals_produced", 3);
+        gauge("pipeline/dims", 15.0);
+        let snap = snapshot();
+        disable();
+        reset();
+        assert_eq!(snap.counters["pipeline/intervals_produced"], 10);
+        assert_eq!(snap.gauges["pipeline/dims"], 15.0);
+        assert_eq!(snap.spans["stage/outer"].count, 1);
+        assert_eq!(snap.spans["stage/inner"].count, 1);
+        // Inner closed first, so outer's duration dominates.
+        assert!(snap.spans["stage/outer"].total_ns >= snap.spans["stage/inner"].total_ns);
+    }
+
+    #[test]
+    fn zero_delta_add_does_not_create_counter() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        add("counter/zero", 0);
+        let snap = snapshot();
+        disable();
+        reset();
+        assert!(!snap.counters.contains_key("counter/zero"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        let mut out = String::new();
+        push_str_value(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn f64_formatting_round_trips_as_float() {
+        let mut out = String::new();
+        push_f64(&mut out, 2.0);
+        assert_eq!(out, "2.0");
+        out.clear();
+        push_f64(&mut out, 0.125);
+        assert_eq!(out, "0.125");
+        out.clear();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_stable() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        {
+            let _s = span_labeled("stage/compile", || "O0".to_string());
+        }
+        let json = chrome_trace_json();
+        disable();
+        reset();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"stage/compile\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"label\":\"O0\"}"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn metrics_json_shape_is_stable() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        add("store/hits", 2);
+        gauge("pool/threads", 8.0);
+        {
+            let _s = span("stage/map");
+        }
+        let json = metrics_json();
+        disable();
+        reset();
+        assert!(json.starts_with("{\"schema\":1,\"counters\":{"));
+        assert!(json.contains("\"store/hits\":2"));
+        assert!(json.contains("\"pool/threads\":8.0"));
+        assert!(json.contains("\"stage/map\":{\"count\":1,\"total_ns\":"));
+    }
+
+    #[test]
+    fn concurrent_counter_adds_merge_exactly() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        add("test/merge", 1);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        disable();
+        reset();
+        assert_eq!(snap.counters["test/merge"], 8000);
+    }
+
+    #[test]
+    fn reset_restarts_epoch_and_clears() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        add("a", 1);
+        {
+            let _s = span("b");
+        }
+        reset();
+        let snap = snapshot();
+        disable();
+        reset();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+}

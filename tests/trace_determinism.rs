@@ -1,0 +1,101 @@
+//! Observability must be a pure observer: enabling the `cbsp-trace`
+//! collector must not change a single output byte, at any thread
+//! count.
+//!
+//! The pipeline's parallelism contract is byte-identical results at
+//! 1 vs N threads (see `threads_determinism.rs`). Instrumentation
+//! reads clocks and bumps counters on those same code paths, so this
+//! test closes the remaining loophole: the serialized
+//! [`CrossBinaryResult`] is compared across the full
+//! {tracing off, tracing on} × {1 thread, 8 threads} matrix.
+
+use cross_binary_simpoints::core::CrossBinaryResult;
+use cross_binary_simpoints::prelude::*;
+
+fn run_at(name: &str, threads: usize) -> CrossBinaryResult {
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let config = CbspConfig {
+        interval_target: 20_000,
+        simpoint: SimPointConfig {
+            seed: 42,
+            threads,
+            ..SimPointConfig::default()
+        },
+        ..CbspConfig::default()
+    };
+    run_cross_binary(
+        &binaries.iter().collect::<Vec<_>>(),
+        &Input::test(),
+        &config,
+    )
+    .expect("pipeline succeeds on same-program binaries")
+}
+
+#[test]
+fn tracing_does_not_change_pipeline_output() {
+    // The collector is process-global; serialize against other tests.
+    let _guard = cbsp_trace::test_lock();
+
+    for name in ["gzip", "mcf"] {
+        let mut outputs: Vec<(String, String)> = Vec::new();
+        for tracing in [false, true] {
+            for threads in [1usize, 8] {
+                cbsp_trace::reset();
+                if tracing {
+                    cbsp_trace::enable();
+                } else {
+                    cbsp_trace::disable();
+                }
+                let result = run_at(name, threads);
+                let json = serde_json::to_string(&result).expect("serializes");
+                outputs.push((format!("tracing={tracing} threads={threads}"), json));
+            }
+        }
+        cbsp_trace::disable();
+        cbsp_trace::reset();
+
+        let (base_label, base_json) = &outputs[0];
+        for (label, json) in &outputs[1..] {
+            assert_eq!(
+                json, base_json,
+                "{name}: output at {label} differs from {base_label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_actually_collects_while_staying_pure() {
+    // Guard against the trivial way to pass the test above: tracing
+    // that never records anything. The traced run must produce spans
+    // for every pipeline stage and a nonzero interval count.
+    let _guard = cbsp_trace::test_lock();
+    cbsp_trace::reset();
+    cbsp_trace::enable();
+    let _ = run_at("gzip", 8);
+    let snap = cbsp_trace::snapshot();
+    cbsp_trace::disable();
+    cbsp_trace::reset();
+
+    for stage in [
+        "stage/profile",
+        "stage/mappable",
+        "stage/vli",
+        "stage/simpoint",
+        "stage/map",
+    ] {
+        assert!(
+            snap.spans.contains_key(stage),
+            "missing span {stage}, got {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
+    }
+    assert!(snap.counters["pipeline/intervals_produced"] > 0);
+    assert!(snap.counters["simpoint/kmeans_iterations"] > 0);
+}
