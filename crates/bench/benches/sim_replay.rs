@@ -1,0 +1,79 @@
+//! Record-once replay vs direct interpretation: the cost of a detailed
+//! simulation pass as (a) a live interpreter run, (b) a replay of an
+//! in-memory event trace, and (c) a replay served through the
+//! content-addressed trace cache (decode-from-store included).
+
+use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, NullSink, Scale};
+use cbsp_sim::{record_trace, replay, replay_full, simulate_full, MemoryConfig};
+use cbsp_store::{ArtifactStore, TraceCache};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+
+fn setup(name: &str) -> (Binary, Input) {
+    let prog = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Train);
+    (compile(&prog, CompileTarget::W32_O2), Input::train())
+}
+
+fn temp_store(tag: &str) -> (ArtifactStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("cbsp-bench-replay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::open(&dir).expect("store opens");
+    (store, dir)
+}
+
+fn bench_interpret_vs_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_replay");
+    group.sample_size(10);
+    for name in ["gzip", "gcc"] {
+        let (bin, input) = setup(name);
+        let mem = MemoryConfig::table1();
+
+        // Baseline: the interpreter drives the sink directly.
+        group.bench_with_input(BenchmarkId::new("interpret", name), &name, |b, _| {
+            b.iter(|| black_box(simulate_full(&bin, &input, &mem)))
+        });
+
+        // One-time record cost (interpret + encode), for context.
+        group.bench_with_input(BenchmarkId::new("record", name), &name, |b, _| {
+            b.iter(|| black_box(record_trace(&bin, &input)))
+        });
+
+        // Replay of an already-recorded in-memory trace — the steady
+        // state of every repeat detailed simulation.
+        let trace = record_trace(&bin, &input);
+        group.bench_with_input(BenchmarkId::new("replay", name), &name, |b, _| {
+            b.iter(|| black_box(replay_full(&trace, &mem).expect("decodes")))
+        });
+
+        // Decode-only throughput (null sink): isolates the varint
+        // decode loop from the cache-model cost that dominates replay.
+        group.bench_with_input(BenchmarkId::new("decode_only", name), &name, |b, _| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                replay(&trace, &mut sink).expect("decodes");
+                black_box(trace.events)
+            })
+        });
+
+        // Replay through a store-backed cache primed on disk: includes
+        // the envelope read, checksum, and base64 decode of a cold
+        // in-memory tier (rebuilt each iteration).
+        let (store, dir) = temp_store(name);
+        let primer = TraceCache::new(Some(&store));
+        primer.get_or_record(&bin, &input).expect("store usable");
+        group.bench_with_input(BenchmarkId::new("store_replay", name), &name, |b, _| {
+            b.iter(|| {
+                let cache = TraceCache::new(Some(&store));
+                let trace = cache.get_or_record(&bin, &input).expect("store usable");
+                black_box(replay_full(&trace, &mem).expect("decodes"))
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpret_vs_replay);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|table2|table3]
 //!             [--scale test|train|ref] [--interval N]
 //!             [--benchmarks a,b,c] [--threads N] [--json FILE]
-//!             [--cache-dir DIR]
+//!             [--cache-dir DIR] [--no-trace-cache]
 //! ```
 //!
 //! CI regression gates (exit 0 = pass, 1 = regression, 2 = usage):
@@ -17,7 +17,7 @@
 //! ```
 
 use cbsp_bench::{
-    evaluate_benchmark_with, mpki_eval, phase_bias, report, run_ablations, run_suite_with,
+    evaluate_benchmark_with, mpki_eval, phase_bias, report, run_ablations, run_suite_opts,
     standard_archs, sweep_benchmark, Pair, PerfReport, SuiteResults,
 };
 use cbsp_program::Scale;
@@ -34,6 +34,8 @@ struct Options {
     threads: usize,
     json: Option<String>,
     cache_dir: Option<String>,
+    /// `false` disables persisting/reusing event traces in the store.
+    trace_cache: bool,
     baseline: String,
     current: Option<String>,
     reference: String,
@@ -50,6 +52,7 @@ fn parse_args() -> Options {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         json: None,
         cache_dir: None,
+        trace_cache: true,
         baseline: "BENCH_simpoint.json".to_string(),
         current: None,
         reference: "results_ref.json".to_string(),
@@ -96,6 +99,9 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--cache-dir needs a path")),
                 );
             }
+            "--no-trace-cache" => {
+                opts.trace_cache = false;
+            }
             "--baseline" => {
                 opts.baseline = args
                     .next()
@@ -119,7 +125,7 @@ fn parse_args() -> Options {
                     "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf [compare]|accuracy-gate] \
                      [--scale test|train|ref] [--interval N] \
                      [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR] \
-                     [--baseline FILE] [--current FILE] [--ref FILE] [--tolerance T]"
+                     [--no-trace-cache] [--baseline FILE] [--current FILE] [--ref FILE] [--tolerance T]"
                 );
                 std::process::exit(0);
             }
@@ -360,13 +366,14 @@ fn main() {
                 "accuracy gate: rerunning suite at {scale:?} scale, interval {}...",
                 reference.interval_target
             );
-            let current = run_suite_with(
+            let current = run_suite_opts(
                 &opts.benchmarks,
                 scale,
                 reference.interval_target,
                 &mem,
                 opts.threads,
                 store,
+                opts.trace_cache,
             );
             let slack = opts.tolerance.unwrap_or(0.02);
             let g = cbsp_bench::accuracy_gate(&current, &reference, slack);
@@ -395,13 +402,14 @@ fn main() {
         "running suite at {:?} scale, interval target {}...",
         opts.scale, opts.interval
     );
-    let results = run_suite_with(
+    let results = run_suite_opts(
         &opts.benchmarks,
         opts.scale,
         opts.interval,
         &mem,
         opts.threads,
         store,
+        opts.trace_cache,
     );
     if let Some(path) = &opts.json {
         let json = serde_json::to_string_pretty(&results).expect("results serialize");

@@ -9,11 +9,9 @@ use cbsp_core::{
 };
 use cbsp_par::Pool;
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
-use cbsp_sim::{
-    simulate_fli_sliced_all, simulate_marker_sliced_all, IntervalSim, MemoryConfig, SimStats,
-};
+use cbsp_sim::{replay_fli_sliced, replay_marker_sliced, IntervalSim, MemoryConfig, SimStats};
 use cbsp_simpoint::SimPointConfig;
-use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
+use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator, TraceCache};
 use serde::{Deserialize, Serialize};
 
 /// The four standard binaries, in paper order.
@@ -234,6 +232,28 @@ pub fn evaluate_benchmark_pooled(
     store: Option<&ArtifactStore>,
     pool: &Pool,
 ) -> BenchmarkRun {
+    let traces = TraceCache::new(store);
+    evaluate_benchmark_cached(name, scale, interval_target, mem, store, &traces, pool)
+}
+
+/// [`evaluate_benchmark_pooled`] with an explicit [`TraceCache`]: each
+/// `(binary, input)` pair is interpreted (and recorded) at most once
+/// per cache; both detailed slicings are pool-parallel replays of the
+/// recorded traces. Pass a cache without a persistent tier to keep
+/// pipeline-stage caching while opting out of on-disk traces.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload suite or the store fails.
+pub fn evaluate_benchmark_cached(
+    name: &str,
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+    store: Option<&ArtifactStore>,
+    traces: &TraceCache<'_>,
+    pool: &Pool,
+) -> BenchmarkRun {
     let workload = workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let prog = workload.build(scale);
     let input = match scale {
@@ -278,20 +298,36 @@ pub fn evaluate_benchmark_pooled(
         run_per_binary(&binaries[b], &input, interval_target, &fli_config)
     });
 
-    // Detailed simulation, sliced both ways: eight full-program
-    // simulations (4 binaries × 2 slicings), all independent.
-    let marker_sliced = simulate_marker_sliced_all(&bin_refs, &input, mem, &cross.boundaries, pool);
-    let fli_sliced = simulate_fli_sliced_all(&bin_refs, &input, mem, interval_target, pool);
+    // Detailed simulation, sliced both ways: record each binary's
+    // event trace once (pool-parallel, served from the cache when this
+    // `(binary, input)` was already interpreted), then replay it into
+    // both sinks — eight pool-parallel replays instead of eight
+    // re-interpretations.
+    let event_traces = traces
+        .get_or_record_all(&bin_refs, &input, pool)
+        .expect("trace store usable");
+    let sims = pool.run_indexed(binaries.len() * 2, |j| {
+        let b = j / 2;
+        if j % 2 == 0 {
+            replay_marker_sliced(&event_traces[b], mem, &cross.boundaries[b])
+                .expect("recorded trace decodes")
+        } else {
+            replay_fli_sliced(&event_traces[b], mem, interval_target)
+                .expect("recorded trace decodes")
+        }
+    });
+    drop(event_traces);
     let mut true_stats = [SimStats::default(); 4];
     let mut vli_interval_stats = Vec::with_capacity(4);
     let mut fli_interval_stats = Vec::with_capacity(4);
-    for (b, ((full_v, mut ivs_v), (full_f, ivs_f))) in
-        marker_sliced.into_iter().zip(fli_sliced).enumerate()
-    {
+    let mut pairs = sims.into_iter();
+    for slot in true_stats.iter_mut().take(binaries.len()) {
+        let (full_v, mut ivs_v) = pairs.next().expect("marker replay per binary");
+        let (full_f, ivs_f) = pairs.next().expect("fli replay per binary");
         ivs_v.resize(cross.interval_count(), IntervalSim::default());
         debug_assert_eq!(full_v, full_f, "slicing must not change the simulation");
         let _ = full_f;
-        true_stats[b] = full_v;
+        *slot = full_v;
         vli_interval_stats.push(ivs_v);
         fli_interval_stats.push(ivs_f);
     }

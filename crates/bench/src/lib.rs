@@ -36,8 +36,9 @@ pub mod warmup;
 pub use ablation::{run_ablations, standard_variants, Variant, VariantResult};
 pub use archsweep::{standard_archs, sweep_benchmark, ArchSweepRow, ArchVariant};
 pub use experiment::{
-    evaluate_benchmark, evaluate_benchmark_pooled, evaluate_benchmark_with, mpki_eval, phase_bias,
-    BenchmarkEval, BenchmarkRun, MpkiEval, Pair, PhaseBias, PhaseRow, SchemeEval,
+    evaluate_benchmark, evaluate_benchmark_cached, evaluate_benchmark_pooled,
+    evaluate_benchmark_with, mpki_eval, phase_bias, BenchmarkEval, BenchmarkRun, MpkiEval, Pair,
+    PhaseBias, PhaseRow, SchemeEval,
 };
 pub use gate::{accuracy_gate, render_gate, GateFailure, GateReport};
 pub use perf::{
@@ -45,5 +46,5 @@ pub use perf::{
 };
 pub use seeds::{seed_stability, SeedRow};
 pub use softmark_study::{softmark_benchmark, SoftMarkRow};
-pub use suite::{run_suite, run_suite_with, SuiteResults};
+pub use suite::{run_suite, run_suite_opts, run_suite_with, SuiteResults};
 pub use warmup::{warmup_benchmark, WarmupRow};

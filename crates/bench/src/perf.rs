@@ -16,8 +16,9 @@ use cbsp_par::Pool;
 use cbsp_program::{
     compile, compile_cost_estimate_ns, workloads, Binary, CompileTarget, Input, Scale,
 };
-use cbsp_sim::{simulate_marker_sliced_all, MemoryConfig};
+use cbsp_sim::{replay_marker_sliced, MemoryConfig};
 use cbsp_simpoint::{SimPointConfig, SimPointResult};
+use cbsp_store::TraceCache;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -79,6 +80,7 @@ fn measure(
     interval_target: u64,
     threads: usize,
     mem: &MemoryConfig,
+    traces: &TraceCache<'_>,
 ) -> MeasuredRun {
     let workload = workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let prog = workload.build(scale);
@@ -144,7 +146,12 @@ fn measure(
     times.push(("map", ms(t)));
 
     let t = Instant::now();
-    let sims = simulate_marker_sliced_all(&bin_refs, &input, mem, &boundaries, &pool);
+    let event_traces = traces
+        .get_or_record_all(&bin_refs, &input, &pool)
+        .expect("in-memory trace cache is infallible");
+    let sims = pool.run_indexed(binaries.len(), |b| {
+        replay_marker_sliced(&event_traces[b], mem, &boundaries[b]).expect("recorded trace decodes")
+    });
     times.push(("detailed_sim", ms(t)));
     drop(sims);
 
@@ -169,7 +176,12 @@ pub fn run_perf(
     mem: &MemoryConfig,
 ) -> PerfReport {
     let threads = threads.max(2);
-    let serial = measure(name, scale, interval_target, 1, mem);
+    // One trace cache spans both runs: the serial run pays the
+    // interpret+record cost once, the parallel run replays those
+    // recordings — exactly how an experiment run re-simulates, so the
+    // detailed_sim row measures the record-once/replay-many win.
+    let traces = TraceCache::in_memory();
+    let serial = measure(name, scale, interval_target, 1, mem, &traces);
 
     // Trace only the parallel run, so the embedded counters explain the
     // numbers the gate actually guards (queue wait, bound skips, cache
@@ -177,7 +189,7 @@ pub fn run_perf(
     let was_enabled = cbsp_trace::enabled();
     cbsp_trace::reset();
     cbsp_trace::enable();
-    let parallel = measure(name, scale, interval_target, threads, mem);
+    let parallel = measure(name, scale, interval_target, threads, mem, &traces);
     let metrics = cbsp_trace::snapshot().counters;
     if !was_enabled {
         cbsp_trace::disable();
@@ -381,6 +393,13 @@ pub fn render(r: &PerfReport) -> String {
             key("simpoint/kmeans_iterations"),
             key("simpoint/hamerly_bound_skips"),
         ));
+        out.push_str(&format!(
+            "replay engine: {} replays ({} events), trace cache {} hits / {} misses\n",
+            key("sim/replays"),
+            key("sim/replay_events"),
+            key("sim/trace_cache_hits"),
+            key("sim/trace_cache_misses"),
+        ));
     }
     out
 }
@@ -406,10 +425,20 @@ mod tests {
             r.metrics.keys().collect::<Vec<_>>()
         );
         assert!(r.metrics.contains_key("simpoint/kmeans_iterations"));
+        assert!(
+            r.metrics.contains_key("sim/replays"),
+            "parallel detailed sim must be replay-driven, got {:?}",
+            r.metrics.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            r.metrics.get("sim/trace_cache_hits").copied().unwrap_or(0) >= 4,
+            "parallel run must hit the traces recorded by the serial run"
+        );
         let text = render(&r);
         assert!(text.contains("simpoint"));
         assert!(text.contains("detailed_sim"));
         assert!(text.contains("parallel-run counters"));
+        assert!(text.contains("replay engine"));
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("total_speedup"));
         assert!(json.contains("kmeans_iterations"));

@@ -9,7 +9,7 @@ use cbsp_core::{
 };
 use cbsp_profile::MarkerRef;
 use cbsp_program::{compile, workloads, CompileTarget, Input, Scale};
-use cbsp_sim::{simulate_fli_sliced, simulate_marker_sliced, IntervalSim, MemoryConfig};
+use cbsp_sim::{record_trace, replay_fli_sliced, replay_marker_sliced, IntervalSim, MemoryConfig};
 use cbsp_simpoint::{analyze, SimPointConfig};
 use std::fmt::Write as _;
 
@@ -44,8 +44,12 @@ pub fn softmark_benchmark(name: &str, scale: Scale, interval_target: u64) -> Sof
     let mem = MemoryConfig::table1();
     let sp_config = SimPointConfig::default();
 
+    // One recording of the 64o binary serves both detailed runs below.
+    let trace = record_trace(&bin, &input);
+
     // FLI baseline.
-    let (full, fli_ivs) = simulate_fli_sliced(&bin, &input, &mem, interval_target);
+    let (full, fli_ivs) =
+        replay_fli_sliced(&trace, &mem, interval_target).expect("recorded trace decodes");
     let fli_profile = cbsp_profile::profile_fli(&bin, &input, interval_target);
     let vectors: Vec<Vec<f64>> = fli_profile.iter().map(|i| i.bbv.clone()).collect();
     let instrs: Vec<u64> = fli_profile.iter().map(|i| i.instrs).collect();
@@ -81,7 +85,8 @@ pub fn softmark_benchmark(name: &str, scale: Scale, interval_target: u64) -> Sof
             count,
         })
         .collect();
-    let (_, mut aligned_ivs) = simulate_marker_sliced(&bin, &input, &mem, &boundaries);
+    let (_, mut aligned_ivs) =
+        replay_marker_sliced(&trace, &mem, &boundaries).expect("recorded trace decodes");
     aligned_ivs.resize(aligned.len(), IntervalSim::default());
     let aligned_cpis: Vec<f64> = aligned_ivs.iter().map(IntervalSim::cpi).collect();
     let aligned_err = relative_error(full.cpi(), weighted_cpi(&aligned_sp.points, &aligned_cpis));

@@ -1,11 +1,11 @@
 //! Suite-level experiment driver: evaluates every benchmark and
 //! aggregates the data behind each figure.
 
-use crate::experiment::{evaluate_benchmark_pooled, BenchmarkEval, Pair};
+use crate::experiment::{evaluate_benchmark_cached, BenchmarkEval, Pair};
 use cbsp_par::Pool;
 use cbsp_program::{workloads, Scale};
 use cbsp_sim::MemoryConfig;
-use cbsp_store::ArtifactStore;
+use cbsp_store::{ArtifactStore, TraceCache};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -59,6 +59,24 @@ pub fn run_suite_with(
     threads: usize,
     store: Option<&ArtifactStore>,
 ) -> SuiteResults {
+    run_suite_opts(names, scale, interval_target, mem, threads, store, true)
+}
+
+/// [`run_suite_with`] with the trace cache made explicit. When
+/// `trace_cache` is false, event traces are still recorded once and
+/// replayed within each evaluation (the engine's core mechanism) but
+/// are never persisted to — or served from — the artifact store, so a
+/// fresh run re-interprets every binary even with `--cache-dir` set.
+#[allow(clippy::too_many_arguments)]
+pub fn run_suite_opts(
+    names: &[String],
+    scale: Scale,
+    interval_target: u64,
+    mem: &MemoryConfig,
+    threads: usize,
+    store: Option<&ArtifactStore>,
+    trace_cache: bool,
+) -> SuiteResults {
     let selected: Vec<&'static str> = if names.is_empty() {
         workloads::suite().iter().map(|w| w.name).collect()
     } else {
@@ -78,10 +96,19 @@ pub fn run_suite_with(
     let budget = Pool::new(threads.max(1));
     let outer = Pool::new(budget.threads().min(selected.len().max(1)));
     let inner = budget.split(outer.threads());
+    let trace_store = if trace_cache { store } else { None };
     let done = AtomicUsize::new(0);
     let benchmarks = outer.run_indexed(selected.len(), |i| {
-        let run =
-            evaluate_benchmark_pooled(selected[i], scale, interval_target, mem, store, &inner);
+        let traces = TraceCache::new(trace_store);
+        let run = evaluate_benchmark_cached(
+            selected[i],
+            scale,
+            interval_target,
+            mem,
+            store,
+            &traces,
+            &inner,
+        );
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!("  [{}/{}] {} done", finished, selected.len(), selected[i]);
         run.eval

@@ -237,15 +237,30 @@ pub fn map_stage(
     pool: &Pool,
 ) -> Result<MappedSlicing, CbspError> {
     let _span = cbsp_trace::span("stage/map");
-    // Step 5: translate boundaries to every binary. Build a translation
-    // table once (primary marker → per-binary markers), then translate
-    // per binary in parallel (each binary's column is independent).
+    // Steps 5 and 6 fused into one per-binary fan-out: translate the
+    // binary's boundary column (step 5, cheap table lookups), then
+    // compute its interval instruction counts and phase weights
+    // (step 6, where `slice_instr_counts` re-executes each non-primary
+    // binary and dominates). One fan-out instead of two halves the
+    // spawn/queue overhead, and the whole stage is `for_work`-gated on
+    // the slicing cost so small workloads skip the fan-out entirely —
+    // the same gating that fixed the compile-stage parallel regression.
     let mut table: BTreeMap<cbsp_profile::MarkerRef, usize> = BTreeMap::new();
     for (pi, p) in mappable.points.iter().enumerate() {
         table.insert(p.per_binary[primary], pi);
     }
-    let translated = pool.run_indexed(binaries.len(), |b| {
-        vli.boundaries
+    let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
+    let n_intervals = vli.intervals.len();
+    let k = simpoint
+        .points
+        .iter()
+        .map(|p| p.phase as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let est_ns = map_cost_estimate_ns(instrs.iter().sum(), vli.boundaries.len(), binaries.len());
+    let per_binary = pool.for_work(est_ns).run_indexed(binaries.len(), |b| {
+        let bounds = vli
+            .boundaries
             .iter()
             .map(|bp| {
                 let pi = table
@@ -256,29 +271,11 @@ pub fn map_stage(
                     count: bp.count,
                 })
             })
-            .collect::<Result<Vec<ExecPoint>, CbspError>>()
-    });
-    let mut boundaries = Vec::with_capacity(binaries.len());
-    for t in translated {
-        boundaries.push(t?);
-    }
-
-    // Step 6: per-binary interval instruction counts and phase weights.
-    // `slice_instr_counts` replays each non-primary binary's full
-    // execution, so the per-binary fan-out is the expensive part.
-    let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
-    let n_intervals = vli.intervals.len();
-    let k = simpoint
-        .points
-        .iter()
-        .map(|p| p.phase as usize + 1)
-        .max()
-        .unwrap_or(1);
-    let sliced = pool.run_indexed(binaries.len(), |b| {
+            .collect::<Result<Vec<ExecPoint>, CbspError>>()?;
         let mut slices = if b == primary {
             instrs.clone()
         } else {
-            slice_instr_counts(binaries[b], input, &boundaries[b])
+            slice_instr_counts(binaries[b], input, &bounds)
         };
         slices.resize(n_intervals, 0); // zero-length tail in this binary
         let total: u64 = slices.iter().sum();
@@ -291,11 +288,15 @@ pub fn map_stage(
                 *x /= total as f64;
             }
         }
-        (slices, w)
+        Ok((bounds, slices, w))
     });
+
+    let mut boundaries = Vec::with_capacity(binaries.len());
     let mut interval_instrs = Vec::with_capacity(binaries.len());
     let mut weights = Vec::with_capacity(binaries.len());
-    for (slices, w) in sliced {
+    for r in per_binary {
+        let (bounds, slices, w): (Vec<ExecPoint>, Vec<u64>, Vec<f64>) = r?;
+        boundaries.push(bounds);
         interval_instrs.push(slices);
         weights.push(w);
     }
@@ -305,6 +306,17 @@ pub fn map_stage(
         interval_instrs,
         weights,
     })
+}
+
+/// Estimated serial cost of the map stage, for [`Pool::for_work`]
+/// gating: slicing re-executes every non-primary binary (roughly one
+/// nanosecond per primary instruction each), plus boundary translation
+/// (tree lookups, ~100 ns per boundary per binary).
+fn map_cost_estimate_ns(total_instrs: u64, n_boundaries: usize, n_binaries: usize) -> u64 {
+    let non_primary = n_binaries.saturating_sub(1) as u64;
+    total_instrs
+        .saturating_mul(non_primary)
+        .saturating_add((n_boundaries * n_binaries) as u64 * 100)
 }
 
 /// Runs the full cross-binary pipeline over `binaries`.

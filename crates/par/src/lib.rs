@@ -108,19 +108,23 @@ impl Pool {
         self.threads == 1
     }
 
-    /// Downgrades to a serial pool when `estimated_serial_ns` of total
-    /// work is too small to amortize a fan-out (below
-    /// [`PARALLEL_WORK_THRESHOLD_NS`]); otherwise returns `self`
-    /// unchanged.
+    /// Downgrades to a serial pool when a fan-out cannot pay for
+    /// itself: either `estimated_serial_ns` of total work is too small
+    /// to amortize the spawn/queue overhead (below
+    /// [`PARALLEL_WORK_THRESHOLD_NS`]), or the machine offers a single
+    /// hardware thread — workers can never actually run concurrently
+    /// there, so a fan-out of any size only adds overhead. Otherwise
+    /// returns `self` unchanged.
     ///
     /// Stages with statically predictable cost (e.g. compiling a
     /// source program whose statement count is known) use this to skip
     /// pool fan-out entirely instead of paying more in spawn and queue
     /// wait than the work itself costs — the `BENCH_simpoint.json`
     /// compile stage regression that motivated it ran 4 jobs of ~15 µs
-    /// against ~100 µs of spawn overhead.
+    /// against ~100 µs of spawn overhead; the single-core gate fixed
+    /// the same artifact's map stage on one-vCPU CI runners.
     pub fn for_work(&self, estimated_serial_ns: u64) -> Pool {
-        if estimated_serial_ns < PARALLEL_WORK_THRESHOLD_NS {
+        if estimated_serial_ns < PARALLEL_WORK_THRESHOLD_NS || available_threads() == 1 {
             Pool::serial()
         } else {
             *self
@@ -356,8 +360,13 @@ mod tests {
         let pool = Pool::new(8);
         assert!(pool.for_work(0).is_serial());
         assert!(pool.for_work(PARALLEL_WORK_THRESHOLD_NS - 1).is_serial());
-        assert_eq!(pool.for_work(PARALLEL_WORK_THRESHOLD_NS), pool);
-        assert_eq!(pool.for_work(u64::MAX), pool);
+        if available_threads() > 1 {
+            assert_eq!(pool.for_work(PARALLEL_WORK_THRESHOLD_NS), pool);
+            assert_eq!(pool.for_work(u64::MAX), pool);
+        } else {
+            // One hardware thread: no estimate justifies a fan-out.
+            assert!(pool.for_work(u64::MAX).is_serial());
+        }
         // A serial pool stays serial regardless of the estimate.
         assert!(Pool::serial().for_work(u64::MAX).is_serial());
     }

@@ -33,7 +33,9 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod record;
 pub mod regions;
+pub mod replay;
 pub mod runner;
 pub mod stats;
 
@@ -41,9 +43,14 @@ pub use branch::{BranchConfig, Gshare};
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheLevelConfig, MemoryConfig, Replacement};
 pub use hierarchy::{Hierarchy, ServicedBy};
+pub use record::{record_trace, record_trace_with, EventTrace, RecordSink};
 pub use regions::{
     estimate_cpi_from_regions, simulate_regions, simulate_regions_all, simulate_regions_with,
     RegionStats, Warmup,
+};
+pub use replay::{
+    replay, replay_fli_sliced, replay_full, replay_marker_sliced, replay_regions,
+    replay_regions_with, TraceError,
 };
 pub use runner::{
     simulate_fli_sliced, simulate_fli_sliced_all, simulate_full, simulate_full_all,

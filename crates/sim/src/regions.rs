@@ -14,6 +14,7 @@ use crate::stats::IntervalSim;
 use cbsp_par::Pool;
 use cbsp_profile::{MarkerCounts, PinPointsFile, RegionBound, SimRegion};
 use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
+use std::collections::HashMap;
 
 /// How cache state is prepared before each simulation region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,33 +57,58 @@ struct TrackedRegion {
     stats: IntervalSim,
 }
 
-struct RegionSink {
+/// The region-restricted simulation sink.
+///
+/// Per-event cost is O(active regions), not O(regions in the file):
+/// regions waiting to start sit in index structures keyed by what
+/// triggers them — a cursor over a start-instruction-sorted list for
+/// instruction bounds, a `(marker, count)` map for marker bounds — and
+/// only the (typically zero or one) currently active regions are
+/// visited per block or access event.
+pub(crate) struct RegionSink {
     hierarchy: Hierarchy,
     counts: MarkerCounts,
     instrs: u64,
     regions: Vec<TrackedRegion>,
+    /// Indices of currently active regions.
+    active: Vec<usize>,
+    /// Pending regions with `Instr` starts, sorted by start descending
+    /// (so the back of the vec is the next region to activate).
+    instr_pending: Vec<usize>,
+    /// Pending regions with `Point` starts, keyed by the exact marker
+    /// execution that activates them.
+    point_pending: HashMap<(Marker, u64), Vec<usize>>,
     warmup: Warmup,
     fresh: Hierarchy,
 }
 
 impl RegionSink {
-    fn update_states_for_instr(&mut self) {
+    /// Retires active regions whose `Instr` end is reached, then
+    /// activates pending regions whose `Instr` start is reached.
+    /// Activation happens last so a region never ends in the pass that
+    /// started it (a region spanning zero instructions still sees the
+    /// block that closes it, matching one-pass state-machine order).
+    fn roll_instr(&mut self) {
         let instrs = self.instrs;
+        let regions = &mut self.regions;
+        self.active.retain(|&i| {
+            let t = &mut regions[i];
+            if matches!(t.region.end, RegionBound::Instr(x) if instrs >= x) {
+                t.state = RegionState::Done;
+                false
+            } else {
+                true
+            }
+        });
         let mut activated = false;
-        for t in &mut self.regions {
-            match t.state {
-                RegionState::Pending => {
-                    if matches!(t.region.start, RegionBound::Instr(x) if instrs >= x) {
-                        t.state = RegionState::Active;
-                        activated = true;
-                    }
-                }
-                RegionState::Active => {
-                    if matches!(t.region.end, RegionBound::Instr(x) if instrs >= x) {
-                        t.state = RegionState::Done;
-                    }
-                }
-                RegionState::Done => {}
+        while let Some(&i) = self.instr_pending.last() {
+            if matches!(regions[i].region.start, RegionBound::Instr(x) if instrs >= x) {
+                self.instr_pending.pop();
+                regions[i].state = RegionState::Active;
+                self.active.push(i);
+                activated = true;
+            } else {
+                break;
             }
         }
         if activated && self.warmup == Warmup::Cold {
@@ -94,30 +120,28 @@ impl RegionSink {
 impl TraceSink for RegionSink {
     #[inline]
     fn on_block(&mut self, _: BlockId, instrs: u64) {
-        for t in &mut self.regions {
-            if t.state == RegionState::Active {
-                t.stats.instructions += instrs;
-                t.stats.cycles += instrs;
-            }
+        for &i in &self.active {
+            let t = &mut self.regions[i];
+            t.stats.instructions += instrs;
+            t.stats.cycles += instrs;
         }
         self.instrs += instrs;
-        self.update_states_for_instr();
+        self.roll_instr();
     }
 
     #[inline]
     fn on_access(&mut self, addr: u64, is_write: bool) {
         // Functional warming: the hierarchy sees every access.
         let (lvl, latency) = self.hierarchy.access(addr, is_write);
-        for t in &mut self.regions {
-            if t.state == RegionState::Active {
-                t.stats.accesses += 1;
-                t.stats.cycles += latency;
-                if lvl != ServicedBy::L1 {
-                    t.stats.l1_misses += 1;
-                }
-                if lvl == ServicedBy::Dram {
-                    t.stats.dram_accesses += 1;
-                }
+        for &i in &self.active {
+            let t = &mut self.regions[i];
+            t.stats.accesses += 1;
+            t.stats.cycles += latency;
+            if lvl != ServicedBy::L1 {
+                t.stats.l1_misses += 1;
+            }
+            if lvl == ServicedBy::Dram {
+                t.stats.dram_accesses += 1;
             }
         }
     }
@@ -125,31 +149,93 @@ impl TraceSink for RegionSink {
     #[inline]
     fn on_marker(&mut self, marker: Marker) {
         let count = self.counts.observe(marker);
-        let mut activated = false;
-        for t in &mut self.regions {
-            match t.state {
-                RegionState::Pending => {
-                    if matches!(t.region.start, RegionBound::Point(p)
-                        if p.marker.to_marker() == marker && p.count == count)
-                    {
-                        t.state = RegionState::Active;
-                        activated = true;
-                    }
-                }
-                RegionState::Active => {
-                    if matches!(t.region.end, RegionBound::Point(p)
-                        if p.marker.to_marker() == marker && p.count == count)
-                    {
-                        t.state = RegionState::Done;
-                    }
-                }
-                RegionState::Done => {}
+        let regions = &mut self.regions;
+        self.active.retain(|&i| {
+            let t = &mut regions[i];
+            if matches!(t.region.end, RegionBound::Point(p)
+                if p.marker.to_marker() == marker && p.count == count)
+            {
+                t.state = RegionState::Done;
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(starters) = self.point_pending.remove(&(marker, count)) {
+            for i in starters {
+                regions[i].state = RegionState::Active;
+                self.active.push(i);
+            }
+            if self.warmup == Warmup::Cold {
+                self.hierarchy = self.fresh.clone();
             }
         }
-        if activated && self.warmup == Warmup::Cold {
-            self.hierarchy = self.fresh.clone();
+    }
+}
+
+/// Builds a [`RegionSink`] for `file` with marker-count vectors sized
+/// `(n_procs, n_loops)`, ready to consume an event stream (regions
+/// starting at instruction 0 are already active).
+pub(crate) fn region_sink(
+    config: &MemoryConfig,
+    file: &PinPointsFile,
+    warmup: Warmup,
+    n_procs: usize,
+    n_loops: usize,
+) -> RegionSink {
+    let mut instr_pending = Vec::new();
+    let mut point_pending: HashMap<(Marker, u64), Vec<usize>> = HashMap::new();
+    for (i, region) in file.regions.iter().enumerate() {
+        match region.start {
+            RegionBound::Instr(_) => instr_pending.push(i),
+            RegionBound::Point(p) => point_pending
+                .entry((p.marker.to_marker(), p.count))
+                .or_default()
+                .push(i),
         }
     }
+    // Back of the vec = smallest start instruction.
+    instr_pending.sort_by_key(|&i| {
+        std::cmp::Reverse(match file.regions[i].start {
+            RegionBound::Instr(x) => x,
+            RegionBound::Point(_) => unreachable!("partitioned above"),
+        })
+    });
+    let mut sink = RegionSink {
+        hierarchy: Hierarchy::new(config),
+        counts: MarkerCounts::new(n_procs, n_loops),
+        instrs: 0,
+        warmup,
+        fresh: Hierarchy::new(config),
+        regions: file
+            .regions
+            .iter()
+            .map(|&region| TrackedRegion {
+                region,
+                state: RegionState::Pending,
+                stats: IntervalSim::default(),
+            })
+            .collect(),
+        active: Vec::new(),
+        instr_pending,
+        point_pending,
+    };
+    // Instr(0) starts active immediately.
+    sink.roll_instr();
+    sink
+}
+
+/// Extracts per-region results from a finished sink, in file order.
+pub(crate) fn region_results(sink: RegionSink) -> Vec<RegionStats> {
+    sink.regions
+        .iter()
+        .map(|t| RegionStats {
+            phase: t.region.phase,
+            weight: t.region.weight,
+            stats: t.stats,
+            reached: t.state != RegionState::Pending,
+        })
+        .collect()
 }
 
 /// Simulates only the regions of `file`, with functional warming in
@@ -176,34 +262,9 @@ pub fn simulate_regions_with(
     file: &PinPointsFile,
     warmup: Warmup,
 ) -> Vec<RegionStats> {
-    let mut sink = RegionSink {
-        hierarchy: Hierarchy::new(config),
-        counts: MarkerCounts::for_binary(binary),
-        instrs: 0,
-        warmup,
-        fresh: Hierarchy::new(config),
-        regions: file
-            .regions
-            .iter()
-            .map(|&region| TrackedRegion {
-                region,
-                state: RegionState::Pending,
-                stats: IntervalSim::default(),
-            })
-            .collect(),
-    };
-    // Instr(0) starts active immediately.
-    sink.update_states_for_instr();
+    let mut sink = region_sink(config, file, warmup, binary.procs.len(), binary.loops.len());
     run(binary, input, &mut sink);
-    sink.regions
-        .iter()
-        .map(|t| RegionStats {
-            phase: t.region.phase,
-            weight: t.region.weight,
-            stats: t.stats,
-            reached: t.state != RegionState::Pending,
-        })
-        .collect()
+    region_results(sink)
 }
 
 /// [`simulate_regions`] for a batch of `(binary, region file)` jobs,

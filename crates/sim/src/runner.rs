@@ -43,19 +43,22 @@ impl Engine {
         }
     }
 
+    // The per-event methods touch only the open interval's counters;
+    // whole-run totals are folded in at interval close (`absorb`), so
+    // the hot path updates one accumulator instead of two. The sums
+    // are associative u64 additions, so the finished totals are
+    // identical to per-event accounting.
+
     #[inline]
     fn branch(&mut self, branch: u64, taken: bool) {
         if let Some(p) = &mut self.predictor {
             let penalty = p.resolve(branch, taken);
-            self.stats.cycles += penalty;
             self.cur.cycles += penalty;
         }
     }
 
     #[inline]
     fn block(&mut self, instrs: u64) {
-        self.stats.instructions += instrs;
-        self.stats.cycles += instrs;
         self.cur.instructions += instrs;
         self.cur.cycles += instrs;
     }
@@ -63,20 +66,26 @@ impl Engine {
     #[inline]
     fn access(&mut self, addr: u64, is_write: bool) {
         let (lvl, latency) = self.hierarchy.access(addr, is_write);
-        self.stats.accesses += 1;
-        self.stats.cycles += latency;
         self.cur.accesses += 1;
         self.cur.cycles += latency;
         if lvl != ServicedBy::L1 {
             self.cur.l1_misses += 1;
         }
         if lvl == ServicedBy::Dram {
-            self.stats.dram_accesses += 1;
             self.cur.dram_accesses += 1;
         }
     }
 
+    /// Folds the open interval's counters into the whole-run totals.
+    fn absorb(&mut self) {
+        self.stats.instructions += self.cur.instructions;
+        self.stats.cycles += self.cur.cycles;
+        self.stats.accesses += self.cur.accesses;
+        self.stats.dram_accesses += self.cur.dram_accesses;
+    }
+
     fn close_interval(&mut self) {
+        self.absorb();
         self.intervals.push(self.cur);
         self.cur = IntervalSim::default();
     }
@@ -84,6 +93,10 @@ impl Engine {
     fn finish(mut self) -> (SimStats, Vec<IntervalSim>) {
         if self.cur.instructions > 0 {
             self.close_interval();
+        } else {
+            // A tail that executed no instructions is not an interval,
+            // but any cycles it carries still belong to the totals.
+            self.absorb();
         }
         self.stats.levels = self.hierarchy.level_stats();
         self.stats.dram_writebacks = self.hierarchy.writebacks_to_dram();
@@ -194,11 +207,23 @@ impl MarkerSlicedSim {
     /// Creates a sink cutting at each of `boundaries`, which must be in
     /// execution order for the binary being simulated.
     pub fn new(config: &MemoryConfig, binary: &Binary, boundaries: Vec<ExecPoint>) -> Self {
+        Self::with_dims(config, binary.procs.len(), binary.loops.len(), boundaries)
+    }
+
+    /// [`MarkerSlicedSim::new`] with explicit marker-vector dimensions,
+    /// for callers that consume a recorded [`crate::EventTrace`] and so
+    /// have no [`Binary`] at hand.
+    pub fn with_dims(
+        config: &MemoryConfig,
+        n_procs: usize,
+        n_loops: usize,
+        boundaries: Vec<ExecPoint>,
+    ) -> Self {
         MarkerSlicedSim {
             engine: Engine::new(config),
             boundaries,
             next: 0,
-            counts: MarkerCounts::for_binary(binary),
+            counts: MarkerCounts::new(n_procs, n_loops),
         }
     }
 

@@ -48,6 +48,7 @@
 pub mod orchestrator;
 pub mod sha256;
 pub mod store;
+pub mod traces;
 
 pub use orchestrator::{CachePolicy, Orchestrator, RunReport, StageOutcome, STAGE_ORDER};
 pub use sha256::{hex_digest, Sha256};
@@ -55,3 +56,4 @@ pub use store::{
     canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,
     RunManifest, StageKey, StageStats, StoreStats, SCHEMA_VERSION,
 };
+pub use traces::{trace_key, TraceCache, TRACE_STAGE};

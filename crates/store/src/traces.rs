@@ -1,0 +1,394 @@
+//! Content-addressed event-trace cache: record each `(binary, input)`
+//! execution once per process — and once per store, across processes —
+//! and serve every later detailed simulation from the recorded
+//! [`EventTrace`].
+//!
+//! Two cache tiers:
+//!
+//! * an in-memory map of [`Arc<EventTrace>`], shared by every consumer
+//!   holding the same [`TraceCache`] (one interpretation per
+//!   experiment run);
+//! * optionally, the [`ArtifactStore`], where traces persist as
+//!   checksummed artifacts keyed on `(binary digest, input digest)` —
+//!   the same content-addressing the pipeline stages use — so repeat
+//!   experiment runs skip interpretation entirely.
+//!
+//! Trace bytes are stored base64-encoded inside the standard JSON
+//! envelope, keeping the store's single artifact format (and its
+//! corruption detection and repair semantics) for binary payloads.
+
+use cbsp_core::CbspError;
+use cbsp_par::Pool;
+use cbsp_program::{Binary, Input};
+use cbsp_sim::{record_trace, EventTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::store::{content_hash, stage_key, ArtifactStore, StageKey};
+use serde::Value;
+
+/// Stage name traces are stored under.
+pub const TRACE_STAGE: &str = "trace";
+
+/// On-store form of an [`EventTrace`]: header fields plus base64 bytes.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceArtifact {
+    n_procs: u32,
+    n_loops: u32,
+    events: u64,
+    data: String,
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as unpadded standard-alphabet base64.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let v = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let chars = [
+            BASE64_ALPHABET[(v >> 18) as usize & 63],
+            BASE64_ALPHABET[(v >> 12) as usize & 63],
+            BASE64_ALPHABET[(v >> 6) as usize & 63],
+            BASE64_ALPHABET[v as usize & 63],
+        ];
+        let keep = match chunk.len() {
+            1 => 2,
+            2 => 3,
+            _ => 4,
+        };
+        for &c in &chars[..keep] {
+            out.push(c as char);
+        }
+    }
+    out
+}
+
+/// Decodes unpadded standard-alphabet base64 (trailing `=` tolerated).
+/// Returns `None` on any character outside the alphabet or an
+/// impossible length.
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    let trimmed = text.trim_end_matches('=');
+    let mut out = Vec::with_capacity(trimmed.len() / 4 * 3 + 2);
+    let mut chunk = [0u8; 4];
+    let mut filled = 0;
+    let decode_one = |c: u8| -> Option<u8> {
+        match c {
+            b'A'..=b'Z' => Some(c - b'A'),
+            b'a'..=b'z' => Some(c - b'a' + 26),
+            b'0'..=b'9' => Some(c - b'0' + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    };
+    let flush = |chunk: &[u8], out: &mut Vec<u8>| -> Option<()> {
+        let v = chunk.iter().fold(0u32, |acc, &c| (acc << 6) | u32::from(c));
+        match chunk.len() {
+            4 => out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]),
+            3 => {
+                let v = v << 6;
+                out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8]);
+            }
+            2 => {
+                let v = v << 12;
+                out.push((v >> 16) as u8);
+            }
+            1 => return None,
+            _ => {}
+        }
+        Some(())
+    };
+    for &c in trimmed.as_bytes() {
+        chunk[filled] = decode_one(c)?;
+        filled += 1;
+        if filled == 4 {
+            flush(&chunk, &mut out)?;
+            filled = 0;
+        }
+    }
+    flush(&chunk[..filled], &mut out)?;
+    Some(out)
+}
+
+/// Content key of the trace for `(binary, input)`.
+pub fn trace_key(binary: &Binary, input: &Input) -> StageKey {
+    stage_key(
+        TRACE_STAGE,
+        &[
+            Value::Str(content_hash(binary)),
+            Value::Str(content_hash(input)),
+        ],
+    )
+}
+
+/// A two-tier (memory + optional store) cache of recorded event traces.
+///
+/// Cheap to construct; scope one per experiment so its in-memory tier
+/// holds only the handful of binaries that experiment touches.
+#[derive(Debug)]
+pub struct TraceCache<'s> {
+    store: Option<&'s ArtifactStore>,
+    mem: Mutex<HashMap<String, Arc<EventTrace>>>,
+}
+
+impl<'s> TraceCache<'s> {
+    /// Creates a cache backed by `store` (pass `None` for purely
+    /// in-memory record-once behaviour).
+    pub fn new(store: Option<&'s ArtifactStore>) -> Self {
+        TraceCache {
+            store,
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a cache with no persistent tier.
+    pub fn in_memory() -> TraceCache<'static> {
+        TraceCache::new(None)
+    }
+
+    /// Returns the recorded trace for `(binary, input)`, interpreting
+    /// the binary only if neither cache tier has it. Safe to call from
+    /// pool workers; concurrent misses on the same key settle on one
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbspError::StoreIo`] on store failure. A corrupt
+    /// stored trace is treated as a miss and repaired in place.
+    pub fn get_or_record(
+        &self,
+        binary: &Binary,
+        input: &Input,
+    ) -> Result<Arc<EventTrace>, CbspError> {
+        let key = trace_key(binary, input);
+        let mem_key = key.as_hex().to_string();
+        if let Some(t) = self.mem.lock().expect("trace cache lock").get(&mem_key) {
+            cbsp_trace::add("sim/trace_cache_hits", 1);
+            return Ok(Arc::clone(t));
+        }
+
+        let mut repair = false;
+        if let Some(store) = self.store {
+            match store.get::<TraceArtifact>(TRACE_STAGE, &key) {
+                Ok(Some(artifact)) => match base64_decode(&artifact.data) {
+                    Some(bytes) => {
+                        cbsp_trace::add("sim/trace_cache_hits", 1);
+                        let trace = Arc::new(EventTrace {
+                            n_procs: artifact.n_procs,
+                            n_loops: artifact.n_loops,
+                            events: artifact.events,
+                            bytes,
+                        });
+                        self.insert(mem_key, &trace);
+                        return Ok(trace);
+                    }
+                    None => {
+                        // Checksummed envelope with undecodable base64:
+                        // treat like any corrupt artifact.
+                        repair = true;
+                        cbsp_trace::add("store/repairs", 1);
+                    }
+                },
+                Ok(None) => {}
+                Err(
+                    CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. },
+                ) => {
+                    repair = true;
+                    cbsp_trace::add("store/repairs", 1);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        cbsp_trace::add("sim/trace_cache_misses", 1);
+        let trace = Arc::new(record_trace(binary, input));
+        if let Some(store) = self.store {
+            let artifact = TraceArtifact {
+                n_procs: trace.n_procs,
+                n_loops: trace.n_loops,
+                events: trace.events,
+                data: base64_encode(&trace.bytes),
+            };
+            if repair {
+                store.put_overwrite(TRACE_STAGE, &key, &artifact)?;
+            } else {
+                store.put(TRACE_STAGE, &key, &artifact)?;
+            }
+        }
+        self.insert(mem_key, &trace);
+        Ok(trace)
+    }
+
+    /// [`TraceCache::get_or_record`] for a batch of binaries sharing
+    /// one input, fanned out over `pool`. Results are in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first store error encountered, in input order.
+    pub fn get_or_record_all(
+        &self,
+        binaries: &[&Binary],
+        input: &Input,
+        pool: &Pool,
+    ) -> Result<Vec<Arc<EventTrace>>, CbspError> {
+        pool.run_indexed(binaries.len(), |i| self.get_or_record(binaries[i], input))
+            .into_iter()
+            .collect()
+    }
+
+    fn insert(&self, mem_key: String, trace: &Arc<EventTrace>) {
+        self.mem
+            .lock()
+            .expect("trace cache lock")
+            .insert(mem_key, Arc::clone(trace));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, workloads, CompileTarget, Scale};
+    use cbsp_sim::{replay_full, simulate_full, MemoryConfig};
+
+    fn test_binary() -> Binary {
+        let prog = workloads::by_name("gzip")
+            .expect("in suite")
+            .build(Scale::Test);
+        compile(&prog, CompileTarget::W32_O2)
+    }
+
+    fn temp_store(tag: &str) -> (ArtifactStore, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("cbsp-trace-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ArtifactStore::open(&dir).expect("store opens"), dir)
+    }
+
+    #[test]
+    fn base64_round_trips() {
+        for len in 0..=67 {
+            let bytes: Vec<u8> = (0..len as u8)
+                .map(|i| i.wrapping_mul(37).wrapping_add(len as u8))
+                .collect();
+            let text = base64_encode(&bytes);
+            assert_eq!(
+                base64_decode(&text).as_deref(),
+                Some(bytes.as_slice()),
+                "len {len}"
+            );
+        }
+        assert_eq!(
+            base64_encode(b"any carnal pleasure"),
+            "YW55IGNhcm5hbCBwbGVhc3VyZQ"
+        );
+        assert_eq!(
+            base64_decode("YW55IGNhcm5hbCBwbGVhc3VyZQ==").as_deref(),
+            Some(b"any carnal pleasure".as_slice())
+        );
+        assert!(base64_decode("a").is_none(), "length 1 mod 4 is impossible");
+        assert!(base64_decode("ab c").is_none(), "alphabet violation");
+    }
+
+    #[test]
+    fn memory_tier_records_once() {
+        let bin = test_binary();
+        let input = Input::test();
+        let cache = TraceCache::in_memory();
+        let _lock = cbsp_trace::test_lock();
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let t1 = cache.get_or_record(&bin, &input).expect("records");
+        let t2 = cache.get_or_record(&bin, &input).expect("hits");
+        assert!(Arc::ptr_eq(&t1, &t2), "second call serves the same trace");
+        let counters = cbsp_trace::snapshot().counters;
+        cbsp_trace::disable();
+        assert_eq!(counters.get("sim/trace_cache_misses"), Some(&1));
+        assert_eq!(counters.get("sim/trace_cache_hits"), Some(&1));
+        assert!(counters.get("sim/record_bytes").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn store_tier_survives_process_cache_loss() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (store, dir) = temp_store("persist");
+
+        let first = TraceCache::new(Some(&store));
+        let t1 = first.get_or_record(&bin, &input).expect("records");
+
+        // A fresh cache (fresh process, conceptually) hits the store.
+        let second = TraceCache::new(Some(&store));
+        let _lock = cbsp_trace::test_lock();
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let t2 = second.get_or_record(&bin, &input).expect("store hit");
+        let counters = cbsp_trace::snapshot().counters;
+        cbsp_trace::disable();
+        assert_eq!(*t1, *t2, "stored trace round-trips exactly");
+        assert_eq!(counters.get("sim/trace_cache_hits"), Some(&1));
+        assert_eq!(counters.get("sim/trace_cache_misses"), None);
+
+        // And the replayed simulation equals direct interpretation.
+        let cfg = MemoryConfig::table1();
+        assert_eq!(
+            replay_full(&t2, &cfg).expect("decodes"),
+            simulate_full(&bin, &input, &cfg)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stored_trace_is_repaired() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (store, dir) = temp_store("repair");
+        let cache = TraceCache::new(Some(&store));
+        let t1 = cache.get_or_record(&bin, &input).expect("records");
+
+        // Truncate the artifact on disk.
+        let path = store.object_path(&trace_key(&bin, &input));
+        let text = std::fs::read_to_string(&path).expect("artifact exists");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+        let fresh = TraceCache::new(Some(&store));
+        let t2 = fresh.get_or_record(&bin, &input).expect("repairs");
+        assert_eq!(*t1, *t2);
+        // Repaired in place: a third cache now hits cleanly.
+        let third = TraceCache::new(Some(&store));
+        let t3 = third.get_or_record(&bin, &input).expect("hits");
+        assert_eq!(*t1, *t3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_fanout_records_each_binary_once() {
+        let prog = workloads::by_name("gzip")
+            .expect("in suite")
+            .build(Scale::Test);
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&prog, t))
+            .collect();
+        let refs: Vec<&Binary> = bins.iter().collect();
+        let input = Input::test();
+        let cache = TraceCache::in_memory();
+        let pool = Pool::new(8);
+        let traces = cache
+            .get_or_record_all(&refs, &input, &pool)
+            .expect("records");
+        assert_eq!(traces.len(), 4);
+        // Same batch again: all four come back as the same allocations.
+        let again = cache.get_or_record_all(&refs, &input, &pool).expect("hits");
+        for (a, b) in traces.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+}
