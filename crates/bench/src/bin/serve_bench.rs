@@ -1,0 +1,108 @@
+//! `cbsp-serve-bench` — load generator for the query daemon.
+//!
+//! Times a cold full-pipeline run against an empty store, then starts
+//! a `cbsp-serve` daemon over the populated store and replays the same
+//! `pipeline.run` request over TCP, recording per-request latency.
+//! The resulting lane is merged into the committed perf baseline
+//! (`BENCH_simpoint.json`, the `serve` field) next to the per-stage
+//! thread-scaling numbers.
+//!
+//! ```text
+//! cargo run --release -p cbsp-bench --bin cbsp-serve-bench -- \
+//!     [--benchmark gcc] [--scale ref] [--interval 100000] \
+//!     [--requests 32] [--cache-dir DIR] [--json BENCH_simpoint.json]
+//! ```
+//!
+//! Exits non-zero if the warm daemon is not at least 5x faster than
+//! the cold run, or if the served results drift from the cold run —
+//! the same bar the acceptance criteria set.
+
+use cbsp_bench::PerfReport;
+use cbsp_program::Scale;
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Minimum acceptable `cold_ms / warm_mean_ms` ratio.
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(2);
+}
+
+fn main() {
+    let mut benchmark = "gcc".to_string();
+    let mut scale = Scale::Reference;
+    let mut interval: u64 = 100_000;
+    let mut requests: usize = 32;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut json = "BENCH_simpoint.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = value(),
+            "--scale" => {
+                scale = match value().as_str() {
+                    "test" => Scale::Test,
+                    "train" => Scale::Train,
+                    "ref" | "reference" => Scale::Reference,
+                    other => die(&format!("bad scale {other} (test|train|ref)")),
+                }
+            }
+            "--interval" => {
+                interval = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --interval: {e}")))
+            }
+            "--requests" => {
+                requests = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --requests: {e}")))
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value())),
+            "--json" => json = value(),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let cache_dir = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cbsp-serve-bench-{}", std::process::id()))
+    });
+    eprintln!(
+        "serve lane: {benchmark} at {scale:?} scale, interval {interval}, \
+         cold run then {requests} warm requests..."
+    );
+    let lane = cbsp_bench::run_serve_lane(&benchmark, scale, interval, requests, &cache_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    print!("{}", cbsp_bench::serve_lane::render(&lane));
+
+    let text = std::fs::read_to_string(&json).unwrap_or_else(|e| {
+        die(&format!(
+            "reading {json}: {e} (run `experiments perf` first)"
+        ))
+    });
+    let mut report: PerfReport =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parsing {json}: {e}")));
+    report.serve = Some(lane.clone());
+    let out = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&json, out).unwrap_or_else(|e| die(&format!("writing {json}: {e}")));
+    eprintln!("merged serve lane into {json}");
+
+    if !lane.results_identical {
+        eprintln!("serve lane: FAIL — served results drifted from the cold run");
+        exit(1);
+    }
+    if lane.speedup < MIN_SPEEDUP {
+        eprintln!(
+            "serve lane: FAIL — warm speedup {:.1}x is below the {MIN_SPEEDUP:.0}x bar",
+            lane.speedup
+        );
+        exit(1);
+    }
+    eprintln!("serve lane: PASS ({:.1}x warm speedup)", lane.speedup);
+}

@@ -29,6 +29,7 @@ pub mod gate;
 pub mod perf;
 pub mod report;
 pub mod seeds;
+pub mod serve_lane;
 pub mod softmark_study;
 pub mod suite;
 pub mod warmup;
@@ -45,6 +46,7 @@ pub use perf::{
     compare, render_compare, run_perf, CompareRow, PerfComparison, PerfReport, StageTime,
 };
 pub use seeds::{seed_stability, SeedRow};
+pub use serve_lane::{run_serve_lane, ServeLane};
 pub use softmark_study::{softmark_benchmark, SoftMarkRow};
 pub use suite::{run_suite, run_suite_opts, run_suite_with, SuiteResults};
 pub use warmup::{warmup_benchmark, WarmupRow};

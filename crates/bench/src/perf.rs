@@ -62,6 +62,10 @@ pub struct PerfReport {
     /// queue-wait/exec nanoseconds, k-means iterations, Hamerly bound
     /// skips, intervals produced, … — the *why* behind the timings.
     pub metrics: BTreeMap<String, u64>,
+    /// Warm-daemon vs cold-pipeline lane, merged in by
+    /// `cbsp-serve-bench` (absent until that load generator has run;
+    /// [`compare`] ignores it, so the perf gate is unaffected).
+    pub serve: Option<crate::serve_lane::ServeLane>,
 }
 
 struct MeasuredRun {
@@ -225,6 +229,7 @@ pub fn run_perf(
         results_identical: serial.simpoint == parallel.simpoint
             && serial.weights == parallel.weights,
         metrics,
+        serve: None,
     }
 }
 
@@ -401,6 +406,10 @@ pub fn render(r: &PerfReport) -> String {
             key("sim/trace_cache_misses"),
         ));
     }
+    if let Some(lane) = &r.serve {
+        out.push('\n');
+        out.push_str(&crate::serve_lane::render(lane));
+    }
     out
 }
 
@@ -468,6 +477,7 @@ mod tests {
             total_speedup: 2.0,
             results_identical: identical,
             metrics: BTreeMap::new(),
+            serve: None,
         }
     }
 

@@ -416,6 +416,12 @@ pub fn perbinary(opts: &Opts) -> Result<(), String> {
 
 /// `cbsp cache <stats|gc> [--cache-dir D]` — inspect or garbage-collect
 /// the content-addressed artifact store.
+///
+/// The store holds two kinds of objects: pipeline stage artifacts
+/// (referenced by run manifests) and recorded event traces under the
+/// `trace` namespace, which no manifest references. `stats` reports the
+/// two separately; `gc` keeps manifest-referenced artifacts and evicts
+/// traces — they re-record transparently on next use.
 pub fn cache(opts: &Opts) -> Result<(), String> {
     let action = opts.positional(0, "cache action (stats|gc)")?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
@@ -428,6 +434,20 @@ pub fn cache(opts: &Opts) -> Result<(), String> {
                 stats.artifacts,
                 stats.bytes,
                 stats.manifests
+            );
+            let traces = stats
+                .per_stage
+                .get(cbsp_store::TRACE_STAGE)
+                .cloned()
+                .unwrap_or_default();
+            println!(
+                "  pipeline stages: {} artifacts, {} bytes",
+                stats.artifacts - traces.artifacts,
+                stats.bytes - traces.bytes
+            );
+            println!(
+                "  trace cache:     {} artifacts, {} bytes (evicted by gc, re-recorded on use)",
+                traces.artifacts, traces.bytes
             );
             for (stage, s) in &stats.per_stage {
                 println!("  {stage:<10} {} artifacts, {} bytes", s.artifacts, s.bytes);
@@ -452,8 +472,41 @@ pub fn cache(opts: &Opts) -> Result<(), String> {
                 report.reclaimed_bytes,
                 report.kept
             );
+            println!(
+                "note: removal includes recorded event traces (no manifest references \
+                 them); they re-record on next use"
+            );
             Ok(())
         }
         other => Err(format!("unknown cache action {other} (stats|gc)")),
     }
+}
+
+/// `cbsp serve [--addr A] [--threads N] [--max-inflight N]
+/// [--cache-dir D] [--timeout-ms N]` — run the query daemon.
+///
+/// Serves the pipeline from warm state (store handle, trace cache) over
+/// newline-delimited JSON on TCP, with `GET /healthz` and
+/// `GET /metrics` answered on the same port. Blocks until a client
+/// sends `server.shutdown`, then drains admitted work and exits. See
+/// `docs/PROTOCOL.md` for the wire format.
+pub fn serve(opts: &Opts) -> Result<(), String> {
+    let config = cbsp_serve::ServeConfig {
+        addr: opts.flag("addr").unwrap_or("127.0.0.1:4650").to_string(),
+        threads: opts.threads()?,
+        max_inflight: opts.flag_or("max-inflight", 64usize)?,
+        cache_dir: std::path::PathBuf::from(opts.cache_dir()),
+        default_timeout_ms: opts.flag_or("timeout-ms", 30_000u64)?,
+        ..cbsp_serve::ServeConfig::default()
+    };
+    if config.max_inflight == 0 {
+        return Err("--max-inflight must be > 0".into());
+    }
+    let server = cbsp_serve::Server::start(config)?;
+    println!("cbsp-serve listening on {}", server.addr());
+    println!("  NDJSON protocol + GET /healthz, GET /metrics (docs/PROTOCOL.md)");
+    println!("  stop with: {{\"method\":\"server.shutdown\"}}");
+    server.wait()?;
+    println!("drained; bye");
+    Ok(())
 }

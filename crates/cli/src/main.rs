@@ -47,7 +47,15 @@ commands:
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]
   cache <stats|gc>             inspect or garbage-collect the artifact store
-      [--cache-dir DIR]
+      [--cache-dir DIR]          (stats splits pipeline stages from the trace
+                                 cache; gc keeps manifest-referenced stage
+                                 artifacts and evicts recorded traces — they
+                                 re-record on next use)
+  serve                        run the simulation-point query daemon
+      [--addr HOST:PORT] [--threads N] [--max-inflight N]
+      [--cache-dir DIR] [--timeout-ms N]
+                                 (NDJSON over TCP plus GET /healthz and
+                                 GET /metrics; see docs/PROTOCOL.md)
 
 observability (any command):
   --trace-out FILE             write a Chrome trace-event JSON of the run
@@ -79,6 +87,7 @@ fn main() {
         "cross" => commands::cross(&opts),
         "simulate" => commands::simulate(&opts),
         "cache" => commands::cache(&opts),
+        "serve" => commands::serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

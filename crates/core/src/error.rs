@@ -48,6 +48,14 @@ pub enum CbspError {
         /// Version this build understands.
         supported: u32,
     },
+    /// A pipeline run was abandoned at a stage boundary before
+    /// completing — its deadline passed or its owner requested
+    /// shutdown. Cancellation is only observed *between* stages, so a
+    /// cancelled run never leaves a partially written artifact.
+    Cancelled {
+        /// The stage whose boundary observed the cancellation.
+        stage: String,
+    },
     /// The artifact store itself could not be read or written (I/O).
     StoreIo {
         /// Path involved in the failed operation.
@@ -84,6 +92,9 @@ impl fmt::Display for CbspError {
                 f,
                 "artifact {key} has schema version {found}, this build supports {supported}"
             ),
+            CbspError::Cancelled { stage } => {
+                write!(f, "pipeline run cancelled at the {stage} stage boundary")
+            }
             CbspError::StoreIo { path, detail } => {
                 write!(f, "artifact store I/O error at {path}: {detail}")
             }

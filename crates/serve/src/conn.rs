@@ -1,0 +1,258 @@
+//! Per-connection protocol handling: NDJSON frames with an HTTP/1.1
+//! sniffer.
+//!
+//! The first line of a connection decides its dialect: an HTTP request
+//! line (`GET /metrics HTTP/1.1`) gets a one-shot HTTP response and the
+//! connection closes; anything else is treated as newline-delimited
+//! JSON for the connection's lifetime. Responses are written in request
+//! order; a connection thread blocks while its current request is in
+//! flight (pipelining across requests is done with multiple
+//! connections).
+
+use crate::engine::{Reply, Work};
+use crate::protocol::{err_frame, fault, obj, ok_frame, parse_request, ErrorCode, Request};
+use crate::server::ServerCore;
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serves one accepted connection to completion.
+pub(crate) fn handle(core: Arc<ServerCore>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if is_http_request_line(&line) {
+            serve_http(&core, line.clone(), &mut reader, &mut writer);
+            return;
+        }
+        let frame = handle_frame(&core, line.trim());
+        if writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Parses and executes one frame, returning the response frame.
+fn handle_frame(core: &Arc<ServerCore>, line: &str) -> String {
+    let started = Instant::now();
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((code, message)) => {
+            // Echo the id when the frame was at least a JSON object.
+            let parsed = serde_json::parse(line).ok();
+            let id = parsed
+                .as_ref()
+                .and_then(Value::as_object)
+                .and_then(|p| crate::protocol::get(p, "id"))
+                .cloned()
+                .unwrap_or(Value::Null);
+            core.metrics.count_request("(invalid)");
+            core.metrics.count_error(code.as_str());
+            return err_frame(&id, code, &message);
+        }
+    };
+    core.metrics.count_request(&request.method);
+    let outcome = dispatch(core, &request);
+    core.metrics
+        .latency
+        .record_us(started.elapsed().as_micros() as u64);
+    match outcome {
+        Ok(result) => ok_frame(&request.id, result),
+        Err((code, message)) => {
+            core.metrics.count_error(code.as_str());
+            err_frame(&request.id, code, &message)
+        }
+    }
+}
+
+/// Routes a request to its handler. Queued methods block this
+/// connection thread until a worker delivers the reply.
+fn dispatch(core: &Arc<ServerCore>, request: &Request) -> Reply {
+    let deadline = Instant::now()
+        + Duration::from_millis(
+            request
+                .timeout_ms
+                .unwrap_or(core.cfg.default_timeout_ms)
+                .min(3_600_000),
+        );
+    match request.method.as_str() {
+        "ping" => Ok(obj(vec![("pong", Value::Bool(true))])),
+        "server.shutdown" => {
+            core.begin_drain();
+            Ok(obj(vec![("draining", Value::Bool(true))]))
+        }
+        "pipeline.run" => {
+            let spec = core.engine.prepare_spec(&request.params, true)?;
+            let key = format!(
+                "pipeline.run:{}:{}",
+                spec.keys.map.as_hex(),
+                if spec.detail_full { "full" } else { "summary" }
+            );
+            run_queued(core, Work::Pipeline(Box::new(spec)), Some(key), deadline)
+        }
+        "estimate.cpi" => {
+            let spec = core.engine.prepare_spec(&request.params, false)?;
+            let key = format!("estimate.cpi:{}", spec.keys.map.as_hex());
+            run_queued(core, Work::Estimate(Box::new(spec)), Some(key), deadline)
+        }
+        "simpoints.get" => {
+            let spec = core.engine.prepare_spec(&request.params, false)?;
+            let key = format!("simpoints.get:{}", spec.keys.simpoint.as_hex());
+            run_queued(core, Work::Simpoints(Box::new(spec)), Some(key), deadline)
+        }
+        "store.stats" => run_queued(core, Work::StoreStats, None, deadline),
+        "trace.snapshot" => run_queued(core, Work::TraceSnapshot, None, deadline),
+        other => Err(fault(
+            ErrorCode::BadRequest,
+            format!("unknown method `{other}`"),
+        )),
+    }
+}
+
+/// Submits a job and waits for its reply.
+fn run_queued(core: &Arc<ServerCore>, work: Work, key: Option<String>, deadline: Instant) -> Reply {
+    let rx = core.submit(work, key, deadline)?;
+    match rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => Err(fault(
+            ErrorCode::Internal,
+            "the request's worker went away without replying",
+        )),
+    }
+}
+
+/// `true` when the line looks like an HTTP/1.x request line.
+fn is_http_request_line(line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let _path = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    matches!(
+        method,
+        "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS"
+    ) && version.starts_with("HTTP/1.")
+}
+
+/// One-shot HTTP adapter: `GET /healthz` and `GET /metrics`.
+fn serve_http<R: Read>(
+    core: &Arc<ServerCore>,
+    request_line: String,
+    reader: &mut BufReader<R>,
+    writer: &mut TcpStream,
+) {
+    // Drain headers; bodies are not accepted on these endpoints.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = match (method, path) {
+        ("GET", "/healthz") => (
+            "200 OK",
+            serde_json::to_string(&obj(vec![
+                ("status", Value::Str("ok".to_string())),
+                ("draining", Value::Bool(core.is_draining())),
+            ]))
+            .expect("healthz serializes"),
+        ),
+        ("GET", "/metrics") => ("200 OK", metrics_body(core)),
+        _ => (
+            "404 Not Found",
+            r#"{"error":"not found (try /healthz or /metrics)"}"#.to_string(),
+        ),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
+/// The `/metrics` document: serve-side counters, cache effectiveness,
+/// and the global trace snapshot.
+fn metrics_body(core: &Arc<ServerCore>) -> String {
+    let (depth, executing) = core.queue_depths();
+    let serve = core
+        .metrics
+        .to_value(depth as u64, executing as u64, core.is_draining());
+
+    let snapshot = cbsp_trace::snapshot();
+    let counter = |name: &str| *snapshot.counters.get(name).unwrap_or(&0);
+    let ratio = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    let (store_hits, store_misses) = (counter("store/hits"), counter("store/misses"));
+    let (trace_hits, trace_misses) = (
+        counter("sim/trace_cache_hits"),
+        counter("sim/trace_cache_misses"),
+    );
+    let singleflight = core.metrics.singleflight_hits.load(Ordering::Relaxed);
+    let requests = core.metrics.requests.load(Ordering::Relaxed);
+    let result_hits = core.engine.result_hits.load(Ordering::Relaxed);
+    let result_misses = core.engine.result_misses.load(Ordering::Relaxed);
+    let cache = obj(vec![
+        ("store_hits", Value::UInt(store_hits)),
+        ("store_misses", Value::UInt(store_misses)),
+        (
+            "store_hit_ratio",
+            Value::Float(ratio(store_hits, store_misses)),
+        ),
+        ("trace_hits", Value::UInt(trace_hits)),
+        ("trace_misses", Value::UInt(trace_misses)),
+        (
+            "trace_hit_ratio",
+            Value::Float(ratio(trace_hits, trace_misses)),
+        ),
+        ("result_hits", Value::UInt(result_hits)),
+        ("result_misses", Value::UInt(result_misses)),
+        (
+            "result_hit_ratio",
+            Value::Float(ratio(result_hits, result_misses)),
+        ),
+        (
+            "singleflight_hit_ratio",
+            Value::Float(ratio(singleflight, requests.saturating_sub(singleflight))),
+        ),
+    ]);
+    let trace = serde_json::parse(&cbsp_trace::metrics_json()).unwrap_or(Value::Null);
+    serde_json::to_string(&obj(vec![
+        ("serve", serve),
+        ("cache", cache),
+        ("trace", trace),
+    ]))
+    .expect("metrics serialize")
+}

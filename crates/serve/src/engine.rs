@@ -1,0 +1,429 @@
+//! Request preparation and execution against warm pipeline state.
+//!
+//! The [`Engine`] owns the process-lifetime caches — the
+//! content-addressed [`ArtifactStore`], the two-tier [`TraceCache`],
+//! and a small in-memory cache of completed runs — and knows how to
+//! turn protocol params into [`Work`] items and work items into
+//! result values. Admission policy (queueing, batching, deadlines)
+//! lives in [`crate::server`]; nothing here blocks on anything but
+//! the pipeline itself.
+//!
+//! The result cache is what makes the daemon *warm* rather than just
+//! resident: the store alone still costs a disk read plus
+//! deserialization of every stage artifact per request, while a
+//! cached [`CachedRun`] answers from RAM with its content hash
+//! precomputed. Keyed by the map-stage digest — a content hash over
+//! binaries, input, and config — so a hit is exactly a byte-identical
+//! rerun.
+
+use crate::protocol::{fault, obj, param_str, param_str_or, param_u64_or, ErrorCode, Fault};
+use cbsp_core::{weighted_cpi_with, CbspConfig, CbspError, CrossBinaryResult};
+use cbsp_par::Pool;
+use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
+use cbsp_sim::{replay_marker_sliced, IntervalSim, MemoryConfig};
+use cbsp_simpoint::SimPointResult;
+use cbsp_store::{
+    content_hash, pipeline_keys, ArtifactStore, CachePolicy, Orchestrator, PipelineKeys, RunReport,
+};
+use serde::Value;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A fully resolved pipeline request: benchmark compiled to its four
+/// binaries, config fixed, stage keys derived. Everything needed to
+/// execute — or to recognize an identical in-flight request by content
+/// digest alone.
+#[derive(Debug)]
+pub(crate) struct PipelineSpec {
+    pub benchmark: String,
+    pub scale_name: &'static str,
+    pub input: Input,
+    pub config: CbspConfig,
+    pub binaries: Vec<Binary>,
+    pub keys: PipelineKeys,
+    /// `pipeline.run` only: embed the full `CrossBinaryResult` in the
+    /// response (`"detail": "full"`).
+    pub detail_full: bool,
+}
+
+/// One unit of admitted work.
+#[derive(Debug)]
+pub(crate) enum Work {
+    /// `pipeline.run` — batchable.
+    Pipeline(Box<PipelineSpec>),
+    /// `estimate.cpi` — pipeline plus trace replays.
+    Estimate(Box<PipelineSpec>),
+    /// `simpoints.get` — store lookup by derived key, never computes.
+    Simpoints(Box<PipelineSpec>),
+    /// `store.stats`.
+    StoreStats,
+    /// `trace.snapshot`.
+    TraceSnapshot,
+}
+
+/// A finished request: a result value or a typed fault.
+pub(crate) type Reply = Result<Value, Fault>;
+
+/// A completed pipeline run pinned in memory, content hash included —
+/// the unit the result cache holds and every pipeline-shaped method
+/// reads from.
+pub(crate) struct CachedRun {
+    pub cross: CrossBinaryResult,
+    pub report: RunReport,
+    /// `content_hash(&cross)`, computed once at insert (hashing a ref
+    /// -scale result costs milliseconds — comparable to the store
+    /// round trip the cache exists to avoid).
+    pub result_hash: String,
+}
+
+/// Completed runs the daemon keeps resident. Bounds memory, not
+/// correctness: an evicted run is recomputed from the store at the
+/// cost of one artifact read per stage.
+const RESULT_CACHE_CAP: usize = 16;
+
+/// The result cache proper: keyed entries plus their FIFO insertion
+/// order (the eviction queue).
+#[derive(Default)]
+struct ResultCache {
+    order: VecDeque<String>,
+    entries: HashMap<String, Arc<CachedRun>>,
+}
+
+/// Warm per-process pipeline state shared by all workers.
+pub(crate) struct Engine {
+    pub store: Arc<ArtifactStore>,
+    pub traces: cbsp_store::TraceCache<'static>,
+    /// Thread budget for one execution slot (a batch shares it).
+    pub threads: usize,
+    /// Completed runs keyed by map-stage digest, FIFO-evicted at
+    /// [`RESULT_CACHE_CAP`].
+    runs: Mutex<ResultCache>,
+    /// Requests answered from the result cache (for `/metrics`).
+    pub result_hits: AtomicU64,
+    /// Requests that had to run the (store-backed) pipeline.
+    pub result_misses: AtomicU64,
+}
+
+impl Engine {
+    pub fn new(store: Arc<ArtifactStore>, threads: usize) -> Engine {
+        Engine {
+            traces: cbsp_store::TraceCache::shared(Arc::clone(&store)),
+            store,
+            threads,
+            runs: Mutex::new(ResultCache::default()),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves `params` for one of the pipeline-shaped methods:
+    /// compiles the benchmark's four binaries and derives the stage
+    /// keys. Runs on the connection thread — costs microseconds, and
+    /// produces the content digests admission needs for single-flight
+    /// deduplication.
+    pub fn prepare_spec(
+        &self,
+        params: &Value,
+        detail_allowed: bool,
+    ) -> Result<PipelineSpec, Fault> {
+        let benchmark = param_str(params, "benchmark")?;
+        let Some(workload) = workloads::by_name(&benchmark) else {
+            return Err(fault(
+                ErrorCode::BadRequest,
+                format!("unknown benchmark `{benchmark}` (try the `cbsp list` command)"),
+            ));
+        };
+        let (scale, scale_name, input) = match param_str_or(params, "scale", "train")?.as_str() {
+            "test" => (Scale::Test, "test", Input::test()),
+            "train" => (Scale::Train, "train", Input::train()),
+            "ref" | "reference" => (Scale::Reference, "ref", Input::reference()),
+            other => {
+                return Err(fault(
+                    ErrorCode::BadRequest,
+                    format!("bad scale `{other}` (test|train|ref)"),
+                ))
+            }
+        };
+        let default = CbspConfig::default();
+        let interval = param_u64_or(params, "interval", default.interval_target)?;
+        if interval == 0 {
+            return Err(fault(ErrorCode::BadRequest, "param `interval` must be > 0"));
+        }
+        let detail_full = match param_str_or(params, "detail", "summary")?.as_str() {
+            "summary" => false,
+            "full" if detail_allowed => true,
+            "full" => {
+                return Err(fault(
+                    ErrorCode::BadRequest,
+                    "param `detail` is only accepted by pipeline.run",
+                ))
+            }
+            other => {
+                return Err(fault(
+                    ErrorCode::BadRequest,
+                    format!("bad detail `{other}` (summary|full)"),
+                ))
+            }
+        };
+
+        let program = workload.build(scale);
+        let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&program, t))
+            .collect();
+        let config = CbspConfig {
+            interval_target: interval,
+            ..default
+        };
+        let refs: Vec<&Binary> = binaries.iter().collect();
+        let keys = pipeline_keys(&refs, &input, &config).map_err(internal)?;
+        Ok(PipelineSpec {
+            benchmark,
+            scale_name,
+            input,
+            config,
+            binaries,
+            keys,
+            detail_full,
+        })
+    }
+
+    /// Runs the cached pipeline for `spec` with `threads` worker
+    /// threads, cancelling at stage boundaries once `deadline` passes.
+    pub fn execute_pipeline(
+        &self,
+        spec: &PipelineSpec,
+        threads: usize,
+        deadline: Instant,
+    ) -> Reply {
+        let run = self.run_cross(spec, threads, deadline)?;
+        let mut fields = summary_fields(spec, &run);
+        if spec.detail_full {
+            fields.push((
+                "result".to_string(),
+                serde_json::to_value(&run.cross).expect("result serializes"),
+            ));
+        }
+        Ok(Value::Object(fields))
+    }
+
+    /// Runs the pipeline, then replays each binary's recorded event
+    /// trace sliced at the mapped boundaries to produce true and
+    /// SimPoint-estimated CPI side by side.
+    pub fn execute_estimate(&self, spec: &PipelineSpec, deadline: Instant) -> Reply {
+        let run = self.run_cross(spec, self.threads, deadline)?;
+        let cross = &run.cross;
+        let pool = Pool::new(self.threads);
+        let refs: Vec<&Binary> = spec.binaries.iter().collect();
+        let traces = self
+            .traces
+            .get_or_record_all(&refs, &spec.input, &pool)
+            .map_err(internal)?;
+        let mem = MemoryConfig::default();
+        let sims: Vec<_> = pool.run_indexed(refs.len(), |b| {
+            replay_marker_sliced(&traces[b], &mem, &cross.boundaries[b])
+        });
+        let mut binaries = Vec::with_capacity(refs.len());
+        for (b, sim) in sims.into_iter().enumerate() {
+            let (full, mut intervals) =
+                sim.map_err(|e| fault(ErrorCode::Internal, format!("trace replay: {e}")))?;
+            intervals.resize(cross.interval_count(), IntervalSim::default());
+            let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+            let est = weighted_cpi_with(&cross.simpoint.points, &cross.weights[b], &cpis);
+            let true_cpi = full.cpi();
+            binaries.push(obj(vec![
+                ("label", Value::Str(spec.binaries[b].label())),
+                ("true_cpi", Value::Float(true_cpi)),
+                ("estimated_cpi", Value::Float(est)),
+                (
+                    "rel_error",
+                    Value::Float(if true_cpi > 0.0 {
+                        (est - true_cpi).abs() / true_cpi
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]));
+        }
+        let mut fields = summary_fields(spec, &run);
+        fields.push(("binaries".to_string(), Value::Array(binaries)));
+        Ok(Value::Object(fields))
+    }
+
+    /// Pure store lookup: derive the simpoint stage key and probe the
+    /// store. Never compiles a stage, so a miss answers in microseconds.
+    pub fn execute_simpoints(&self, spec: &PipelineSpec) -> Reply {
+        let key = &spec.keys.simpoint;
+        let found = match self.store.get::<SimPointResult>("simpoint", key) {
+            Ok(found) => found,
+            Err(CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. }) => {
+                None
+            }
+            Err(other) => return Err(internal(other)),
+        };
+        Ok(obj(vec![
+            ("benchmark", Value::Str(spec.benchmark.clone())),
+            ("scale", Value::Str(spec.scale_name.to_string())),
+            ("interval", Value::UInt(spec.config.interval_target)),
+            ("key", Value::Str(key.as_hex().to_string())),
+            ("found", Value::Bool(found.is_some())),
+            (
+                "simpoint",
+                found.map_or(Value::Null, |s| {
+                    serde_json::to_value(&s).expect("simpoint serializes")
+                }),
+            ),
+        ]))
+    }
+
+    /// Store usage, with the trace namespace split out from the
+    /// pipeline stages (trace payloads dwarf stage artifacts and are
+    /// evicted by `gc`, so lumping them together hides both facts).
+    pub fn execute_store_stats(&self) -> Reply {
+        let stats = self.store.stats().map_err(internal)?;
+        let traces = stats
+            .per_stage
+            .get(cbsp_store::TRACE_STAGE)
+            .cloned()
+            .unwrap_or_default();
+        let sub = |stage: &cbsp_store::StageStats| {
+            obj(vec![
+                ("artifacts", Value::UInt(stage.artifacts)),
+                ("bytes", Value::UInt(stage.bytes)),
+            ])
+        };
+        let pipeline = cbsp_store::StageStats {
+            artifacts: stats.artifacts - traces.artifacts,
+            bytes: stats.bytes - traces.bytes,
+        };
+        Ok(obj(vec![
+            ("artifacts", Value::UInt(stats.artifacts)),
+            ("bytes", Value::UInt(stats.bytes)),
+            ("manifests", Value::UInt(stats.manifests)),
+            ("pipeline", sub(&pipeline)),
+            ("traces", sub(&traces)),
+            (
+                "per_stage",
+                Value::Object(
+                    stats
+                        .per_stage
+                        .iter()
+                        .map(|(k, v)| (k.clone(), sub(v)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// The global [`cbsp_trace`] snapshot (counters/gauges/spans).
+    pub fn execute_trace_snapshot(&self) -> Reply {
+        let metrics = serde_json::parse(&cbsp_trace::metrics_json())
+            .map_err(|e| fault(ErrorCode::Internal, format!("snapshot encode: {e}")))?;
+        Ok(obj(vec![
+            ("enabled", Value::Bool(cbsp_trace::enabled())),
+            ("metrics", metrics),
+        ]))
+    }
+
+    /// Runs (or recalls) the cross-binary pipeline for `spec`.
+    ///
+    /// The map-stage key is a digest over the binaries, input, and
+    /// config, and the pipeline is deterministic at any thread count,
+    /// so a cached run is byte-for-byte what a recomputation would
+    /// produce — the cache can ignore `threads` and `deadline`.
+    fn run_cross(
+        &self,
+        spec: &PipelineSpec,
+        threads: usize,
+        deadline: Instant,
+    ) -> Result<Arc<CachedRun>, Fault> {
+        use std::sync::atomic::Ordering;
+        let cache_key = spec.keys.map.as_hex().to_string();
+        if let Some(hit) = {
+            let cache = self.runs.lock().expect("result cache lock");
+            cache.entries.get(&cache_key).cloned()
+        } {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.result_misses.fetch_add(1, Ordering::Relaxed);
+
+        let config = CbspConfig {
+            simpoint: cbsp_simpoint::SimPointConfig {
+                threads,
+                ..spec.config.simpoint
+            },
+            ..spec.config
+        };
+        let orch = Orchestrator::new(&self.store, CachePolicy::ReadWrite)
+            .with_cancel(Arc::new(move || Instant::now() >= deadline));
+        let refs: Vec<&Binary> = spec.binaries.iter().collect();
+        let description = format!("serve: {}/{}", spec.benchmark, spec.scale_name);
+        let (cross, report) = orch
+            .run_cross_binary(&refs, &spec.input, &config, &description)
+            .map_err(|e| match e {
+                CbspError::Cancelled { stage } => fault(
+                    ErrorCode::Timeout,
+                    format!("deadline passed at the {stage} stage boundary"),
+                ),
+                other => internal(other),
+            })?;
+        let run = Arc::new(CachedRun {
+            result_hash: content_hash(&cross),
+            cross,
+            report,
+        });
+
+        let mut cache = self.runs.lock().expect("result cache lock");
+        let ResultCache {
+            order,
+            entries: map,
+        } = &mut *cache;
+        // A racing worker may have inserted the same key between our
+        // lookup and here; both values are identical, last one wins.
+        if map.insert(cache_key.clone(), Arc::clone(&run)).is_none() {
+            order.push_back(cache_key);
+            while map.len() > RESULT_CACHE_CAP {
+                let Some(evict) = order.pop_front() else {
+                    break;
+                };
+                map.remove(&evict);
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// The summary fields shared by `pipeline.run` and `estimate.cpi`
+/// responses, in fixed order. The `cache` hits/misses describe the
+/// store traffic of the run that *computed* this result — a
+/// result-cache hit replays them unchanged, keeping responses
+/// byte-identical.
+fn summary_fields(spec: &PipelineSpec, run: &CachedRun) -> Vec<(String, Value)> {
+    let cross = &run.cross;
+    let report = &run.report;
+    let pairs = vec![
+        ("benchmark", Value::Str(spec.benchmark.clone())),
+        ("scale", Value::Str(spec.scale_name.to_string())),
+        ("interval", Value::UInt(spec.config.interval_target)),
+        ("run_key", Value::Str(report.run_key.clone())),
+        ("result_hash", Value::Str(run.result_hash.clone())),
+        ("k", Value::UInt(cross.simpoint.k as u64)),
+        ("points", Value::UInt(cross.simpoint.points.len() as u64)),
+        ("intervals", Value::UInt(cross.interval_count() as u64)),
+        (
+            "cache",
+            obj(vec![
+                ("hits", Value::UInt(report.hits() as u64)),
+                ("misses", Value::UInt(report.misses() as u64)),
+            ]),
+        ),
+    ];
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+fn internal(e: impl std::fmt::Display) -> Fault {
+    fault(ErrorCode::Internal, format!("{e}"))
+}

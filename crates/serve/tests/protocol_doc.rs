@@ -1,0 +1,139 @@
+//! Replays the verified examples in `docs/PROTOCOL.md` against a
+//! fresh daemon, byte for byte, in document order.
+//!
+//! The spec's examples are marked with `<!-- verify: request -->` /
+//! `<!-- verify: response -->` comments, each followed by a fenced
+//! ```json block holding exactly one frame. This test extracts the
+//! pairs and asserts the daemon's responses match the documented
+//! bytes, so the protocol document cannot drift from the
+//! implementation without failing CI.
+
+use cbsp_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One documented request/response pair, with the line the request
+/// marker sits on (for failure messages).
+struct Example {
+    line: usize,
+    request: String,
+    response: String,
+}
+
+/// Pulls the single frame out of the ```json fence that must follow a
+/// verify marker.
+fn fenced_frame<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    marker_line: usize,
+) -> String {
+    let Some((_, fence)) = lines.next() else {
+        panic!("verify marker at line {marker_line} is not followed by a fence");
+    };
+    assert_eq!(
+        fence.trim(),
+        "```json",
+        "verify marker at line {marker_line} must be followed by a ```json fence"
+    );
+    let mut frame = None;
+    for (n, line) in lines.by_ref() {
+        if line.trim() == "```" {
+            return frame.unwrap_or_else(|| panic!("empty verify fence after line {marker_line}"));
+        }
+        assert!(
+            frame.is_none(),
+            "verify fence after line {marker_line} holds more than one line (line {n}) — \
+             frames are newline-delimited, one per example"
+        );
+        frame = Some(line.to_string());
+    }
+    panic!("unterminated verify fence after line {marker_line}");
+}
+
+fn extract_examples(doc: &str) -> Vec<Example> {
+    let mut lines = doc.lines().enumerate();
+    let mut examples = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    while let Some((n, line)) = lines.next() {
+        match line.trim() {
+            "<!-- verify: request -->" => {
+                assert!(
+                    pending.is_none(),
+                    "request marker at line {} has no response marker before line {}",
+                    pending.as_ref().map_or(0, |(m, _)| m + 1),
+                    n + 1
+                );
+                pending = Some((n + 1, fenced_frame(&mut lines, n + 1)));
+            }
+            "<!-- verify: response -->" => {
+                let (line, request) = pending
+                    .take()
+                    .unwrap_or_else(|| panic!("response marker at line {} has no request", n + 1));
+                examples.push(Example {
+                    line,
+                    request,
+                    response: fenced_frame(&mut lines, n + 1),
+                });
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        pending.is_none(),
+        "trailing request marker without response"
+    );
+    examples
+}
+
+#[test]
+fn documented_examples_are_served_byte_for_byte() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/PROTOCOL.md readable");
+    let examples = extract_examples(&doc);
+    assert!(
+        examples.len() >= 10,
+        "PROTOCOL.md documents at least ten verified examples, found {}",
+        examples.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("cbsp-protocol-doc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    let stream = TcpStream::connect(server.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout set");
+    let mut writer = stream.try_clone().expect("stream clones");
+    let mut reader = BufReader::new(stream);
+    let mut drained = false;
+    for example in &examples {
+        writer
+            .write_all(example.request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .expect("request written");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response read");
+        assert_eq!(
+            line.trim_end(),
+            example.response,
+            "response drifted from the example documented at PROTOCOL.md line {} \
+             (request: {})",
+            example.line,
+            example.request
+        );
+        drained |= example.request.contains("server.shutdown");
+    }
+    assert!(
+        drained,
+        "the document must end by verifying a graceful shutdown"
+    );
+    server.wait().expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

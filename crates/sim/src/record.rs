@@ -6,7 +6,7 @@
 //! CMP$im with different configurations, region extraction, warmup
 //! studies — consumes the recorded stream without re-running the
 //! program. Here [`RecordSink`] captures the executor's four event
-//! kinds (block, access, marker, branch) and [`crate::replay`] feeds
+//! kinds (block, access, marker, branch) and [`replay`](crate::replay::replay) feeds
 //! them back into a sink with none of the interpreter's control-flow,
 //! occurrence-counter, or address-generation overhead.
 //!
@@ -28,7 +28,7 @@
 //! | branch | `(zigzag(branch_id Δ) + 1) << 3 \| taken << 2 \| 0b11` | — |
 //!
 //! Access and branch deltas whose zigzag code is too large to fold
-//! (≥ [`FOLD_LIMIT`], i.e. the shifted head would overflow 64 bits) set
+//! (≥ `FOLD_LIMIT`, i.e. the shifted head would overflow 64 bits) set
 //! the folded field to 0 — an escape — and carry `zigzag(Δ)` as a
 //! payload varint instead. Block deltas never need the escape: block
 //! ids are 32-bit, so their shifted zigzag code always fits.

@@ -6,7 +6,7 @@
 //! upper bound per point (to its assigned centroid) and one lower bound
 //! (to its second-closest centroid). This module implements that
 //! algorithm as a drop-in alternative to the Lloyd iteration in
-//! [`crate::kmeans`]: given the same initialization it converges to the
+//! [`kmeans`](crate::kmeans::kmeans): given the same initialization it converges to the
 //! same fixed point, only faster — which the equivalence tests and the
 //! `simpoint_micro` benchmarks verify.
 //!

@@ -237,7 +237,7 @@ pub fn nearest(v: &[f64], centroids: &VectorSet) -> (usize, f64) {
 /// Degenerate distributions are well-defined: whenever the score mass
 /// is zero (all-zero weights, or every point coinciding with a chosen
 /// centroid — duplicate vectors), the draw falls back to a uniform
-/// choice over all points (see [`sample_index`]'s contract, covered by
+/// choice over all points (see `sample_index`'s contract, covered by
 /// this module's tests).
 ///
 /// # Panics

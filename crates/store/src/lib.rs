@@ -50,7 +50,9 @@ pub mod sha256;
 pub mod store;
 pub mod traces;
 
-pub use orchestrator::{CachePolicy, Orchestrator, RunReport, StageOutcome, STAGE_ORDER};
+pub use orchestrator::{
+    pipeline_keys, CachePolicy, Orchestrator, PipelineKeys, RunReport, StageOutcome, STAGE_ORDER,
+};
 pub use sha256::{hex_digest, Sha256};
 pub use store::{
     canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,

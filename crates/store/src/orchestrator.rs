@@ -23,6 +23,7 @@ use cbsp_profile::CallLoopProfile;
 use cbsp_program::{Binary, Input};
 use cbsp_simpoint::{SimPointConfig, SimPointResult};
 use serde::Value;
+use std::sync::Arc;
 
 use crate::sha256::hex_digest;
 use crate::store::{
@@ -32,6 +33,101 @@ use crate::store::{
 
 /// The five pipeline stages, in dependency order.
 pub const STAGE_ORDER: [&str; 5] = ["profile", "mappable", "vli", "simpoint", "map"];
+
+/// The content keys of every stage of one pipeline run, derived from
+/// the inputs alone — computing them costs a few hashes, never a stage
+/// execution. This is what makes digest-based lookups (`cbsp-serve`'s
+/// `simpoints.get`) possible: hash the inputs, chain the keys, and ask
+/// the store directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineKeys {
+    /// One `profile` key per binary, in binary order.
+    pub profile: Vec<StageKey>,
+    /// The `mappable` stage key (all binaries + input).
+    pub mappable: StageKey,
+    /// The `vli` stage key (primary binary's intervals).
+    pub vli: StageKey,
+    /// The `simpoint` stage key (clustering of the primary intervals;
+    /// thread count normalized out — see [`pipeline_keys`]).
+    pub simpoint: StageKey,
+    /// The `map` stage key (boundary translation, all binaries).
+    pub map: StageKey,
+}
+
+/// Derives the full key chain for a pipeline run without executing any
+/// stage. The same derivation [`Orchestrator::run_cross_binary`] uses,
+/// exposed so callers can probe the store (or deduplicate work) by
+/// content digest alone.
+///
+/// The `simpoint` key normalizes `threads` to 0: thread count is an
+/// execution knob with no effect on the result (clustering is
+/// bit-identical at any setting), so runs at different thread counts
+/// share cache entries.
+///
+/// # Errors
+///
+/// Returns the same input-validation errors as the pipeline itself
+/// (empty set, program mismatch, primary out of range).
+pub fn pipeline_keys(
+    binaries: &[&Binary],
+    input: &Input,
+    config: &CbspConfig,
+) -> Result<PipelineKeys, CbspError> {
+    validate_binaries(binaries, config)?;
+    let bin_hashes: Vec<String> = binaries.iter().map(|b| content_hash(*b)).collect();
+    let input_hash = content_hash(input);
+    let hash_parts: Vec<Value> = bin_hashes.iter().map(|h| Value::Str(h.clone())).collect();
+
+    let profile: Vec<StageKey> = bin_hashes
+        .iter()
+        .map(|h| {
+            stage_key(
+                "profile",
+                &[Value::Str(h.clone()), Value::Str(input_hash.clone())],
+            )
+        })
+        .collect();
+
+    let mut mappable_inputs = hash_parts.clone();
+    mappable_inputs.push(Value::Str(input_hash.clone()));
+    let mappable = stage_key("mappable", &mappable_inputs);
+
+    let vli = stage_key(
+        "vli",
+        &[
+            Value::Str(bin_hashes[config.primary].clone()),
+            Value::Str(input_hash.clone()),
+            Value::UInt(config.interval_target),
+            Value::UInt(config.primary as u64),
+            Value::Str(mappable.as_hex().to_string()),
+        ],
+    );
+
+    let key_config = SimPointConfig {
+        threads: 0,
+        ..config.simpoint
+    };
+    let simpoint = stage_key(
+        "simpoint",
+        &[Value::Str(vli.as_hex().to_string()), key_part(&key_config)],
+    );
+
+    let mut map_inputs = hash_parts;
+    map_inputs.push(Value::Str(input_hash));
+    map_inputs.push(Value::UInt(config.primary as u64));
+    map_inputs.push(Value::Str(mappable.as_hex().to_string()));
+    map_inputs.push(Value::Str(vli.as_hex().to_string()));
+    map_inputs.push(Value::Str(simpoint.as_hex().to_string()));
+    let map = stage_key("map", &map_inputs);
+
+    Ok(PipelineKeys {
+        profile,
+        mappable,
+        vli,
+        simpoint,
+        map,
+    })
+}
 
 /// How the orchestrator uses the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,16 +200,55 @@ impl RunReport {
 
 /// Runs pipeline stages against an [`ArtifactStore`] under a
 /// [`CachePolicy`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Orchestrator<'s> {
     store: &'s ArtifactStore,
     policy: CachePolicy,
+    /// Polled at every stage boundary; `true` abandons the run with
+    /// [`CbspError::Cancelled`]. `None` means never cancelled.
+    cancel: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Orchestrator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("store", &self.store)
+            .field("policy", &self.policy)
+            .field("cancel", &self.cancel.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl<'s> Orchestrator<'s> {
     /// Creates an orchestrator over `store`.
     pub fn new(store: &'s ArtifactStore, policy: CachePolicy) -> Self {
-        Orchestrator { store, policy }
+        Orchestrator {
+            store,
+            policy,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancellation check, polled at every stage boundary of
+    /// [`Orchestrator::run_cross_binary`]. When `check` returns `true`
+    /// the run stops with [`CbspError::Cancelled`] before starting its
+    /// next stage — cheap cooperative cancellation for servers
+    /// enforcing per-request deadlines. Stages themselves are never
+    /// interrupted, so the store is never left with a torn artifact.
+    pub fn with_cancel(mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) -> Self {
+        self.cancel = Some(check);
+        self
+    }
+
+    /// Returns [`CbspError::Cancelled`] if the cancellation check (if
+    /// any) has fired.
+    fn check_cancelled(&self, stage: &str) -> Result<(), CbspError> {
+        match &self.cancel {
+            Some(check) if check() => Err(CbspError::Cancelled {
+                stage: stage.to_string(),
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Runs one stage through the cache: look up under `key`, compute
@@ -205,28 +340,16 @@ impl<'s> Orchestrator<'s> {
         config: &CbspConfig,
         description: &str,
     ) -> Result<(CrossBinaryResult, RunReport), CbspError> {
-        validate_binaries(binaries, config)?;
+        let keys = pipeline_keys(binaries, input, config)?;
         let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(binaries.len() + 4);
 
-        let bin_hashes: Vec<String> = binaries.iter().map(|b| content_hash(*b)).collect();
-        let input_hash = content_hash(input);
-        let hash_parts: Vec<Value> = bin_hashes.iter().map(|h| Value::Str(h.clone())).collect();
-
         // Stage 1 — profile, in parallel across binaries.
-        let profile_keys: Vec<StageKey> = bin_hashes
-            .iter()
-            .map(|h| {
-                stage_key(
-                    "profile",
-                    &[Value::Str(h.clone()), Value::Str(input_hash.clone())],
-                )
-            })
-            .collect();
+        self.check_cancelled("profile")?;
         let pool = Pool::new(config.simpoint.threads);
         let mut profiles: Vec<CallLoopProfile> = Vec::with_capacity(binaries.len());
         let results: Vec<Result<(CallLoopProfile, StageOutcome), CbspError>> =
             pool.run_indexed(binaries.len(), |i| {
-                self.cached("profile", &binaries[i].label(), &profile_keys[i], || {
+                self.cached("profile", &binaries[i].label(), &keys.profile[i], || {
                     Ok(profile_stage(binaries[i], input))
                 })
             });
@@ -237,12 +360,11 @@ impl<'s> Orchestrator<'s> {
         }
 
         // Stage 2 — mappable points across all binaries.
-        let mut mappable_inputs = hash_parts.clone();
-        mappable_inputs.push(Value::Str(input_hash.clone()));
-        let mappable_key = stage_key("mappable", &mappable_inputs);
-        let (mappable, outcome) = self.cached("mappable", "all binaries", &mappable_key, || {
-            Ok(mappable_stage(binaries, &profiles))
-        })?;
+        self.check_cancelled("mappable")?;
+        let (mappable, outcome) =
+            self.cached("mappable", "all binaries", &keys.mappable, || {
+                Ok(mappable_stage(binaries, &profiles))
+            })?;
         outcomes.push(outcome);
         let MappableStage {
             set: mappable,
@@ -250,54 +372,25 @@ impl<'s> Orchestrator<'s> {
         } = mappable;
 
         // Stage 3 — variable-length intervals on the primary.
-        let vli_key = stage_key(
-            "vli",
-            &[
-                Value::Str(bin_hashes[config.primary].clone()),
-                Value::Str(input_hash.clone()),
-                Value::UInt(config.interval_target),
-                Value::UInt(config.primary as u64),
-                Value::Str(mappable_key.as_hex().to_string()),
-            ],
-        );
+        self.check_cancelled("vli")?;
         let (vli, outcome) =
-            self.cached("vli", &binaries[config.primary].label(), &vli_key, || {
+            self.cached("vli", &binaries[config.primary].label(), &keys.vli, || {
                 Ok(vli_stage(binaries, input, config, &mappable))
             })?;
         outcomes.push(outcome);
 
         // Stage 4 — SimPoint clustering of the primary's intervals.
-        // `threads` is an execution knob with no effect on the result
-        // (the clustering is bit-identical at any thread count), so it
-        // is normalized out of the content-addressed key: runs at
-        // different thread counts share cache entries.
-        let key_config = SimPointConfig {
-            threads: 0,
-            ..config.simpoint
-        };
-        let simpoint_key = stage_key(
-            "simpoint",
-            &[
-                Value::Str(vli_key.as_hex().to_string()),
-                key_part(&key_config),
-            ],
-        );
+        self.check_cancelled("simpoint")?;
         let (simpoint, outcome): (SimPointResult, _) =
-            self.cached("simpoint", "primary intervals", &simpoint_key, || {
+            self.cached("simpoint", "primary intervals", &keys.simpoint, || {
                 Ok(simpoint_stage(&vli, &config.simpoint))
             })?;
         outcomes.push(outcome);
 
         // Stage 5 — boundary translation and per-binary weights.
-        let mut map_inputs = hash_parts;
-        map_inputs.push(Value::Str(input_hash));
-        map_inputs.push(Value::UInt(config.primary as u64));
-        map_inputs.push(Value::Str(mappable_key.as_hex().to_string()));
-        map_inputs.push(Value::Str(vli_key.as_hex().to_string()));
-        map_inputs.push(Value::Str(simpoint_key.as_hex().to_string()));
-        let map_key = stage_key("map", &map_inputs);
+        self.check_cancelled("map")?;
         let (mapped, outcome): (MappedSlicing, _) =
-            self.cached("map", "all binaries", &map_key, || {
+            self.cached("map", "all binaries", &keys.map, || {
                 map_stage(
                     binaries,
                     input,

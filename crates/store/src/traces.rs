@@ -129,13 +129,25 @@ pub fn trace_key(binary: &Binary, input: &Input) -> StageKey {
     )
 }
 
+/// How a [`TraceCache`] reaches its persistent tier: not at all,
+/// through a borrow scoped to one experiment, or through shared
+/// ownership for long-lived holders (the `cbsp-serve` daemon).
+#[derive(Debug)]
+enum StoreTier<'s> {
+    None,
+    Borrowed(&'s ArtifactStore),
+    Shared(Arc<ArtifactStore>),
+}
+
 /// A two-tier (memory + optional store) cache of recorded event traces.
 ///
 /// Cheap to construct; scope one per experiment so its in-memory tier
-/// holds only the handful of binaries that experiment touches.
+/// holds only the handful of binaries that experiment touches — or
+/// build one with [`TraceCache::shared`] and keep it for a process
+/// lifetime, as the serving daemon does.
 #[derive(Debug)]
 pub struct TraceCache<'s> {
-    store: Option<&'s ArtifactStore>,
+    store: StoreTier<'s>,
     mem: Mutex<HashMap<String, Arc<EventTrace>>>,
 }
 
@@ -144,7 +156,10 @@ impl<'s> TraceCache<'s> {
     /// in-memory record-once behaviour).
     pub fn new(store: Option<&'s ArtifactStore>) -> Self {
         TraceCache {
-            store,
+            store: match store {
+                Some(s) => StoreTier::Borrowed(s),
+                None => StoreTier::None,
+            },
             mem: Mutex::new(HashMap::new()),
         }
     }
@@ -152,6 +167,26 @@ impl<'s> TraceCache<'s> {
     /// Creates a cache with no persistent tier.
     pub fn in_memory() -> TraceCache<'static> {
         TraceCache::new(None)
+    }
+
+    /// Creates a cache that co-owns its backing store, freeing the
+    /// holder from the borrow scope [`TraceCache::new`] imposes. A
+    /// long-lived server keeps one of these so both the in-memory tier
+    /// and the on-disk tier stay warm across requests.
+    pub fn shared(store: Arc<ArtifactStore>) -> TraceCache<'static> {
+        TraceCache {
+            store: StoreTier::Shared(store),
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The persistent tier, whichever way it is held.
+    fn store(&self) -> Option<&ArtifactStore> {
+        match &self.store {
+            StoreTier::None => None,
+            StoreTier::Borrowed(s) => Some(s),
+            StoreTier::Shared(s) => Some(s),
+        }
     }
 
     /// Returns the recorded trace for `(binary, input)`, interpreting
@@ -176,7 +211,7 @@ impl<'s> TraceCache<'s> {
         }
 
         let mut repair = false;
-        if let Some(store) = self.store {
+        if let Some(store) = self.store() {
             match store.get::<TraceArtifact>(TRACE_STAGE, &key) {
                 Ok(Some(artifact)) => match base64_decode(&artifact.data) {
                     Some(bytes) => {
@@ -210,7 +245,7 @@ impl<'s> TraceCache<'s> {
 
         cbsp_trace::add("sim/trace_cache_misses", 1);
         let trace = Arc::new(record_trace(binary, input));
-        if let Some(store) = self.store {
+        if let Some(store) = self.store() {
             let artifact = TraceArtifact {
                 n_procs: trace.n_procs,
                 n_loops: trace.n_loops,

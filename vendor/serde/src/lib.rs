@@ -1,4 +1,4 @@
-//! Offline, API-compatible subset of [`serde`] for this workspace.
+//! Offline, API-compatible subset of `serde` for this workspace.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small serde surface it actually uses: the
