@@ -1,0 +1,130 @@
+//! `cbsp-cluster-bench` — load generator for the cluster router.
+//!
+//! Drives one working set of `pipeline.run` requests (distinct
+//! intervals, sized to overflow a single worker's result cache)
+//! against three topologies — a plain single daemon, a 2-worker
+//! cluster, and a 4-worker cluster — and records warm throughput at
+//! each point. The resulting lane is merged into the committed perf
+//! baseline (`BENCH_simpoint.json`, the `cluster` field) next to the
+//! serve lane and the per-stage thread-scaling numbers.
+//!
+//! ```text
+//! cargo run --release -p cbsp-bench --bin cbsp-cluster-bench -- \
+//!     [--benchmark gcc] [--scale ref] [--interval 100000] \
+//!     [--digests 40] [--warmup-rounds 2] [--rounds 6] \
+//!     [--cache-dir DIR] [--json BENCH_simpoint.json]
+//! ```
+//!
+//! Exits non-zero unless warm throughput is monotone non-decreasing
+//! from 1 to 2 to 4 workers AND every routed response is
+//! byte-identical to the single-process daemon's — the same bar the
+//! acceptance criteria set.
+
+use cbsp_bench::PerfReport;
+use cbsp_program::Scale;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(2);
+}
+
+fn main() {
+    let mut benchmark = "gcc".to_string();
+    let mut scale = Scale::Reference;
+    let mut interval: u64 = 100_000;
+    let mut digests: usize = 40;
+    let mut warmup_rounds: u64 = 2;
+    let mut rounds: u64 = 6;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut json = "BENCH_simpoint.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = value(),
+            "--scale" => {
+                scale = match value().as_str() {
+                    "test" => Scale::Test,
+                    "train" => Scale::Train,
+                    "ref" | "reference" => Scale::Reference,
+                    other => die(&format!("bad scale {other} (test|train|ref)")),
+                }
+            }
+            "--interval" => {
+                interval = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --interval: {e}")))
+            }
+            "--digests" => {
+                digests = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --digests: {e}")))
+            }
+            "--warmup-rounds" => {
+                warmup_rounds = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --warmup-rounds: {e}")))
+            }
+            "--rounds" => {
+                rounds = value()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --rounds: {e}")))
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value())),
+            "--json" => json = value(),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let cache_dir = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cbsp-cluster-bench-{}", std::process::id()))
+    });
+    eprintln!(
+        "cluster lane: {benchmark} at {scale:?} scale, {digests} digests from interval \
+         {interval}, {warmup_rounds} warm-up + {rounds} timed rounds at 1/2/4 workers..."
+    );
+    let lane = cbsp_bench::run_cluster_lane(
+        &benchmark,
+        scale,
+        interval,
+        digests,
+        warmup_rounds,
+        rounds,
+        &cache_dir,
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    print!("{}", cbsp_bench::cluster_lane::render(&lane));
+
+    let text = std::fs::read_to_string(&json).unwrap_or_else(|e| {
+        die(&format!(
+            "reading {json}: {e} (run `experiments perf` first)"
+        ))
+    });
+    let mut report: PerfReport =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parsing {json}: {e}")));
+    report.cluster = Some(lane.clone());
+    let out = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&json, out).unwrap_or_else(|e| die(&format!("writing {json}: {e}")));
+    eprintln!("merged cluster lane into {json}");
+
+    if !lane.results_identical {
+        eprintln!("cluster lane: FAIL — routed responses drifted from single-process serving");
+        exit(1);
+    }
+    if !lane.monotone {
+        eprintln!("cluster lane: FAIL — warm throughput did not scale monotonically 1 -> 2 -> 4");
+        exit(1);
+    }
+    let rps: Vec<String> = lane
+        .points
+        .iter()
+        .map(|p| format!("{}w {:.0} rps", p.workers, p.warm_rps))
+        .collect();
+    eprintln!("cluster lane: PASS ({})", rps.join(" -> "));
+}

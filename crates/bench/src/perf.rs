@@ -66,6 +66,10 @@ pub struct PerfReport {
     /// `cbsp-serve-bench` (absent until that load generator has run;
     /// [`compare`] ignores it, so the perf gate is unaffected).
     pub serve: Option<crate::serve_lane::ServeLane>,
+    /// Warm-capacity scaling across 1/2/4 cluster workers, merged in
+    /// by `cbsp-cluster-bench` (absent until that load generator has
+    /// run; [`compare`] ignores it, so the perf gate is unaffected).
+    pub cluster: Option<crate::cluster_lane::ClusterLane>,
 }
 
 struct MeasuredRun {
@@ -230,6 +234,7 @@ pub fn run_perf(
             && serial.weights == parallel.weights,
         metrics,
         serve: None,
+        cluster: None,
     }
 }
 
@@ -410,6 +415,10 @@ pub fn render(r: &PerfReport) -> String {
         out.push('\n');
         out.push_str(&crate::serve_lane::render(lane));
     }
+    if let Some(lane) = &r.cluster {
+        out.push('\n');
+        out.push_str(&crate::cluster_lane::render(lane));
+    }
     out
 }
 
@@ -478,6 +487,7 @@ mod tests {
             results_identical: identical,
             metrics: BTreeMap::new(),
             serve: None,
+            cluster: None,
         }
     }
 

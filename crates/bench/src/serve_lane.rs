@@ -66,6 +66,61 @@ fn scale_parts(scale: Scale) -> (&'static str, Input) {
     }
 }
 
+/// Most attempts a single logical request may take before the lane
+/// gives up on a daemon that keeps answering `overloaded`.
+const MAX_OVERLOAD_RETRIES: u32 = 100;
+
+/// Reads the server's `retry_after_ms` hint out of an `overloaded`
+/// error frame (defaults to 25 ms when absent or malformed).
+fn retry_after_hint_ms(frame: &str) -> u64 {
+    let field = |v: &Value, key: &str| {
+        v.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v.clone())
+    };
+    serde_json::parse(frame)
+        .ok()
+        .and_then(|v| field(&v, "error"))
+        .and_then(|e| field(&e, "retry_after_ms"))
+        .and_then(|v| match v {
+            Value::UInt(ms) => Some(ms),
+            _ => None,
+        })
+        .unwrap_or(25)
+}
+
+/// Sends one frame and reads one response, backing off and retrying
+/// when the daemon answers `overloaded` instead of hot-looping against
+/// an admission-bounded server. The sleep honors the server's
+/// `retry_after_ms` hint plus a small deterministic jitter (derived
+/// from the attempt number — benches must be reproducible, so no
+/// entropy) to de-synchronize concurrent clients.
+///
+/// # Panics
+///
+/// Panics on I/O failure or if the daemon stays overloaded for
+/// [`MAX_OVERLOAD_RETRIES`] attempts.
+pub(crate) fn exchange_with_backoff(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    frame: &str,
+) -> String {
+    for attempt in 0..MAX_OVERLOAD_RETRIES {
+        writer.write_all(frame.as_bytes()).expect("frame written");
+        writer.write_all(b"\n").expect("newline written");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response read");
+        let response = line.trim_end().to_string();
+        if !response.contains(r#""code":"overloaded""#) {
+            return response;
+        }
+        let hint = retry_after_hint_ms(&response);
+        let jitter = (u64::from(attempt).wrapping_mul(0x9e37_79b9) >> 16) % (hint / 2 + 1);
+        std::thread::sleep(std::time::Duration::from_millis(hint + jitter));
+    }
+    panic!("daemon still overloaded after {MAX_OVERLOAD_RETRIES} attempts");
+}
+
 /// Extracts `"result_hash": "..."` from a served `pipeline.run`
 /// response frame.
 fn served_hash(frame: &str) -> Option<String> {
@@ -154,12 +209,8 @@ pub fn run_serve_lane(
     let warm_start = Instant::now();
     for _ in 0..requests {
         let t = Instant::now();
-        writer.write_all(frame.as_bytes()).expect("frame written");
-        writer.write_all(b"\n").expect("newline written");
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("response read");
+        let response = exchange_with_backoff(&mut writer, &mut reader, &frame);
         latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        let response = line.trim_end().to_string();
         assert!(
             response.contains(r#""ok":true"#),
             "warm request failed: {response}"

@@ -1,0 +1,77 @@
+//! Router-level counters.
+//!
+//! Mirrors the daemon's own metrics discipline: an always-on set of
+//! process-local atomics (so `/metrics` works with tracing disabled),
+//! each increment mirrored into the global `cbsp-trace` registry under
+//! `cluster/*` names so a trace snapshot correlates router activity
+//! with store and simulation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Always-on router counters, one instance per router.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Frames received (including invalid ones).
+    pub requests: AtomicU64,
+    /// Frames answered by forwarding to a worker.
+    pub routed: AtomicU64,
+    /// Same-worker retries after an `overloaded` hint.
+    pub retries: AtomicU64,
+    /// Requests moved to the next shard in the preference order.
+    pub failovers: AtomicU64,
+    /// Worker restarts performed by the health loop.
+    pub restarts: AtomicU64,
+    /// Requests that exhausted every candidate shard.
+    pub unavailable: AtomicU64,
+    /// Health probes sent.
+    pub health_checks: AtomicU64,
+    /// Frames answered locally with an error (parse/validation).
+    pub errors: AtomicU64,
+}
+
+impl RouterMetrics {
+    /// One frame arrived.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One frame was answered by a worker.
+    pub fn count_routed(&self) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        cbsp_trace::add("cluster/requests_routed", 1);
+    }
+
+    /// One same-worker retry after backoff.
+    pub fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        cbsp_trace::add("cluster/retries", 1);
+    }
+
+    /// One request failed over to another shard.
+    pub fn count_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        cbsp_trace::add("cluster/failovers", 1);
+    }
+
+    /// One worker restart.
+    pub fn count_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        cbsp_trace::add("cluster/restarts", 1);
+    }
+
+    /// One request ran out of candidate shards.
+    pub fn count_unavailable(&self) {
+        self.unavailable.fetch_add(1, Ordering::Relaxed);
+        cbsp_trace::add("cluster/unavailable", 1);
+    }
+
+    /// One health probe.
+    pub fn count_health_check(&self) {
+        self.health_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One locally answered error frame.
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}

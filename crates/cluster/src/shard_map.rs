@@ -1,0 +1,425 @@
+//! The shard map: which workers exist, where they listen, and how
+//! digests choose among them.
+//!
+//! The map is a small versioned document the router persists in its
+//! own artifact store under a fixed stage key, so a restarted router
+//! (or an operator's `--shard-map` file) can recover the fleet's
+//! topology without guessing. `version` increases monotonically: every
+//! time the router rewrites the map (initial spawn, a worker restart
+//! landing on a new port), the version bumps, and a reader holding an
+//! older version knows its addresses may be stale.
+//!
+//! Placement is rendezvous (highest-random-weight) hashing over the
+//! request's map-stage content digest: [`ShardMap::preference`]
+//! returns *all* shards ordered by score, so the first entry is the
+//! home shard and the remainder is the failover order. Rendezvous
+//! hashing gives the property the failover path relies on: removing
+//! one shard from consideration never reorders the others, so requests
+//! that fail over land exactly where they would have hashed had the
+//! dead shard never existed.
+
+use cbsp_store::{hex_digest, stage_key, ArtifactStore, StageKey};
+use serde::Value;
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// Schema version of the persisted shard-map document. Bumped only on
+/// incompatible layout changes; [`ShardMap::from_json`] rejects other
+/// versions with [`ShardMapError::SchemaMismatch`].
+pub const SHARD_MAP_SCHEMA: u32 = 1;
+
+/// Stage name the shard map is persisted under in the router's store.
+pub const SHARD_MAP_STAGE: &str = "cluster";
+
+/// One worker in the map.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardEntry {
+    /// Dense shard id, `0..shards.len()`.
+    pub shard: u64,
+    /// Listen address (`host:port`). Empty only transiently, while a
+    /// spawned worker has not bound its listener yet.
+    pub addr: String,
+    /// `true` when the router owns this worker's process lifecycle
+    /// (spawned, restartable); `false` for an adopted external worker.
+    pub spawned: bool,
+    /// The worker's artifact-store directory (informational for
+    /// adopted workers; authoritative for spawned ones, so a restart
+    /// reuses the same warm store).
+    pub cache_dir: String,
+}
+
+/// The versioned worker topology of one cluster.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardMap {
+    /// Document schema, always [`SHARD_MAP_SCHEMA`] for this build.
+    pub schema: u32,
+    /// Monotonic topology version; bumped on every rewrite.
+    pub version: u64,
+    /// The workers, indexed by their dense shard id.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// Typed failures of shard-map decoding, validation, and persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMapError {
+    /// The document was not parseable as a shard map at all
+    /// (truncated file, not JSON, wrong field types).
+    Corrupt {
+        /// What the decoder found wrong.
+        detail: String,
+    },
+    /// The document parsed but was written under a different schema.
+    SchemaMismatch {
+        /// Schema version found in the document.
+        found: u32,
+        /// Schema version this build understands.
+        supported: u32,
+    },
+    /// The document parsed but violates a structural invariant
+    /// (no shards, sparse ids, adopted worker without an address).
+    Invalid {
+        /// The violated invariant.
+        detail: String,
+    },
+    /// The artifact store failed while persisting or loading the map.
+    Store {
+        /// The underlying store error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ShardMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardMapError::Corrupt { detail } => write!(f, "corrupt shard map: {detail}"),
+            ShardMapError::SchemaMismatch { found, supported } => write!(
+                f,
+                "shard map schema {found} is not supported (this build reads schema {supported})"
+            ),
+            ShardMapError::Invalid { detail } => write!(f, "invalid shard map: {detail}"),
+            ShardMapError::Store { detail } => write!(f, "shard map store failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardMapError {}
+
+impl ShardMap {
+    /// A fresh map for `count` router-spawned workers rooted under
+    /// `root` (shard `i` stores at `root/shard-i`). Addresses start
+    /// empty and are filled in as the workers bind.
+    pub fn spawned(count: usize, root: &Path) -> ShardMap {
+        ShardMap {
+            schema: SHARD_MAP_SCHEMA,
+            version: 0,
+            shards: (0..count.max(1) as u64)
+                .map(|shard| ShardEntry {
+                    shard,
+                    addr: String::new(),
+                    spawned: true,
+                    cache_dir: root.join(format!("shard-{shard}")).display().to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A fresh map adopting externally managed workers at `addrs`.
+    pub fn adopted(addrs: &[String]) -> ShardMap {
+        ShardMap {
+            schema: SHARD_MAP_SCHEMA,
+            version: 0,
+            shards: addrs
+                .iter()
+                .enumerate()
+                .map(|(i, addr)| ShardEntry {
+                    shard: i as u64,
+                    addr: addr.clone(),
+                    spawned: false,
+                    cache_dir: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks the structural invariants every consumer relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError::SchemaMismatch`] for foreign schemas,
+    /// [`ShardMapError::Invalid`] for an empty map, non-dense shard
+    /// ids, unparseable addresses, or adopted workers without one.
+    pub fn validate(&self) -> Result<(), ShardMapError> {
+        if self.schema != SHARD_MAP_SCHEMA {
+            return Err(ShardMapError::SchemaMismatch {
+                found: self.schema,
+                supported: SHARD_MAP_SCHEMA,
+            });
+        }
+        if self.shards.is_empty() {
+            return Err(ShardMapError::Invalid {
+                detail: "shard map has no shards".to_string(),
+            });
+        }
+        for (i, entry) in self.shards.iter().enumerate() {
+            if entry.shard != i as u64 {
+                return Err(ShardMapError::Invalid {
+                    detail: format!(
+                        "shard ids must be dense 0..{}: position {i} holds id {}",
+                        self.shards.len(),
+                        entry.shard
+                    ),
+                });
+            }
+            if entry.addr.is_empty() {
+                if !entry.spawned {
+                    return Err(ShardMapError::Invalid {
+                        detail: format!("adopted shard {i} has no address"),
+                    });
+                }
+            } else if entry.addr.parse::<SocketAddr>().is_err() {
+                return Err(ShardMapError::Invalid {
+                    detail: format!("shard {i} address `{}` is not a socket address", entry.addr),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the map (the exact bytes [`ShardMap::from_json`]
+    /// accepts back).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("shard map serializes")
+    }
+
+    /// Decodes and validates a shard-map document.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError::Corrupt`] when the text does not decode, plus
+    /// everything [`ShardMap::validate`] reports.
+    pub fn from_json(text: &str) -> Result<ShardMap, ShardMapError> {
+        let map: ShardMap = serde_json::from_str(text).map_err(|e| ShardMapError::Corrupt {
+            detail: format!("{e}"),
+        })?;
+        map.validate()?;
+        Ok(map)
+    }
+
+    /// All shard indexes ordered by rendezvous score for `digest`
+    /// (highest first): `[0]` is the home shard, the rest is the
+    /// failover order. Deterministic for a given digest and shard set,
+    /// and stable under shard removal — dropping any entry leaves the
+    /// relative order of the others unchanged.
+    pub fn preference(&self, digest: &str) -> Vec<usize> {
+        let mut scored: Vec<(u64, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| (rendezvous_score(digest, entry.shard), i))
+            .collect();
+        // Ties (never observed with a 64-bit score, but cheap to pin
+        // down) break toward the lower shard id for determinism.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// The fixed store key the router persists the map under.
+    pub fn store_key() -> StageKey {
+        stage_key(SHARD_MAP_STAGE, &[Value::Str("shard-map".to_string())])
+    }
+
+    /// Writes this map into `store` (overwriting any previous version).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError::Store`] on store failure.
+    pub fn persist(&self, store: &ArtifactStore) -> Result<(), ShardMapError> {
+        store
+            .put_overwrite(SHARD_MAP_STAGE, &ShardMap::store_key(), self)
+            .map_err(|e| ShardMapError::Store {
+                detail: format!("{e}"),
+            })
+    }
+
+    /// Reads the persisted map back, if any, and validates it.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardMapError::Corrupt`] when the stored artifact exists but
+    /// does not decode, [`ShardMapError::Store`] on store failure,
+    /// plus everything [`ShardMap::validate`] reports.
+    pub fn load(store: &ArtifactStore) -> Result<Option<ShardMap>, ShardMapError> {
+        let loaded: Option<ShardMap> =
+            store
+                .get(SHARD_MAP_STAGE, &ShardMap::store_key())
+                .map_err(|e| match e {
+                    cbsp_core::CbspError::StoreIo { .. } => ShardMapError::Store {
+                        detail: format!("{e}"),
+                    },
+                    other => ShardMapError::Corrupt {
+                        detail: format!("{other}"),
+                    },
+                })?;
+        match loaded {
+            None => Ok(None),
+            Some(map) => {
+                map.validate()?;
+                Ok(Some(map))
+            }
+        }
+    }
+}
+
+/// The HRW score of one (digest, shard) pair: the first 16 hex digits
+/// of `sha256("digest/shard")` as a `u64`. Any uniform hash works;
+/// reusing the store's SHA-256 keeps the routing function free of new
+/// primitives.
+fn rendezvous_score(digest: &str, shard: u64) -> u64 {
+    let h = hex_digest(format!("{digest}/{shard}").as_bytes());
+    u64::from_str_radix(&h[..16], 16).expect("sha-256 hex prefix parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn digests(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| hex_digest(format!("digest-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let map = ShardMap::adopted(&["127.0.0.1:4651".to_string(), "127.0.0.1:4652".to_string()]);
+        let back = ShardMap::from_json(&map.to_json()).expect("round-trips");
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_documents_are_typed_errors() {
+        assert!(matches!(
+            ShardMap::from_json("{{nope").expect_err("garbage"),
+            ShardMapError::Corrupt { .. }
+        ));
+        let full = ShardMap::adopted(&["127.0.0.1:4651".to_string()]).to_json();
+        let truncated = &full[..full.len() / 2];
+        assert!(matches!(
+            ShardMap::from_json(truncated).expect_err("truncated"),
+            ShardMapError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn foreign_schema_and_structural_violations_are_rejected() {
+        let mut map = ShardMap::adopted(&["127.0.0.1:4651".to_string()]);
+        map.schema = 99;
+        assert_eq!(
+            ShardMap::from_json(&map.to_json()).expect_err("schema"),
+            ShardMapError::SchemaMismatch {
+                found: 99,
+                supported: SHARD_MAP_SCHEMA
+            }
+        );
+        let empty = ShardMap {
+            schema: SHARD_MAP_SCHEMA,
+            version: 1,
+            shards: vec![],
+        };
+        assert!(matches!(
+            empty.validate().expect_err("empty"),
+            ShardMapError::Invalid { .. }
+        ));
+        let mut sparse = ShardMap::adopted(&["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()]);
+        sparse.shards[1].shard = 5;
+        assert!(matches!(
+            sparse.validate().expect_err("sparse"),
+            ShardMapError::Invalid { .. }
+        ));
+        let mut bad_addr = ShardMap::adopted(&["not-an-addr".to_string()]);
+        bad_addr.shards[0].addr = "not-an-addr".to_string();
+        assert!(matches!(
+            bad_addr.validate().expect_err("addr"),
+            ShardMapError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn preference_is_a_permutation_and_deterministic() {
+        let map = ShardMap::spawned(4, &PathBuf::from("/tmp/x"));
+        for digest in digests(32) {
+            let mut order = map.preference(&digest);
+            assert_eq!(order, map.preference(&digest), "deterministic");
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3], "a permutation of all shards");
+        }
+    }
+
+    #[test]
+    fn every_shard_is_someone_s_home() {
+        let map = ShardMap::spawned(4, &PathBuf::from("/tmp/x"));
+        let mut homes = [0usize; 4];
+        for digest in digests(256) {
+            homes[map.preference(&digest)[0]] += 1;
+        }
+        for (shard, count) in homes.iter().enumerate() {
+            assert!(
+                *count > 0,
+                "shard {shard} never chosen as home across 256 digests"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_never_reorders_the_survivors() {
+        // The rendezvous property failover relies on: dropping the
+        // home shard promotes the runner-up and leaves every other
+        // relative position unchanged.
+        let four = ShardMap::spawned(4, &PathBuf::from("/tmp/x"));
+        for digest in digests(64) {
+            let order = four.preference(&digest);
+            for &dead in &order {
+                let survivors: Vec<usize> = order.iter().copied().filter(|&i| i != dead).collect();
+                let mut three = four.clone();
+                three.shards.remove(dead);
+                // Re-densify ids the way a rebuilt map would, keeping
+                // the original identities for comparison.
+                let kept: Vec<u64> = four
+                    .shards
+                    .iter()
+                    .map(|e| e.shard)
+                    .filter(|&s| s != dead as u64)
+                    .collect();
+                for (i, entry) in three.shards.iter_mut().enumerate() {
+                    entry.shard = kept[i];
+                }
+                // preference() scores by the entry's *id*, so the
+                // surviving ids must appear in their original order.
+                let reduced: Vec<u64> = three
+                    .preference(&digest)
+                    .into_iter()
+                    .map(|i| three.shards[i].shard)
+                    .collect();
+                let expected: Vec<u64> = survivors.into_iter().map(|i| i as u64).collect();
+                assert_eq!(reduced, expected, "digest {digest} after removing {dead}");
+            }
+        }
+    }
+
+    #[test]
+    fn persists_and_reloads_through_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "cbsp-shard-map-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store = ArtifactStore::open(&dir).expect("store opens");
+        assert_eq!(ShardMap::load(&store).expect("clean miss"), None);
+        let mut map = ShardMap::adopted(&["127.0.0.1:4651".to_string()]);
+        map.version = 7;
+        map.persist(&store).expect("persists");
+        assert_eq!(ShardMap::load(&store).expect("loads"), Some(map));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,143 @@
+//! Replays the cluster-routing examples in `docs/PROTOCOL.md` against
+//! a fresh 2-worker cluster, byte for byte, in document order.
+//!
+//! The cluster section's examples are marked with
+//! `<!-- verify-cluster: request -->` / `<!-- verify-cluster: response -->`
+//! comments, each followed by a fenced ```json block holding exactly
+//! one frame. This test extracts the pairs and asserts the router's
+//! responses match the documented bytes — including the examples that
+//! deliberately repeat single-daemon responses, which is how the
+//! document proves routing is invisible to clients.
+
+use cbsp_cluster::{Cluster, ClusterConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One documented request/response pair, with the line the request
+/// marker sits on (for failure messages).
+struct Example {
+    line: usize,
+    request: String,
+    response: String,
+}
+
+/// Pulls the single frame out of the ```json fence that must follow a
+/// verify-cluster marker.
+fn fenced_frame<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    marker_line: usize,
+) -> String {
+    let Some((_, fence)) = lines.next() else {
+        panic!("verify-cluster marker at line {marker_line} is not followed by a fence");
+    };
+    assert_eq!(
+        fence.trim(),
+        "```json",
+        "verify-cluster marker at line {marker_line} must be followed by a ```json fence"
+    );
+    let mut frame = None;
+    for (n, line) in lines.by_ref() {
+        if line.trim() == "```" {
+            return frame.unwrap_or_else(|| panic!("empty verify fence after line {marker_line}"));
+        }
+        assert!(
+            frame.is_none(),
+            "verify fence after line {marker_line} holds more than one line (line {n}) — \
+             frames are newline-delimited, one per example"
+        );
+        frame = Some(line.to_string());
+    }
+    panic!("unterminated verify fence after line {marker_line}");
+}
+
+fn extract_examples(doc: &str) -> Vec<Example> {
+    let mut lines = doc.lines().enumerate();
+    let mut examples = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    while let Some((n, line)) = lines.next() {
+        match line.trim() {
+            "<!-- verify-cluster: request -->" => {
+                assert!(
+                    pending.is_none(),
+                    "request marker at line {} has no response marker before line {}",
+                    pending.as_ref().map_or(0, |(m, _)| m + 1),
+                    n + 1
+                );
+                pending = Some((n + 1, fenced_frame(&mut lines, n + 1)));
+            }
+            "<!-- verify-cluster: response -->" => {
+                let (line, request) = pending
+                    .take()
+                    .unwrap_or_else(|| panic!("response marker at line {} has no request", n + 1));
+                examples.push(Example {
+                    line,
+                    request,
+                    response: fenced_frame(&mut lines, n + 1),
+                });
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        pending.is_none(),
+        "trailing request marker without response"
+    );
+    examples
+}
+
+#[test]
+fn documented_cluster_examples_are_served_byte_for_byte() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/PROTOCOL.md readable");
+    let examples = extract_examples(&doc);
+    assert!(
+        examples.len() >= 5,
+        "PROTOCOL.md documents at least five verified cluster examples, found {}",
+        examples.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("cbsp-cluster-doc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Cluster::start(ClusterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        worker_threads: 2,
+        cache_dir: dir.clone(),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster starts");
+
+    // One connection for the whole document: the post-shutdown example
+    // must arrive on a connection that outlives the drain.
+    let stream = TcpStream::connect(cluster.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout set");
+    let mut writer = stream.try_clone().expect("stream clones");
+    let mut reader = BufReader::new(stream);
+    let mut drained = false;
+    for example in &examples {
+        writer
+            .write_all(example.request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .expect("request written");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response read");
+        assert_eq!(
+            line.trim_end(),
+            example.response,
+            "response drifted from the example documented at PROTOCOL.md line {} \
+             (request: {})",
+            example.line,
+            example.request
+        );
+        drained |= example.request.contains("server.shutdown");
+    }
+    assert!(
+        drained,
+        "the cluster section must end by verifying a fleet-wide drain"
+    );
+    cluster.wait().expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,8 +9,10 @@
 //! flight (pipelining across requests is done with multiple
 //! connections).
 
-use crate::engine::{Reply, Work};
-use crate::protocol::{err_frame, fault, obj, ok_frame, parse_request, ErrorCode, Request};
+use crate::engine::{prepare_spec, Reply, Work};
+use crate::protocol::{
+    err_frame, err_frame_retry, fault, obj, ok_frame, parse_request, ErrorCode, Request,
+};
 use crate::server::ServerCore;
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -81,7 +83,13 @@ fn handle_frame(core: &Arc<ServerCore>, line: &str) -> String {
         Ok(result) => ok_frame(&request.id, result),
         Err((code, message)) => {
             core.metrics.count_error(code.as_str());
-            err_frame(&request.id, code, &message)
+            if code == ErrorCode::Overloaded {
+                // Backpressure carries a backoff hint so clients (and
+                // the cluster router) wait instead of hot-retrying.
+                err_frame_retry(&request.id, code, &message, core.retry_after_ms())
+            } else {
+                err_frame(&request.id, code, &message)
+            }
         }
     }
 }
@@ -103,7 +111,7 @@ fn dispatch(core: &Arc<ServerCore>, request: &Request) -> Reply {
             Ok(obj(vec![("draining", Value::Bool(true))]))
         }
         "pipeline.run" => {
-            let spec = core.engine.prepare_spec(&request.params, true)?;
+            let spec = prepare_spec(&request.params, true)?;
             let key = format!(
                 "pipeline.run:{}:{}",
                 spec.keys.map.as_hex(),
@@ -112,12 +120,12 @@ fn dispatch(core: &Arc<ServerCore>, request: &Request) -> Reply {
             run_queued(core, Work::Pipeline(Box::new(spec)), Some(key), deadline)
         }
         "estimate.cpi" => {
-            let spec = core.engine.prepare_spec(&request.params, false)?;
+            let spec = prepare_spec(&request.params, false)?;
             let key = format!("estimate.cpi:{}", spec.keys.map.as_hex());
             run_queued(core, Work::Estimate(Box::new(spec)), Some(key), deadline)
         }
         "simpoints.get" => {
-            let spec = core.engine.prepare_spec(&request.params, false)?;
+            let spec = prepare_spec(&request.params, false)?;
             let key = format!("simpoints.get:{}", spec.keys.simpoint.as_hex());
             run_queued(core, Work::Simpoints(Box::new(spec)), Some(key), deadline)
         }
@@ -179,6 +187,12 @@ fn serve_http<R: Read>(
             "200 OK",
             serde_json::to_string(&obj(vec![
                 ("status", Value::Str("ok".to_string())),
+                // Build version and uptime let operators (and the
+                // cluster router) detect mixed-version fleets and
+                // silent restarts from the probe they already run.
+                ("version", Value::Str(env!("CARGO_PKG_VERSION").to_string())),
+                ("uptime_s", Value::UInt(core.uptime_s())),
+                ("shard", core.cfg.shard_id.map_or(Value::Null, Value::UInt)),
                 ("draining", Value::Bool(core.is_draining())),
             ]))
             .expect("healthz serializes"),

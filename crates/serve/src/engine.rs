@@ -80,8 +80,11 @@ pub(crate) struct CachedRun {
 
 /// Completed runs the daemon keeps resident. Bounds memory, not
 /// correctness: an evicted run is recomputed from the store at the
-/// cost of one artifact read per stage.
-const RESULT_CACHE_CAP: usize = 16;
+/// cost of one artifact read per stage. Public because the cluster
+/// bench sizes its working set against this capacity (a fleet of N
+/// workers holds N× as many warm runs — the capacity axis the
+/// `cluster` lane measures).
+pub const RESULT_CACHE_CAP: usize = 16;
 
 /// The result cache proper: keyed entries plus their FIFO insertion
 /// order (the eviction queue).
@@ -106,6 +109,76 @@ pub(crate) struct Engine {
     pub result_misses: AtomicU64,
 }
 
+/// Resolves `params` for one of the pipeline-shaped methods: compiles
+/// the benchmark's four binaries and derives the stage keys. Runs on
+/// the connection thread — costs microseconds, and produces the
+/// content digests admission needs for single-flight deduplication
+/// (and the cluster router needs for shard selection — see
+/// [`crate::route`]). A free function on purpose: routing a request
+/// must not require opening a store.
+pub(crate) fn prepare_spec(params: &Value, detail_allowed: bool) -> Result<PipelineSpec, Fault> {
+    let benchmark = param_str(params, "benchmark")?;
+    let Some(workload) = workloads::by_name(&benchmark) else {
+        return Err(fault(
+            ErrorCode::BadRequest,
+            format!("unknown benchmark `{benchmark}` (try the `cbsp list` command)"),
+        ));
+    };
+    let (scale, scale_name, input) = match param_str_or(params, "scale", "train")?.as_str() {
+        "test" => (Scale::Test, "test", Input::test()),
+        "train" => (Scale::Train, "train", Input::train()),
+        "ref" | "reference" => (Scale::Reference, "ref", Input::reference()),
+        other => {
+            return Err(fault(
+                ErrorCode::BadRequest,
+                format!("bad scale `{other}` (test|train|ref)"),
+            ))
+        }
+    };
+    let default = CbspConfig::default();
+    let interval = param_u64_or(params, "interval", default.interval_target)?;
+    if interval == 0 {
+        return Err(fault(ErrorCode::BadRequest, "param `interval` must be > 0"));
+    }
+    let detail_full = match param_str_or(params, "detail", "summary")?.as_str() {
+        "summary" => false,
+        "full" if detail_allowed => true,
+        "full" => {
+            return Err(fault(
+                ErrorCode::BadRequest,
+                "param `detail` is only accepted by pipeline.run",
+            ))
+        }
+        other => {
+            return Err(fault(
+                ErrorCode::BadRequest,
+                format!("bad detail `{other}` (summary|full)"),
+            ))
+        }
+    };
+
+    let program = workload.build(scale);
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let config = CbspConfig {
+        interval_target: interval,
+        ..default
+    };
+    let refs: Vec<&Binary> = binaries.iter().collect();
+    let keys = pipeline_keys(&refs, &input, &config).map_err(internal)?;
+    Ok(PipelineSpec {
+        benchmark,
+        scale_name,
+        input,
+        config,
+        binaries,
+        keys,
+        detail_full,
+    })
+}
+
 impl Engine {
     pub fn new(store: Arc<ArtifactStore>, threads: usize) -> Engine {
         Engine {
@@ -116,78 +189,6 @@ impl Engine {
             result_hits: AtomicU64::new(0),
             result_misses: AtomicU64::new(0),
         }
-    }
-
-    /// Resolves `params` for one of the pipeline-shaped methods:
-    /// compiles the benchmark's four binaries and derives the stage
-    /// keys. Runs on the connection thread — costs microseconds, and
-    /// produces the content digests admission needs for single-flight
-    /// deduplication.
-    pub fn prepare_spec(
-        &self,
-        params: &Value,
-        detail_allowed: bool,
-    ) -> Result<PipelineSpec, Fault> {
-        let benchmark = param_str(params, "benchmark")?;
-        let Some(workload) = workloads::by_name(&benchmark) else {
-            return Err(fault(
-                ErrorCode::BadRequest,
-                format!("unknown benchmark `{benchmark}` (try the `cbsp list` command)"),
-            ));
-        };
-        let (scale, scale_name, input) = match param_str_or(params, "scale", "train")?.as_str() {
-            "test" => (Scale::Test, "test", Input::test()),
-            "train" => (Scale::Train, "train", Input::train()),
-            "ref" | "reference" => (Scale::Reference, "ref", Input::reference()),
-            other => {
-                return Err(fault(
-                    ErrorCode::BadRequest,
-                    format!("bad scale `{other}` (test|train|ref)"),
-                ))
-            }
-        };
-        let default = CbspConfig::default();
-        let interval = param_u64_or(params, "interval", default.interval_target)?;
-        if interval == 0 {
-            return Err(fault(ErrorCode::BadRequest, "param `interval` must be > 0"));
-        }
-        let detail_full = match param_str_or(params, "detail", "summary")?.as_str() {
-            "summary" => false,
-            "full" if detail_allowed => true,
-            "full" => {
-                return Err(fault(
-                    ErrorCode::BadRequest,
-                    "param `detail` is only accepted by pipeline.run",
-                ))
-            }
-            other => {
-                return Err(fault(
-                    ErrorCode::BadRequest,
-                    format!("bad detail `{other}` (summary|full)"),
-                ))
-            }
-        };
-
-        let program = workload.build(scale);
-        let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
-            .iter()
-            .map(|&t| compile(&program, t))
-            .collect();
-        let config = CbspConfig {
-            interval_target: interval,
-            ..default
-        };
-        let refs: Vec<&Binary> = binaries.iter().collect();
-        let keys = pipeline_keys(&refs, &input, &config).map_err(internal)?;
-        Ok(PipelineSpec {
-            benchmark,
-            scale_name,
-            input,
-            config,
-            binaries,
-            keys,
-            detail_full,
-        })
     }
 
     /// Runs the cached pipeline for `spec` with `threads` worker

@@ -48,6 +48,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The server failed internally; the request may not have executed.
     Internal,
+    /// No worker can take the request right now (cluster router only:
+    /// every replica-eligible shard was down, draining, or overloaded
+    /// past its retry budget). The request was not executed.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -60,6 +64,7 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 }
@@ -163,6 +168,26 @@ pub fn err_frame(id: &Value, code: ErrorCode, message: &str) -> String {
             obj(vec![
                 ("code", Value::Str(code.as_str().to_string())),
                 ("message", Value::Str(message.to_string())),
+            ]),
+        ),
+    )
+}
+
+/// Serializes an error response frame carrying a `retry_after_ms`
+/// backoff hint (no trailing newline). Used for `overloaded`: the
+/// server suggests how long a well-behaved client (or the cluster
+/// router) should wait before retrying this node, derived from the
+/// current queue depth.
+pub fn err_frame_retry(id: &Value, code: ErrorCode, message: &str, retry_after_ms: u64) -> String {
+    frame(
+        id,
+        false,
+        (
+            "error",
+            obj(vec![
+                ("code", Value::Str(code.as_str().to_string())),
+                ("message", Value::Str(message.to_string())),
+                ("retry_after_ms", Value::UInt(retry_after_ms)),
             ]),
         ),
     )
@@ -296,6 +321,15 @@ mod tests {
         assert_eq!(
             err,
             r#"{"id":null,"ok":false,"v":1,"error":{"code":"overloaded","message":"queue full"}}"#
+        );
+    }
+
+    #[test]
+    fn retry_frames_carry_the_hint_after_the_message() {
+        let err = err_frame_retry(&Value::UInt(3), ErrorCode::Overloaded, "queue full", 75);
+        assert_eq!(
+            err,
+            r#"{"id":3,"ok":false,"v":1,"error":{"code":"overloaded","message":"queue full","retry_after_ms":75}}"#
         );
     }
 

@@ -1,0 +1,147 @@
+//! Request routing for multi-worker topologies (`cbsp-cluster`).
+//!
+//! A cluster router must decide which worker answers a frame *without*
+//! executing it. The decision is a pure function of the request: the
+//! digest-keyed methods resolve to their map-stage content digest —
+//! the same digest the daemon's single-flight deduplication and result
+//! cache key on — so every request about one `(benchmark, scale,
+//! interval)` lands on the same shard and the per-shard request
+//! sequence is indistinguishable from a single-process run. That is
+//! the whole byte-identity argument for sharded serving, stated once,
+//! here.
+//!
+//! The router calls [`route`]; everything else in this module is the
+//! typed description of the answer.
+
+use crate::engine::prepare_spec;
+use crate::protocol::{fault, ErrorCode, Fault, Request};
+
+/// Where one parsed request must go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Answered by the routing process itself (`ping`): the response
+    /// is defined by the protocol and identical on every node.
+    Local,
+    /// `server.shutdown`: the router drains itself *and* every worker
+    /// it owns.
+    Shutdown,
+    /// Node-local inspection (`store.stats`, `trace.snapshot`): no
+    /// content digest exists; the router sends these to its first
+    /// healthy shard, deterministically.
+    AnyShard,
+    /// Digest-keyed work: route by this map-stage content digest
+    /// (lower-case hex SHA-256).
+    Digest(String),
+}
+
+/// Decides the [`Route`] for one parsed request.
+///
+/// Mirrors the daemon's own dispatch exactly: any request this
+/// function rejects would have been rejected by a worker with the
+/// same error code and message, so a router may answer the failure
+/// locally and still be byte-identical to single-process serving.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadRequest`] for unknown methods or invalid params,
+/// exactly as the daemon itself would report them.
+pub fn route(request: &Request) -> Result<Route, Fault> {
+    match request.method.as_str() {
+        "ping" => Ok(Route::Local),
+        "server.shutdown" => Ok(Route::Shutdown),
+        "store.stats" | "trace.snapshot" => Ok(Route::AnyShard),
+        "pipeline.run" => {
+            let spec = prepare_spec(&request.params, true)?;
+            Ok(Route::Digest(spec.keys.map.as_hex().to_string()))
+        }
+        "estimate.cpi" | "simpoints.get" => {
+            let spec = prepare_spec(&request.params, false)?;
+            Ok(Route::Digest(spec.keys.map.as_hex().to_string()))
+        }
+        other => Err(fault(
+            ErrorCode::BadRequest,
+            format!("unknown method `{other}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn route_line(line: &str) -> Result<Route, Fault> {
+        route(&parse_request(line).expect("parses"))
+    }
+
+    #[test]
+    fn local_and_shard_methods_are_classified() {
+        assert_eq!(route_line(r#"{"method":"ping"}"#), Ok(Route::Local));
+        assert_eq!(
+            route_line(r#"{"method":"server.shutdown"}"#),
+            Ok(Route::Shutdown)
+        );
+        assert_eq!(
+            route_line(r#"{"method":"store.stats"}"#),
+            Ok(Route::AnyShard)
+        );
+        assert_eq!(
+            route_line(r#"{"method":"trace.snapshot"}"#),
+            Ok(Route::AnyShard)
+        );
+    }
+
+    #[test]
+    fn digest_routing_is_stable_and_method_independent() {
+        let a = route_line(
+            r#"{"method":"pipeline.run","params":{"benchmark":"gzip","scale":"test","interval":20000}}"#,
+        )
+        .expect("routes");
+        let b = route_line(
+            r#"{"method":"estimate.cpi","params":{"benchmark":"gzip","scale":"test","interval":20000}}"#,
+        )
+        .expect("routes");
+        let c = route_line(
+            r#"{"method":"simpoints.get","params":{"benchmark":"gzip","scale":"test","interval":20000}}"#,
+        )
+        .expect("routes");
+        // All methods over the same content route to the same digest —
+        // warm state for a benchmark accretes on one shard.
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        let Route::Digest(digest) = a else {
+            panic!("expected a digest route, got {a:?}");
+        };
+        assert_eq!(digest.len(), 64, "digest is hex sha-256");
+        // A different interval is different content.
+        let other = route_line(
+            r#"{"method":"pipeline.run","params":{"benchmark":"gzip","scale":"test","interval":20001}}"#,
+        )
+        .expect("routes");
+        assert_ne!(Route::Digest(digest), other);
+    }
+
+    #[test]
+    fn errors_match_worker_dispatch() {
+        assert_eq!(
+            route_line(r#"{"method":"no.such"}"#).expect_err("unknown"),
+            fault(ErrorCode::BadRequest, "unknown method `no.such`")
+        );
+        assert_eq!(
+            route_line(r#"{"method":"pipeline.run","params":{"benchmark":"nope"}}"#)
+                .expect_err("bad benchmark")
+                .0,
+            ErrorCode::BadRequest
+        );
+        // `detail` is pipeline.run-only — the router must reproduce
+        // the worker's rejection for the other methods.
+        assert_eq!(
+            route_line(
+                r#"{"method":"estimate.cpi","params":{"benchmark":"gzip","detail":"full"}}"#
+            )
+            .expect_err("detail rejected")
+            .1,
+            "param `detail` is only accepted by pipeline.run"
+        );
+    }
+}

@@ -66,6 +66,12 @@ pub struct ServeConfig {
     /// (`store.stats`) from stalling behind a long pipeline while still
     /// letting batches form.
     pub workers: usize,
+    /// Shard identity when this daemon serves as one worker of a
+    /// `cbsp-cluster` fleet (spawned by the router, or started
+    /// standalone with `--shard-id` for adoption). Surfaced in
+    /// `GET /healthz` so the router can verify it is talking to the
+    /// worker it thinks it is; `None` for a standalone daemon.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +84,7 @@ impl Default for ServeConfig {
             default_timeout_ms: 30_000,
             batch_max: 8,
             workers: 2,
+            shard_id: None,
         }
     }
 }
@@ -118,11 +125,28 @@ pub(crate) struct ServerCore {
     drained: Condvar,
     draining: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
+    /// When the server started (for `/healthz` uptime reporting).
+    started: Instant,
 }
 
 impl ServerCore {
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whole seconds since [`Server::start`] — the `/healthz` uptime
+    /// field operators (and the cluster router) use to spot restarts.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The backoff hint attached to `overloaded` rejections: scales
+    /// with the queue depth at rejection time, so a client retrying
+    /// after the hint finds a drained (or at least shorter) queue.
+    /// Deliberately coarse — it is a hint, not a reservation.
+    pub fn retry_after_ms(&self) -> u64 {
+        let (queued, _executing) = self.queue_depths();
+        (25 + 10 * queued as u64).min(2_000)
     }
 
     /// Current `(queued, executing)` — sampled for `/metrics`.
@@ -384,6 +408,7 @@ impl Server {
             drained: Condvar::new(),
             draining: AtomicBool::new(false),
             addr: Mutex::new(Some(addr)),
+            started: Instant::now(),
         });
 
         let mut worker_handles = Vec::with_capacity(workers);

@@ -1,0 +1,249 @@
+//! Cluster determinism integration tests: the routed fleet is
+//! observationally identical to a single daemon.
+//!
+//! The tentpole claim of `cbsp-cluster` is that sharding is invisible
+//! to clients — a response served through a router over 2 or 4 workers
+//! is byte-for-byte what a plain single-process `cbsp serve` would
+//! have sent. This file checks that claim across every digest-keyed
+//! method, and property-tests the shard-map document the router's
+//! topology durability rests on.
+//!
+//! Each topology is primed and then restarted before its responses are
+//! recorded: `pipeline.run`/`estimate.cpi` responses embed the store
+//! hits/misses of the run that computed the result, which depend on
+//! what the store already held. After a restart over warm stores every
+//! (re)computation sees a fully-populated store, making the responses
+//! a deterministic function of the request alone and therefore
+//! comparable across topologies (the cluster bench lane measures under
+//! the same discipline).
+
+use cbsp_cluster::{Cluster, ClusterConfig, ShardMap, ShardMapError};
+use cbsp_serve::{ServeConfig, Server};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cbsp-determinism-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every digest-keyed request shape the protocol exposes, over a small
+/// working set of distinct intervals, plus the router-answered `ping`.
+fn request_set() -> Vec<String> {
+    let mut frames = vec![r#"{"id": 1, "method": "ping"}"#.to_string()];
+    for interval in (0..5u64).map(|i| 20_000 + i * 13) {
+        let params =
+            format!(r#""params":{{"benchmark":"gzip","scale":"test","interval":{interval}}}"#);
+        frames.push(format!(
+            r#"{{"id":{interval},"method":"pipeline.run",{params}}}"#
+        ));
+        frames.push(format!(
+            r#"{{"id":{interval},"method":"pipeline.run","params":{{"benchmark":"gzip","scale":"test","interval":{interval},"detail":"full"}}}}"#
+        ));
+        frames.push(format!(
+            r#"{{"id":{interval},"method":"estimate.cpi",{params}}}"#
+        ));
+        frames.push(format!(
+            r#"{{"id":{interval},"method":"simpoints.get",{params}}}"#
+        ));
+    }
+    frames
+}
+
+enum Topology {
+    Single(Server),
+    Fleet(Cluster),
+}
+
+impl Topology {
+    fn start(workers: usize, dir: &Path) -> Topology {
+        if workers == 1 {
+            Topology::Single(
+                Server::start(ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    threads: 2,
+                    cache_dir: dir.to_path_buf(),
+                    default_timeout_ms: 300_000,
+                    ..ServeConfig::default()
+                })
+                .expect("server starts"),
+            )
+        } else {
+            Topology::Fleet(
+                Cluster::start(ClusterConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers,
+                    worker_threads: 2,
+                    cache_dir: dir.to_path_buf(),
+                    default_timeout_ms: 300_000,
+                    ..ClusterConfig::default()
+                })
+                .expect("cluster starts"),
+            )
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Topology::Single(server) => server.addr(),
+            Topology::Fleet(cluster) => cluster.addr(),
+        }
+    }
+
+    fn stop(self) {
+        match self {
+            Topology::Single(server) => {
+                server.shutdown();
+                server.wait().expect("server drains");
+            }
+            Topology::Fleet(cluster) => {
+                cluster.shutdown();
+                cluster.wait().expect("cluster drains");
+            }
+        }
+    }
+}
+
+/// Sends every frame over one connection, returning responses keyed by
+/// the request frame.
+fn collect(addr: SocketAddr, frames: &[String]) -> BTreeMap<String, String> {
+    let stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    frames
+        .iter()
+        .map(|frame| {
+            writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .expect("request written");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response read");
+            (frame.clone(), line.trim_end().to_string())
+        })
+        .collect()
+}
+
+/// Primes a topology's stores, restarts it, and records the warm
+/// responses to every request shape.
+fn warm_responses(workers: usize, dir: &Path, frames: &[String]) -> BTreeMap<String, String> {
+    let primer = Topology::start(workers, dir);
+    collect(primer.addr(), frames);
+    primer.stop();
+    let topo = Topology::start(workers, dir);
+    let responses = collect(topo.addr(), frames);
+    topo.stop();
+    responses
+}
+
+#[test]
+fn every_method_is_byte_identical_across_1_2_and_4_workers() {
+    let frames = request_set();
+    let dir = temp_dir("topologies");
+    let single = warm_responses(1, &dir.join("w1"), &frames);
+
+    for (frame, response) in &single {
+        assert!(
+            response.contains(r#""ok":true"#),
+            "reference response failed for {frame}: {response}"
+        );
+    }
+
+    for workers in [2usize, 4] {
+        let routed = warm_responses(workers, &dir.join(format!("w{workers}")), &frames);
+        for frame in &frames {
+            assert_eq!(
+                routed.get(frame),
+                single.get(frame),
+                "{workers}-worker response diverged from the single daemon for {frame}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A structurally valid adopted-worker shard map with proptest-chosen
+/// version, port layout, and per-shard spawned flags.
+fn shard_map_strategy() -> impl Strategy<Value = ShardMap> {
+    (
+        0u64..1_000_000,
+        prop::collection::vec((1024u32..65536, any::<bool>()), 1..6),
+    )
+        .prop_map(|(version, shards)| {
+            let addrs: Vec<String> = shards
+                .iter()
+                .map(|(port, _)| format!("127.0.0.1:{port}"))
+                .collect();
+            let mut map = ShardMap::adopted(&addrs);
+            map.version = version;
+            for (entry, (_, spawned)) in map.shards.iter_mut().zip(&shards) {
+                entry.spawned = *spawned;
+                if *spawned {
+                    entry.cache_dir = format!("/tmp/cbsp-shard-{}", entry.shard);
+                }
+            }
+            map
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Serialization is lossless: any valid map survives a JSON round
+    /// trip exactly.
+    #[test]
+    fn shard_maps_round_trip_through_json(map in shard_map_strategy()) {
+        prop_assert_eq!(map.validate(), Ok(()));
+        let back = ShardMap::from_json(&map.to_json())
+            .expect("valid maps deserialize");
+        prop_assert_eq!(back, map);
+    }
+
+    /// Damaged documents never produce a usable map: every strict
+    /// prefix of a valid document is a typed `Corrupt` error (the file
+    /// was cut mid-write), and corrupting the schema field is a typed
+    /// `SchemaMismatch`.
+    #[test]
+    fn truncated_and_corrupt_maps_are_typed_errors(
+        map in shard_map_strategy(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let json = map.to_json();
+        let cut = cut_seed % json.len();
+        prop_assert!(matches!(
+            ShardMap::from_json(&json[..cut]),
+            Err(ShardMapError::Corrupt { .. })
+        ), "prefix of length {} must be Corrupt", cut);
+
+        let mut foreign = map.clone();
+        foreign.schema += 1;
+        prop_assert!(matches!(
+            ShardMap::from_json(&foreign.to_json()),
+            Err(ShardMapError::SchemaMismatch { .. })
+        ));
+
+        // Field-type damage (a string where the shard list belongs) is
+        // Corrupt, not a panic.
+        prop_assert!(matches!(
+            ShardMap::from_json(r#"{"schema":1,"version":0,"shards":"nope"}"#),
+            Err(ShardMapError::Corrupt { .. })
+        ));
+    }
+}
