@@ -3,10 +3,13 @@
 //! `BENCH_simpoint.json`).
 //!
 //! Runs the pipeline stage by stage — compile, profile, mappable, VLI,
-//! SimPoint clustering, boundary mapping, detailed simulation — once
-//! serially and once on a pool, timing each stage, and checks that the
-//! two runs produce identical results (the engine's determinism
-//! guarantee, measured rather than assumed).
+//! SimPoint clustering, boundary mapping, detailed simulation, sliced
+//! CPI estimation — once serially and once on a pool, timing each
+//! stage, and checks that the two runs produce identical results (the
+//! engine's determinism guarantee, measured rather than assumed). The
+//! `estimate` stage doubles as the sliced-trace cold/warm lane: the
+//! serial run materializes each binary's slice manifest, the parallel
+//! run answers from cached slices alone.
 
 use cbsp_core::{
     map_stage, mappable_stage, profile_stage_all, simpoint_stage, vli_stage, CbspConfig,
@@ -18,7 +21,7 @@ use cbsp_program::{
 };
 use cbsp_sim::{replay_marker_sliced, MemoryConfig};
 use cbsp_simpoint::{SimPointConfig, SimPointResult};
-use cbsp_store::TraceCache;
+use cbsp_store::{CpiEstimate, TraceCache};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -76,6 +79,7 @@ struct MeasuredRun {
     times: Vec<(&'static str, f64)>,
     simpoint: SimPointResult,
     weights: Vec<Vec<f64>>,
+    estimates: Vec<CpiEstimate>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -163,10 +167,35 @@ fn measure(
     times.push(("detailed_sim", ms(t)));
     drop(sims);
 
+    // CPI estimation from per-simpoint trace slices: the serial (first)
+    // run materializes the slice manifests — one cutting replay per
+    // binary — and the parallel run replays only the cached slices, so
+    // this stage measures the sliced-trace warm path against its own
+    // cold materialization.
+    let t = Instant::now();
+    let estimates = {
+        let _span = cbsp_trace::span_labeled("stage/estimate", || name.to_string());
+        pool.run_indexed(binaries.len(), |b| {
+            traces
+                .estimate_cpi_sliced(
+                    &binaries[b],
+                    &input,
+                    mem,
+                    &boundaries[b],
+                    &simpoint.points,
+                    Some(&weights[b]),
+                    boundaries[b].len() + 1,
+                )
+                .expect("in-memory trace cache is infallible")
+        })
+    };
+    times.push(("estimate", ms(t)));
+
     MeasuredRun {
         times,
         simpoint,
         weights,
+        estimates,
     }
 }
 
@@ -231,7 +260,8 @@ pub fn run_perf(
             1.0
         },
         results_identical: serial.simpoint == parallel.simpoint
-            && serial.weights == parallel.weights,
+            && serial.weights == parallel.weights
+            && serial.estimates == parallel.estimates,
         metrics,
         serve: None,
         cluster: None,
@@ -410,6 +440,13 @@ pub fn render(r: &PerfReport) -> String {
             key("sim/trace_cache_hits"),
             key("sim/trace_cache_misses"),
         ));
+        out.push_str(&format!(
+            "sliced estimates: {} slice replays reading {} bytes, \
+             {} full replays avoided\n",
+            key("sim/slice_replays"),
+            key("sim/slice_bytes_read"),
+            key("sim/full_replay_avoided"),
+        ));
     }
     if let Some(lane) = &r.serve {
         out.push('\n');
@@ -430,7 +467,7 @@ mod tests {
     fn perf_report_is_complete_and_identical() {
         let _guard = cbsp_trace::test_lock();
         let r = run_perf("gzip", Scale::Test, 20_000, 4, &MemoryConfig::table1());
-        assert_eq!(r.stages.len(), 7);
+        assert_eq!(r.stages.len(), 8);
         assert!(r.total_serial_ms > 0.0);
         assert!(r.total_parallel_ms > 0.0);
         assert!(
@@ -452,11 +489,24 @@ mod tests {
             r.metrics.get("sim/trace_cache_hits").copied().unwrap_or(0) >= 4,
             "parallel run must hit the traces recorded by the serial run"
         );
+        assert!(
+            r.metrics.get("sim/full_replay_avoided").copied().unwrap_or(0) >= 4,
+            "parallel estimates must answer from the slice manifests \
+             the serial run materialized, got {:?}",
+            r.metrics.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            r.metrics.get("sim/slice_replays").copied().unwrap_or(0) > 0,
+            "warm estimates replay slices"
+        );
+        assert!(r.metrics.contains_key("sim/slice_bytes_read"));
         let text = render(&r);
         assert!(text.contains("simpoint"));
         assert!(text.contains("detailed_sim"));
+        assert!(text.contains("estimate"));
         assert!(text.contains("parallel-run counters"));
         assert!(text.contains("replay engine"));
+        assert!(text.contains("sliced estimates"));
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("total_speedup"));
         assert!(json.contains("kmeans_iterations"));

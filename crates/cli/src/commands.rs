@@ -9,7 +9,7 @@ use cbsp_program::{
 };
 use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
 use cbsp_simpoint::{analyze, SimPointConfig};
-use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator};
+use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator, TraceCache};
 
 /// `cbsp list` — the benchmark suite.
 pub fn list(_opts: &Opts) -> Result<(), String> {
@@ -414,14 +414,104 @@ pub fn perbinary(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `cbsp estimate <benchmark> [--interval N] [--scale S] [--threads N]
+/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — true vs
+/// SimPoint-estimated CPI for all four binaries, computed from
+/// per-simpoint trace slices. The pipeline stages come from the
+/// artifact store like `cbsp cross`; the CPI side reads the sliced
+/// trace manifest, so a warm run decodes kilobytes of slice payload
+/// instead of each binary's full recorded trace (DESIGN.md "Sliced
+/// traces"; set `CBSP_NO_TRACE_SLICES=1` to force full replays).
+pub fn estimate(opts: &Opts) -> Result<(), String> {
+    let name = opts.positional(0, "benchmark name")?;
+    let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let scale = opts.scale()?;
+    let program = workload.build(scale);
+    let input = opts.input()?;
+    let config = CbspConfig {
+        interval_target: opts.flag_or("interval", 100_000u64)?,
+        simpoint: SimPointConfig {
+            threads: opts.threads()?,
+            ..SimPointConfig::default()
+        },
+        ..CbspConfig::default()
+    };
+    let binaries: Vec<Binary> = CompileTarget::ALL_FOUR
+        .iter()
+        .map(|&t| compile(&program, t))
+        .collect();
+    let policy = opts.cache_policy()?;
+    let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
+    let orchestrator = Orchestrator::new(&store, policy);
+    let (result, _) = orchestrator
+        .run_cross_binary(
+            &binaries.iter().collect::<Vec<_>>(),
+            &input,
+            &config,
+            &format!("estimate {name} scale={scale:?}"),
+        )
+        .map_err(|e| e.to_string())?;
+
+    // Bypass policy means "recompute everything", so skip the
+    // persistent slice tier too and materialize in memory.
+    let traces = if policy == CachePolicy::Bypass {
+        TraceCache::in_memory()
+    } else {
+        TraceCache::new(Some(&store))
+    };
+    let mem = MemoryConfig::default();
+    let pool = Pool::new(config.simpoint.threads);
+    let n = result.interval_count();
+    let estimates = pool.run_indexed(binaries.len(), |b| {
+        traces.estimate_cpi_sliced(
+            &binaries[b],
+            &input,
+            &mem,
+            &result.boundaries[b],
+            &result.simpoint.points,
+            Some(&result.weights[b]),
+            n,
+        )
+    });
+    println!(
+        "{name}: {} intervals, {} phases, {} simulation points",
+        n,
+        result.simpoint.k,
+        result.simpoint.points.len()
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "binary", "instructions", "true CPI", "estimated", "rel error"
+    );
+    for (b, est) in estimates.into_iter().enumerate() {
+        let est = est.map_err(|e| e.to_string())?;
+        let rel = if est.true_cpi > 0.0 {
+            (est.estimated_cpi - est.true_cpi).abs() / est.true_cpi
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>12} {:>10.4} {:>12.4} {:>9.2}%",
+            binaries[b].label(),
+            est.instructions,
+            est.true_cpi,
+            est.estimated_cpi,
+            100.0 * rel
+        );
+    }
+    Ok(())
+}
+
 /// `cbsp cache <stats|gc> [--cache-dir D]` — inspect or garbage-collect
 /// the content-addressed artifact store.
 ///
-/// The store holds two kinds of objects: pipeline stage artifacts
-/// (referenced by run manifests) and recorded event traces under the
-/// `trace` namespace, which no manifest references. `stats` reports the
-/// two separately; `gc` keeps manifest-referenced artifacts and evicts
-/// traces — they re-record transparently on next use.
+/// The store holds three kinds of objects: pipeline stage artifacts
+/// (referenced by run manifests), recorded event traces under the
+/// `trace` namespace, and sliced-trace manifests under `trace_slice` —
+/// the latter two unreferenced by any run manifest. `stats` reports
+/// them separately; `gc` keeps manifest-referenced artifacts and evicts
+/// traces and slices — they re-record / re-slice transparently on next
+/// use.
 pub fn cache(opts: &Opts) -> Result<(), String> {
     let action = opts.positional(0, "cache action (stats|gc)")?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
@@ -440,14 +530,23 @@ pub fn cache(opts: &Opts) -> Result<(), String> {
                 .get(cbsp_store::TRACE_STAGE)
                 .cloned()
                 .unwrap_or_default();
+            let slices = stats
+                .per_stage
+                .get(cbsp_store::TRACE_SLICE_STAGE)
+                .cloned()
+                .unwrap_or_default();
             println!(
                 "  pipeline stages: {} artifacts, {} bytes",
-                stats.artifacts - traces.artifacts,
-                stats.bytes - traces.bytes
+                stats.artifacts - traces.artifacts - slices.artifacts,
+                stats.bytes - traces.bytes - slices.bytes
             );
             println!(
                 "  trace cache:     {} artifacts, {} bytes (evicted by gc, re-recorded on use)",
                 traces.artifacts, traces.bytes
+            );
+            println!(
+                "  sliced traces:   {} artifacts, {} bytes (evicted by gc, re-sliced on use)",
+                slices.artifacts, slices.bytes
             );
             for (stage, s) in &stats.per_stage {
                 println!("  {stage:<10} {} artifacts, {} bytes", s.artifacts, s.bytes);

@@ -46,6 +46,12 @@ commands:
       [--cache-dir DIR] [--no-cache 1] [--refresh 1]
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]
+  estimate <bench>             true vs SimPoint-estimated CPI per binary
+      [--interval N] [--scale S] [--threads N]
+      [--cache-dir DIR] [--no-cache 1] [--refresh 1]
+                                 (reads per-simpoint trace slices; set
+                                 CBSP_NO_TRACE_SLICES=1 to force full
+                                 in-context replays)
   cache <stats|gc>             inspect or garbage-collect the artifact store
       [--cache-dir DIR]          (stats splits pipeline stages from the trace
                                  cache; gc keeps manifest-referenced stage
@@ -92,6 +98,7 @@ fn main() {
         "perbinary" => commands::perbinary(&opts),
         "cross" => commands::cross(&opts),
         "simulate" => commands::simulate(&opts),
+        "estimate" => commands::estimate(&opts),
         "cache" => commands::cache(&opts),
         "serve" => commands::serve(&opts),
         "help" | "--help" | "-h" => {

@@ -17,10 +17,10 @@
 //! rerun.
 
 use crate::protocol::{fault, obj, param_str, param_str_or, param_u64_or, ErrorCode, Fault};
-use cbsp_core::{weighted_cpi_with, CbspConfig, CbspError, CrossBinaryResult};
+use cbsp_core::{CbspConfig, CbspError, CrossBinaryResult};
 use cbsp_par::Pool;
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
-use cbsp_sim::{replay_marker_sliced, IntervalSim, MemoryConfig};
+use cbsp_sim::MemoryConfig;
 use cbsp_simpoint::SimPointResult;
 use cbsp_store::{
     content_hash, pipeline_keys, ArtifactStore, CachePolicy, Orchestrator, PipelineKeys, RunReport,
@@ -210,38 +210,38 @@ impl Engine {
         Ok(Value::Object(fields))
     }
 
-    /// Runs the pipeline, then replays each binary's recorded event
-    /// trace sliced at the mapped boundaries to produce true and
-    /// SimPoint-estimated CPI side by side.
+    /// Runs the pipeline, then computes each binary's true and
+    /// SimPoint-estimated CPI from its per-simpoint trace slices: warm
+    /// requests replay kilobytes of slice payload instead of the full
+    /// recorded trace (see DESIGN.md "Sliced traces").
     pub fn execute_estimate(&self, spec: &PipelineSpec, deadline: Instant) -> Reply {
         let run = self.run_cross(spec, self.threads, deadline)?;
         let cross = &run.cross;
         let pool = Pool::new(self.threads);
-        let refs: Vec<&Binary> = spec.binaries.iter().collect();
-        let traces = self
-            .traces
-            .get_or_record_all(&refs, &spec.input, &pool)
-            .map_err(internal)?;
         let mem = MemoryConfig::default();
-        let sims: Vec<_> = pool.run_indexed(refs.len(), |b| {
-            replay_marker_sliced(&traces[b], &mem, &cross.boundaries[b])
+        let n = cross.interval_count();
+        let estimates = pool.run_indexed(spec.binaries.len(), |b| {
+            self.traces.estimate_cpi_sliced(
+                &spec.binaries[b],
+                &spec.input,
+                &mem,
+                &cross.boundaries[b],
+                &cross.simpoint.points,
+                Some(&cross.weights[b]),
+                n,
+            )
         });
-        let mut binaries = Vec::with_capacity(refs.len());
-        for (b, sim) in sims.into_iter().enumerate() {
-            let (full, mut intervals) =
-                sim.map_err(|e| fault(ErrorCode::Internal, format!("trace replay: {e}")))?;
-            intervals.resize(cross.interval_count(), IntervalSim::default());
-            let cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
-            let est = weighted_cpi_with(&cross.simpoint.points, &cross.weights[b], &cpis);
-            let true_cpi = full.cpi();
+        let mut binaries = Vec::with_capacity(spec.binaries.len());
+        for (b, est) in estimates.into_iter().enumerate() {
+            let est = est.map_err(internal)?;
             binaries.push(obj(vec![
                 ("label", Value::Str(spec.binaries[b].label())),
-                ("true_cpi", Value::Float(true_cpi)),
-                ("estimated_cpi", Value::Float(est)),
+                ("true_cpi", Value::Float(est.true_cpi)),
+                ("estimated_cpi", Value::Float(est.estimated_cpi)),
                 (
                     "rel_error",
-                    Value::Float(if true_cpi > 0.0 {
-                        (est - true_cpi).abs() / true_cpi
+                    Value::Float(if est.true_cpi > 0.0 {
+                        (est.estimated_cpi - est.true_cpi).abs() / est.true_cpi
                     } else {
                         0.0
                     }),
@@ -279,14 +279,20 @@ impl Engine {
         ]))
     }
 
-    /// Store usage, with the trace namespace split out from the
-    /// pipeline stages (trace payloads dwarf stage artifacts and are
-    /// evicted by `gc`, so lumping them together hides both facts).
+    /// Store usage, with the trace and sliced-trace namespaces split
+    /// out from the pipeline stages (trace payloads dwarf stage
+    /// artifacts and are evicted by `gc`, so lumping them together
+    /// hides both facts).
     pub fn execute_store_stats(&self) -> Reply {
         let stats = self.store.stats().map_err(internal)?;
         let traces = stats
             .per_stage
             .get(cbsp_store::TRACE_STAGE)
+            .cloned()
+            .unwrap_or_default();
+        let slices = stats
+            .per_stage
+            .get(cbsp_store::TRACE_SLICE_STAGE)
             .cloned()
             .unwrap_or_default();
         let sub = |stage: &cbsp_store::StageStats| {
@@ -296,8 +302,8 @@ impl Engine {
             ])
         };
         let pipeline = cbsp_store::StageStats {
-            artifacts: stats.artifacts - traces.artifacts,
-            bytes: stats.bytes - traces.bytes,
+            artifacts: stats.artifacts - traces.artifacts - slices.artifacts,
+            bytes: stats.bytes - traces.bytes - slices.bytes,
         };
         Ok(obj(vec![
             ("artifacts", Value::UInt(stats.artifacts)),
@@ -305,6 +311,7 @@ impl Engine {
             ("manifests", Value::UInt(stats.manifests)),
             ("pipeline", sub(&pipeline)),
             ("traces", sub(&traces)),
+            ("trace_slices", sub(&slices)),
             (
                 "per_stage",
                 Value::Object(

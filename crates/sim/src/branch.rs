@@ -105,6 +105,51 @@ impl Gshare {
             self.mispredicts as f64 / self.branches as f64
         }
     }
+
+    /// Appends the predictor state — the full (unmasked) history
+    /// register and the counter table at 2 bits per entry — to `out`.
+    /// Branch/mispredict counters are not captured; a restored
+    /// predictor resolves future branches identically but counts from
+    /// zero.
+    pub(crate) fn pack_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.history.to_le_bytes());
+        for chunk in self.table.chunks(4) {
+            let mut b = 0u8;
+            for (i, &c) in chunk.iter().enumerate() {
+                b |= c << (2 * i);
+            }
+            out.push(b);
+        }
+    }
+
+    /// Restores [`Gshare::pack_state`] output into a predictor of the
+    /// same configuration, returning the position after the encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::replay::TraceError::UnexpectedEof`] if the buffer is
+    /// too short for this table size.
+    pub(crate) fn unpack_state(
+        &mut self,
+        bytes: &[u8],
+        pos: usize,
+    ) -> Result<usize, crate::replay::TraceError> {
+        use crate::replay::TraceError;
+        let hist = bytes
+            .get(pos..pos + 8)
+            .ok_or(TraceError::UnexpectedEof { offset: pos })?;
+        self.history = u64::from_le_bytes(hist.try_into().expect("8-byte slice"));
+        let packed = self.table.len().div_ceil(4);
+        let body = bytes
+            .get(pos + 8..pos + 8 + packed)
+            .ok_or(TraceError::UnexpectedEof { offset: pos + 8 })?;
+        for (i, slot) in self.table.iter_mut().enumerate() {
+            *slot = (body[i / 4] >> (2 * (i % 4))) & 0b11;
+        }
+        self.branches = 0;
+        self.mispredicts = 0;
+        Ok(pos + 8 + packed)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +213,43 @@ mod tests {
         }
         assert!(g.mispredict_rate() < 0.02, "rate {}", g.mispredict_rate());
         assert_eq!(g.branches(), 8000);
+    }
+
+    #[test]
+    fn packed_state_restores_and_predicts_identically() {
+        let mut original = Gshare::new(&BranchConfig::default());
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            original.resolve(x & 0xFFFF, x & 4 == 0);
+        }
+        let mut packed = Vec::new();
+        original.pack_state(&mut packed);
+        let mut restored = Gshare::new(&BranchConfig::default());
+        let end = restored
+            .unpack_state(&packed, 0)
+            .expect("own encoding decodes");
+        assert_eq!(end, packed.len(), "encoding is self-delimiting");
+        assert_eq!(restored.branches(), 0, "counters restart");
+        // Every future resolution must return the same penalty.
+        for step in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            assert_eq!(
+                original.resolve(x & 0xFFFF, x & 4 == 0),
+                restored.resolve(x & 0xFFFF, x & 4 == 0),
+                "divergence at step {step}"
+            );
+        }
+        // Truncations error, never panic.
+        for cut in [0, 7, 8, packed.len() - 1] {
+            assert!(Gshare::new(&BranchConfig::default())
+                .unpack_state(&packed[..cut], 0)
+                .is_err());
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! A set-associative cache with pluggable replacement.
 
 use crate::config::{CacheLevelConfig, Replacement};
+use crate::record::push_varint;
+use crate::replay::{read_varint, TraceError};
 
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +38,15 @@ pub struct Cache {
     rng: u64,
     hits: u64,
     misses: u64,
+    /// Line number of the most recently fetched line. Guaranteed
+    /// resident at `last_idx`: every mutation of `ways` goes through
+    /// `fetch`, and `fetch` always leaves the fetched line in place and
+    /// the memo pointing at it.
+    last_line: u64,
+    /// Flat index into `ways` of `last_line`; `usize::MAX` until the
+    /// first fetch (the line-number space is the full `u64` range, so
+    /// the index carries the validity sentinel).
+    last_idx: usize,
 }
 
 impl Cache {
@@ -53,6 +64,8 @@ impl Cache {
             rng: 0x9E37_79B9_7F4A_7C15,
             hits: 0,
             misses: 0,
+            last_line: 0,
+            last_idx: usize::MAX,
         }
     }
 
@@ -84,11 +97,31 @@ impl Cache {
     /// fills are not demand traffic).
     fn fetch(&mut self, addr: u64, is_write: bool, demand: bool) -> AccessOutcome {
         self.tick += 1;
-        let (base, line) = self.set_range(addr);
+        let line = addr >> self.line_shift;
+
+        // Same-line fast path: sequential walks touch the same cache
+        // line for `line_bytes / element` consecutive accesses, so a
+        // one-entry memo of the last fetched line short-circuits the
+        // set scan for the bulk of the replay inner loop. The updates
+        // below mirror the slow hit path exactly (LRU stamp, dirty
+        // bit, demand counter), so results are bit-identical.
+        if line == self.last_line && self.last_idx != usize::MAX {
+            let w = &mut self.ways[self.last_idx];
+            if self.policy == Replacement::Lru {
+                w.stamp = self.tick;
+            }
+            w.dirty |= is_write;
+            if demand {
+                self.hits += 1;
+            }
+            return AccessOutcome::Hit;
+        }
+
+        let (base, _) = self.set_range(addr);
         let set = &mut self.ways[base..base + self.assoc];
 
         // Lookup.
-        for w in set.iter_mut() {
+        for (i, w) in set.iter_mut().enumerate() {
             if w.valid && w.tag == line {
                 if self.policy == Replacement::Lru {
                     w.stamp = self.tick;
@@ -97,6 +130,8 @@ impl Cache {
                 if demand {
                     self.hits += 1;
                 }
+                self.last_line = line;
+                self.last_idx = base + i;
                 return AccessOutcome::Hit;
             }
         }
@@ -134,6 +169,8 @@ impl Cache {
             dirty: is_write,
             stamp: self.tick,
         };
+        self.last_line = line;
+        self.last_idx = base + victim_idx;
         AccessOutcome::Miss { evicted_dirty }
     }
 
@@ -154,6 +191,106 @@ impl Cache {
             AccessOutcome::Hit => None,
             AccessOutcome::Miss { evicted_dirty } => evicted_dirty,
         }
+    }
+
+    /// Appends a compact encoding of the replacement-relevant state —
+    /// resident lines, their recency/insertion order, dirty bits, and
+    /// the replacement RNG — to `out`.
+    ///
+    /// Stamps are compressed to per-set *ranks*: within a set, stamps
+    /// are distinct (every assignment uses a fresh tick), and only
+    /// their relative order ever matters — both `min_by_key` victim
+    /// selection and LRU stamp refresh compare stamps within one set.
+    /// Hit/miss counters and the same-line memo are deliberately not
+    /// captured: a restored cache replays future accesses
+    /// bit-identically but reports counters from zero.
+    ///
+    /// Layout: `rng (8 B LE) · varint resident-count · per resident way
+    /// in flat-index order: varint idx-delta, varint line, byte
+    /// (rank << 1 | dirty)`.
+    pub(crate) fn pack_state(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.assoc <= 128, "rank must fit in 7 bits");
+        out.extend_from_slice(&self.rng.to_le_bytes());
+        let resident = self.ways.iter().filter(|w| w.valid).count();
+        push_varint(out, resident as u64);
+        let mut prev = 0u64;
+        for base in (0..self.ways.len()).step_by(self.assoc) {
+            let set = &self.ways[base..base + self.assoc];
+            for (i, w) in set.iter().enumerate() {
+                if !w.valid {
+                    continue;
+                }
+                let rank = set
+                    .iter()
+                    .filter(|o| o.valid && o.stamp < w.stamp)
+                    .count();
+                let idx = (base + i) as u64;
+                push_varint(out, idx - prev);
+                prev = idx;
+                push_varint(out, w.tag);
+                out.push(((rank as u8) << 1) | u8::from(w.dirty));
+            }
+        }
+    }
+
+    /// Restores [`Cache::pack_state`] output into a freshly built cache
+    /// of the same geometry, returning the position after the encoding.
+    /// Restored stamps are the packed ranks and `tick` restarts at
+    /// `assoc` (above every rank), so stamp order — and therefore every
+    /// future hit, victim choice, and RNG draw — matches the packing
+    /// cache exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::CorruptState`] when the encoding is structurally
+    /// invalid for this geometry (slot out of range, duplicate slot,
+    /// rank ≥ associativity, or a line that does not map to its slot's
+    /// set); truncation and varint defects surface as the underlying
+    /// [`TraceError`] variants.
+    pub(crate) fn unpack_state(&mut self, bytes: &[u8], pos: usize) -> Result<usize, TraceError> {
+        let rng = bytes
+            .get(pos..pos + 8)
+            .ok_or(TraceError::UnexpectedEof { offset: pos })?;
+        self.rng = u64::from_le_bytes(rng.try_into().expect("8-byte slice"));
+        let (resident, mut pos) = read_varint(bytes, pos + 8)?;
+        if resident > self.ways.len() as u64 {
+            return Err(TraceError::CorruptState);
+        }
+        let mut prev = 0u64;
+        for entry in 0..resident {
+            let (delta, p) = read_varint(bytes, pos)?;
+            let (line, p) = read_varint(bytes, p)?;
+            let &flags = bytes.get(p).ok_or(TraceError::UnexpectedEof { offset: p })?;
+            pos = p + 1;
+            let flat = if entry == 0 {
+                delta
+            } else if delta == 0 {
+                return Err(TraceError::CorruptState); // duplicate slot
+            } else {
+                prev.checked_add(delta).ok_or(TraceError::CorruptState)?
+            };
+            prev = flat;
+            let idx = usize::try_from(flat)
+                .ok()
+                .filter(|&i| i < self.ways.len())
+                .ok_or(TraceError::CorruptState)?;
+            let rank = u64::from(flags >> 1);
+            if rank >= self.assoc as u64 || (line & self.set_mask) as usize != idx / self.assoc {
+                return Err(TraceError::CorruptState);
+            }
+            self.ways[idx] = Way {
+                tag: line,
+                valid: true,
+                dirty: flags & 1 == 1,
+                stamp: rank,
+            };
+        }
+        self.tick = self.assoc as u64;
+        self.hits = 0;
+        self.misses = 0;
+        self.last_line = 0;
+        self.last_idx = usize::MAX;
+        Ok(pos)
     }
 }
 
@@ -238,6 +375,202 @@ mod tests {
         c.access(a, false); // touch a — irrelevant under FIFO
         c.access(d, false); // evicts a (oldest insertion)
         assert!(matches!(c.access(a, false), AccessOutcome::Miss { .. }));
+    }
+
+    /// Scan-only reference model: the pre-memoization `fetch`, kept as
+    /// the oracle that the same-line fast path must match bit-for-bit
+    /// (outcome, counters, stamps, dirty bits, RNG draws).
+    struct RefCache {
+        ways: Vec<Way>,
+        assoc: usize,
+        set_mask: u64,
+        line_shift: u32,
+        policy: Replacement,
+        tick: u64,
+        rng: u64,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RefCache {
+        fn new(config: &CacheLevelConfig, policy: Replacement) -> Self {
+            let sets = config.sets();
+            let assoc = config.associativity as usize;
+            RefCache {
+                ways: vec![Way::default(); sets as usize * assoc],
+                assoc,
+                set_mask: sets - 1,
+                line_shift: config.line_bytes.trailing_zeros(),
+                policy,
+                tick: 0,
+                rng: 0x9E37_79B9_7F4A_7C15,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn fetch(&mut self, addr: u64, is_write: bool, demand: bool) -> AccessOutcome {
+            self.tick += 1;
+            let line = addr >> self.line_shift;
+            let base = (line & self.set_mask) as usize * self.assoc;
+            let set = &mut self.ways[base..base + self.assoc];
+            for w in set.iter_mut() {
+                if w.valid && w.tag == line {
+                    if self.policy == Replacement::Lru {
+                        w.stamp = self.tick;
+                    }
+                    w.dirty |= is_write;
+                    if demand {
+                        self.hits += 1;
+                    }
+                    return AccessOutcome::Hit;
+                }
+            }
+            if demand {
+                self.misses += 1;
+            }
+            let victim_idx = if let Some(i) = set.iter().position(|w| !w.valid) {
+                i
+            } else {
+                match self.policy {
+                    Replacement::Lru | Replacement::Fifo => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.stamp)
+                        .map(|(i, _)| i)
+                        .expect("associativity >= 1"),
+                    Replacement::Random => {
+                        self.rng = crate::xorshift(self.rng);
+                        (self.rng % self.assoc as u64) as usize
+                    }
+                }
+            };
+            let victim = set[victim_idx];
+            let evicted_dirty = if victim.valid && victim.dirty {
+                Some(victim.tag << self.line_shift)
+            } else {
+                None
+            };
+            set[victim_idx] = Way {
+                tag: line,
+                valid: true,
+                dirty: is_write,
+                stamp: self.tick,
+            };
+            AccessOutcome::Miss { evicted_dirty }
+        }
+    }
+
+    #[test]
+    fn memoized_fetch_is_bit_identical_to_scan_only_reference() {
+        let cfg = CacheLevelConfig {
+            capacity_bytes: 4 * 4 * 64, // 4 sets × 4 ways × 64 B
+            associativity: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut fast = Cache::new(&cfg, policy);
+            let mut slow = RefCache::new(&cfg, policy);
+            // Deterministic mix of sequential runs (exercising the
+            // same-line path), strided conflicts, and fills.
+            let mut x = 0x1234_5678_9ABC_DEFFu64;
+            for step in 0..20_000u64 {
+                x = crate::xorshift(x);
+                let (addr, is_write) = match step % 16 {
+                    // Sequential walk: 8-byte elements through one line.
+                    0..=7 => ((step / 16) * 64 + (step % 8) * 8, step % 3 == 0),
+                    // Conflict misses across sets.
+                    8..=11 => (x % (1 << 14), x & 1 == 0),
+                    // Revisit a recent line.
+                    _ => ((step / 32) * 64, false),
+                };
+                let demand = step % 7 != 0;
+                assert_eq!(
+                    fast.fetch(addr, is_write, demand),
+                    slow.fetch(addr, is_write, demand),
+                    "{policy:?} step {step} addr {addr:#x}"
+                );
+            }
+            assert_eq!(fast.hits, slow.hits, "{policy:?} hits");
+            assert_eq!(fast.misses, slow.misses, "{policy:?} misses");
+            assert_eq!(fast.tick, slow.tick);
+            assert_eq!(fast.rng, slow.rng, "{policy:?} identical RNG draws");
+            for (a, b) in fast.ways.iter().zip(slow.ways.iter()) {
+                assert_eq!(
+                    (a.tag, a.valid, a.dirty, a.stamp),
+                    (b.tag, b.valid, b.dirty, b.stamp)
+                );
+            }
+            assert!(fast.hits > 1_000, "pattern must exercise hits");
+            assert!(fast.misses > 100, "pattern must exercise misses");
+        }
+    }
+
+    #[test]
+    fn packed_state_restores_and_replays_identically() {
+        let cfg = CacheLevelConfig {
+            capacity_bytes: 8 * 4 * 64, // 8 sets × 4 ways × 64 B
+            associativity: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut original = Cache::new(&cfg, policy);
+            let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
+            for step in 0..5_000u64 {
+                x = crate::xorshift(x);
+                original.fetch(x % (1 << 13), x & 2 == 0, step % 5 != 0);
+            }
+            let mut packed = Vec::new();
+            original.pack_state(&mut packed);
+            let mut restored = Cache::new(&cfg, policy);
+            let end = restored
+                .unpack_state(&packed, 0)
+                .expect("own encoding decodes");
+            assert_eq!(end, packed.len(), "encoding is self-delimiting");
+            assert_eq!(restored.hits(), 0, "counters restart");
+            assert_eq!(restored.misses(), 0);
+            // Every future access — outcome, victim, RNG draw — must
+            // match the cache that packed the state.
+            for step in 0..5_000u64 {
+                x = crate::xorshift(x);
+                let addr = x % (1 << 13);
+                assert_eq!(
+                    original.fetch(addr, x & 2 == 0, true),
+                    restored.fetch(addr, x & 2 == 0, true),
+                    "{policy:?} step {step} addr {addr:#x}"
+                );
+            }
+            assert_eq!(original.rng, restored.rng, "{policy:?} RNG tracks");
+        }
+    }
+
+    #[test]
+    fn corrupt_packed_state_is_rejected() {
+        let mut c = tiny(2);
+        for i in 0..64u64 {
+            c.access(i * 64, i % 2 == 0);
+        }
+        let mut packed = Vec::new();
+        c.pack_state(&mut packed);
+        let mut fresh = tiny(2);
+        // Truncations at every length must error, never panic.
+        for cut in 0..packed.len() {
+            assert!(
+                fresh.unpack_state(&packed[..cut], 0).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // A line that does not map to its slot's set is structural
+        // corruption: rewrite the first entry's line varint (the bytes
+        // after rng + count + idx-delta) to point at the wrong set.
+        let mut bad = packed.clone();
+        bad[10] ^= 0b11; // flip low set bits of the first entry's line
+        assert_eq!(
+            tiny(2).unpack_state(&bad, 0).expect_err("wrong set"),
+            TraceError::CorruptState
+        );
     }
 
     #[test]

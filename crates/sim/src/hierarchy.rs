@@ -133,6 +133,36 @@ impl Hierarchy {
     pub fn prefetches(&self) -> u64 {
         self.prefetches
     }
+
+    /// Appends the three levels' packed state (see
+    /// [`Cache::pack_state`]) to `out`. Each level's encoding is
+    /// self-delimiting, so no framing is needed. Writeback/prefetch
+    /// counters are not captured.
+    pub(crate) fn pack_state(&self, out: &mut Vec<u8>) {
+        self.l1.pack_state(out);
+        self.l2.pack_state(out);
+        self.l3.pack_state(out);
+    }
+
+    /// Restores [`Hierarchy::pack_state`] output into a freshly built
+    /// hierarchy of the same configuration, returning the position
+    /// after the encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first level's [`crate::replay::TraceError`].
+    pub(crate) fn unpack_state(
+        &mut self,
+        bytes: &[u8],
+        pos: usize,
+    ) -> Result<usize, crate::replay::TraceError> {
+        let pos = self.l1.unpack_state(bytes, pos)?;
+        let pos = self.l2.unpack_state(bytes, pos)?;
+        let pos = self.l3.unpack_state(bytes, pos)?;
+        self.writebacks_to_dram = 0;
+        self.prefetches = 0;
+        Ok(pos)
+    }
 }
 
 #[cfg(test)]

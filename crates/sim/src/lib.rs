@@ -37,6 +37,7 @@ pub mod record;
 pub mod regions;
 pub mod replay;
 pub mod runner;
+pub mod slice;
 pub mod stats;
 
 pub use branch::{BranchConfig, Gshare};
@@ -56,6 +57,7 @@ pub use runner::{
     simulate_fli_sliced, simulate_fli_sliced_all, simulate_full, simulate_full_all,
     simulate_marker_sliced, simulate_marker_sliced_all, FliSlicedSim, FullSim, MarkerSlicedSim,
 };
+pub use slice::{replay_slice, slice_trace, SlicedTrace, TraceSlice};
 pub use stats::{IntervalSim, LevelStats, SimStats};
 
 /// Small xorshift step used by the random replacement policy.

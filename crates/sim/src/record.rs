@@ -124,15 +124,29 @@ pub struct RecordSink {
 impl RecordSink {
     /// Creates a recorder sized for `binary`.
     pub fn for_binary(binary: &Binary) -> Self {
+        Self::with_dims(binary.procs.len() as u32, binary.loops.len() as u32)
+    }
+
+    /// Creates a recorder with explicit marker-vector dimensions, for
+    /// callers that re-encode a recorded stream (e.g. trace slicing)
+    /// and so have no [`Binary`] at hand. Delta state starts at zero,
+    /// exactly as replay's decode state does, so a stream recorded here
+    /// decodes without out-of-band context.
+    pub fn with_dims(n_procs: u32, n_loops: u32) -> Self {
         RecordSink {
             buf: Vec::with_capacity(64 * 1024),
             events: 0,
             prev_block: 0,
             prev_addr: 0,
             prev_branch: 0,
-            n_procs: binary.procs.len() as u32,
-            n_loops: binary.loops.len() as u32,
+            n_procs,
+            n_loops,
         }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Consumes the recorder, returning the captured trace.

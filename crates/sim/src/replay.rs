@@ -46,6 +46,9 @@ pub enum TraceError {
         /// Offset of the first unconsumed byte.
         offset: usize,
     },
+    /// A trace slice's packed simulator state failed to decode (see
+    /// [`crate::slice::TraceSlice::state`]).
+    CorruptState,
 }
 
 impl fmt::Display for TraceError {
@@ -63,6 +66,9 @@ impl fmt::Display for TraceError {
             TraceError::TrailingBytes { offset } => {
                 write!(f, "trailing bytes after last event at byte {offset}")
             }
+            TraceError::CorruptState => {
+                write!(f, "corrupt packed simulator state in trace slice")
+            }
         }
     }
 }
@@ -74,7 +80,7 @@ impl std::error::Error for TraceError {}
 /// majority under delta encoding — decode inline with one branch per
 /// byte; longer (or malformed) varints take [`read_varint_tail`].
 #[inline(always)]
-fn read_varint(bytes: &[u8], pos: usize) -> Result<(u64, usize), TraceError> {
+pub(crate) fn read_varint(bytes: &[u8], pos: usize) -> Result<(u64, usize), TraceError> {
     match bytes.get(pos) {
         Some(&b0) if b0 & 0x80 == 0 => Ok((u64::from(b0), pos + 1)),
         Some(&b0) => match bytes.get(pos + 1) {

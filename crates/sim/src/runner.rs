@@ -24,16 +24,16 @@ use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
 
 /// The shared cache + accounting engine behind every simulation sink.
 #[derive(Debug)]
-struct Engine {
+pub(crate) struct Engine {
     hierarchy: Hierarchy,
     predictor: Option<Gshare>,
     stats: SimStats,
-    cur: IntervalSim,
+    pub(crate) cur: IntervalSim,
     intervals: Vec<IntervalSim>,
 }
 
 impl Engine {
-    fn new(config: &MemoryConfig) -> Self {
+    pub(crate) fn new(config: &MemoryConfig) -> Self {
         Engine {
             hierarchy: Hierarchy::new(config),
             predictor: config.branch.as_ref().map(Gshare::new),
@@ -50,7 +50,7 @@ impl Engine {
     // identical to per-event accounting.
 
     #[inline]
-    fn branch(&mut self, branch: u64, taken: bool) {
+    pub(crate) fn branch(&mut self, branch: u64, taken: bool) {
         if let Some(p) = &mut self.predictor {
             let penalty = p.resolve(branch, taken);
             self.cur.cycles += penalty;
@@ -58,13 +58,13 @@ impl Engine {
     }
 
     #[inline]
-    fn block(&mut self, instrs: u64) {
+    pub(crate) fn block(&mut self, instrs: u64) {
         self.cur.instructions += instrs;
         self.cur.cycles += instrs;
     }
 
     #[inline]
-    fn access(&mut self, addr: u64, is_write: bool) {
+    pub(crate) fn access(&mut self, addr: u64, is_write: bool) {
         let (lvl, latency) = self.hierarchy.access(addr, is_write);
         self.cur.accesses += 1;
         self.cur.cycles += latency;
@@ -76,6 +76,43 @@ impl Engine {
         }
     }
 
+    /// Packs the microarchitectural state — cache hierarchy plus the
+    /// optional branch predictor — into a flat byte buffer. Together
+    /// with [`Engine::restore_state`] this is the checkpoint mechanism
+    /// behind trace slicing: a fresh engine restored from the packed
+    /// bytes simulates any future event sequence bit-identically to
+    /// the engine that packed them (statistics counters restart at
+    /// zero; per-interval `cur` accounting is unaffected by them).
+    pub(crate) fn pack_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.hierarchy.pack_state(&mut out);
+        if let Some(p) = &self.predictor {
+            p.pack_state(&mut out);
+        }
+        out
+    }
+
+    /// Restores state packed by [`Engine::pack_state`] on an engine of
+    /// the same [`MemoryConfig`] (which fixes the geometry of every
+    /// component, and whether a predictor is present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::replay::TraceError`] if the bytes are
+    /// truncated, structurally invalid, or longer than the
+    /// configuration calls for.
+    pub(crate) fn restore_state(&mut self, bytes: &[u8]) -> Result<(), crate::replay::TraceError> {
+        let pos = self.hierarchy.unpack_state(bytes, 0)?;
+        let pos = match &mut self.predictor {
+            Some(p) => p.unpack_state(bytes, pos)?,
+            None => pos,
+        };
+        if pos != bytes.len() {
+            return Err(crate::replay::TraceError::CorruptState);
+        }
+        Ok(())
+    }
+
     /// Folds the open interval's counters into the whole-run totals.
     fn absorb(&mut self) {
         self.stats.instructions += self.cur.instructions;
@@ -84,7 +121,7 @@ impl Engine {
         self.stats.dram_accesses += self.cur.dram_accesses;
     }
 
-    fn close_interval(&mut self) {
+    pub(crate) fn close_interval(&mut self) {
         self.absorb();
         self.intervals.push(self.cur);
         self.cur = IntervalSim::default();
@@ -237,6 +274,21 @@ impl MarkerSlicedSim {
     /// Number of boundaries not yet reached (0 after a complete run).
     pub fn unreached_boundaries(&self) -> usize {
         self.boundaries.len() - self.next
+    }
+
+    /// Number of intervals closed so far — equivalently, the index of
+    /// the interval the next event will be charged to. Trace slicing
+    /// uses this to attribute each replayed event to an interval.
+    pub fn intervals_closed(&self) -> usize {
+        self.next
+    }
+
+    /// Packs the engine's microarchitectural state (see
+    /// [`Engine::pack_state`]). Trace slicing checkpoints this at each
+    /// selected interval's first event so a slice replay can resume
+    /// mid-run with the exact cache and predictor contents.
+    pub(crate) fn state_snapshot(&self) -> Vec<u8> {
+        self.engine.pack_state()
     }
 }
 

@@ -10,8 +10,8 @@ use cbsp_program::{
 };
 use cbsp_sim::{
     record_trace, replay, replay_fli_sliced, replay_full, replay_marker_sliced,
-    replay_regions_with, simulate_fli_sliced, simulate_full, simulate_marker_sliced,
-    simulate_regions_with, EventTrace, MemoryConfig, TraceError, Warmup,
+    replay_regions_with, replay_slice, simulate_fli_sliced, simulate_full, simulate_marker_sliced,
+    simulate_regions_with, slice_trace, EventTrace, MemoryConfig, TraceError, Warmup,
 };
 use proptest::prelude::*;
 
@@ -187,6 +187,50 @@ fn replay_is_deterministic_across_thread_counts() {
     }
 }
 
+/// Per-simpoint trace slices are byte-identical to a full-trace replay
+/// restricted to their interval: every slice carries an exact state
+/// checkpoint, so its replay reproduces the in-context interval
+/// statistics bit-for-bit — all fields, every interval — and slice
+/// replay is deterministic across pool thread counts.
+#[test]
+fn slice_replay_matches_full_replay_restricted_to_the_interval() {
+    let (binaries, input) = test_binaries("gzip");
+    let bin = &binaries[1];
+    let trace = record_trace(bin, &input);
+    let mem = MemoryConfig::table1();
+    let boundaries = marker_boundaries(bin, &input);
+    let selected: Vec<usize> = (0..=boundaries.len()).collect();
+
+    let (_, in_context) = replay_marker_sliced(&trace, &mem, &boundaries).expect("decodes");
+    let sliced = slice_trace(&trace, &mem, &boundaries, &selected).expect("slices");
+    assert_eq!(sliced.slices.len(), selected.len());
+
+    let baseline: Vec<_> = sliced
+        .slices
+        .iter()
+        .map(|s| replay_slice(s, &mem).expect("decodes"))
+        .collect();
+    for (slice, replayed) in sliced.slices.iter().zip(&baseline) {
+        let i = slice.interval;
+        assert_eq!(*replayed, in_context[i], "interval {i}");
+    }
+
+    // Thread count is invisible: slices share nothing mutable.
+    for threads in [1usize, 8] {
+        let pool = Pool::new(threads);
+        let outcomes = pool.run_indexed(2 * threads.max(2), |_| {
+            sliced
+                .slices
+                .iter()
+                .map(|s| replay_slice(s, &mem).expect("decodes"))
+                .collect::<Vec<_>>()
+        });
+        for got in outcomes {
+            assert_eq!(baseline, got, "{threads} threads");
+        }
+    }
+}
+
 fn recorded_trace() -> EventTrace {
     let prog = workloads::by_name("gzip")
         .expect("in suite")
@@ -230,6 +274,54 @@ proptest! {
         let offset = ((len - 1) as f64 * offset_frac) as usize;
         trace.bytes[offset] ^= flip;
         let _ = replay(&trace, &mut Discard);
+    }
+
+    /// A truncated slice is a typed decode error and a flipped slice
+    /// byte never panics — slices reuse the trace decoder, so they
+    /// inherit its corruption contract.
+    #[test]
+    fn damaged_slices_return_typed_errors(frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let trace = recorded_trace();
+        let mem = MemoryConfig::table1();
+        let prog = workloads::by_name("gzip").expect("in suite").build(Scale::Test);
+        let bin = compile(&prog, CompileTarget::W32_O2);
+        let boundaries = marker_boundaries(&bin, &Input::test());
+        let sliced = slice_trace(&trace, &mem, &boundaries, &[1]).expect("slices");
+        let base = &sliced.slices[0];
+
+        let mut truncated = base.clone();
+        let cut = ((truncated.trace.bytes.len() - 1) as f64 * frac) as usize;
+        truncated.trace.bytes.truncate(cut);
+        let err = replay_slice(&truncated, &mem).expect_err("truncated slice must not decode");
+        prop_assert!(matches!(
+            err,
+            TraceError::UnexpectedEof { .. }
+                | TraceError::MalformedVarint { .. }
+                | TraceError::InvalidMarkerKind { .. }
+        ));
+
+        let mut corrupt = base.clone();
+        let offset = ((corrupt.trace.bytes.len() - 1) as f64 * frac) as usize;
+        corrupt.trace.bytes[offset] ^= flip;
+        let _ = replay_slice(&corrupt, &mem);
+
+        // The state checkpoint inherits the same contract: truncation
+        // is a typed error, a flipped byte never panics.
+        let mut short_state = base.clone();
+        let cut = ((short_state.state.len() - 1) as f64 * frac) as usize;
+        short_state.state.truncate(cut);
+        let err = replay_slice(&short_state, &mem).expect_err("truncated state must not decode");
+        prop_assert!(matches!(
+            err,
+            TraceError::UnexpectedEof { .. }
+                | TraceError::MalformedVarint { .. }
+                | TraceError::CorruptState
+        ));
+
+        let mut flipped_state = base.clone();
+        let offset = ((flipped_state.state.len() - 1) as f64 * frac) as usize;
+        flipped_state.state[offset] ^= flip;
+        let _ = replay_slice(&flipped_state, &mem);
     }
 
     /// Growing or shrinking the event count against a fixed buffer is

@@ -60,4 +60,4 @@ pub use hamerly::kmeans_hamerly_from;
 pub use kmeans::{kmeans, kmeans_with, KMeansResult};
 pub use projection::Projection;
 pub use select::{analyze, RepresentativePolicy, SimPoint, SimPointConfig, SimPointResult};
-pub use vector::{distance_sq, VectorSet};
+pub use vector::{distance_l1, distance_sq, VectorSet};

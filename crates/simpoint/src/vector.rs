@@ -155,13 +155,25 @@ impl VectorSet {
     }
 }
 
+/// Number of independent accumulator chains in the distance kernels.
+///
+/// Eight f64 lanes fill two 4-wide AVX registers (or four 2-wide
+/// NEON/SSE registers) and, more importantly, break the loop-carried
+/// add dependency eight ways: with ~4-cycle add latency and 2
+/// adds/cycle throughput, at least eight chains are needed to keep the
+/// FP units saturated. Verified against the 4-lane predecessor in the
+/// `distance_kernel` criterion bench (`sq_4lane` / `sq_8lane` A/B
+/// lanes).
+pub const KERNEL_LANES: usize = 8;
+
 /// Squared Euclidean distance between two equal-length vectors.
 ///
-/// Unrolled over four independent accumulators so the chains have no
-/// loop-carried dependency on each other — the form auto-vectorizers
-/// turn into packed SIMD (and FMA where the target has it). The
-/// accumulator layout is fixed, so the result is a pure function of the
-/// inputs: identical on every call, at any thread count.
+/// Unrolled over [`KERNEL_LANES`] independent accumulators so the
+/// chains have no loop-carried dependency on each other — the form
+/// auto-vectorizers turn into packed SIMD (and FMA where the target has
+/// it). The accumulator layout and the pairwise reduction order are
+/// fixed, so the result is a pure function of the inputs: identical on
+/// every call, at any thread count.
 ///
 /// # Panics
 ///
@@ -169,10 +181,13 @@ impl VectorSet {
 #[inline]
 pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let main = a.len() & !3;
-    let mut acc = [0.0f64; 4];
-    for (ca, cb) in a[..main].chunks_exact(4).zip(b[..main].chunks_exact(4)) {
-        for lane in 0..4 {
+    let main = a.len() & !(KERNEL_LANES - 1);
+    let mut acc = [0.0f64; KERNEL_LANES];
+    for (ca, cb) in a[..main]
+        .chunks_exact(KERNEL_LANES)
+        .zip(b[..main].chunks_exact(KERNEL_LANES))
+    {
+        for lane in 0..KERNEL_LANES {
             let d = ca[lane] - cb[lane];
             acc[lane] += d * d;
         }
@@ -182,15 +197,33 @@ pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
         let d = x - y;
         tail += d * d;
     }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
 }
 
 /// Manhattan distance, used by SimPoint's original phase-comparison
 /// analyses; provided for completeness and ablations.
+///
+/// Same [`KERNEL_LANES`]-chain unrolling and fixed reduction order as
+/// [`distance_sq`] — `abs` is branch-free (a sign-bit mask), so the
+/// loop vectorizes the same way.
 #[inline]
 pub fn distance_l1(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    let main = a.len() & !(KERNEL_LANES - 1);
+    let mut acc = [0.0f64; KERNEL_LANES];
+    for (ca, cb) in a[..main]
+        .chunks_exact(KERNEL_LANES)
+        .zip(b[..main].chunks_exact(KERNEL_LANES))
+    {
+        for lane in 0..KERNEL_LANES {
+            acc[lane] += (ca[lane] - cb[lane]).abs();
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        tail += (x - y).abs();
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
 }
 
 #[cfg(test)]
@@ -233,6 +266,21 @@ mod tests {
                 .zip(&b)
                 .map(|(x, y)| (x - y) * (x - y))
                 .sum::<f64>();
+            assert!(
+                (fast - scalar).abs() <= 1e-12 * (1.0 + scalar),
+                "len {len}: {fast} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn l1_kernel_matches_scalar_reference_at_every_tail_residue() {
+        // Cover every residue mod KERNEL_LANES plus longer vectors.
+        for len in 1..=(3 * KERNEL_LANES + 1) {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.37 - 1.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let fast = distance_l1(&a, &b);
+            let scalar: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
             assert!(
                 (fast - scalar).abs() <= 1e-12 * (1.0 + scalar),
                 "len {len}: {fast} vs {scalar}"

@@ -3,7 +3,7 @@
 // Index-heavy math assertions read better with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
-use cbsp_simpoint::vector::{distance_sq, normalize, normalized};
+use cbsp_simpoint::vector::{distance_l1, distance_sq, normalize, normalized, KERNEL_LANES};
 use cbsp_simpoint::{
     analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig, VectorSet,
 };
@@ -187,6 +187,38 @@ proptest! {
         for ((_, a), (_, b)) in serial.bic_scores.iter().zip(&pooled.bic_scores) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// The unrolled kernels are *bit-identical* to straightforward
+    /// mirrors with the same lane layout and reduction order: the
+    /// unrolling is pure loop restructuring, not a numerical change the
+    /// compiler (or a future refactor) is free to reassociate.
+    #[test]
+    fn distance_kernels_are_bit_identical_to_lane_mirrors(
+        pairs in (1usize..70).prop_flat_map(|d| (
+            prop::collection::vec(-1e6f64..1e6, d),
+            prop::collection::vec(-1e6f64..1e6, d),
+        )),
+    ) {
+        fn mirror<F: Fn(f64, f64) -> f64>(a: &[f64], b: &[f64], term: F) -> f64 {
+            let main = a.len() & !(KERNEL_LANES - 1);
+            let mut acc = [0.0f64; KERNEL_LANES];
+            for i in (0..main).step_by(KERNEL_LANES) {
+                for lane in 0..KERNEL_LANES {
+                    acc[lane] += term(a[i + lane], b[i + lane]);
+                }
+            }
+            let mut tail = 0.0;
+            for i in main..a.len() {
+                tail += term(a[i], b[i]);
+            }
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+        }
+        let (a, b) = pairs;
+        let sq = mirror(&a, &b, |x, y| (x - y) * (x - y));
+        prop_assert_eq!(distance_sq(&a, &b).to_bits(), sq.to_bits());
+        let l1 = mirror(&a, &b, |x, y| (x - y).abs());
+        prop_assert_eq!(distance_l1(&a, &b).to_bits(), l1.to_bits());
     }
 
     #[test]

@@ -58,4 +58,7 @@ pub use store::{
     canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,
     RunManifest, StageKey, StageStats, StoreStats, SCHEMA_VERSION,
 };
-pub use traces::{trace_key, TraceCache, TRACE_STAGE};
+pub use traces::{
+    slicing_disabled, trace_key, trace_slice_key, CpiEstimate, TraceCache, TRACE_SLICE_STAGE,
+    TRACE_STAGE,
+};

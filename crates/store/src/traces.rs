@@ -17,10 +17,15 @@
 //! envelope, keeping the store's single artifact format (and its
 //! corruption detection and repair semantics) for binary payloads.
 
-use cbsp_core::CbspError;
+use cbsp_core::{weighted_cpi, weighted_cpi_with, CbspError};
 use cbsp_par::Pool;
+use cbsp_profile::ExecPoint;
 use cbsp_program::{Binary, Input};
-use cbsp_sim::{record_trace, EventTrace};
+use cbsp_sim::{
+    record_trace, replay_marker_sliced, replay_slice, slice_trace, EventTrace, IntervalSim,
+    MemoryConfig, SlicedTrace, TraceSlice,
+};
+use cbsp_simpoint::SimPoint;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -30,6 +35,18 @@ use serde::Value;
 
 /// Stage name traces are stored under.
 pub const TRACE_STAGE: &str = "trace";
+
+/// Stage name sliced-trace manifests are stored under. Like
+/// [`TRACE_STAGE`], artifacts in this namespace are never referenced by
+/// run manifests, so `gc` always evicts them.
+pub const TRACE_SLICE_STAGE: &str = "trace_slice";
+
+/// `true` when the `CBSP_NO_TRACE_SLICES` environment knob disables the
+/// sliced-trace estimate path (warm estimates then replay the full
+/// trace in context; see README "Trace cache knobs").
+pub fn slicing_disabled() -> bool {
+    std::env::var("CBSP_NO_TRACE_SLICES").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// On-store form of an [`EventTrace`]: header fields plus base64 bytes.
 #[derive(Debug, Serialize, Deserialize)]
@@ -129,6 +146,57 @@ pub fn trace_key(binary: &Binary, input: &Input) -> StageKey {
     )
 }
 
+/// On-store form of one [`TraceSlice`]: the interval index, the packed
+/// state checkpoint, and the re-based event stream (both base64).
+#[derive(Debug, Serialize, Deserialize)]
+struct SliceEntry {
+    interval: u64,
+    state: String,
+    events: u64,
+    data: String,
+}
+
+/// On-store form of a [`SlicedTrace`]: the slice manifest. Holds the
+/// full-replay ground-truth statistics, the interval count, and one
+/// base64 slice payload per selected interval.
+#[derive(Debug, Serialize, Deserialize)]
+struct SliceArtifact {
+    n_procs: u32,
+    n_loops: u32,
+    full: cbsp_sim::SimStats,
+    intervals: u64,
+    slices: Vec<SliceEntry>,
+}
+
+/// Content key of the slice manifest for `(binary, input)` sliced at
+/// `boundaries` under `config`, covering `selected` intervals.
+///
+/// Every input that shapes the slices is keyed: the binary and input
+/// digests (which events exist), the boundary list (where intervals
+/// cut), the memory configuration (immaterial to the bytes, but kept so
+/// a config change can never serve a stale ground-truth `full` field),
+/// and the selected interval set. `selected` must be sorted and
+/// deduplicated — [`TraceCache::get_slices`] normalizes before keying —
+/// so the key is order-insensitive.
+pub fn trace_slice_key(
+    binary: &Binary,
+    input: &Input,
+    config: &MemoryConfig,
+    boundaries: &[ExecPoint],
+    selected: &[usize],
+) -> StageKey {
+    stage_key(
+        TRACE_SLICE_STAGE,
+        &[
+            Value::Str(content_hash(binary)),
+            Value::Str(content_hash(input)),
+            Value::Str(content_hash(config)),
+            Value::Str(content_hash(boundaries)),
+            Value::Str(content_hash(selected)),
+        ],
+    )
+}
+
 /// How a [`TraceCache`] reaches its persistent tier: not at all,
 /// through a borrow scoped to one experiment, or through shared
 /// ownership for long-lived holders (the `cbsp-serve` daemon).
@@ -149,6 +217,9 @@ enum StoreTier<'s> {
 pub struct TraceCache<'s> {
     store: StoreTier<'s>,
     mem: Mutex<HashMap<String, Arc<EventTrace>>>,
+    /// In-memory tier of the sliced-trace path: per-simpoint slice
+    /// manifests keyed like the `trace_slice` store namespace.
+    slices: Mutex<HashMap<String, Arc<SlicedTrace>>>,
 }
 
 impl<'s> TraceCache<'s> {
@@ -161,6 +232,7 @@ impl<'s> TraceCache<'s> {
                 None => StoreTier::None,
             },
             mem: Mutex::new(HashMap::new()),
+            slices: Mutex::new(HashMap::new()),
         }
     }
 
@@ -177,6 +249,7 @@ impl<'s> TraceCache<'s> {
         TraceCache {
             store: StoreTier::Shared(store),
             mem: Mutex::new(HashMap::new()),
+            slices: Mutex::new(HashMap::new()),
         }
     }
 
@@ -285,12 +358,329 @@ impl<'s> TraceCache<'s> {
             .expect("trace cache lock")
             .insert(mem_key, Arc::clone(trace));
     }
+
+    /// Returns the per-simpoint slice manifest for `(binary, input)`
+    /// cut at `boundaries` covering `selected` intervals, materializing
+    /// it with one full replay only if neither cache tier has it. Warm
+    /// calls touch kilobytes of slice payload instead of the full
+    /// multi-megabyte trace (`sim/full_replay_avoided` counts them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbspError::StoreIo`] on store failure. Corrupt stored
+    /// manifests — damaged envelopes, undecodable base64, or slice
+    /// streams that fail to re-slice — are treated as misses and
+    /// repaired in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some boundary is never reached by the recorded
+    /// execution (same contract as
+    /// [`cbsp_sim::replay_marker_sliced`]).
+    pub fn get_slices(
+        &self,
+        binary: &Binary,
+        input: &Input,
+        config: &MemoryConfig,
+        boundaries: &[ExecPoint],
+        selected: &[usize],
+    ) -> Result<Arc<SlicedTrace>, CbspError> {
+        let mut wanted: Vec<usize> = selected.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let key = trace_slice_key(binary, input, config, boundaries, &wanted);
+        let mem_key = key.as_hex().to_string();
+        if let Some(s) = self.slices.lock().expect("slice cache lock").get(&mem_key) {
+            cbsp_trace::add("sim/full_replay_avoided", 1);
+            return Ok(Arc::clone(s));
+        }
+
+        let mut repair = false;
+        if let Some(store) = self.store() {
+            match store.get::<SliceArtifact>(TRACE_SLICE_STAGE, &key) {
+                Ok(Some(artifact)) => match decode_slice_artifact(&artifact) {
+                    Some(sliced) => {
+                        cbsp_trace::add("sim/full_replay_avoided", 1);
+                        let sliced = Arc::new(sliced);
+                        self.insert_slices(mem_key, &sliced);
+                        return Ok(sliced);
+                    }
+                    None => {
+                        repair = true;
+                        cbsp_trace::add("store/repairs", 1);
+                    }
+                },
+                Ok(None) => {}
+                Err(
+                    CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. },
+                ) => {
+                    repair = true;
+                    cbsp_trace::add("store/repairs", 1);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        // Materialize: one full replay cuts every requested slice. A
+        // full trace that fails to decode can only be a corrupt stored
+        // artifact — re-record it (repair-as-miss) and re-slice.
+        let full = self.get_or_record(binary, input)?;
+        let sliced = match slice_trace(&full, config, boundaries, &wanted) {
+            Ok(s) => s,
+            Err(_) => {
+                cbsp_trace::add("store/repairs", 1);
+                let fresh = self.rerecord(binary, input)?;
+                slice_trace(&fresh, config, boundaries, &wanted)
+                    .expect("freshly recorded trace decodes")
+            }
+        };
+        let sliced = Arc::new(sliced);
+        if let Some(store) = self.store() {
+            let artifact = encode_slice_artifact(binary, &sliced);
+            if repair {
+                store.put_overwrite(TRACE_SLICE_STAGE, &key, &artifact)?;
+            } else {
+                store.put(TRACE_SLICE_STAGE, &key, &artifact)?;
+            }
+        }
+        self.insert_slices(mem_key, &sliced);
+        Ok(sliced)
+    }
+
+    /// Records `(binary, input)` afresh, replacing both cache tiers'
+    /// entries (the stored artifact decoded but its event stream was
+    /// corrupt).
+    fn rerecord(&self, binary: &Binary, input: &Input) -> Result<Arc<EventTrace>, CbspError> {
+        let key = trace_key(binary, input);
+        let trace = Arc::new(record_trace(binary, input));
+        if let Some(store) = self.store() {
+            let artifact = TraceArtifact {
+                n_procs: trace.n_procs,
+                n_loops: trace.n_loops,
+                events: trace.events,
+                data: base64_encode(&trace.bytes),
+            };
+            store.put_overwrite(TRACE_STAGE, &key, &artifact)?;
+        }
+        self.insert(key.as_hex().to_string(), &trace);
+        Ok(trace)
+    }
+
+    fn insert_slices(&self, mem_key: String, sliced: &Arc<SlicedTrace>) {
+        self.slices
+            .lock()
+            .expect("slice cache lock")
+            .insert(mem_key, Arc::clone(sliced));
+    }
+
+    /// True and SimPoint-estimated CPI for one binary, computed from
+    /// per-simpoint trace slices: each selected interval's CPI comes
+    /// from replaying its slice (an exact state checkpoint plus the
+    /// interval's own events), and the whole-program truth comes from
+    /// the slice manifest — so a warm call decodes only kilobytes.
+    /// Slice replays are bit-identical to the in-context interval
+    /// statistics of a full replay, so the result is byte-identical
+    /// across cache temperature *and* to the full-replay path.
+    ///
+    /// `phase_weights` follows [`weighted_cpi_with`] (the cross-binary
+    /// scheme); pass `None` to use each point's own weight. With the
+    /// `CBSP_NO_TRACE_SLICES` knob set, falls back to a full in-context
+    /// replay — same estimates, none of the byte savings; the knob is
+    /// purely a performance fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbspError::StoreIo`] on store failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some boundary is never reached by the recorded
+    /// execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_cpi_sliced(
+        &self,
+        binary: &Binary,
+        input: &Input,
+        config: &MemoryConfig,
+        boundaries: &[ExecPoint],
+        points: &[SimPoint],
+        phase_weights: Option<&[f64]>,
+        interval_count: usize,
+    ) -> Result<CpiEstimate, CbspError> {
+        let _span = cbsp_trace::span_labeled("sim/estimate_sliced", || binary.label());
+        if slicing_disabled() {
+            return self.estimate_cpi_full(
+                binary,
+                input,
+                config,
+                boundaries,
+                points,
+                phase_weights,
+                interval_count,
+            );
+        }
+        let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+        let sliced = self.get_slices(binary, input, config, boundaries, &selected)?;
+        let n = interval_count.max(sliced.intervals);
+        let mut interval_cpis = vec![0.0f64; n];
+        let mut replayed: Option<Vec<(usize, IntervalSim)>> = replay_all_slices(&sliced, config);
+        if replayed.is_none() {
+            // A slice stream that fails to decode is a corrupt cached
+            // manifest: drop it from both tiers and re-materialize.
+            cbsp_trace::add("store/repairs", 1);
+            let mut wanted = selected.clone();
+            wanted.sort_unstable();
+            wanted.dedup();
+            let key = trace_slice_key(binary, input, config, boundaries, &wanted);
+            self.slices
+                .lock()
+                .expect("slice cache lock")
+                .remove(key.as_hex());
+            if let Some(store) = self.store() {
+                let full = self.get_or_record(binary, input)?;
+                let fresh = slice_trace(&full, config, boundaries, &wanted)
+                    .expect("freshly sliced trace decodes");
+                let fresh = Arc::new(fresh);
+                store.put_overwrite(
+                    TRACE_SLICE_STAGE,
+                    &key,
+                    &encode_slice_artifact(binary, &fresh),
+                )?;
+                self.insert_slices(key.as_hex().to_string(), &fresh);
+                replayed = replay_all_slices(&fresh, config);
+            }
+        }
+        let replayed = replayed.expect("re-materialized slices decode");
+        for (interval, stats) in replayed {
+            if interval < n {
+                interval_cpis[interval] = stats.cpi();
+            }
+        }
+        let estimated_cpi = match phase_weights {
+            Some(w) => weighted_cpi_with(points, w, &interval_cpis),
+            None => weighted_cpi(points, &interval_cpis),
+        };
+        Ok(CpiEstimate {
+            true_cpi: sliced.full.cpi(),
+            instructions: sliced.full.instructions,
+            estimated_cpi,
+            interval_cpis,
+        })
+    }
+
+    /// The pre-slicing estimate path: replay the full trace in context.
+    /// Kept behind `CBSP_NO_TRACE_SLICES` as a diagnostic baseline.
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_cpi_full(
+        &self,
+        binary: &Binary,
+        input: &Input,
+        config: &MemoryConfig,
+        boundaries: &[ExecPoint],
+        points: &[SimPoint],
+        phase_weights: Option<&[f64]>,
+        interval_count: usize,
+    ) -> Result<CpiEstimate, CbspError> {
+        let trace = self.get_or_record(binary, input)?;
+        let (full, mut intervals) = match replay_marker_sliced(&trace, config, boundaries) {
+            Ok(r) => r,
+            Err(_) => {
+                cbsp_trace::add("store/repairs", 1);
+                let fresh = self.rerecord(binary, input)?;
+                replay_marker_sliced(&fresh, config, boundaries)
+                    .expect("freshly recorded trace decodes")
+            }
+        };
+        intervals.resize(interval_count.max(intervals.len()), IntervalSim::default());
+        let interval_cpis: Vec<f64> = intervals.iter().map(IntervalSim::cpi).collect();
+        let estimated_cpi = match phase_weights {
+            Some(w) => weighted_cpi_with(points, w, &interval_cpis),
+            None => weighted_cpi(points, &interval_cpis),
+        };
+        Ok(CpiEstimate {
+            true_cpi: full.cpi(),
+            instructions: full.instructions,
+            estimated_cpi,
+            interval_cpis,
+        })
+    }
+}
+
+/// Result of a sliced CPI estimate for one binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpiEstimate {
+    /// Whole-program CPI (full-replay ground truth).
+    pub true_cpi: f64,
+    /// Whole-program instruction count.
+    pub instructions: u64,
+    /// The SimPoint-weighted CPI estimate.
+    pub estimated_cpi: f64,
+    /// Per-interval CPIs backing the estimate; selected intervals hold
+    /// their slice-replayed CPI, unselected intervals are 0.
+    pub interval_cpis: Vec<f64>,
+}
+
+/// Replays every slice in `sliced`, or `None` if any slice stream is
+/// corrupt.
+fn replay_all_slices(
+    sliced: &SlicedTrace,
+    config: &MemoryConfig,
+) -> Option<Vec<(usize, IntervalSim)>> {
+    sliced
+        .slices
+        .iter()
+        .map(|s| replay_slice(s, config).ok().map(|r| (s.interval, r)))
+        .collect()
+}
+
+fn encode_slice_artifact(binary: &Binary, sliced: &SlicedTrace) -> SliceArtifact {
+    SliceArtifact {
+        n_procs: binary.procs.len() as u32,
+        n_loops: binary.loops.len() as u32,
+        full: sliced.full,
+        intervals: sliced.intervals as u64,
+        slices: sliced
+            .slices
+            .iter()
+            .map(|s| SliceEntry {
+                interval: s.interval as u64,
+                state: base64_encode(&s.state),
+                events: s.trace.events,
+                data: base64_encode(&s.trace.bytes),
+            })
+            .collect(),
+    }
+}
+
+fn decode_slice_artifact(artifact: &SliceArtifact) -> Option<SlicedTrace> {
+    let slices = artifact
+        .slices
+        .iter()
+        .map(|e| {
+            Some(TraceSlice {
+                interval: e.interval as usize,
+                state: base64_decode(&e.state)?,
+                trace: EventTrace {
+                    n_procs: artifact.n_procs,
+                    n_loops: artifact.n_loops,
+                    events: e.events,
+                    bytes: base64_decode(&e.data)?,
+                },
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SlicedTrace {
+        full: artifact.full,
+        intervals: artifact.intervals as usize,
+        slices,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbsp_program::{compile, workloads, CompileTarget, Scale};
+    use cbsp_profile::MarkerRef;
+    use cbsp_program::{compile, run, workloads, CompileTarget, Marker, Scale, TraceSink};
     use cbsp_sim::{replay_full, simulate_full, MemoryConfig};
 
     fn test_binary() -> Binary {
@@ -298,6 +688,67 @@ mod tests {
             .expect("in suite")
             .build(Scale::Test);
         compile(&prog, CompileTarget::W32_O2)
+    }
+
+    /// Counts marker executions to derive in-order [`ExecPoint`]
+    /// boundaries without involving the profiling pipeline.
+    #[derive(Default)]
+    struct MarkerTally {
+        counts: std::collections::BTreeMap<MarkerRef, u64>,
+    }
+
+    impl TraceSink for MarkerTally {
+        fn on_block(&mut self, _block: cbsp_program::BlockId, _instrs: u64) {}
+
+        fn on_marker(&mut self, marker: Marker) {
+            let r = match marker {
+                Marker::ProcEntry(p) => MarkerRef::Proc(u32::from(p)),
+                Marker::LoopEntry(l) => MarkerRef::LoopEntry(u32::from(l)),
+                Marker::LoopBack(l) => MarkerRef::LoopBack(u32::from(l)),
+            };
+            *self.counts.entry(r).or_insert(0) += 1;
+        }
+    }
+
+    /// Sixteen boundaries at evenly spaced executions of the binary's
+    /// most frequent marker, plus a few synthetic simpoints over the
+    /// resulting intervals.
+    fn boundaries_and_points(bin: &Binary, input: &Input) -> (Vec<ExecPoint>, Vec<SimPoint>) {
+        let mut tally = MarkerTally::default();
+        run(bin, input, &mut tally);
+        let (&marker, &execs) = tally
+            .counts
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .expect("binary executes at least one marker");
+        let cuts = 16.min(execs);
+        let boundaries = (1..=cuts)
+            .map(|i| ExecPoint {
+                marker,
+                count: i * execs / cuts,
+            })
+            .collect();
+        let points = vec![
+            SimPoint {
+                phase: 0,
+                interval: 0,
+                weight: 0.5,
+                variance: 0.0,
+            },
+            SimPoint {
+                phase: 1,
+                interval: 2,
+                weight: 0.3,
+                variance: 0.0,
+            },
+            SimPoint {
+                phase: 2,
+                interval: 3,
+                weight: 0.2,
+                variance: 0.0,
+            },
+        ];
+        (boundaries, points)
     }
 
     fn temp_store(tag: &str) -> (ArtifactStore, std::path::PathBuf) {
@@ -425,5 +876,160 @@ mod tests {
         for (a, b) in traces.iter().zip(&again) {
             assert!(Arc::ptr_eq(a, b));
         }
+    }
+
+    #[test]
+    fn warm_slice_manifest_avoids_the_full_replay() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (boundaries, points) = boundaries_and_points(&bin, &input);
+        let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+        let config = MemoryConfig::table1();
+        let cache = TraceCache::in_memory();
+
+        let _lock = cbsp_trace::test_lock();
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let cold = cache
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("materializes");
+        let cold_counters = cbsp_trace::snapshot().counters;
+        let warm = cache
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("memory hit");
+        let warm_counters = cbsp_trace::snapshot().counters;
+        cbsp_trace::disable();
+
+        assert!(Arc::ptr_eq(&cold, &warm), "same manifest allocation");
+        assert_eq!(cold_counters.get("sim/full_replay_avoided"), None);
+        assert_eq!(warm_counters.get("sim/full_replay_avoided"), Some(&1));
+        // The manifest is a small fraction of the full trace.
+        let full = cache.get_or_record(&bin, &input).expect("cached");
+        assert!(
+            cold.encoded_len() < full.bytes.len(),
+            "slices {} vs full trace {}",
+            cold.encoded_len(),
+            full.bytes.len()
+        );
+        // Selection order and duplicates do not change the key.
+        let shuffled = vec![selected[2], selected[0], selected[1], selected[0]];
+        let again = cache
+            .get_slices(&bin, &input, &config, &boundaries, &shuffled)
+            .expect("normalized key hits");
+        assert!(Arc::ptr_eq(&cold, &again));
+    }
+
+    #[test]
+    fn slice_manifest_persists_in_the_store() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (boundaries, points) = boundaries_and_points(&bin, &input);
+        let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+        let config = MemoryConfig::table1();
+        let (store, dir) = temp_store("slice-persist");
+
+        let first = TraceCache::new(Some(&store));
+        let cold = first
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("materializes");
+
+        // A fresh cache (fresh process, conceptually) loads the stored
+        // manifest without touching the full trace.
+        let second = TraceCache::new(Some(&store));
+        let _lock = cbsp_trace::test_lock();
+        cbsp_trace::enable();
+        cbsp_trace::reset();
+        let warm = second
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("store hit");
+        let counters = cbsp_trace::snapshot().counters;
+        cbsp_trace::disable();
+
+        assert_eq!(*cold, *warm, "stored manifest round-trips exactly");
+        assert_eq!(counters.get("sim/full_replay_avoided"), Some(&1));
+        assert_eq!(counters.get("sim/trace_cache_misses"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_slice_manifest_is_repaired_as_a_miss() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (boundaries, points) = boundaries_and_points(&bin, &input);
+        let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+        let config = MemoryConfig::table1();
+        let (store, dir) = temp_store("slice-repair");
+
+        let first = TraceCache::new(Some(&store));
+        let cold = first
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("materializes");
+
+        // Truncate the manifest artifact on disk.
+        let key = trace_slice_key(&bin, &input, &config, &boundaries, &selected);
+        let path = store.object_path(&key);
+        let text = std::fs::read_to_string(&path).expect("artifact exists");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+        let fresh = TraceCache::new(Some(&store));
+        let repaired = fresh
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("repairs");
+        assert_eq!(*cold, *repaired);
+        // Repaired in place: a third cache now hits cleanly.
+        let third = TraceCache::new(Some(&store));
+        let warm = third
+            .get_slices(&bin, &input, &config, &boundaries, &selected)
+            .expect("hits");
+        assert_eq!(*cold, *warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The estimate is byte-identical across cache temperature and
+    /// thread count: cold materialization and warm slice replay run the
+    /// same per-interval simulations.
+    #[test]
+    fn sliced_estimate_is_identical_cold_warm_and_across_threads() {
+        let bin = test_binary();
+        let input = Input::test();
+        let (boundaries, points) = boundaries_and_points(&bin, &input);
+        let config = MemoryConfig::table1();
+        let (store, dir) = temp_store("slice-estimate");
+
+        let n = boundaries.len() + 1;
+        let cache = TraceCache::new(Some(&store));
+        let cold = cache
+            .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+            .expect("cold estimate");
+        assert!(cold.true_cpi > 1.0 && cold.estimated_cpi > 0.0);
+        assert_eq!(cold.interval_cpis.len(), n);
+
+        for threads in [1usize, 8] {
+            let pool = Pool::new(threads);
+            let warm = pool.run_indexed(2 * threads.max(2), |_| {
+                cache
+                    .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+                    .expect("warm estimate")
+            });
+            for est in warm {
+                assert_eq!(
+                    cold.estimated_cpi.to_bits(),
+                    est.estimated_cpi.to_bits(),
+                    "{threads} threads"
+                );
+                assert_eq!(cold.true_cpi.to_bits(), est.true_cpi.to_bits());
+                assert_eq!(cold.instructions, est.instructions);
+                assert_eq!(cold.interval_cpis, est.interval_cpis);
+            }
+        }
+
+        // A fresh cache over the same store (warm disk, cold memory)
+        // also reproduces the estimate bit-for-bit.
+        let fresh = TraceCache::new(Some(&store));
+        let from_store = fresh
+            .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+            .expect("store-warm estimate");
+        assert_eq!(cold.estimated_cpi.to_bits(), from_store.estimated_cpi.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
