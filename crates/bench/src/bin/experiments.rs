@@ -14,14 +14,21 @@
 //!                          [--current FILE] [--tolerance 0.25]
 //! experiments accuracy-gate [--ref results_ref.json] [--tolerance 0.02]
 //!                           [--benchmarks a,b,c] [--cache-dir DIR]
+//!                           [--estimators bbv,bbv+mav,stratified]
 //! ```
+//!
+//! `--estimators` adds head-to-head estimator lanes: each lane
+//! re-clusters the shared detailed simulations under its own
+//! methodology, the gate prints the per-benchmark comparison table,
+//! and every lane is gated against its own committed reference column.
 
 use cbsp_bench::{
-    evaluate_benchmark_with, mpki_eval, phase_bias, report, run_ablations, run_suite_opts,
-    standard_archs, sweep_benchmark, Pair, PerfReport, SuiteResults,
+    evaluate_benchmark_with, mpki_eval, phase_bias, render_lanes, report, run_ablations,
+    run_suite_opts, standard_archs, sweep_benchmark, Pair, PerfReport, SuiteResults,
 };
 use cbsp_program::Scale;
 use cbsp_sim::MemoryConfig;
+use cbsp_simpoint::EstimatorConfig;
 use cbsp_store::ArtifactStore;
 
 struct Options {
@@ -36,6 +43,8 @@ struct Options {
     cache_dir: Option<String>,
     /// `false` disables persisting/reusing event traces in the store.
     trace_cache: bool,
+    /// Estimator lanes to evaluate head-to-head (empty = none).
+    estimators: Vec<EstimatorConfig>,
     baseline: String,
     current: Option<String>,
     reference: String,
@@ -53,6 +62,7 @@ fn parse_args() -> Options {
         json: None,
         cache_dir: None,
         trace_cache: true,
+        estimators: Vec::new(),
         baseline: "BENCH_simpoint.json".to_string(),
         current: None,
         reference: "results_ref.json".to_string(),
@@ -102,6 +112,21 @@ fn parse_args() -> Options {
             "--no-trace-cache" => {
                 opts.trace_cache = false;
             }
+            "--estimators" => {
+                opts.estimators = args
+                    .next()
+                    .unwrap_or_else(|| die("--estimators needs a list"))
+                    .split(',')
+                    .map(|tag| {
+                        EstimatorConfig::parse(tag).unwrap_or_else(|| {
+                            die(&format!(
+                                "bad estimator {tag} ({})",
+                                EstimatorConfig::KNOWN_TAGS.join("|")
+                            ))
+                        })
+                    })
+                    .collect();
+            }
             "--baseline" => {
                 opts.baseline = args
                     .next()
@@ -125,7 +150,8 @@ fn parse_args() -> Options {
                     "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf [compare]|accuracy-gate] \
                      [--scale test|train|ref] [--interval N] \
                      [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR] \
-                     [--no-trace-cache] [--baseline FILE] [--current FILE] [--ref FILE] [--tolerance T]"
+                     [--no-trace-cache] [--estimators a,b,c] [--baseline FILE] [--current FILE] \
+                     [--ref FILE] [--tolerance T]"
                 );
                 std::process::exit(0);
             }
@@ -321,6 +347,12 @@ fn main() {
                     )
                 }
             };
+            if let Some(path) = &opts.json {
+                // Persist the measured report so CI can attach it to
+                // failed runs.
+                let json = serde_json::to_string_pretty(&current).expect("report serializes");
+                std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            }
             let tolerance = opts.tolerance.unwrap_or(0.25);
             let c = cbsp_bench::compare(&baseline, &current, tolerance);
             print!("{}", cbsp_bench::render_compare(&c));
@@ -360,6 +392,10 @@ fn main() {
                 reference
                     .benchmarks
                     .retain(|b| opts.benchmarks.contains(&b.name));
+                for lane in &mut reference.estimators {
+                    lane.benchmarks
+                        .retain(|b| opts.benchmarks.contains(&b.name));
+                }
             }
             let scale = parse_scale(&reference.scale);
             eprintln!(
@@ -374,7 +410,18 @@ fn main() {
                 opts.threads,
                 store,
                 opts.trace_cache,
+                &opts.estimators,
             );
+            if let Some(path) = &opts.json {
+                // Persist the rerun results so CI can attach them to
+                // failed runs (and so a passing rerun can become the
+                // next committed reference).
+                let json = serde_json::to_string_pretty(&current).expect("results serialize");
+                std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            }
+            if !current.estimators.is_empty() {
+                print!("{}", render_lanes(&current.estimators));
+            }
             let slack = opts.tolerance.unwrap_or(0.02);
             let g = cbsp_bench::accuracy_gate(&current, &reference, slack);
             print!("{}", cbsp_bench::render_gate(&g));
@@ -410,7 +457,11 @@ fn main() {
         opts.threads,
         store,
         opts.trace_cache,
+        &opts.estimators,
     );
+    if !results.estimators.is_empty() {
+        print!("{}", render_lanes(&results.estimators));
+    }
     if let Some(path) = &opts.json {
         let json = serde_json::to_string_pretty(&results).expect("results serialize");
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));

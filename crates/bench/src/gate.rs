@@ -11,7 +11,13 @@
 //! * mean CPI error across the four binaries, VLI and FLI
 //!   (the bars of Figure 3);
 //! * speedup estimation error for each of the four binary pairs,
-//!   VLI and FLI (Figures 4 and 5).
+//!   VLI and FLI (Figures 4 and 5);
+//! * when the current run evaluated estimator lanes, each lane's mean
+//!   CPI error and confidence-interval containment, per benchmark,
+//!   against that lane's committed reference column. A lane the
+//!   current run computed but the reference lacks is a mismatch; extra
+//!   reference columns are ignored so spot-checking a subset of lanes
+//!   works just like `--benchmarks` subsets do.
 
 use crate::experiment::Pair;
 use crate::suite::SuiteResults;
@@ -122,6 +128,53 @@ pub fn accuracy_gate(current: &SuiteResults, reference: &SuiteResults, slack: f6
                 .push(format!("benchmark {:?} missing from reference", c.name));
         }
     }
+
+    // Estimator lanes: each lane the current run computed gates
+    // against its own reference column.
+    for cl in &current.estimators {
+        let Some(rl) = reference
+            .estimators
+            .iter()
+            .find(|r| r.estimator == cl.estimator)
+        else {
+            report.mismatches.push(format!(
+                "estimator lane {:?} missing from reference",
+                cl.estimator
+            ));
+            continue;
+        };
+        for cb in &cl.benchmarks {
+            let Some(rb) = rl.benchmarks.iter().find(|r| r.name == cb.name) else {
+                report.mismatches.push(format!(
+                    "estimator {} benchmark {:?} missing from reference",
+                    cl.estimator, cb.name
+                ));
+                continue;
+            };
+            report.checks += 1;
+            if cb.avg_cpi_err() > rb.avg_cpi_err() + slack {
+                report.failures.push(GateFailure {
+                    benchmark: cb.name.clone(),
+                    metric: format!("{} cpi_err", cl.estimator),
+                    reference: rb.avg_cpi_err(),
+                    current: cb.avg_cpi_err(),
+                });
+            }
+            // Containment is gated as the fraction of binaries whose
+            // interval *misses* the true CPI: any regression on a
+            // 4-binary row is a 0.25 step, far beyond realistic slack.
+            report.checks += 1;
+            let miss = |b: &crate::estimators::LaneBenchmark| 1.0 - b.contains_count() as f64 / 4.0;
+            if miss(cb) > miss(rb) + slack {
+                report.failures.push(GateFailure {
+                    benchmark: cb.name.clone(),
+                    metric: format!("{} ci_miss", cl.estimator),
+                    reference: miss(rb),
+                    current: miss(cb),
+                });
+            }
+        }
+    }
     report
 }
 
@@ -198,6 +251,20 @@ mod tests {
             scale: "Reference".into(),
             interval_target: 100_000,
             benchmarks,
+            estimators: Vec::new(),
+        }
+    }
+
+    fn lane(tag: &str, cpi_err: f64, contains: bool) -> crate::estimators::EstimatorLane {
+        crate::estimators::EstimatorLane {
+            estimator: tag.to_string(),
+            benchmarks: vec![crate::estimators::LaneBenchmark {
+                name: "gzip".to_string(),
+                points: 7,
+                cpi_err: [cpi_err; 4],
+                ci_half: [0.1; 4],
+                ci_contains: [contains; 4],
+            }],
         }
     }
 
@@ -242,6 +309,44 @@ mod tests {
         let g = accuracy_gate(&current, &reference, 0.02);
         assert!(!g.passed());
         assert!(g.failures.iter().any(|f| f.metric.contains("speedup_err")));
+    }
+
+    #[test]
+    fn estimator_lane_regression_fails_and_identical_lanes_pass() {
+        let mut reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        reference.estimators = vec![lane("stratified", 0.01, true)];
+        let mut current = reference.clone();
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(g.passed(), "{}", render_gate(&g));
+        assert_eq!(g.checks, 12, "10 benchmark checks + cpi_err + ci_miss");
+
+        current.estimators = vec![lane("stratified", 0.08, true)];
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert_eq!(g.failures[0].metric, "stratified cpi_err");
+
+        current.estimators = vec![lane("stratified", 0.01, false)];
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert_eq!(g.failures[0].metric, "stratified ci_miss");
+    }
+
+    #[test]
+    fn lane_missing_from_reference_is_a_mismatch_but_extra_columns_are_not() {
+        let mut reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        reference.estimators = vec![lane("bbv", 0.02, false), lane("stratified", 0.01, true)];
+
+        // Current computed only one of the reference's two columns —
+        // that is a legal subset.
+        let mut current = reference.clone();
+        current.estimators = vec![lane("stratified", 0.01, true)];
+        assert!(accuracy_gate(&current, &reference, 0.02).passed());
+
+        // Current computed a lane the reference has no column for.
+        current.estimators = vec![lane("bbv+mav", 0.01, true)];
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert!(g.mismatches[0].contains("bbv+mav"), "{:?}", g.mismatches);
     }
 
     #[test]

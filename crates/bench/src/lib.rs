@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod archsweep;
 pub mod cluster_lane;
+pub mod estimators;
 pub mod experiment;
 pub mod gate;
 pub mod perf;
@@ -38,6 +39,7 @@ pub mod warmup;
 pub use ablation::{run_ablations, standard_variants, Variant, VariantResult};
 pub use archsweep::{standard_archs, sweep_benchmark, ArchSweepRow, ArchVariant};
 pub use cluster_lane::{run_cluster_lane, ClusterLane, ClusterPoint};
+pub use estimators::{lane_rows, render_lanes, EstimatorLane, LaneBenchmark};
 pub use experiment::{
     evaluate_benchmark, evaluate_benchmark_cached, evaluate_benchmark_pooled,
     evaluate_benchmark_with, mpki_eval, phase_bias, BenchmarkEval, BenchmarkRun, MpkiEval, Pair,

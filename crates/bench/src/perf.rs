@@ -137,7 +137,7 @@ fn measure(
     times.push(("vli", ms(t)));
 
     let t = Instant::now();
-    let simpoint = simpoint_stage(&vli, &config.simpoint);
+    let simpoint = simpoint_stage(&vli, &config.simpoint, &config.estimator);
     times.push(("simpoint", ms(t)));
 
     let t = Instant::now();
@@ -490,7 +490,11 @@ mod tests {
             "parallel run must hit the traces recorded by the serial run"
         );
         assert!(
-            r.metrics.get("sim/full_replay_avoided").copied().unwrap_or(0) >= 4,
+            r.metrics
+                .get("sim/full_replay_avoided")
+                .copied()
+                .unwrap_or(0)
+                >= 4,
             "parallel estimates must answer from the slice manifests \
              the serial run materialized, got {:?}",
             r.metrics.keys().collect::<Vec<_>>()

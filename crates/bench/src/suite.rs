@@ -1,10 +1,12 @@
 //! Suite-level experiment driver: evaluates every benchmark and
 //! aggregates the data behind each figure.
 
+use crate::estimators::{lane_rows, EstimatorLane};
 use crate::experiment::{evaluate_benchmark_cached, BenchmarkEval, Pair};
 use cbsp_par::Pool;
 use cbsp_program::{workloads, Scale};
 use cbsp_sim::MemoryConfig;
+use cbsp_simpoint::EstimatorConfig;
 use cbsp_store::{ArtifactStore, TraceCache};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,6 +20,9 @@ pub struct SuiteResults {
     pub interval_target: u64,
     /// Per-benchmark evaluations, in suite order.
     pub benchmarks: Vec<BenchmarkEval>,
+    /// Estimator-lane head-to-head columns (empty unless the run asked
+    /// for lanes); each lane's benchmarks align with `benchmarks`.
+    pub estimators: Vec<EstimatorLane>,
 }
 
 impl SuiteResults {
@@ -59,14 +64,26 @@ pub fn run_suite_with(
     threads: usize,
     store: Option<&ArtifactStore>,
 ) -> SuiteResults {
-    run_suite_opts(names, scale, interval_target, mem, threads, store, true)
+    run_suite_opts(
+        names,
+        scale,
+        interval_target,
+        mem,
+        threads,
+        store,
+        true,
+        &[],
+    )
 }
 
-/// [`run_suite_with`] with the trace cache made explicit. When
-/// `trace_cache` is false, event traces are still recorded once and
-/// replayed within each evaluation (the engine's core mechanism) but
-/// are never persisted to — or served from — the artifact store, so a
-/// fresh run re-interprets every binary even with `--cache-dir` set.
+/// [`run_suite_with`] with the trace cache and estimator lanes made
+/// explicit. When `trace_cache` is false, event traces are still
+/// recorded once and replayed within each evaluation (the engine's
+/// core mechanism) but are never persisted to — or served from — the
+/// artifact store, so a fresh run re-interprets every binary even with
+/// `--cache-dir` set. Each entry of `estimators` adds a head-to-head
+/// lane to [`SuiteResults::estimators`], re-using every benchmark's
+/// detailed simulations (only clustering reruns per lane).
 #[allow(clippy::too_many_arguments)]
 pub fn run_suite_opts(
     names: &[String],
@@ -76,6 +93,7 @@ pub fn run_suite_opts(
     threads: usize,
     store: Option<&ArtifactStore>,
     trace_cache: bool,
+    estimators: &[EstimatorConfig],
 ) -> SuiteResults {
     let selected: Vec<&'static str> = if names.is_empty() {
         workloads::suite().iter().map(|w| w.name).collect()
@@ -98,7 +116,7 @@ pub fn run_suite_opts(
     let inner = budget.split(outer.threads());
     let trace_store = if trace_cache { store } else { None };
     let done = AtomicUsize::new(0);
-    let benchmarks = outer.run_indexed(selected.len(), |i| {
+    let evaluated = outer.run_indexed(selected.len(), |i| {
         let traces = TraceCache::new(trace_store);
         let run = evaluate_benchmark_cached(
             selected[i],
@@ -109,15 +127,33 @@ pub fn run_suite_opts(
             &traces,
             &inner,
         );
+        let rows = lane_rows(&run, scale, interval_target, store, &inner, estimators);
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!("  [{}/{}] {} done", finished, selected.len(), selected[i]);
-        run.eval
+        (run.eval, rows)
     });
+
+    // Transpose per-benchmark lane rows into suite-ordered lane columns.
+    let mut lanes: Vec<EstimatorLane> = estimators
+        .iter()
+        .map(|e| EstimatorLane {
+            estimator: e.tag(),
+            benchmarks: Vec::with_capacity(selected.len()),
+        })
+        .collect();
+    let mut benchmarks = Vec::with_capacity(selected.len());
+    for (eval, rows) in evaluated {
+        benchmarks.push(eval);
+        for (lane, row) in lanes.iter_mut().zip(rows) {
+            lane.benchmarks.push(row);
+        }
+    }
 
     SuiteResults {
         scale: format!("{scale:?}"),
         interval_target,
         benchmarks,
+        estimators: lanes,
     }
 }
 

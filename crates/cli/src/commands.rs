@@ -8,7 +8,7 @@ use cbsp_program::{
     compile, compile_cost_estimate_ns, workloads, Binary, CompileTarget, OptLevel, Width,
 };
 use cbsp_sim::{estimate_cpi_from_regions, simulate_full, simulate_regions, MemoryConfig};
-use cbsp_simpoint::{analyze, SimPointConfig};
+use cbsp_simpoint::{analyze, EstimatorConfig, SimPointConfig};
 use cbsp_store::{ArtifactStore, CachePolicy, Orchestrator, TraceCache};
 
 /// `cbsp list` — the benchmark suite.
@@ -19,6 +19,17 @@ pub fn list(_opts: &Opts) -> Result<(), String> {
     }
     println!("\ntargets: 32u 32o 64u 64o   scales: test train ref");
     Ok(())
+}
+
+/// Parses the `--estimator` lane flag shared by `cross` and `estimate`.
+fn parse_estimator(opts: &Opts) -> Result<EstimatorConfig, String> {
+    let tag = opts.flag("estimator").unwrap_or("bbv");
+    EstimatorConfig::parse(tag).ok_or_else(|| {
+        format!(
+            "bad estimator {tag} ({})",
+            EstimatorConfig::KNOWN_TAGS.join("|")
+        )
+    })
 }
 
 fn parse_target(s: &str) -> Result<CompileTarget, String> {
@@ -166,19 +177,24 @@ pub fn simpoint(opts: &Opts) -> Result<(), String> {
 }
 
 /// `cbsp cross <benchmark> [--interval N] [--scale S] [--threads N]
-/// [--out-dir D] [--cache-dir D] [--no-cache 1] [--refresh 1]` — the
-/// full six-step pipeline; writes the four binaries and their PinPoints
-/// region files. Stages are served from the content-addressed artifact
-/// store when their inputs are unchanged. `--threads` sizes the shared
-/// pool (0 = one per core); output is bit-identical at every setting.
+/// [--estimator bbv|bbv+mav|early|stratified] [--out-dir D]
+/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — the full six-step
+/// pipeline; writes the four binaries and their PinPoints region
+/// files. Stages are served from the content-addressed artifact store
+/// when their inputs are unchanged — each estimator lane caches under
+/// its own namespace, so lanes never collide. `--threads` sizes the
+/// shared pool (0 = one per core); output is bit-identical at every
+/// setting.
 pub fn cross(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
     let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let scale = opts.scale()?;
     let program = workload.build(scale);
     let input = opts.input()?;
+    let estimator = parse_estimator(opts)?;
     let config = CbspConfig {
         interval_target: opts.flag_or("interval", 100_000u64)?,
+        estimator,
         simpoint: SimPointConfig {
             threads: opts.threads()?,
             ..SimPointConfig::default()
@@ -203,10 +219,18 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
     let policy = opts.cache_policy()?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
     let orchestrator = Orchestrator::new(&store, policy);
-    let description = format!(
-        "cross {name} scale={scale:?} interval={}",
-        config.interval_target
-    );
+    let description = if config.estimator.is_default() {
+        format!(
+            "cross {name} scale={scale:?} interval={}",
+            config.interval_target
+        )
+    } else {
+        format!(
+            "cross {name} scale={scale:?} interval={} estimator={}",
+            config.interval_target,
+            config.estimator.tag()
+        )
+    };
     let (result, report) = orchestrator
         .run_cross_binary(
             &binaries.iter().collect::<Vec<_>>(),
@@ -256,10 +280,19 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
         }
     );
     println!(
-        "{} intervals (avg {:.0} instructions), {} phases",
+        "{} intervals (avg {:.0} instructions), {} phases{}",
         result.interval_count(),
         result.vli.average_interval_size(),
-        result.simpoint.k
+        result.simpoint.k,
+        if config.estimator.is_default() {
+            String::new()
+        } else {
+            format!(
+                ", {} points (estimator {})",
+                result.simpoint.points.len(),
+                config.estimator.tag()
+            )
+        }
     );
     for (b, bin) in binaries.iter().enumerate() {
         let bin_path = format!("{out_dir}/{}.json", bin.label());
@@ -415,21 +448,26 @@ pub fn perbinary(opts: &Opts) -> Result<(), String> {
 }
 
 /// `cbsp estimate <benchmark> [--interval N] [--scale S] [--threads N]
-/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — true vs
-/// SimPoint-estimated CPI for all four binaries, computed from
-/// per-simpoint trace slices. The pipeline stages come from the
-/// artifact store like `cbsp cross`; the CPI side reads the sliced
-/// trace manifest, so a warm run decodes kilobytes of slice payload
-/// instead of each binary's full recorded trace (DESIGN.md "Sliced
-/// traces"; set `CBSP_NO_TRACE_SLICES=1` to force full replays).
+/// [--estimator bbv|bbv+mav|early|stratified] [--cache-dir D]
+/// [--no-cache 1] [--refresh 1]` — true vs SimPoint-estimated CPI for
+/// all four binaries, computed from per-simpoint trace slices. The
+/// pipeline stages come from the artifact store like `cbsp cross`; the
+/// CPI side reads the sliced trace manifest, so a warm run decodes
+/// kilobytes of slice payload instead of each binary's full recorded
+/// trace (DESIGN.md "Sliced traces"; set `CBSP_NO_TRACE_SLICES=1` to
+/// force full replays). The stratified lane additionally reports a
+/// confidence half-width per binary (zero for single-representative
+/// lanes by construction).
 pub fn estimate(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
     let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let scale = opts.scale()?;
     let program = workload.build(scale);
     let input = opts.input()?;
+    let estimator = parse_estimator(opts)?;
     let config = CbspConfig {
         interval_target: opts.flag_or("interval", 100_000u64)?,
+        estimator,
         simpoint: SimPointConfig {
             threads: opts.threads()?,
             ..SimPointConfig::default()
@@ -474,14 +512,15 @@ pub fn estimate(opts: &Opts) -> Result<(), String> {
         )
     });
     println!(
-        "{name}: {} intervals, {} phases, {} simulation points",
+        "{name}: {} intervals, {} phases, {} simulation points (estimator {})",
         n,
         result.simpoint.k,
-        result.simpoint.points.len()
+        result.simpoint.points.len(),
+        config.estimator.tag()
     );
     println!(
-        "{:<10} {:>12} {:>10} {:>12} {:>10}",
-        "binary", "instructions", "true CPI", "estimated", "rel error"
+        "{:<10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "binary", "instructions", "true CPI", "estimated", "rel error", "CI ±"
     );
     for (b, est) in estimates.into_iter().enumerate() {
         let est = est.map_err(|e| e.to_string())?;
@@ -490,13 +529,20 @@ pub fn estimate(opts: &Opts) -> Result<(), String> {
         } else {
             0.0
         };
+        let ci_half = cbsp_core::stratified_ci(
+            &result.simpoint.points,
+            &result.simpoint.labels,
+            &result.weights[b],
+            &est.interval_cpis,
+        );
         println!(
-            "{:<10} {:>12} {:>10.4} {:>12.4} {:>9.2}%",
+            "{:<10} {:>12} {:>10.4} {:>12.4} {:>9.2}% {:>10.4}",
             binaries[b].label(),
             est.instructions,
             est.true_cpi,
             est.estimated_cpi,
-            100.0 * rel
+            100.0 * rel,
+            ci_half
         );
     }
     Ok(())
@@ -550,6 +596,32 @@ pub fn cache(opts: &Opts) -> Result<(), String> {
             );
             for (stage, s) in &stats.per_stage {
                 println!("  {stage:<10} {} artifacts, {} bytes", s.artifacts, s.bytes);
+            }
+            // Lane breakdown: non-default estimator lanes cache their
+            // stages under `stage@tag` namespaces (see
+            // cbsp_store::stage_namespaces); plain pipeline stages
+            // belong to the default `bbv` lane (profile/mappable are
+            // shared by every lane and counted there).
+            let mut lanes: std::collections::BTreeMap<&str, cbsp_store::StageStats> =
+                std::collections::BTreeMap::new();
+            for (stage, s) in &stats.per_stage {
+                if stage == cbsp_store::TRACE_STAGE || stage == cbsp_store::TRACE_SLICE_STAGE {
+                    continue;
+                }
+                let lane = match stage.split_once('@') {
+                    Some((_, tag)) => tag,
+                    None => "bbv",
+                };
+                let entry = lanes.entry(lane).or_default();
+                entry.artifacts += s.artifacts;
+                entry.bytes += s.bytes;
+            }
+            println!("  by estimator lane:");
+            for (lane, s) in &lanes {
+                println!(
+                    "    {lane:<14} {} artifacts, {} bytes",
+                    s.artifacts, s.bytes
+                );
             }
             for manifest in store.manifests().map_err(|e| e.to_string())? {
                 let hits = manifest.stages.iter().filter(|s| s.hit).count();

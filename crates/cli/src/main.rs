@@ -43,18 +43,24 @@ commands:
       [--interval N] [--scale S] [--out FILE]
   cross <bench>                cross-binary pipeline over all four binaries
       [--interval N] [--scale S] [--threads N] [--out-dir DIR]
+      [--estimator bbv|bbv+mav|early|stratified]
       [--cache-dir DIR] [--no-cache 1] [--refresh 1]
+                                 (each estimator lane caches under its
+                                 own store namespace)
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]
   estimate <bench>             true vs SimPoint-estimated CPI per binary
       [--interval N] [--scale S] [--threads N]
+      [--estimator bbv|bbv+mav|early|stratified]
       [--cache-dir DIR] [--no-cache 1] [--refresh 1]
                                  (reads per-simpoint trace slices; set
                                  CBSP_NO_TRACE_SLICES=1 to force full
-                                 in-context replays)
+                                 in-context replays; stratified also
+                                 reports a confidence half-width)
   cache <stats|gc>             inspect or garbage-collect the artifact store
       [--cache-dir DIR]          (stats splits pipeline stages from the trace
-                                 cache; gc keeps manifest-referenced stage
+                                 cache and breaks them down by estimator
+                                 lane; gc keeps manifest-referenced stage
                                  artifacts and evicts recorded traces — they
                                  re-record on next use)
   serve                        run the simulation-point query daemon

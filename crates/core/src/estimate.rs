@@ -31,7 +31,7 @@ pub fn weighted_metric_with(
 ) -> f64 {
     points
         .iter()
-        .map(|p| phase_weights[p.phase as usize] * interval_values[p.interval])
+        .map(|p| phase_weights[p.phase as usize] * p.share * interval_values[p.interval])
         .sum()
 }
 
@@ -82,6 +82,56 @@ pub fn estimated_cycles(cpi_estimate: f64, instructions: u64) -> f64 {
     cpi_estimate * instructions as f64
 }
 
+/// Normal quantile used for the stratified confidence interval (95%).
+pub const STRATIFIED_CI_Z: f64 = 1.96;
+
+/// Half-width of the stratified estimator's confidence interval on a
+/// weighted metric (arxiv 2603.22605's two-phase stratified sampling).
+///
+/// Each phase is a stratum sampled at `m_k` of its `n_k` intervals (the
+/// points the stratified selector chose). The estimate's variance is
+/// the weighted sum of per-stratum sampling variances with a
+/// finite-population correction:
+///
+/// ```text
+/// Var = Σ_k w_k² · (s_k² / m_k) · (1 − m_k / n_k)
+/// ```
+///
+/// where `s_k²` is the sample variance of the phase's representative
+/// metric values (0 when `m_k < 2`) and `w_k = phase_weights[k]`. The
+/// reported half-width is `z · √Var` with `z =` [`STRATIFIED_CI_Z`].
+///
+/// Degenerate strata contribute zero width by construction:
+/// single-member and singly-sampled phases (`m_k = 1` ⇒ `s_k² = 0`),
+/// zero-variance phases (identical metric values), and fully sampled
+/// phases (`m_k = n_k` ⇒ the correction vanishes). Single-representative
+/// selectors therefore always report a zero-width interval.
+pub fn stratified_ci(
+    points: &[SimPoint],
+    labels: &[u32],
+    phase_weights: &[f64],
+    interval_values: &[f64],
+) -> f64 {
+    let mut var = 0.0;
+    for (phase, w) in phase_weights.iter().enumerate() {
+        let reps: Vec<f64> = points
+            .iter()
+            .filter(|p| p.phase as usize == phase)
+            .map(|p| interval_values[p.interval])
+            .collect();
+        let m = reps.len();
+        if m < 2 {
+            continue;
+        }
+        let n_k = labels.iter().filter(|&&l| l as usize == phase).count();
+        let mean = reps.iter().sum::<f64>() / m as f64;
+        let s2 = reps.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (m - 1) as f64;
+        let fpc = (1.0 - m as f64 / n_k as f64).max(0.0);
+        var += w * w * (s2 / m as f64) * fpc;
+    }
+    STRATIFIED_CI_Z * var.sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,12 +142,14 @@ mod tests {
                 phase: 0,
                 interval: 2,
                 weight: 0.7,
+                share: 1.0,
                 variance: 0.0,
             },
             SimPoint {
                 phase: 1,
                 interval: 5,
                 weight: 0.3,
+                share: 1.0,
                 variance: 0.0,
             },
         ]
@@ -130,5 +182,61 @@ mod tests {
     fn perfect_estimates_have_zero_error() {
         assert_eq!(speedup_error(1.7, 1.7), 0.0);
         assert_eq!(relative_error(3.3, 3.3), 0.0);
+    }
+
+    fn strat_point(phase: u32, interval: usize, share: f64, weight: f64) -> SimPoint {
+        SimPoint {
+            phase,
+            interval,
+            weight,
+            share,
+            variance: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_representative_lanes_report_zero_width() {
+        // One point per phase (m_k = 1): zero-width interval.
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let cpis = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ci = stratified_ci(&pts(), &labels, &[0.7, 0.3], &cpis);
+        assert_eq!(ci, 0.0);
+    }
+
+    #[test]
+    fn zero_variance_phases_report_zero_width() {
+        // Two representatives per phase with identical CPIs.
+        let points = vec![
+            strat_point(0, 0, 0.5, 0.35),
+            strat_point(0, 1, 0.5, 0.35),
+            strat_point(1, 3, 0.5, 0.15),
+            strat_point(1, 4, 0.5, 0.15),
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let cpis = vec![2.0, 2.0, 2.0, 5.0, 5.0, 5.0];
+        let ci = stratified_ci(&points, &labels, &[0.7, 0.3], &cpis);
+        assert_eq!(ci, 0.0);
+    }
+
+    #[test]
+    fn fully_sampled_phases_report_zero_width() {
+        // Every member selected (m_k = n_k): the finite-population
+        // correction cancels the sampling variance entirely.
+        let points = vec![strat_point(0, 0, 0.5, 0.5), strat_point(0, 1, 0.5, 0.5)];
+        let labels = vec![0, 0];
+        let cpis = vec![1.0, 9.0];
+        let ci = stratified_ci(&points, &labels, &[1.0], &cpis);
+        assert_eq!(ci, 0.0);
+    }
+
+    #[test]
+    fn spread_partially_sampled_phases_report_positive_width() {
+        let points = vec![strat_point(0, 0, 0.5, 0.5), strat_point(0, 2, 0.5, 0.5)];
+        let labels = vec![0, 0, 0, 0];
+        let cpis = vec![1.0, 1.0, 9.0, 9.0];
+        let ci = stratified_ci(&points, &labels, &[1.0], &cpis);
+        // s² = 32, m = 2, n = 4 ⇒ Var = 32/2 · (1 − 1/2) = 8.
+        let expected = STRATIFIED_CI_Z * 8.0f64.sqrt();
+        assert!((ci - expected).abs() < 1e-12, "ci {ci} vs {expected}");
     }
 }

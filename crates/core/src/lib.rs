@@ -55,8 +55,8 @@ pub mod vli;
 
 pub use error::CbspError;
 pub use estimate::{
-    estimated_cycles, relative_error, speedup, speedup_error, weighted_cpi, weighted_cpi_with,
-    weighted_metric, weighted_metric_with,
+    estimated_cycles, relative_error, speedup, speedup_error, stratified_ci, weighted_cpi,
+    weighted_cpi_with, weighted_metric, weighted_metric_with, STRATIFIED_CI_Z,
 };
 pub use mappable::{find_mappable_points, MappablePoint, MappableSet, PointKind};
 pub use perbinary::{run_per_binary, PerBinaryResult};
@@ -68,4 +68,4 @@ pub use softmarkers::{
     marker_period_stats, marker_period_stats_all, select_phase_markers, slice_at_marker,
     MarkerStats,
 };
-pub use vli::{build_vli, slice_instr_counts, VliProfile};
+pub use vli::{build_vli, build_vli_with, slice_instr_counts, VliProfile};

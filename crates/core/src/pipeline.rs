@@ -18,11 +18,11 @@
 use crate::error::CbspError;
 use crate::inlining::recover_inlined;
 use crate::mappable::{find_mappable_points, MappableSet};
-use crate::vli::{build_vli, slice_instr_counts, VliProfile};
+use crate::vli::{build_vli_with, slice_instr_counts, VliProfile};
 use cbsp_par::Pool;
 use cbsp_profile::{CallLoopProfile, ExecPoint, PinPointsFile, RegionBound, SimRegion};
 use cbsp_program::{Binary, Input};
-use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
+use cbsp_simpoint::{analyze, EstimatorConfig, SimPointConfig, SimPointResult};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -39,6 +39,11 @@ pub struct CbspConfig {
     /// (§3.2.4); interval sizes in the other binaries stretch or shrink
     /// with their relative instruction counts.
     pub primary: usize,
+    /// Estimation methodology: which features feed the clustering and
+    /// how representatives are chosen. The estimator's selector is the
+    /// single source of truth for representative selection — it
+    /// overrides `simpoint.representative` in [`simpoint_stage`].
+    pub estimator: EstimatorConfig,
 }
 
 impl Default for CbspConfig {
@@ -47,6 +52,7 @@ impl Default for CbspConfig {
             interval_target: 100_000,
             simpoint: SimPointConfig::default(),
             primary: 0,
+            estimator: EstimatorConfig::default(),
         }
     }
 }
@@ -102,7 +108,10 @@ impl CrossBinaryResult {
                 };
                 SimRegion {
                     phase: pt.phase,
-                    weight: self.weights[b][pt.phase as usize],
+                    // The binary's recalculated phase weight, split by
+                    // the point's within-phase share (1 for the
+                    // single-representative selectors).
+                    weight: self.weights[b][pt.phase as usize] * pt.share,
                     start,
                     end,
                 }
@@ -201,22 +210,41 @@ pub fn vli_stage(
     mappable: &MappableSet,
 ) -> VliProfile {
     let _span = cbsp_trace::span("stage/vli");
-    let vli = build_vli(
+    let vli = build_vli_with(
         binaries[config.primary],
         input,
         config.interval_target,
         &mappable.markers_of(config.primary),
+        config.estimator.features.wants_mav(),
     );
     cbsp_trace::add("pipeline/intervals_produced", vli.intervals.len() as u64);
     vli
 }
 
-/// Pipeline step 4: SimPoint clustering of the primary's interval BBVs.
-pub fn simpoint_stage(vli: &VliProfile, config: &SimPointConfig) -> SimPointResult {
+/// Pipeline step 4: SimPoint clustering of the primary's interval
+/// features. The estimator decides both the feature vectors (BBV, or
+/// BBV ⧺ MAV when the profile recorded accesses) and the
+/// representative-selection policy (`estimator.selector` overrides
+/// `config.representative`).
+pub fn simpoint_stage(
+    vli: &VliProfile,
+    config: &SimPointConfig,
+    estimator: &EstimatorConfig,
+) -> SimPointResult {
     let _span = cbsp_trace::span("stage/simpoint");
-    let vectors: Vec<Vec<f64>> = vli.intervals.iter().map(|i| i.bbv.clone()).collect();
+    let builder = estimator.features.builder();
+    let vectors: Vec<Vec<f64>> = vli
+        .intervals
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| builder.features(&iv.bbv, vli.mav(i)))
+        .collect();
     let instrs: Vec<u64> = vli.intervals.iter().map(|i| i.instrs).collect();
-    analyze(&vectors, &instrs, config)
+    let effective = SimPointConfig {
+        representative: estimator.selector,
+        ..*config
+    };
+    analyze(&vectors, &instrs, &effective)
 }
 
 /// Pipeline steps 5–6: translate interval boundaries to every binary
@@ -349,8 +377,8 @@ pub fn run_cross_binary(
     let primary = config.primary;
     let vli = vli_stage(binaries, input, config, &mappable);
 
-    // Step 4: SimPoint on the primary's interval BBVs.
-    let simpoint = simpoint_stage(&vli, &config.simpoint);
+    // Step 4: SimPoint on the primary's interval features.
+    let simpoint = simpoint_stage(&vli, &config.simpoint, &config.estimator);
 
     // Steps 5-6: boundary translation and weight recalculation.
     let MappedSlicing {

@@ -8,7 +8,7 @@
 //! boundary is recorded as a `(marker, execution count)` pair, which is
 //! exactly what makes the interval transferable to every other binary.
 
-use cbsp_profile::{BbvBuilder, ExecPoint, Interval, MarkerCounts, MarkerRef};
+use cbsp_profile::{BbvBuilder, ExecPoint, Interval, MarkerCounts, MarkerRef, MavBuilder};
 use cbsp_program::{run, Binary, BlockId, Input, Marker, TraceSink};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +22,10 @@ pub struct VliProfile {
     /// boundary, so `boundaries.len() == intervals.len() - 1` unless the
     /// run ended exactly on a boundary.
     pub boundaries: Vec<ExecPoint>,
+    /// Per-interval memory-access vectors, aligned with `intervals`.
+    /// Empty unless access recording was requested (see
+    /// [`build_vli_with`]) — the BBV-only estimators never pay for it.
+    pub mavs: Vec<Vec<f64>>,
 }
 
 impl VliProfile {
@@ -37,6 +41,11 @@ impl VliProfile {
         } else {
             self.total_instrs() as f64 / self.intervals.len() as f64
         }
+    }
+
+    /// Interval `i`'s memory-access vector (empty when not recorded).
+    pub fn mav(&self, i: usize) -> &[f64] {
+        self.mavs.get(i).map_or(&[], |m| m.as_slice())
     }
 }
 
@@ -75,19 +84,62 @@ impl MarkerFilter {
     }
 }
 
-struct VliSink {
+/// Optional per-interval memory-access accumulation for [`VliSink`].
+///
+/// The no-op `()` impl keeps the default (BBV-only) profiling path
+/// free of any per-access work: the sink is monomorphized over the
+/// recorder, so the disabled case compiles to nothing.
+trait MavRecord {
+    /// Whether interval MAVs are collected at all.
+    const ENABLED: bool;
+    fn observe(&mut self, addr: u64, is_write: bool);
+    fn take_interval(&mut self) -> Vec<f64>;
+}
+
+impl MavRecord for () {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn observe(&mut self, _addr: u64, _is_write: bool) {}
+
+    fn take_interval(&mut self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+impl MavRecord for MavBuilder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn observe(&mut self, addr: u64, is_write: bool) {
+        MavBuilder::observe(self, addr, is_write);
+    }
+
+    fn take_interval(&mut self) -> Vec<f64> {
+        MavBuilder::take_interval(self)
+    }
+}
+
+struct VliSink<M> {
     builder: BbvBuilder,
+    mav: M,
     counts: MarkerCounts,
     filter: MarkerFilter,
     target: u64,
     intervals: Vec<Interval>,
     boundaries: Vec<ExecPoint>,
+    mavs: Vec<Vec<f64>>,
 }
 
-impl TraceSink for VliSink {
+impl<M: MavRecord> TraceSink for VliSink<M> {
     #[inline]
     fn on_block(&mut self, block: BlockId, instrs: u64) {
         self.builder.observe(block, instrs);
+    }
+
+    #[inline]
+    fn on_access(&mut self, addr: u64, is_write: bool) {
+        self.mav.observe(addr, is_write);
     }
 
     #[inline]
@@ -96,6 +148,9 @@ impl TraceSink for VliSink {
         if self.builder.instrs() >= self.target && self.filter.contains(marker) {
             let (bbv, instrs) = self.builder.take_interval();
             self.intervals.push(Interval { bbv, instrs });
+            if M::ENABLED {
+                self.mavs.push(self.mav.take_interval());
+            }
             self.boundaries.push(ExecPoint {
                 marker: marker.into(),
                 count,
@@ -116,23 +171,58 @@ pub fn build_vli(
     target: u64,
     mappable: &[MarkerRef],
 ) -> VliProfile {
+    run_vli(binary, input, target, mappable, ())
+}
+
+/// [`build_vli`] with optional memory-access recording: when
+/// `record_mav` is set the profile additionally carries one
+/// memory-access vector per interval (`mavs`), feeding the BBV+MAV
+/// estimator. Interval *boundaries* are identical either way — the MAV
+/// is extra payload and never changes the cutting.
+pub fn build_vli_with(
+    binary: &Binary,
+    input: &Input,
+    target: u64,
+    mappable: &[MarkerRef],
+    record_mav: bool,
+) -> VliProfile {
+    if record_mav {
+        run_vli(binary, input, target, mappable, MavBuilder::new())
+    } else {
+        run_vli(binary, input, target, mappable, ())
+    }
+}
+
+fn run_vli<M: MavRecord>(
+    binary: &Binary,
+    input: &Input,
+    target: u64,
+    mappable: &[MarkerRef],
+    mav: M,
+) -> VliProfile {
     assert!(target > 0, "interval target must be positive");
     let mut sink = VliSink {
         builder: BbvBuilder::new(binary.block_count()),
+        mav,
         counts: MarkerCounts::for_binary(binary),
         filter: MarkerFilter::new(binary, mappable),
         target,
         intervals: Vec::new(),
         boundaries: Vec::new(),
+        mavs: Vec::new(),
     };
     run(binary, input, &mut sink);
     if sink.builder.instrs() > 0 {
         let (bbv, instrs) = sink.builder.take_interval();
         sink.intervals.push(Interval { bbv, instrs });
+        if M::ENABLED {
+            sink.mavs.push(sink.mav.take_interval());
+        }
     }
     VliProfile {
         intervals: sink.intervals,
         boundaries: sink.boundaries,
+        mavs: sink.mavs,
     }
 }
 
@@ -270,6 +360,26 @@ mod tests {
                 "interval {i}: primary frac {f0:.4} vs mapped frac {f3:.4}"
             );
         }
+    }
+
+    #[test]
+    fn mav_recording_aligns_with_intervals_and_never_changes_cutting() {
+        let (bins, input, set) = setup();
+        let plain = build_vli(&bins[0], &input, 2_000, &set.markers_of(0));
+        assert!(plain.mavs.is_empty(), "BBV-only profiling records no MAVs");
+        assert!(plain.mav(0).is_empty());
+        let with = build_vli_with(&bins[0], &input, 2_000, &set.markers_of(0), true);
+        // Same cutting: intervals and boundaries byte-identical.
+        assert_eq!(with.intervals, plain.intervals);
+        assert_eq!(with.boundaries, plain.boundaries);
+        // One MAV per interval; the workload touches memory, so the
+        // vectors carry mass.
+        assert_eq!(with.mavs.len(), with.intervals.len());
+        assert_eq!(with.mav(0).len(), cbsp_profile::MavBuilder::DIMS);
+        assert!(with.mavs.iter().any(|m| m.iter().sum::<f64>() > 0.0));
+        // Recording is deterministic.
+        let again = build_vli_with(&bins[0], &input, 2_000, &set.markers_of(0), true);
+        assert_eq!(again, with);
     }
 
     #[test]

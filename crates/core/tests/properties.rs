@@ -20,6 +20,7 @@ fn points_and_cpis() -> impl Strategy<Value = (Vec<SimPoint>, Vec<f64>)> {
                     phase: i as u32,
                     interval: i,
                     weight: w / total,
+                    share: 1.0,
                     variance: 0.0,
                 })
                 .collect();

@@ -33,6 +33,7 @@ pub mod callloop;
 pub mod fli;
 pub mod hotness;
 pub mod markers;
+pub mod mav;
 pub mod pinpoints;
 
 pub use bbfile::{parse_bb, write_bb, ParseBbError};
@@ -41,4 +42,5 @@ pub use callloop::{CallGraph, CallLoopProfile};
 pub use fli::{profile_fli, FliProfiler};
 pub use hotness::ProcHotness;
 pub use markers::{ExecPoint, MarkerCounts, MarkerRef};
+pub use mav::MavBuilder;
 pub use pinpoints::{PinPointsFile, RegionBound, SimRegion};

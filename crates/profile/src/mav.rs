@@ -1,0 +1,94 @@
+//! Memory Access Vector (MAV) accumulation.
+//!
+//! A MAV is a per-interval histogram of memory-access locality (arxiv
+//! 2506.02344): accesses are bucketed by cache-line address modulo a
+//! small fixed bucket count, reads and writes separately, so intervals
+//! that execute the same basic blocks against different working sets
+//! produce different vectors. Unlike BBVs the dimensionality is fixed
+//! — [`MavBuilder::DIMS`] — and independent of the binary, but MAVs
+//! still ride alongside BBVs per interval and are only clustered
+//! *within* one binary.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache-line address buckets per access direction.
+const BUCKETS: usize = 16;
+
+/// Bytes per cache line (must match the simulator's line size).
+const LINE_SHIFT: u32 = 6;
+
+/// Accumulates one interval's memory-access vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MavBuilder {
+    current: Vec<f64>,
+}
+
+impl MavBuilder {
+    /// MAV dimensionality: read buckets followed by write buckets.
+    pub const DIMS: usize = 2 * BUCKETS;
+
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MavBuilder {
+            current: vec![0.0; Self::DIMS],
+        }
+    }
+
+    /// Records one memory access to byte address `addr`.
+    #[inline]
+    pub fn observe(&mut self, addr: u64, is_write: bool) {
+        let bucket = ((addr >> LINE_SHIFT) % BUCKETS as u64) as usize;
+        let offset = if is_write { BUCKETS } else { 0 };
+        self.current[offset + bucket] += 1.0;
+    }
+
+    /// Closes the current interval, returning its (unnormalized) MAV,
+    /// and resets the accumulator.
+    pub fn take_interval(&mut self) -> Vec<f64> {
+        std::mem::replace(&mut self.current, vec![0.0; Self::DIMS])
+    }
+}
+
+impl Default for MavBuilder {
+    fn default() -> Self {
+        MavBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_land_in_separate_buckets() {
+        let mut m = MavBuilder::new();
+        m.observe(0, false);
+        m.observe(64, false);
+        m.observe(0, true);
+        let v = m.take_interval();
+        assert_eq!(v.len(), MavBuilder::DIMS);
+        assert_eq!(v[0], 1.0, "read of line 0");
+        assert_eq!(v[1], 1.0, "read of line 1");
+        assert_eq!(v[BUCKETS], 1.0, "write of line 0");
+        assert_eq!(v.iter().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn same_line_accesses_share_a_bucket() {
+        let mut m = MavBuilder::new();
+        m.observe(128, false);
+        m.observe(129, false);
+        m.observe(191, false);
+        let v = m.take_interval();
+        assert_eq!(v[2], 3.0, "bytes 128..192 are one line");
+    }
+
+    #[test]
+    fn take_interval_resets() {
+        let mut m = MavBuilder::new();
+        m.observe(4096, true);
+        let _ = m.take_interval();
+        let v = m.take_interval();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

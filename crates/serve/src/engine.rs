@@ -21,9 +21,10 @@ use cbsp_core::{CbspConfig, CbspError, CrossBinaryResult};
 use cbsp_par::Pool;
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
 use cbsp_sim::MemoryConfig;
-use cbsp_simpoint::SimPointResult;
+use cbsp_simpoint::{EstimatorConfig, SimPointResult};
 use cbsp_store::{
-    content_hash, pipeline_keys, ArtifactStore, CachePolicy, Orchestrator, PipelineKeys, RunReport,
+    content_hash, pipeline_keys, stage_namespaces, ArtifactStore, CachePolicy, Orchestrator,
+    PipelineKeys, RunReport,
 };
 use serde::Value;
 use std::collections::{HashMap, VecDeque};
@@ -140,6 +141,16 @@ pub(crate) fn prepare_spec(params: &Value, detail_allowed: bool) -> Result<Pipel
     if interval == 0 {
         return Err(fault(ErrorCode::BadRequest, "param `interval` must be > 0"));
     }
+    let estimator_tag = param_str_or(params, "estimator", "bbv")?;
+    let Some(estimator) = EstimatorConfig::parse(&estimator_tag) else {
+        return Err(fault(
+            ErrorCode::BadRequest,
+            format!(
+                "bad estimator `{estimator_tag}` ({})",
+                EstimatorConfig::KNOWN_TAGS.join("|")
+            ),
+        ));
+    };
     let detail_full = match param_str_or(params, "detail", "summary")?.as_str() {
         "summary" => false,
         "full" if detail_allowed => true,
@@ -164,6 +175,7 @@ pub(crate) fn prepare_spec(params: &Value, detail_allowed: bool) -> Result<Pipel
         .collect();
     let config = CbspConfig {
         interval_target: interval,
+        estimator,
         ..default
     };
     let refs: Vec<&Binary> = binaries.iter().collect();
@@ -234,6 +246,14 @@ impl Engine {
         let mut binaries = Vec::with_capacity(spec.binaries.len());
         for (b, est) in estimates.into_iter().enumerate() {
             let est = est.map_err(internal)?;
+            // Zero for single-representative lanes by construction; the
+            // stratified lane reports its half-width (see DESIGN.md).
+            let ci_half = cbsp_core::stratified_ci(
+                &cross.simpoint.points,
+                &cross.simpoint.labels,
+                &cross.weights[b],
+                &est.interval_cpis,
+            );
             binaries.push(obj(vec![
                 ("label", Value::Str(spec.binaries[b].label())),
                 ("true_cpi", Value::Float(est.true_cpi)),
@@ -246,6 +266,7 @@ impl Engine {
                         0.0
                     }),
                 ),
+                ("ci_half", Value::Float(ci_half)),
             ]));
         }
         let mut fields = summary_fields(spec, &run);
@@ -257,7 +278,8 @@ impl Engine {
     /// store. Never compiles a stage, so a miss answers in microseconds.
     pub fn execute_simpoints(&self, spec: &PipelineSpec) -> Reply {
         let key = &spec.keys.simpoint;
-        let found = match self.store.get::<SimPointResult>("simpoint", key) {
+        let ns = stage_namespaces(&spec.config.estimator);
+        let found = match self.store.get::<SimPointResult>(&ns.simpoint, key) {
             Ok(found) => found,
             Err(CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. }) => {
                 None
@@ -416,6 +438,7 @@ fn summary_fields(spec: &PipelineSpec, run: &CachedRun) -> Vec<(String, Value)> 
         ("benchmark", Value::Str(spec.benchmark.clone())),
         ("scale", Value::Str(spec.scale_name.to_string())),
         ("interval", Value::UInt(spec.config.interval_target)),
+        ("estimator", Value::Str(spec.config.estimator.tag())),
         ("run_key", Value::Str(report.run_key.clone())),
         ("result_hash", Value::Str(run.result_hash.clone())),
         ("k", Value::UInt(cross.simpoint.k as u64)),

@@ -220,10 +220,7 @@ impl Cache {
                 if !w.valid {
                     continue;
                 }
-                let rank = set
-                    .iter()
-                    .filter(|o| o.valid && o.stamp < w.stamp)
-                    .count();
+                let rank = set.iter().filter(|o| o.valid && o.stamp < w.stamp).count();
                 let idx = (base + i) as u64;
                 push_varint(out, idx - prev);
                 prev = idx;
@@ -260,7 +257,9 @@ impl Cache {
         for entry in 0..resident {
             let (delta, p) = read_varint(bytes, pos)?;
             let (line, p) = read_varint(bytes, p)?;
-            let &flags = bytes.get(p).ok_or(TraceError::UnexpectedEof { offset: p })?;
+            let &flags = bytes
+                .get(p)
+                .ok_or(TraceError::UnexpectedEof { offset: p })?;
             pos = p + 1;
             let flat = if entry == 0 {
                 delta

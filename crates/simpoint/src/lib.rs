@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bic;
+pub mod estimator;
 pub mod hamerly;
 pub mod kmeans;
 pub mod projection;
@@ -56,6 +57,10 @@ pub mod vector;
 
 pub use bic::bic;
 pub use cbsp_par::Pool;
+pub use estimator::{
+    BbvFeatures, BbvMavFeatures, Chosen, EarliestSelector, EstimatorConfig, FeatureBuilder,
+    FeatureKind, NearestCentroidSelector, PhaseCtx, Selector, StratifiedSelector,
+};
 pub use hamerly::kmeans_hamerly_from;
 pub use kmeans::{kmeans, kmeans_with, KMeansResult};
 pub use projection::Projection;

@@ -28,6 +28,16 @@ pub enum RepresentativePolicy {
         /// Allowed relative distance slack in `[0, 1]`.
         tolerance: f64,
     },
+    /// Per-cluster stratified sampling (arxiv 2603.22605): each phase
+    /// is split into up to `per_cluster` contiguous strata in interval
+    /// order, the centroid-nearest member of each stratum is selected,
+    /// and the phase weight is shared by stratum instruction mass. The
+    /// extra representatives trade slice replays for a variance-derived
+    /// confidence interval (see `cbsp_core::stratified_ci`).
+    Stratified {
+        /// Representatives per phase (clamped to the phase size).
+        per_cluster: usize,
+    },
 }
 
 // Not derived: the vendored serde derive parser does not understand a
@@ -94,8 +104,14 @@ pub struct SimPoint {
     pub phase: u32,
     /// Index of the representative interval.
     pub interval: usize,
-    /// Fraction of executed instructions in this phase, in `[0, 1]`.
+    /// Overall weight of this point: the phase's instruction fraction
+    /// times [`share`](Self::share), in `[0, 1]`. All points' weights
+    /// sum to ≈ 1.
     pub weight: f64,
+    /// Fraction of the phase this point stands for, in `(0, 1]`.
+    /// Single-representative selectors always report 1; stratified
+    /// selection splits the phase by stratum instruction mass.
+    pub share: f64,
     /// Mean squared distance of the phase's members to its centroid in
     /// the projected space (a confidence signal: tight phases are
     /// better represented by a single point). SimPoint 3.0 reports the
@@ -106,11 +122,13 @@ pub struct SimPoint {
 /// Result of a SimPoint analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimPointResult {
-    /// Chosen number of phases.
+    /// Chosen number of phases (distinct clusters with members).
     pub k: usize,
     /// Phase label per interval.
     pub labels: Vec<u32>,
-    /// One simulation point per phase, ordered by descending weight.
+    /// Selected simulation points, ordered by descending weight. One
+    /// per phase for single-representative selectors; stratified
+    /// selection yields up to `per_cluster` points per phase.
     pub points: Vec<SimPoint>,
     /// `(k, BIC)` for every k examined (diagnostics / ablations).
     pub bic_scores: Vec<(usize, f64)>,
@@ -122,7 +140,8 @@ impl SimPointResult {
         self.points.iter().map(|p| p.weight).sum()
     }
 
-    /// The simulation point for `phase`.
+    /// The heaviest simulation point for `phase` (its only point under
+    /// single-representative selectors).
     pub fn point_for_phase(&self, phase: u32) -> Option<&SimPoint> {
         self.points.iter().find(|p| p.phase == phase)
     }
@@ -254,9 +273,15 @@ pub fn analyze(
         .unwrap_or(runs.len() - 1);
     let (k, clustering, _) = &runs[chosen_idx];
 
-    // Step 5: representatives (closest to centroid) and weights
-    // (instruction fraction per phase).
+    // Step 5: representatives and weights. The selection policy is a
+    // pluggable [`crate::estimator::Selector`]; phase weights stay the
+    // phase's instruction fraction, split across representatives by the
+    // selector's within-phase shares (`share == 1.0` for the classic
+    // single-representative policies, which keeps their weights
+    // bit-identical to the pre-estimator pipeline).
+    let selector = config.representative.selector();
     let mut points = Vec::with_capacity(*k);
+    let mut phases = 0;
     for phase in 0..*k {
         let members: Vec<usize> = clustering
             .labels
@@ -269,48 +294,37 @@ pub fn analyze(
             continue; // k-means can leave a label unused after repair
         }
         let centroid = clustering.centroids.row(phase);
-        let dist_of = |i: usize| distance_sq(data.row(i), centroid);
-        let nearest_member = members
+        let dists: Vec<f64> = members
             .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                dist_of(a)
-                    .partial_cmp(&dist_of(b))
-                    .expect("finite distances")
-            })
-            .expect("members nonempty");
-        let representative = match config.representative {
-            RepresentativePolicy::NearestCentroid => nearest_member,
-            RepresentativePolicy::Earliest { tolerance } => {
-                // Accept the earliest member within `tolerance` of the
-                // best distance, scaled by the phase's distance spread.
-                let best = dist_of(nearest_member);
-                let worst = members.iter().copied().map(dist_of).fold(best, f64::max);
-                let cutoff = best + tolerance.clamp(0.0, 1.0) * (worst - best);
-                members
-                    .iter()
-                    .copied()
-                    .find(|&i| dist_of(i) <= cutoff + 1e-15)
-                    .unwrap_or(nearest_member)
-            }
-        };
+            .map(|&i| distance_sq(data.row(i), centroid))
+            .collect();
         let phase_instr: f64 = members.iter().map(|&i| instr_counts[i] as f64).sum();
-        let variance = members.iter().copied().map(dist_of).sum::<f64>() / members.len() as f64;
-        points.push(SimPoint {
-            phase: phase as u32,
-            interval: representative,
-            weight: if total_instr > 0.0 {
-                phase_instr / total_instr
-            } else {
-                members.len() as f64 / n as f64
-            },
-            variance,
-        });
+        let variance = dists.iter().sum::<f64>() / members.len() as f64;
+        let phase_weight = if total_instr > 0.0 {
+            phase_instr / total_instr
+        } else {
+            members.len() as f64 / n as f64
+        };
+        phases += 1;
+        let ctx = crate::estimator::PhaseCtx {
+            members: &members,
+            dists: &dists,
+            instr_counts,
+        };
+        for chosen in selector.select(&ctx) {
+            points.push(SimPoint {
+                phase: phase as u32,
+                interval: chosen.interval,
+                weight: phase_weight * chosen.share,
+                share: chosen.share,
+                variance,
+            });
+        }
     }
     points.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
 
     SimPointResult {
-        k: points.len(),
+        k: phases,
         labels: clustering.labels.clone(),
         points,
         bic_scores,
@@ -569,6 +583,75 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "BIC bits at threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn stratified_selects_multiple_points_per_phase() {
+        let (vectors, counts) = phased_vectors(3, 9);
+        let config = SimPointConfig {
+            representative: RepresentativePolicy::Stratified { per_cluster: 3 },
+            ..SimPointConfig::default()
+        };
+        let nearest = analyze(&vectors, &counts, &SimPointConfig::default());
+        let strat = analyze(&vectors, &counts, &config);
+        // Same clustering decision (selection happens after step 4)…
+        assert_eq!(strat.k, nearest.k);
+        assert_eq!(strat.labels, nearest.labels);
+        // …but three representatives per phase, sharing its weight.
+        assert_eq!(strat.points.len(), 3 * nearest.points.len());
+        assert!((strat.total_weight() - 1.0).abs() < 1e-9);
+        for pt in &strat.points {
+            assert_eq!(strat.labels[pt.interval], pt.phase);
+            assert!(pt.share > 0.0 && pt.share <= 1.0);
+        }
+        for phase in 0..strat.k as u32 {
+            let share: f64 = strat
+                .points
+                .iter()
+                .filter(|p| p.phase == phase)
+                .map(|p| p.share)
+                .sum();
+            assert!((share - 1.0).abs() < 1e-12, "phase {phase} share {share}");
+        }
+        // Single-representative lanes always report share 1.
+        for pt in &nearest.points {
+            assert_eq!(pt.share, 1.0);
+        }
+    }
+
+    #[test]
+    fn stratified_degenerate_phases_stay_deterministic() {
+        // One large phase plus a single-interval phase: asking for 4
+        // representatives must select the lone member exactly once with
+        // share 1, and never panic or duplicate.
+        let mut vectors = Vec::new();
+        for _ in 0..12 {
+            let mut v = vec![0.0; 16];
+            v[0] = 100.0;
+            vectors.push(v);
+        }
+        let mut lone = vec![0.0; 16];
+        lone[8] = 100.0;
+        vectors.push(lone);
+        let counts = vec![1_000u64; vectors.len()];
+        let config = SimPointConfig {
+            max_k: 2,
+            representative: RepresentativePolicy::Stratified { per_cluster: 4 },
+            ..SimPointConfig::default()
+        };
+        let a = analyze(&vectors, &counts, &config);
+        let b = analyze(&vectors, &counts, &config);
+        assert_eq!(a, b, "degenerate stratified selection is deterministic");
+        let lone_phase = a.labels[12];
+        let lone_points: Vec<_> = a.points.iter().filter(|p| p.phase == lone_phase).collect();
+        assert_eq!(lone_points.len(), 1, "single-member phase: one point");
+        assert_eq!(lone_points[0].share, 1.0);
+        // The 12-member zero-variance phase: 4 distinct representatives.
+        let big: Vec<_> = a.points.iter().filter(|p| p.phase != lone_phase).collect();
+        assert_eq!(big.len(), 4);
+        let mut seen: Vec<usize> = big.iter().map(|p| p.interval).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "no duplicate representatives");
     }
 
     #[test]

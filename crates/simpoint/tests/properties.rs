@@ -5,9 +5,11 @@
 
 use cbsp_simpoint::vector::{distance_l1, distance_sq, normalize, normalized, KERNEL_LANES};
 use cbsp_simpoint::{
-    analyze, bic, kmeans, kmeans_hamerly_from, Projection, SimPointConfig, VectorSet,
+    analyze, bic, kmeans, kmeans_hamerly_from, EstimatorConfig, Projection, RepresentativePolicy,
+    SimPointConfig, VectorSet,
 };
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 fn vectors_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     // n vectors of shared dimension d, strictly positive mass.
@@ -219,6 +221,74 @@ proptest! {
         prop_assert_eq!(distance_sq(&a, &b).to_bits(), sq.to_bits());
         let l1 = mirror(&a, &b, |x, y| (x - y).abs());
         prop_assert_eq!(distance_l1(&a, &b).to_bits(), l1.to_bits());
+    }
+
+    /// Stratified selection under arbitrary (and degenerate) phase
+    /// populations — the selector-level mirror of the k-means++
+    /// degenerate-distribution audit in `kmeans::sample_index`:
+    /// single-member phases, zero-variance phases, and `per_cluster`
+    /// exceeding the phase size must all produce a deterministic,
+    /// duplicate-free selection whose shares partition each phase.
+    #[test]
+    fn stratified_selection_survives_degenerate_phases(
+        vs in vectors_strategy(),
+        per_cluster in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let instrs: Vec<u64> = (0..vs.len()).map(|i| 1_000 + (i as u64 % 5) * 500).collect();
+        let config = SimPointConfig {
+            seed,
+            representative: RepresentativePolicy::Stratified { per_cluster },
+            ..SimPointConfig::default()
+        };
+        let r = analyze(&vs, &instrs, &config);
+        prop_assert_eq!(&r, &analyze(&vs, &instrs, &config));
+        prop_assert!((r.total_weight() - 1.0).abs() < 1e-9);
+        let mut per_phase: HashMap<u32, Vec<usize>> = HashMap::new();
+        for pt in &r.points {
+            prop_assert_eq!(r.labels[pt.interval], pt.phase);
+            prop_assert!(pt.share > 0.0 && pt.share <= 1.0 + 1e-12);
+            per_phase.entry(pt.phase).or_default().push(pt.interval);
+        }
+        for (phase, mut intervals) in per_phase {
+            let size = r.labels.iter().filter(|&&l| l == phase).count();
+            // Never more representatives than members or than asked for.
+            prop_assert!(intervals.len() <= per_cluster.min(size));
+            intervals.sort_unstable();
+            intervals.dedup();
+            let reps = r.points.iter().filter(|p| p.phase == phase).count();
+            prop_assert_eq!(intervals.len(), reps, "no duplicate representatives");
+            let share: f64 = r
+                .points
+                .iter()
+                .filter(|p| p.phase == phase)
+                .map(|p| p.share)
+                .sum();
+            prop_assert!((share - 1.0).abs() < 1e-9, "phase {} share {}", phase, share);
+        }
+    }
+
+    /// Every estimator lane's selection, not just the default, is
+    /// invisible to parallelism: 8-thread analysis equals 1-thread
+    /// analysis exactly under each selection policy.
+    #[test]
+    fn every_selector_is_thread_count_invariant(
+        vs in vectors_strategy(),
+        seed in any::<u64>(),
+        lane in 0usize..EstimatorConfig::KNOWN_TAGS.len(),
+    ) {
+        let estimator = EstimatorConfig::parse(EstimatorConfig::KNOWN_TAGS[lane])
+            .expect("known tag");
+        let instrs: Vec<u64> = (0..vs.len()).map(|i| 1_000 + i as u64).collect();
+        let config = SimPointConfig {
+            seed,
+            threads: 1,
+            representative: estimator.selector,
+            ..SimPointConfig::default()
+        };
+        let serial = analyze(&vs, &instrs, &config);
+        let pooled = analyze(&vs, &instrs, &SimPointConfig { threads: 8, ..config });
+        prop_assert_eq!(&serial, &pooled);
     }
 
     #[test]

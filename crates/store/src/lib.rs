@@ -51,7 +51,8 @@ pub mod store;
 pub mod traces;
 
 pub use orchestrator::{
-    pipeline_keys, CachePolicy, Orchestrator, PipelineKeys, RunReport, StageOutcome, STAGE_ORDER,
+    pipeline_keys, stage_namespaces, CachePolicy, Orchestrator, PipelineKeys, RunReport,
+    StageNamespaces, StageOutcome, STAGE_ORDER,
 };
 pub use sha256::{hex_digest, Sha256};
 pub use store::{

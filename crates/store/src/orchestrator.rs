@@ -21,7 +21,7 @@ use cbsp_core::{
 use cbsp_par::Pool;
 use cbsp_profile::CallLoopProfile;
 use cbsp_program::{Binary, Input};
-use cbsp_simpoint::{SimPointConfig, SimPointResult};
+use cbsp_simpoint::{EstimatorConfig, SimPointConfig, SimPointResult};
 use serde::Value;
 use std::sync::Arc;
 
@@ -31,8 +31,49 @@ use crate::store::{
     StageKey,
 };
 
-/// The five pipeline stages, in dependency order.
+/// The five pipeline stages, in dependency order. These are *logical*
+/// stage names; the estimator-dependent stages (`vli`, `simpoint`,
+/// `map`) are stored under estimator-tagged namespaces — see
+/// [`stage_namespaces`].
 pub const STAGE_ORDER: [&str; 5] = ["profile", "mappable", "vli", "simpoint", "map"];
+
+/// Store namespaces of the estimator-dependent pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageNamespaces {
+    /// Namespace of the `vli` stage (depends only on the feature kind:
+    /// every BBV-based selector shares one interval profile).
+    pub vli: String,
+    /// Namespace of the `simpoint` stage (full estimator tag).
+    pub simpoint: String,
+    /// Namespace of the `map` stage (full estimator tag).
+    pub map: String,
+}
+
+/// The store namespaces `estimator`'s artifacts live under.
+///
+/// The default estimator (nearest-centroid BBV) uses the plain stage
+/// names, so its keys — and therefore its on-disk artifacts — are
+/// byte-identical to the pre-estimator store. Every other lane gets
+/// `stage@tag` namespaces (e.g. `simpoint@stratified`), which flow into
+/// both the stage-key hash and the artifact envelope's stage string, so
+/// lanes can never collide and `cache stats` can attribute populations
+/// per estimator. The `vli` namespace depends only on the *feature*
+/// kind: selectors reuse the same interval profile, so the `early` and
+/// `stratified` lanes share the default lane's `vli` artifacts.
+pub fn stage_namespaces(estimator: &EstimatorConfig) -> StageNamespaces {
+    let vli = if estimator.features.wants_mav() {
+        format!("vli@{}", estimator.features.tag())
+    } else {
+        "vli".to_string()
+    };
+    let (simpoint, map) = if estimator.is_default() {
+        ("simpoint".to_string(), "map".to_string())
+    } else {
+        let tag = estimator.tag();
+        (format!("simpoint@{tag}"), format!("map@{tag}"))
+    };
+    StageNamespaces { vli, simpoint, map }
+}
 
 /// The content keys of every stage of one pipeline run, derived from
 /// the inputs alone — computing them costs a few hashes, never a stage
@@ -64,6 +105,14 @@ pub struct PipelineKeys {
 /// bit-identical at any setting), so runs at different thread counts
 /// share cache entries.
 ///
+/// The estimator enters the derivation through the stage *namespaces*
+/// ([`stage_namespaces`]): the namespace string is hashed into each
+/// stage key, so estimator lanes can never collide, while the default
+/// lane's namespaces are the plain stage names and its keys stay
+/// byte-identical to the pre-estimator store. The selector additionally
+/// enters through the effective `representative` in the simpoint key
+/// config (mirroring what [`cbsp_core::simpoint_stage`] actually runs).
+///
 /// # Errors
 ///
 /// Returns the same input-validation errors as the pipeline itself
@@ -74,6 +123,7 @@ pub fn pipeline_keys(
     config: &CbspConfig,
 ) -> Result<PipelineKeys, CbspError> {
     validate_binaries(binaries, config)?;
+    let ns = stage_namespaces(&config.estimator);
     let bin_hashes: Vec<String> = binaries.iter().map(|b| content_hash(*b)).collect();
     let input_hash = content_hash(input);
     let hash_parts: Vec<Value> = bin_hashes.iter().map(|h| Value::Str(h.clone())).collect();
@@ -93,7 +143,7 @@ pub fn pipeline_keys(
     let mappable = stage_key("mappable", &mappable_inputs);
 
     let vli = stage_key(
-        "vli",
+        &ns.vli,
         &[
             Value::Str(bin_hashes[config.primary].clone()),
             Value::Str(input_hash.clone()),
@@ -105,10 +155,11 @@ pub fn pipeline_keys(
 
     let key_config = SimPointConfig {
         threads: 0,
+        representative: config.estimator.selector,
         ..config.simpoint
     };
     let simpoint = stage_key(
-        "simpoint",
+        &ns.simpoint,
         &[Value::Str(vli.as_hex().to_string()), key_part(&key_config)],
     );
 
@@ -118,7 +169,7 @@ pub fn pipeline_keys(
     map_inputs.push(Value::Str(mappable.as_hex().to_string()));
     map_inputs.push(Value::Str(vli.as_hex().to_string()));
     map_inputs.push(Value::Str(simpoint.as_hex().to_string()));
-    let map = stage_key("map", &map_inputs);
+    let map = stage_key(&ns.map, &map_inputs);
 
     Ok(PipelineKeys {
         profile,
@@ -256,9 +307,15 @@ impl<'s> Orchestrator<'s> {
     /// as a miss and repaired in place (the typed error is only
     /// surfaced to direct `ArtifactStore::get` callers); other store
     /// errors propagate.
+    ///
+    /// `stage` is the logical stage name (one of [`STAGE_ORDER`], used
+    /// for outcomes and trace counters); `ns` is the store namespace
+    /// the artifact lives under — identical to `stage` except for
+    /// non-default estimator lanes (see [`stage_namespaces`]).
     fn cached<T, F>(
         &self,
         stage: &'static str,
+        ns: &str,
         label: &str,
         key: &StageKey,
         compute: F,
@@ -269,7 +326,7 @@ impl<'s> Orchestrator<'s> {
     {
         let mut repair = false;
         if self.policy == CachePolicy::ReadWrite {
-            match self.store.get::<T>(stage, key) {
+            match self.store.get::<T>(ns, key) {
                 Ok(Some(value)) => {
                     cbsp_trace::add("store/hits", 1);
                     if cbsp_trace::enabled() {
@@ -304,12 +361,12 @@ impl<'s> Orchestrator<'s> {
         let value = compute()?;
         match self.policy {
             CachePolicy::Bypass => {}
-            CachePolicy::Refresh => self.store.put_overwrite(stage, key, &value)?,
+            CachePolicy::Refresh => self.store.put_overwrite(ns, key, &value)?,
             CachePolicy::ReadWrite => {
                 if repair {
-                    self.store.put_overwrite(stage, key, &value)?;
+                    self.store.put_overwrite(ns, key, &value)?;
                 } else {
-                    self.store.put(stage, key, &value)?;
+                    self.store.put(ns, key, &value)?;
                 }
             }
         }
@@ -341,6 +398,7 @@ impl<'s> Orchestrator<'s> {
         description: &str,
     ) -> Result<(CrossBinaryResult, RunReport), CbspError> {
         let keys = pipeline_keys(binaries, input, config)?;
+        let ns = stage_namespaces(&config.estimator);
         let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(binaries.len() + 4);
 
         // Stage 1 — profile, in parallel across binaries.
@@ -349,9 +407,13 @@ impl<'s> Orchestrator<'s> {
         let mut profiles: Vec<CallLoopProfile> = Vec::with_capacity(binaries.len());
         let results: Vec<Result<(CallLoopProfile, StageOutcome), CbspError>> =
             pool.run_indexed(binaries.len(), |i| {
-                self.cached("profile", &binaries[i].label(), &keys.profile[i], || {
-                    Ok(profile_stage(binaries[i], input))
-                })
+                self.cached(
+                    "profile",
+                    "profile",
+                    &binaries[i].label(),
+                    &keys.profile[i],
+                    || Ok(profile_stage(binaries[i], input)),
+                )
             });
         for result in results {
             let (profile, outcome) = result?;
@@ -361,10 +423,13 @@ impl<'s> Orchestrator<'s> {
 
         // Stage 2 — mappable points across all binaries.
         self.check_cancelled("mappable")?;
-        let (mappable, outcome) =
-            self.cached("mappable", "all binaries", &keys.mappable, || {
-                Ok(mappable_stage(binaries, &profiles))
-            })?;
+        let (mappable, outcome) = self.cached(
+            "mappable",
+            "mappable",
+            "all binaries",
+            &keys.mappable,
+            || Ok(mappable_stage(binaries, &profiles)),
+        )?;
         outcomes.push(outcome);
         let MappableStage {
             set: mappable,
@@ -373,24 +438,30 @@ impl<'s> Orchestrator<'s> {
 
         // Stage 3 — variable-length intervals on the primary.
         self.check_cancelled("vli")?;
-        let (vli, outcome) =
-            self.cached("vli", &binaries[config.primary].label(), &keys.vli, || {
-                Ok(vli_stage(binaries, input, config, &mappable))
-            })?;
+        let (vli, outcome) = self.cached(
+            "vli",
+            &ns.vli,
+            &binaries[config.primary].label(),
+            &keys.vli,
+            || Ok(vli_stage(binaries, input, config, &mappable)),
+        )?;
         outcomes.push(outcome);
 
         // Stage 4 — SimPoint clustering of the primary's intervals.
         self.check_cancelled("simpoint")?;
-        let (simpoint, outcome): (SimPointResult, _) =
-            self.cached("simpoint", "primary intervals", &keys.simpoint, || {
-                Ok(simpoint_stage(&vli, &config.simpoint))
-            })?;
+        let (simpoint, outcome): (SimPointResult, _) = self.cached(
+            "simpoint",
+            &ns.simpoint,
+            "primary intervals",
+            &keys.simpoint,
+            || Ok(simpoint_stage(&vli, &config.simpoint, &config.estimator)),
+        )?;
         outcomes.push(outcome);
 
         // Stage 5 — boundary translation and per-binary weights.
         self.check_cancelled("map")?;
         let (mapped, outcome): (MappedSlicing, _) =
-            self.cached("map", "all binaries", &keys.map, || {
+            self.cached("map", &ns.map, "all binaries", &keys.map, || {
                 map_stage(
                     binaries,
                     input,
@@ -447,4 +518,75 @@ fn run_key_of(outcomes: &[StageOutcome]) -> String {
             .collect(),
     );
     hex_digest(canonical_json(&doc).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbsp_program::{compile, workloads, CompileTarget, Scale};
+
+    #[test]
+    fn estimator_lanes_get_disjoint_keys_and_share_what_they_can() {
+        let prog = workloads::by_name("swim")
+            .expect("in suite")
+            .build(Scale::Test);
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&prog, t))
+            .collect();
+        let refs: Vec<&Binary> = bins.iter().collect();
+        let input = Input::test();
+        let of = |tag: &str| {
+            let config = CbspConfig {
+                estimator: EstimatorConfig::parse(tag).expect("known tag"),
+                ..CbspConfig::default()
+            };
+            pipeline_keys(&refs, &input, &config).expect("keys derive")
+        };
+        let bbv = of("bbv");
+        let mav = of("bbv+mav");
+        let strat = of("stratified");
+        let early = of("early");
+
+        // Estimator-independent stages share keys across all lanes.
+        for other in [&mav, &strat, &early] {
+            assert_eq!(bbv.profile, other.profile);
+            assert_eq!(bbv.mappable, other.mappable);
+        }
+        // BBV-feature selectors reuse the default lane's interval
+        // profile; the MAV lane records extra payload and must not.
+        assert_eq!(bbv.vli, strat.vli);
+        assert_eq!(bbv.vli, early.vli);
+        assert_ne!(bbv.vli, mav.vli);
+        // Clustering and mapping keys are disjoint across every lane.
+        let simpoints = [
+            &bbv.simpoint,
+            &mav.simpoint,
+            &strat.simpoint,
+            &early.simpoint,
+        ];
+        let maps = [&bbv.map, &mav.map, &strat.map, &early.map];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(simpoints[i], simpoints[j], "simpoint keys {i} vs {j}");
+                assert_ne!(maps[i], maps[j], "map keys {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_estimator_uses_plain_namespaces() {
+        let ns = stage_namespaces(&EstimatorConfig::default());
+        assert_eq!(
+            (ns.vli.as_str(), ns.simpoint.as_str(), ns.map.as_str()),
+            ("vli", "simpoint", "map")
+        );
+        let strat = stage_namespaces(&EstimatorConfig::parse("stratified").expect("known"));
+        assert_eq!(strat.vli, "vli", "selector lanes share the vli namespace");
+        assert_eq!(strat.simpoint, "simpoint@stratified");
+        assert_eq!(strat.map, "map@stratified");
+        let mav = stage_namespaces(&EstimatorConfig::parse("bbv+mav").expect("known"));
+        assert_eq!(mav.vli, "vli@bbv+mav");
+        assert_eq!(mav.simpoint, "simpoint@bbv+mav");
+    }
 }

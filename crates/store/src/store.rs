@@ -39,7 +39,10 @@ use crate::sha256::hex_digest;
 
 /// Artifact schema version; bump when envelope or payload encodings
 /// change incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `SimPoint` gained a `share` field and `VliProfile` a `mavs`
+/// field (estimator lanes); v1 payloads no longer deserialize.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A content key: the SHA-256 (hex) of a stage's canonical input
 /// description.

@@ -733,18 +733,21 @@ mod tests {
                 phase: 0,
                 interval: 0,
                 weight: 0.5,
+                share: 1.0,
                 variance: 0.0,
             },
             SimPoint {
                 phase: 1,
                 interval: 2,
                 weight: 0.3,
+                share: 1.0,
                 variance: 0.0,
             },
             SimPoint {
                 phase: 2,
                 interval: 3,
                 weight: 0.2,
+                share: 1.0,
                 variance: 0.0,
             },
         ];
@@ -1029,7 +1032,10 @@ mod tests {
         let from_store = fresh
             .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
             .expect("store-warm estimate");
-        assert_eq!(cold.estimated_cpi.to_bits(), from_store.estimated_cpi.to_bits());
+        assert_eq!(
+            cold.estimated_cpi.to_bits(),
+            from_store.estimated_cpi.to_bits()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -69,5 +69,5 @@ pub mod prelude {
     pub use cbsp_sim::{
         simulate_fli_sliced, simulate_full, simulate_marker_sliced, MemoryConfig, SimStats,
     };
-    pub use cbsp_simpoint::{analyze, SimPointConfig, SimPointResult};
+    pub use cbsp_simpoint::{analyze, EstimatorConfig, SimPointConfig, SimPointResult};
 }

@@ -11,6 +11,16 @@ use cross_binary_simpoints::prelude::*;
 use proptest::prelude::*;
 
 fn run_at(name: &str, interval: u64, seed: u64, threads: usize) -> CrossBinaryResult {
+    run_lane_at(name, interval, seed, threads, EstimatorConfig::default())
+}
+
+fn run_lane_at(
+    name: &str,
+    interval: u64,
+    seed: u64,
+    threads: usize,
+    estimator: EstimatorConfig,
+) -> CrossBinaryResult {
     let program = workloads::by_name(name)
         .expect("in suite")
         .build(Scale::Test);
@@ -20,6 +30,7 @@ fn run_at(name: &str, interval: u64, seed: u64, threads: usize) -> CrossBinaryRe
         .collect();
     let config = CbspConfig {
         interval_target: interval,
+        estimator,
         simpoint: SimPointConfig {
             seed,
             threads,
@@ -58,20 +69,39 @@ fn auto_thread_count_matches_serial() {
     assert_eq!(serial, auto);
 }
 
+#[test]
+fn every_estimator_lane_is_byte_identical_across_thread_counts() {
+    for tag in EstimatorConfig::KNOWN_TAGS {
+        let estimator = EstimatorConfig::parse(tag).expect("known tag");
+        let serial = run_lane_at("gzip", 20_000, 42, 1, estimator);
+        let pooled = run_lane_at("gzip", 20_000, 42, 8, estimator);
+        assert_eq!(serial, pooled, "{tag}: results differ by thread count");
+        let serial_json = serde_json::to_string(&serial).expect("serializes");
+        let pooled_json = serde_json::to_string(&pooled).expect("serializes");
+        assert_eq!(
+            serial_json, pooled_json,
+            "{tag}: serialized results differ by thread count"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// Byte-identical output at 1 vs 8 threads over random seeds and
-    /// interval targets on small workloads.
+    /// Byte-identical output at 1 vs 8 threads over random seeds,
+    /// interval targets, and estimator lanes on small workloads.
     #[test]
     fn pipeline_thread_determinism_over_seeds(
         seed in any::<u64>(),
         interval in 10_000u64..40_000,
         which in 0usize..3,
+        lane in 0usize..EstimatorConfig::KNOWN_TAGS.len(),
     ) {
         let name = ["gzip", "swim", "mcf"][which];
-        let serial = run_at(name, interval, seed, 1);
-        let pooled = run_at(name, interval, seed, 8);
+        let estimator = EstimatorConfig::parse(EstimatorConfig::KNOWN_TAGS[lane])
+            .expect("known tag");
+        let serial = run_lane_at(name, interval, seed, 1, estimator);
+        let pooled = run_lane_at(name, interval, seed, 8, estimator);
         prop_assert_eq!(&serial, &pooled);
         let serial_json = serde_json::to_string(&serial).expect("serializes");
         let pooled_json = serde_json::to_string(&pooled).expect("serializes");
