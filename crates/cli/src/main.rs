@@ -57,12 +57,14 @@ commands:
                                  CBSP_NO_TRACE_SLICES=1 to force full
                                  in-context replays; stratified also
                                  reports a confidence half-width)
-  cache <stats|gc>             inspect or garbage-collect the artifact store
-      [--cache-dir DIR]          (stats splits pipeline stages from the trace
-                                 cache and breaks them down by estimator
-                                 lane; gc keeps manifest-referenced stage
-                                 artifacts and evicts recorded traces — they
-                                 re-record on next use)
+  cache <stats|gc|migrate>     inspect, garbage-collect, or migrate the
+      [--cache-dir DIR]          artifact store (stats splits pipeline stages
+                                 from the trace cache and reports per-format
+                                 json/blob populations; gc keeps
+                                 manifest-referenced stage artifacts and
+                                 evicts recorded traces — they re-record on
+                                 next use; migrate rewrites legacy JSON trace
+                                 envelopes as binary blobs)
   serve                        run the simulation-point query daemon
       [--addr HOST:PORT] [--threads N] [--max-inflight N]
       [--cache-dir DIR] [--timeout-ms N] [--shard-id N]

@@ -50,7 +50,7 @@ pub use regions::{
     RegionStats, Warmup,
 };
 pub use replay::{
-    replay, replay_fli_sliced, replay_full, replay_marker_sliced, replay_regions,
+    replay, replay_bytes, replay_fli_sliced, replay_full, replay_marker_sliced, replay_regions,
     replay_regions_with, TraceError,
 };
 pub use runner::{

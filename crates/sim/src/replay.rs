@@ -126,12 +126,31 @@ fn read_varint_tail(bytes: &[u8], start: usize, mut v: u64) -> Result<(u64, usiz
 /// corrupt, or disagrees with the trace's declared event count. Events
 /// already decoded will have reached the sink.
 pub fn replay<S: TraceSink>(trace: &EventTrace, sink: &mut S) -> Result<(), TraceError> {
-    let bytes = &trace.bytes;
+    replay_bytes(&trace.bytes, trace.events, sink)
+}
+
+/// [`replay`] from a borrowed byte buffer: decodes `events` events out
+/// of `bytes` into `sink` without requiring an owning [`EventTrace`].
+/// This is the zero-copy entry point for callers holding trace bytes
+/// in some other allocation — a store read buffer, a slice of a larger
+/// file — who should not have to move or copy them into an
+/// [`EventTrace`] just to replay.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] if the buffer is truncated, structurally
+/// corrupt, or disagrees with the declared event count. Events already
+/// decoded will have reached the sink.
+pub fn replay_bytes<S: TraceSink>(
+    bytes: &[u8],
+    events: u64,
+    sink: &mut S,
+) -> Result<(), TraceError> {
     let mut pos = 0usize;
     let mut prev_block = 0u64;
     let mut prev_addr = 0u64;
     let mut prev_branch = 0u64;
-    for _ in 0..trace.events {
+    for _ in 0..events {
         let head_at = pos;
         let (head, p) = read_varint(bytes, pos)?;
         pos = p;
@@ -187,7 +206,7 @@ pub fn replay<S: TraceSink>(trace: &EventTrace, sink: &mut S) -> Result<(), Trac
         return Err(TraceError::TrailingBytes { offset: pos });
     }
     cbsp_trace::add("sim/replays", 1);
-    cbsp_trace::add("sim/replay_events", trace.events);
+    cbsp_trace::add("sim/replay_events", events);
     Ok(())
 }
 

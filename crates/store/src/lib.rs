@@ -45,6 +45,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod blob;
 pub mod orchestrator;
 pub mod sha256;
 pub mod store;
@@ -59,7 +60,11 @@ pub use store::{
     canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,
     RunManifest, StageKey, StageStats, StoreStats, SCHEMA_VERSION,
 };
+pub use blob::{
+    derived_key, Blob, BLOB_FORMAT_VERSION, BLOB_HEADER_LEN, BLOB_MAGIC, BLOB_STAGE_MAX,
+};
 pub use traces::{
-    slicing_disabled, trace_key, trace_slice_key, CpiEstimate, TraceCache, TRACE_SLICE_STAGE,
+    migrate_store, prefetch_disabled, put_slices_legacy, put_trace_legacy, slicing_disabled,
+    trace_key, trace_slice_key, CpiEstimate, MigrateReport, TraceCache, TRACE_SLICE_STAGE,
     TRACE_STAGE,
 };

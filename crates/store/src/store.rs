@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! <root>/objects/<k[0..2]>/<k>.json   checksummed artifact envelopes
+//! <root>/objects/<k[0..2]>/<k>.blob   binary blob tier (see [`crate::blob`])
 //! <root>/manifests/<run>.json         human-readable run manifests
 //! ```
 //!
@@ -58,6 +59,18 @@ impl StageKey {
     /// Shortened prefix for display.
     pub fn short(&self) -> &str {
         &self.0[..12]
+    }
+
+    /// Re-admits a 64-hex-digit digest as a key. Keys are normally
+    /// *derived* ([`stage_key`]), but migration and blob sub-keys need
+    /// to reconstruct one from an existing on-disk digest. Returns
+    /// `None` unless `hex` is exactly 64 lowercase-hex digits.
+    pub fn parse(hex: &str) -> Option<StageKey> {
+        let valid = hex.len() == 64
+            && hex
+                .bytes()
+                .all(|c| c.is_ascii_digit() || (b'a'..=b'f').contains(&c));
+        valid.then(|| StageKey(hex.to_string()))
     }
 }
 
@@ -120,6 +133,10 @@ pub struct StoreStats {
     pub manifests: u64,
     /// Per-stage breakdown, keyed by stage name.
     pub per_stage: BTreeMap<String, StageStats>,
+    /// Per-format breakdown (`json` envelopes vs `blob` files), so
+    /// `cache stats` reports both tiers and gc reports don't silently
+    /// miss one.
+    pub per_format: BTreeMap<String, StageStats>,
 }
 
 /// Result of a [`ArtifactStore::gc`] sweep.
@@ -171,7 +188,7 @@ pub struct ArtifactStore {
 /// A tmp-file suffix unique per process *and* per in-process writer, so
 /// concurrent writers of the same key never rename each other's file
 /// out from under themselves.
-fn tmp_suffix() -> String {
+pub(crate) fn tmp_suffix() -> String {
     static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     format!(
         "tmp.{}.{}",
@@ -192,6 +209,23 @@ fn corrupt(key: &StageKey, detail: impl Into<String>) -> CbspError {
         key: key.as_hex().to_string(),
         detail: detail.into(),
     }
+}
+
+/// Reads the stage name out of a blob file's fixed header — best-effort
+/// attribution for stats; a malformed header yields `None` (the file
+/// still counts toward totals, under `<unknown>`).
+fn read_blob_stage(path: &Path) -> Option<String> {
+    use std::io::Read;
+    let mut header = [0u8; 24];
+    std::fs::File::open(path).ok()?.read_exact(&mut header).ok()?;
+    if header[0..4] != crate::blob::BLOB_MAGIC {
+        return None;
+    }
+    let len = header[8] as usize;
+    if len > crate::blob::BLOB_STAGE_MAX {
+        return None;
+    }
+    String::from_utf8(header[9..9 + len].to_vec()).ok()
 }
 
 impl ArtifactStore {
@@ -413,7 +447,7 @@ impl ArtifactStore {
 
     fn walk_objects(
         &self,
-        mut visit: impl FnMut(&Path, u64, Option<&str>),
+        mut visit: impl FnMut(&Path, u64, Option<&str>, &str),
     ) -> Result<(), CbspError> {
         let objects = self.root.join("objects");
         for shard in std::fs::read_dir(&objects).map_err(|e| io_err(&objects, e))? {
@@ -423,30 +457,64 @@ impl ArtifactStore {
             }
             for entry in std::fs::read_dir(&shard).map_err(|e| io_err(&shard, e))? {
                 let path = entry.map_err(|e| io_err(&shard, e))?.path();
-                if path.extension().is_none_or(|e| e != "json") {
-                    continue;
-                }
+                let format = match path.extension().and_then(|e| e.to_str()) {
+                    Some("json") => "json",
+                    Some("blob") => "blob",
+                    _ => continue,
+                };
                 let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
                 // Best-effort stage attribution for stats; a file that
-                // doesn't parse still counts toward totals.
-                let stage = std::fs::read_to_string(&path)
-                    .ok()
-                    .and_then(|text| serde_json::parse(&text).ok())
-                    .and_then(|v| {
-                        v.as_object().and_then(|fields| {
-                            fields
-                                .iter()
-                                .find(|(k, _)| k == "stage")
-                                .and_then(|(_, v)| match v {
-                                    Value::Str(s) => Some(s.clone()),
-                                    _ => None,
-                                })
+                // doesn't parse still counts toward totals. Blob stage
+                // names sit in the fixed header — no JSON parse needed.
+                let stage = if format == "blob" {
+                    read_blob_stage(&path)
+                } else {
+                    std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| serde_json::parse(&text).ok())
+                        .and_then(|v| {
+                            v.as_object().and_then(|fields| {
+                                fields
+                                    .iter()
+                                    .find(|(k, _)| k == "stage")
+                                    .and_then(|(_, v)| match v {
+                                        Value::Str(s) => Some(s.clone()),
+                                        _ => None,
+                                    })
+                            })
                         })
-                    });
-                visit(&path, bytes, stage.as_deref());
+                };
+                visit(&path, bytes, stage.as_deref(), format);
             }
         }
         Ok(())
+    }
+
+    /// Enumerates `(stage, key)` for every artifact stored in `format`
+    /// (`"json"` or `"blob"`) — the worklist a migration sweeps over.
+    /// Files whose stage cannot be attributed or whose name is not a
+    /// valid key are skipped (they cannot be migrated mechanically and
+    /// will be repaired on use instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbspError::StoreIo`] if the store cannot be listed.
+    pub fn keys_in_format(&self, format: &str) -> Result<Vec<(String, StageKey)>, CbspError> {
+        let mut out = Vec::new();
+        self.walk_objects(|path, _, stage, fmt| {
+            if fmt != format {
+                return;
+            }
+            let key = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(StageKey::parse);
+            if let (Some(stage), Some(key)) = (stage, key) {
+                out.push((stage.to_string(), key));
+            }
+        })?;
+        out.sort();
+        Ok(out)
     }
 
     /// Disk-usage statistics for `cache stats`.
@@ -456,7 +524,7 @@ impl ArtifactStore {
     /// Returns [`CbspError::StoreIo`] if the store cannot be listed.
     pub fn stats(&self) -> Result<StoreStats, CbspError> {
         let mut stats = StoreStats::default();
-        self.walk_objects(|_, bytes, stage| {
+        self.walk_objects(|_, bytes, stage, format| {
             stats.artifacts += 1;
             stats.bytes += bytes;
             let entry = stats
@@ -465,6 +533,9 @@ impl ArtifactStore {
                 .or_default();
             entry.artifacts += 1;
             entry.bytes += bytes;
+            let fmt = stats.per_format.entry(format.to_string()).or_default();
+            fmt.artifacts += 1;
+            fmt.bytes += bytes;
         })?;
         stats.manifests = self.manifests()?.len() as u64;
         Ok(stats)
@@ -484,7 +555,7 @@ impl ArtifactStore {
         }
         let mut report = GcReport::default();
         let mut doomed: Vec<PathBuf> = Vec::new();
-        self.walk_objects(|path, bytes, _| {
+        self.walk_objects(|path, bytes, _, _| {
             let key = path
                 .file_stem()
                 .and_then(|s| s.to_str())

@@ -1,0 +1,192 @@
+//! On-disk-format and thread-count determinism of the sliced-trace
+//! estimate path: the same CPI estimate must come back bit-identical
+//! whether the store serves binary blobs or legacy JSON envelopes, and
+//! whether slice prefetch fans out over 1 thread or 8 — the blob tier
+//! is a faster encoding of the same artifacts, never a different
+//! answer.
+
+use cbsp_par::Pool;
+use cbsp_store::{put_slices_legacy, put_trace_legacy, ArtifactStore, CpiEstimate, TraceCache};
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::profile::{ExecPoint, MarkerRef};
+use cross_binary_simpoints::program::{BlockId, Marker};
+use cross_binary_simpoints::sim::{record_trace, slice_trace, MemoryConfig};
+use cross_binary_simpoints::simpoint::SimPoint;
+use std::path::PathBuf;
+
+/// Counts marker executions to derive in-order [`ExecPoint`]
+/// boundaries without involving the profiling pipeline.
+#[derive(Default)]
+struct MarkerTally(std::collections::BTreeMap<MarkerRef, u64>);
+
+impl TraceSink for MarkerTally {
+    fn on_block(&mut self, _block: BlockId, _instrs: u64) {}
+
+    fn on_marker(&mut self, marker: Marker) {
+        let r = match marker {
+            Marker::ProcEntry(p) => MarkerRef::Proc(u32::from(p)),
+            Marker::LoopEntry(l) => MarkerRef::LoopEntry(u32::from(l)),
+            Marker::LoopBack(l) => MarkerRef::LoopBack(u32::from(l)),
+        };
+        *self.0.entry(r).or_insert(0) += 1;
+    }
+}
+
+fn boundaries_and_points(bin: &Binary, input: &Input) -> (Vec<ExecPoint>, Vec<SimPoint>) {
+    let mut tally = MarkerTally::default();
+    run(bin, input, &mut tally);
+    let (&marker, &execs) = tally.0.iter().max_by_key(|(_, &n)| n).expect("markers run");
+    let cuts = 8.min(execs);
+    let boundaries: Vec<ExecPoint> = (1..=cuts)
+        .map(|i| ExecPoint {
+            marker,
+            count: i * execs / cuts,
+        })
+        .collect();
+    let n = boundaries.len() + 1;
+    let points = vec![
+        SimPoint {
+            phase: 0,
+            interval: 0,
+            weight: 0.5,
+            share: 1.0,
+            variance: 0.0,
+        },
+        SimPoint {
+            phase: 1,
+            interval: n / 2,
+            weight: 0.3,
+            share: 1.0,
+            variance: 0.0,
+        },
+        SimPoint {
+            phase: 2,
+            interval: n - 1,
+            weight: 0.2,
+            share: 1.0,
+            variance: 0.0,
+        },
+    ];
+    (boundaries, points)
+}
+
+fn temp_store(tag: &str) -> (ArtifactStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("cbsp-blob-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (ArtifactStore::open(&dir).expect("store opens"), dir)
+}
+
+fn assert_bit_identical(reference: &CpiEstimate, other: &CpiEstimate, label: &str) {
+    assert_eq!(
+        reference.estimated_cpi.to_bits(),
+        other.estimated_cpi.to_bits(),
+        "{label}: estimated CPI differs"
+    );
+    assert_eq!(
+        reference.true_cpi.to_bits(),
+        other.true_cpi.to_bits(),
+        "{label}: true CPI differs"
+    );
+    let bits = |e: &CpiEstimate| e.interval_cpis.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(reference),
+        bits(other),
+        "{label}: per-interval CPIs differ"
+    );
+    assert_eq!(reference, other, "{label}: estimate differs");
+}
+
+/// The sliced CPI estimate is bit-identical across
+/// {legacy JSON, blob} × {1, 8 prefetch threads} for every binary of a
+/// workload.
+#[test]
+fn estimates_are_identical_across_formats_and_thread_counts() {
+    let prog = workloads::by_name("gzip")
+        .expect("in suite")
+        .build(Scale::Test);
+    let input = Input::test();
+    let config = MemoryConfig::table1();
+
+    for &target in &[CompileTarget::W32_O2, CompileTarget::W64_O0] {
+        let bin = compile(&prog, target);
+        let (boundaries, points) = boundaries_and_points(&bin, &input);
+        let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+        let n = boundaries.len() + 1;
+        let label = bin.label();
+
+        // Blob-format store: a cold estimate materializes the blobs.
+        let (blob_store, blob_dir) = temp_store(&format!("blob-{target:?}"));
+        let reference = TraceCache::new(Some(&blob_store))
+            .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+            .expect("cold blob estimate");
+
+        // Legacy-format store: the same artifacts as JSON envelopes.
+        let (json_store, json_dir) = temp_store(&format!("json-{target:?}"));
+        let trace = record_trace(&bin, &input);
+        let sliced = slice_trace(&trace, &config, &boundaries, &selected).expect("slices");
+        put_trace_legacy(&json_store, &bin, &input, &trace).expect("legacy trace writes");
+        put_slices_legacy(
+            &json_store,
+            &bin,
+            &input,
+            &config,
+            &boundaries,
+            &selected,
+            &sliced,
+        )
+        .expect("legacy slices write");
+
+        for threads in [1usize, 8] {
+            let pool = Pool::new(threads);
+            for (format, store) in [("blob", &blob_store), ("legacy", &json_store)] {
+                let cache = TraceCache::new(Some(store))
+                    .without_migration()
+                    .with_prefetch(pool);
+                let estimate = cache
+                    .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+                    .expect("store-warm estimate");
+                assert_bit_identical(
+                    &reference,
+                    &estimate,
+                    &format!("{label} / {format} / {threads} threads"),
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&blob_dir);
+        let _ = std::fs::remove_dir_all(&json_dir);
+    }
+}
+
+/// Read-through migration does not change the answer: estimating from
+/// a legacy store with migration enabled rewrites the artifacts as
+/// blobs, and the post-migration store still serves the identical
+/// estimate.
+#[test]
+fn migration_preserves_the_estimate() {
+    let prog = workloads::by_name("swim")
+        .expect("in suite")
+        .build(Scale::Test);
+    let bin = compile(&prog, CompileTarget::W32_O2);
+    let input = Input::test();
+    let config = MemoryConfig::table1();
+    let (boundaries, points) = boundaries_and_points(&bin, &input);
+    let selected: Vec<usize> = points.iter().map(|p| p.interval).collect();
+    let n = boundaries.len() + 1;
+
+    let (store, dir) = temp_store("migrate");
+    let trace = record_trace(&bin, &input);
+    let sliced = slice_trace(&trace, &config, &boundaries, &selected).expect("slices");
+    put_trace_legacy(&store, &bin, &input, &trace).expect("legacy trace writes");
+    put_slices_legacy(&store, &bin, &input, &config, &boundaries, &selected, &sliced)
+        .expect("legacy slices write");
+
+    // First read migrates in place (the default), second reads blobs.
+    let migrating = TraceCache::new(Some(&store))
+        .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+        .expect("migrating estimate");
+    let post = TraceCache::new(Some(&store))
+        .estimate_cpi_sliced(&bin, &input, &config, &boundaries, &points, None, n)
+        .expect("post-migration estimate");
+    assert_bit_identical(&migrating, &post, "legacy vs migrated store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
