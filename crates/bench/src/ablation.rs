@@ -109,6 +109,7 @@ pub fn standard_variants(base_interval: u64) -> Vec<Variant> {
     let mut inline_lines = Variant::new("inline_debug_lines", base);
     inline_lines.compile = CompileOptions {
         preserve_inline_lines: true,
+        ..CompileOptions::default()
     };
     variants.push(inline_lines);
     variants
@@ -299,6 +300,7 @@ mod tests {
         let mut keep = base.clone();
         keep.compile = CompileOptions {
             preserve_inline_lines: true,
+            ..CompileOptions::default()
         };
         let mem = MemoryConfig::table1();
         let traces = TraceCache::in_memory();

@@ -15,12 +15,20 @@
 //! experiments accuracy-gate [--ref results_ref.json] [--tolerance 0.02]
 //!                           [--benchmarks a,b,c] [--cache-dir DIR]
 //!                           [--estimators bbv,bbv+mav,stratified]
+//!                           [--fuzzy[=THRESHOLD]]
 //! ```
 //!
 //! `--estimators` adds head-to-head estimator lanes: each lane
 //! re-clusters the shared detailed simulations under its own
 //! methodology, the gate prints the per-benchmark comparison table,
 //! and every lane is gated against its own committed reference column.
+//!
+//! `--fuzzy` adds the fuzzy-mapping lane: each of its benchmarks is
+//! evaluated on marker-destroyed optimized binaries (the paper's
+//! `applu` failure mode) and gated on a hard ≥ 80% mapped-fraction
+//! floor plus a CPI-error bound 5× looser than `--tolerance` (see
+//! `docs/MAPPING.md`). `fuzzy` alone (no gate) runs just the lane and
+//! prints its table.
 
 use cbsp_bench::{
     evaluate_benchmark_with, mpki_eval, phase_bias, render_lanes, report, run_ablations,
@@ -45,6 +53,8 @@ struct Options {
     trace_cache: bool,
     /// Estimator lanes to evaluate head-to-head (empty = none).
     estimators: Vec<EstimatorConfig>,
+    /// Fuzzy-mapping lane acceptance threshold (`None` = lane off).
+    fuzzy: Option<f64>,
     baseline: String,
     current: Option<String>,
     reference: String,
@@ -63,6 +73,7 @@ fn parse_args() -> Options {
         cache_dir: None,
         trace_cache: true,
         estimators: Vec::new(),
+        fuzzy: None,
         baseline: "BENCH_simpoint.json".to_string(),
         current: None,
         reference: "results_ref.json".to_string(),
@@ -127,6 +138,19 @@ fn parse_args() -> Options {
                     })
                     .collect();
             }
+            "--fuzzy" => {
+                opts.fuzzy = Some(cbsp_core::FuzzyConfig::DEFAULT_THRESHOLD);
+            }
+            flag if flag.starts_with("--fuzzy=") => {
+                let v = &flag["--fuzzy=".len()..];
+                let threshold: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --fuzzy threshold {v}")));
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    die(&format!("--fuzzy threshold {threshold} outside (0, 1]"));
+                }
+                opts.fuzzy = Some(threshold);
+            }
             "--baseline" => {
                 opts.baseline = args
                     .next()
@@ -147,11 +171,11 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|perf [compare]|accuracy-gate] \
+                    "usage: experiments [all|table1|fig1..fig5|table2|table3|mpki|ablation|archsweep|warmup|softmarkers|seeds|fuzzy|perf [compare]|accuracy-gate] \
                      [--scale test|train|ref] [--interval N] \
                      [--benchmarks a,b,c] [--threads N] [--json FILE] [--cache-dir DIR] \
-                     [--no-trace-cache] [--estimators a,b,c] [--baseline FILE] [--current FILE] \
-                     [--ref FILE] [--tolerance T]"
+                     [--no-trace-cache] [--estimators a,b,c] [--fuzzy[=T]] [--baseline FILE] \
+                     [--current FILE] [--ref FILE] [--tolerance T]"
                 );
                 std::process::exit(0);
             }
@@ -381,6 +405,32 @@ fn main() {
             eprintln!("wrote {path}");
             return;
         }
+        "fuzzy" => {
+            // Standalone fuzzy-mapping lane: marker-destroyed binary
+            // sets, similarity fallback, CPI error vs full simulation.
+            let threshold = opts
+                .fuzzy
+                .unwrap_or(cbsp_core::FuzzyConfig::DEFAULT_THRESHOLD);
+            eprintln!(
+                "fuzzy lane at {:?} scale, interval {}, threshold {threshold}...",
+                opts.scale, opts.interval
+            );
+            let lane = cbsp_bench::run_fuzzy_lane(
+                &opts.benchmarks,
+                opts.scale,
+                opts.interval,
+                threshold,
+                &mem,
+                opts.threads,
+            );
+            print!("{}", cbsp_bench::render_fuzzy(&lane));
+            if let Some(path) = &opts.json {
+                let json = serde_json::to_string_pretty(&lane).expect("lane serializes");
+                std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+            return;
+        }
         "accuracy-gate" => {
             // CI accuracy gate: rerun the suite at the reference's own
             // scale/interval and require per-benchmark CPI and speedup
@@ -396,13 +446,17 @@ fn main() {
                     lane.benchmarks
                         .retain(|b| opts.benchmarks.contains(&b.name));
                 }
+                if let Some(lane) = &mut reference.fuzzy {
+                    lane.benchmarks
+                        .retain(|b| opts.benchmarks.contains(&b.name));
+                }
             }
             let scale = parse_scale(&reference.scale);
             eprintln!(
                 "accuracy gate: rerunning suite at {scale:?} scale, interval {}...",
                 reference.interval_target
             );
-            let current = run_suite_opts(
+            let mut current = run_suite_opts(
                 &opts.benchmarks,
                 scale,
                 reference.interval_target,
@@ -412,6 +466,31 @@ fn main() {
                 opts.trace_cache,
                 &opts.estimators,
             );
+            if let Some(threshold) = opts.fuzzy {
+                // The fuzzy lane runs its default benchmark subset
+                // (or the --benchmarks intersection with it) on
+                // marker-destroyed binary sets at the reference's own
+                // scale/interval, mirroring the reference column.
+                let names: Vec<String> = cbsp_bench::FUZZY_BENCHMARKS
+                    .iter()
+                    .filter(|n| {
+                        opts.benchmarks.is_empty() || opts.benchmarks.iter().any(|b| b == *n)
+                    })
+                    .map(|n| n.to_string())
+                    .collect();
+                eprintln!(
+                    "fuzzy lane: {} benchmarks, threshold {threshold}...",
+                    names.len()
+                );
+                current.fuzzy = Some(cbsp_bench::run_fuzzy_lane(
+                    &names,
+                    scale,
+                    reference.interval_target,
+                    threshold,
+                    &mem,
+                    opts.threads,
+                ));
+            }
             if let Some(path) = &opts.json {
                 // Persist the rerun results so CI can attach them to
                 // failed runs (and so a passing rerun can become the
@@ -421,6 +500,9 @@ fn main() {
             }
             if !current.estimators.is_empty() {
                 print!("{}", render_lanes(&current.estimators));
+            }
+            if let Some(lane) = &current.fuzzy {
+                print!("{}", cbsp_bench::render_fuzzy(lane));
             }
             let slack = opts.tolerance.unwrap_or(0.02);
             let g = cbsp_bench::accuracy_gate(&current, &reference, slack);

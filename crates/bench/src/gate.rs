@@ -17,9 +17,18 @@
 //!   against that lane's committed reference column. A lane the
 //!   current run computed but the reference lacks is a mismatch; extra
 //!   reference columns are ignored so spot-checking a subset of lanes
-//!   works just like `--benchmarks` subsets do.
+//!   works just like `--benchmarks` subsets do;
+//! * when the current run evaluated the fuzzy-mapping lane
+//!   (`--fuzzy`), each benchmark is held to the absolute
+//!   [`MAPPED_FLOOR`](crate::fuzzy_lane::MAPPED_FLOOR) on its mapped
+//!   fraction, and its CPI error is gated against the reference at
+//!   [`FUZZY_SLACK_MULTIPLIER`](crate::fuzzy_lane::FUZZY_SLACK_MULTIPLIER)×
+//!   `slack` — similarity-matched windows are approximations, so the
+//!   lane gets a documented looser bound instead of silently sharing
+//!   the exact lanes' tolerance.
 
 use crate::experiment::Pair;
+use crate::fuzzy_lane::{FUZZY_SLACK_MULTIPLIER, MAPPED_FLOOR};
 use crate::suite::SuiteResults;
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +184,73 @@ pub fn accuracy_gate(current: &SuiteResults, reference: &SuiteResults, slack: f6
             }
         }
     }
+
+    // Fuzzy-mapping lane: gated only when the current run computed it
+    // (the reference may carry the column unused, like estimator
+    // columns a spot-check skips).
+    if let Some(cf) = &current.fuzzy {
+        let fuzzy_slack = slack * FUZZY_SLACK_MULTIPLIER;
+        let reference_lane = match &reference.fuzzy {
+            Some(rf) if (rf.threshold - cf.threshold).abs() > 1e-12 => {
+                report.mismatches.push(format!(
+                    "fuzzy threshold mismatch: reference {}, current {}",
+                    rf.threshold, cf.threshold
+                ));
+                None
+            }
+            Some(rf) => Some(rf),
+            None => {
+                report
+                    .mismatches
+                    .push("fuzzy lane missing from reference".to_string());
+                None
+            }
+        };
+        for cb in &cf.benchmarks {
+            // The absolute floor holds with or without a reference
+            // column: below it the fallback is not doing its job.
+            report.checks += 1;
+            if cb.mapped_fraction < MAPPED_FLOOR {
+                report.failures.push(GateFailure {
+                    benchmark: cb.name.clone(),
+                    metric: "fuzzy mapped_fraction".to_string(),
+                    reference: MAPPED_FLOOR,
+                    current: cb.mapped_fraction,
+                });
+            }
+            let Some(rb) =
+                reference_lane.and_then(|rf| rf.benchmarks.iter().find(|r| r.name == cb.name))
+            else {
+                if reference_lane.is_some() {
+                    report.mismatches.push(format!(
+                        "fuzzy benchmark {:?} missing from reference",
+                        cb.name
+                    ));
+                }
+                continue;
+            };
+            report.checks += 1;
+            if cb.avg_cpi_err() > rb.avg_cpi_err() + fuzzy_slack {
+                report.failures.push(GateFailure {
+                    benchmark: cb.name.clone(),
+                    metric: "fuzzy cpi_err".to_string(),
+                    reference: rb.avg_cpi_err(),
+                    current: cb.avg_cpi_err(),
+                });
+            }
+            // Mapped fraction may also regress vs the reference, but
+            // never through the absolute floor checked above.
+            report.checks += 1;
+            if cb.mapped_fraction < rb.mapped_fraction - fuzzy_slack {
+                report.failures.push(GateFailure {
+                    benchmark: cb.name.clone(),
+                    metric: "fuzzy mapped_fraction regression".to_string(),
+                    reference: rb.mapped_fraction,
+                    current: cb.mapped_fraction,
+                });
+            }
+        }
+    }
     report
 }
 
@@ -252,6 +328,24 @@ mod tests {
             interval_target: 100_000,
             benchmarks,
             estimators: Vec::new(),
+            fuzzy: None,
+        }
+    }
+
+    fn fuzzy_lane(cpi_err: f64, mapped: f64) -> crate::fuzzy_lane::FuzzyLane {
+        crate::fuzzy_lane::FuzzyLane {
+            threshold: 0.6,
+            benchmarks: vec![crate::fuzzy_lane::FuzzyBenchmark {
+                name: "gzip".to_string(),
+                exact: 18,
+                fuzzy: 6,
+                unmapped: 0,
+                mean_confidence: 0.95,
+                mapped_fraction: mapped,
+                true_cpi: [1.5; 4],
+                est_cpi: [1.5; 4],
+                cpi_err: [cpi_err; 4],
+            }],
         }
     }
 
@@ -347,6 +441,50 @@ mod tests {
         let g = accuracy_gate(&current, &reference, 0.02);
         assert!(!g.passed());
         assert!(g.mismatches[0].contains("bbv+mav"), "{:?}", g.mismatches);
+    }
+
+    #[test]
+    fn fuzzy_lane_gets_looser_slack_but_a_hard_mapped_floor() {
+        let mut reference = suite(vec![eval("gzip", 0.02, [2_000.0; 4])]);
+        reference.fuzzy = Some(fuzzy_lane(0.04, 1.0));
+        let mut current = reference.clone();
+
+        // Identical lanes pass; reference-only lanes are ignored when
+        // the current run skipped --fuzzy.
+        assert!(accuracy_gate(&current, &reference, 0.02).passed());
+        current.fuzzy = None;
+        assert!(accuracy_gate(&current, &reference, 0.02).passed());
+
+        // CPI error within 5x slack passes, beyond it fails.
+        current.fuzzy = Some(fuzzy_lane(0.13, 1.0));
+        assert!(accuracy_gate(&current, &reference, 0.02).passed());
+        current.fuzzy = Some(fuzzy_lane(0.15, 1.0));
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert_eq!(g.failures[0].metric, "fuzzy cpi_err");
+
+        // The 80% mapped floor is absolute — even a reference that
+        // also sat below it would not excuse the current run.
+        current.fuzzy = Some(fuzzy_lane(0.04, 0.7));
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert_eq!(g.failures[0].metric, "fuzzy mapped_fraction");
+
+        // A lane the reference lacks is a mismatch, as is a different
+        // threshold (thresholds change what confidence means).
+        reference.fuzzy = None;
+        current.fuzzy = Some(fuzzy_lane(0.04, 1.0));
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert!(g.mismatches[0].contains("fuzzy lane"), "{:?}", g.mismatches);
+
+        reference.fuzzy = Some(fuzzy_lane(0.04, 1.0));
+        let mut shifted = fuzzy_lane(0.04, 1.0);
+        shifted.threshold = 0.9;
+        current.fuzzy = Some(shifted);
+        let g = accuracy_gate(&current, &reference, 0.02);
+        assert!(!g.passed());
+        assert!(g.mismatches[0].contains("threshold"), "{:?}", g.mismatches);
     }
 
     #[test]

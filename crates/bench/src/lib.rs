@@ -27,6 +27,7 @@ pub mod archsweep;
 pub mod cluster_lane;
 pub mod estimators;
 pub mod experiment;
+pub mod fuzzy_lane;
 pub mod gate;
 pub mod perf;
 pub mod report;
@@ -44,6 +45,10 @@ pub use experiment::{
     evaluate_benchmark, evaluate_benchmark_cached, evaluate_benchmark_pooled,
     evaluate_benchmark_with, mpki_eval, phase_bias, BenchmarkEval, BenchmarkRun, MpkiEval, Pair,
     PhaseBias, PhaseRow, SchemeEval,
+};
+pub use fuzzy_lane::{
+    destroyed_binaries, fuzzy_benchmark, render_fuzzy, run_fuzzy_lane, FuzzyBenchmark, FuzzyLane,
+    FUZZY_BENCHMARKS, FUZZY_SLACK_MULTIPLIER, MAPPED_FLOOR,
 };
 pub use gate::{accuracy_gate, render_gate, GateFailure, GateReport};
 pub use perf::{

@@ -134,7 +134,7 @@ fn measure(
     times.push(("mappable", ms(t)));
 
     let t = Instant::now();
-    let vli = vli_stage(&bin_refs, &input, &config, &mappable);
+    let vli = vli_stage(&bin_refs, &input, &config, &mappable, &profiles);
     times.push(("vli", ms(t)));
 
     let t = Instant::now();

@@ -3,6 +3,7 @@
 
 use crate::estimators::{lane_rows, EstimatorLane};
 use crate::experiment::{evaluate_benchmark_cached, BenchmarkEval, Pair};
+use crate::fuzzy_lane::FuzzyLane;
 use cbsp_par::Pool;
 use cbsp_program::{workloads, Scale};
 use cbsp_sim::MemoryConfig;
@@ -23,6 +24,12 @@ pub struct SuiteResults {
     /// Estimator-lane head-to-head columns (empty unless the run asked
     /// for lanes); each lane's benchmarks align with `benchmarks`.
     pub estimators: Vec<EstimatorLane>,
+    /// Fuzzy-mapping accuracy lane (`None` unless the run asked for
+    /// it with `--fuzzy`); evaluated on its own marker-destroyed
+    /// binary sets, so its benchmark list is independent of
+    /// `benchmarks`. Absent from pre-fuzzy result files — the field
+    /// deserializes to `None` when missing.
+    pub fuzzy: Option<FuzzyLane>,
 }
 
 impl SuiteResults {
@@ -154,6 +161,7 @@ pub fn run_suite_opts(
         interval_target,
         benchmarks,
         estimators: lanes,
+        fuzzy: None,
     }
 }
 

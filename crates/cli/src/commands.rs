@@ -1,7 +1,9 @@
 //! The `cbsp` subcommands.
 
 use crate::opts::{read_json, write_json, Opts};
-use cbsp_core::{marker_period_stats, run_per_binary, select_phase_markers, CbspConfig, PointKind};
+use cbsp_core::{
+    mapping_stats, marker_period_stats, run_per_binary, select_phase_markers, CbspConfig, PointKind,
+};
 use cbsp_par::Pool;
 use cbsp_profile::{parse_bb, write_bb, PinPointsFile, ProcHotness};
 use cbsp_program::{
@@ -177,14 +179,15 @@ pub fn simpoint(opts: &Opts) -> Result<(), String> {
 }
 
 /// `cbsp cross <benchmark> [--interval N] [--scale S] [--threads N]
-/// [--estimator bbv|bbv+mav|early|stratified] [--out-dir D]
-/// [--cache-dir D] [--no-cache 1] [--refresh 1]` — the full six-step
-/// pipeline; writes the four binaries and their PinPoints region
-/// files. Stages are served from the content-addressed artifact store
-/// when their inputs are unchanged — each estimator lane caches under
-/// its own namespace, so lanes never collide. `--threads` sizes the
-/// shared pool (0 = one per core); output is bit-identical at every
-/// setting.
+/// [--estimator bbv|bbv+mav|early|stratified] [--fuzzy-map[=T]]
+/// [--out-dir D] [--cache-dir D] [--no-cache 1] [--refresh 1]` — the
+/// full six-step pipeline; writes the four binaries and their
+/// PinPoints region files. Stages are served from the
+/// content-addressed artifact store when their inputs are unchanged —
+/// each estimator lane caches under its own namespace, so lanes never
+/// collide, and `--fuzzy-map` runs under `@fuzzy`-suffixed namespaces
+/// so it can never poison an exact lane. `--threads` sizes the shared
+/// pool (0 = one per core); output is bit-identical at every setting.
 pub fn cross(opts: &Opts) -> Result<(), String> {
     let name = opts.positional(0, "benchmark name")?;
     let workload = workloads::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
@@ -195,6 +198,7 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
     let config = CbspConfig {
         interval_target: opts.flag_or("interval", 100_000u64)?,
         estimator,
+        fuzzy: opts.fuzzy()?,
         simpoint: SimPointConfig {
             threads: opts.threads()?,
             ..SimPointConfig::default()
@@ -219,7 +223,7 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
     let policy = opts.cache_policy()?;
     let store = ArtifactStore::open(opts.cache_dir()).map_err(|e| e.to_string())?;
     let orchestrator = Orchestrator::new(&store, policy);
-    let description = if config.estimator.is_default() {
+    let mut description = if config.estimator.is_default() {
         format!(
             "cross {name} scale={scale:?} interval={}",
             config.interval_target
@@ -231,6 +235,9 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
             config.estimator.tag()
         )
     };
+    if let Some(fuzzy) = &config.fuzzy {
+        description.push_str(&format!(" fuzzy-map={}", fuzzy.threshold));
+    }
     let (result, report) = orchestrator
         .run_cross_binary(
             &binaries.iter().collect::<Vec<_>>(),
@@ -294,6 +301,19 @@ pub fn cross(opts: &Opts) -> Result<(), String> {
             )
         }
     );
+    if let Some(fuzzy) = &config.fuzzy {
+        let stats = mapping_stats(&result.mappings);
+        println!(
+            "fuzzy mapping (threshold {}): {} exact, {} fuzzy (mean confidence {:.3}), \
+             {} unmapped — {:.0}% of simpoints mapped",
+            fuzzy.threshold,
+            stats.exact,
+            stats.fuzzy,
+            stats.mean_confidence,
+            stats.unmapped,
+            stats.mapped_fraction() * 100.0
+        );
+    }
     for (b, bin) in binaries.iter().enumerate() {
         let bin_path = format!("{out_dir}/{}.json", bin.label());
         write_json(&bin_path, bin)?;

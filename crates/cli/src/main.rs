@@ -44,9 +44,13 @@ commands:
   cross <bench>                cross-binary pipeline over all four binaries
       [--interval N] [--scale S] [--threads N] [--out-dir DIR]
       [--estimator bbv|bbv+mav|early|stratified]
+      [--fuzzy-map[=T]]          similarity fallback when exact marker
+                                 mapping fails (acceptance threshold T,
+                                 default 0.6; see docs/MAPPING.md)
       [--cache-dir DIR] [--no-cache 1] [--refresh 1]
                                  (each estimator lane caches under its
-                                 own store namespace)
+                                 own store namespace; fuzzy runs cache
+                                 under @fuzzy-suffixed namespaces)
   simulate <binary.json>       simulate the regions of a PinPoints file
       --regions FILE [--full 1] [--scale S]
   estimate <bench>             true vs SimPoint-estimated CPI per binary

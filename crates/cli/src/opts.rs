@@ -1,9 +1,13 @@
 //! Tiny argument-parsing helpers shared by the subcommands.
 
+use cbsp_core::FuzzyConfig;
 use cbsp_program::{Input, Scale};
 use std::collections::BTreeMap;
 
-/// Parsed command line: positional arguments plus `--key value` flags.
+/// Parsed command line: positional arguments plus flags. Flags accept
+/// three spellings: `--key value`, `--key=value`, and a bare `--key`
+/// (stored with an empty value, for presence-only switches such as
+/// `--fuzzy-map`).
 #[derive(Debug, Clone, Default)]
 pub struct Opts {
     /// Positional arguments after the subcommand.
@@ -12,17 +16,22 @@ pub struct Opts {
 }
 
 impl Opts {
-    /// Parses everything after the subcommand. Flags take exactly one
-    /// value (`--out file.json`).
+    /// Parses everything after the subcommand. A bare `--key` whose
+    /// next token is another flag (or the end of the line) is recorded
+    /// as present with an empty value; `--key=value` binds explicitly.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = Opts::default();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = args
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                opts.flags.insert(key.to_string(), value);
+                if let Some((key, value)) = key.split_once('=') {
+                    opts.flags.insert(key.to_string(), value.to_string());
+                } else if args.peek().is_some_and(|next| !next.starts_with("--")) {
+                    let value = args.next().expect("peeked");
+                    opts.flags.insert(key.to_string(), value);
+                } else {
+                    opts.flags.insert(key.to_string(), String::new());
+                }
             } else {
                 opts.positional.push(a);
             }
@@ -66,6 +75,25 @@ impl Opts {
     /// available core). Results are bit-identical at every setting.
     pub fn threads(&self) -> Result<usize, String> {
         self.flag_or("threads", 0usize)
+    }
+
+    /// The fuzzy-mapping fallback from `--fuzzy-map[=threshold]`:
+    /// absent ⇒ exact-only mapping, bare ⇒ the default acceptance
+    /// threshold, `--fuzzy-map=0.5` ⇒ a custom one in `(0, 1]`.
+    pub fn fuzzy(&self) -> Result<Option<FuzzyConfig>, String> {
+        match self.flag("fuzzy-map") {
+            None => Ok(None),
+            Some("") => Ok(Some(FuzzyConfig::default())),
+            Some(v) => {
+                let threshold: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad value for --fuzzy-map: {v}"))?;
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    return Err(format!("--fuzzy-map threshold {threshold} outside (0, 1]"));
+                }
+                Ok(Some(FuzzyConfig { threshold }))
+            }
+        }
     }
 
     /// The artifact-store directory from `--cache-dir` (default
@@ -169,11 +197,45 @@ mod tests {
     }
 
     #[test]
-    fn rejects_dangling_flags_and_bad_values() {
-        assert!(Opts::parse(["--out"].iter().map(|s| s.to_string())).is_err());
+    fn valueless_equals_and_bad_values() {
+        // A bare flag is present with an empty value…
+        let o = Opts::parse(["--out"].iter().map(|s| s.to_string())).expect("parses");
+        assert_eq!(o.flag("out"), Some(""));
+        // …and `--key=value` binds explicitly, even before a flag.
+        let o = Opts::parse(
+            ["--interval=5000", "--no-cache", "--scale", "test"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("parses");
+        assert_eq!(o.flag_or("interval", 0u64).expect("number"), 5000);
+        assert_eq!(o.flag("no-cache"), Some(""));
+        assert_eq!(o.scale().expect("valid"), Scale::Test);
         let o = Opts::parse(["--interval", "abc"].iter().map(|s| s.to_string())).expect("parses");
         assert!(o.flag_or("interval", 0u64).is_err());
         assert!(o.scale().is_ok(), "default scale");
+    }
+
+    #[test]
+    fn fuzzy_flag_forms() {
+        let parse =
+            |args: &[&str]| Opts::parse(args.iter().map(|s| s.to_string())).expect("parses");
+        assert_eq!(parse(&[]).fuzzy().expect("absent"), None);
+        assert_eq!(
+            parse(&["--fuzzy-map"]).fuzzy().expect("bare"),
+            Some(FuzzyConfig::default())
+        );
+        assert_eq!(
+            parse(&["--fuzzy-map=0.45"]).fuzzy().expect("custom"),
+            Some(FuzzyConfig { threshold: 0.45 })
+        );
+        assert_eq!(
+            parse(&["--fuzzy-map", "0.45"]).fuzzy().expect("spaced"),
+            Some(FuzzyConfig { threshold: 0.45 })
+        );
+        assert!(parse(&["--fuzzy-map=zero"]).fuzzy().is_err());
+        assert!(parse(&["--fuzzy-map=0"]).fuzzy().is_err());
+        assert!(parse(&["--fuzzy-map=1.5"]).fuzzy().is_err());
     }
 
     #[test]

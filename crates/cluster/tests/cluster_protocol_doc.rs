@@ -86,6 +86,90 @@ fn extract_examples(doc: &str) -> Vec<Example> {
     examples
 }
 
+/// Rewrites every `verify-cluster: response` fence in
+/// `docs/PROTOCOL.md` with a live 2-worker cluster's bytes for the
+/// preceding documented request — requests, prose, and the
+/// single-daemon `verify:` examples are left untouched. Run manually
+/// after a protocol (or cache-key) change:
+///
+/// ```text
+/// cargo test -p cbsp-cluster --test cluster_protocol_doc -- --ignored
+/// ```
+///
+/// then review the diff and re-run the non-ignored replay test.
+#[test]
+#[ignore = "rewrites docs/PROTOCOL.md from live responses"]
+fn regenerate_documented_cluster_responses() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/PROTOCOL.md readable");
+
+    let dir = std::env::temp_dir().join(format!("cbsp-cluster-regen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Cluster::start(ClusterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        worker_threads: 2,
+        cache_dir: dir.clone(),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster starts");
+    let stream = TcpStream::connect(cluster.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout set");
+    let mut writer = stream.try_clone().expect("stream clones");
+    let mut reader = BufReader::new(stream);
+
+    let mut out = String::new();
+    let mut lines = doc.lines().peekable();
+    let mut pending: Option<String> = None;
+    while let Some(line) = lines.next() {
+        out.push_str(line);
+        out.push('\n');
+        let capture = match line.trim() {
+            "<!-- verify-cluster: request -->" => false,
+            "<!-- verify-cluster: response -->" => true,
+            _ => continue,
+        };
+        let fence = lines.next().expect("fence after marker");
+        assert_eq!(
+            fence.trim(),
+            "```json",
+            "marker must be followed by ```json"
+        );
+        out.push_str(fence);
+        out.push('\n');
+        let mut frame = String::new();
+        for body in lines.by_ref() {
+            if body.trim() == "```" {
+                break;
+            }
+            frame.push_str(body);
+        }
+        if capture {
+            let request = pending.take().expect("response fence without a request");
+            writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .expect("request written");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("response read");
+            out.push_str(response.trim_end());
+        } else {
+            pending = Some(frame.clone());
+            out.push_str(&frame);
+        }
+        out.push_str("\n```\n");
+    }
+    assert!(pending.is_none(), "trailing request without a response");
+
+    if out != doc {
+        std::fs::write(doc_path, out).expect("docs/PROTOCOL.md written");
+    }
+    cluster.wait().expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn documented_cluster_examples_are_served_byte_for_byte() {
     let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");

@@ -17,7 +17,12 @@
 //! * [`run_per_binary`] — the classic per-binary SimPoint baseline
 //!   (§2) the paper compares against;
 //! * [`estimate`] — CPI extrapolation, speedup, and the paper's error
-//!   metrics (§5.2).
+//!   metrics (§5.2);
+//! * [`fuzzy`] — the similarity-based mapping fallback for binaries
+//!   whose markers optimization destroyed (the paper's `applu` §5.1
+//!   failure mode): cosine window matching over shared-space profiles,
+//!   per-simpoint [`fuzzy::SimpointMapping`] outcomes, contract
+//!   documented (and replay-tested) in `docs/MAPPING.md`.
 //!
 //! ## Example
 //!
@@ -46,6 +51,7 @@
 
 pub mod error;
 pub mod estimate;
+pub mod fuzzy;
 pub mod inlining;
 pub mod mappable;
 pub mod perbinary;
@@ -57,6 +63,10 @@ pub use error::CbspError;
 pub use estimate::{
     estimated_cycles, relative_error, speedup, speedup_error, stratified_ci, weighted_cpi,
     weighted_cpi_with, weighted_metric, weighted_metric_with, STRATIFIED_CI_Z,
+};
+pub use fuzzy::{
+    cosine_similarity, extended_markers, map_stage_fuzzy, mapping_stats, FuzzyConfig, MappingStats,
+    SimpointMapping, UNMAPPED_BOUNDARY,
 };
 pub use mappable::{find_mappable_points, MappablePoint, MappableSet, PointKind};
 pub use perbinary::{run_per_binary, PerBinaryResult};

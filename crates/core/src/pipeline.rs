@@ -16,6 +16,7 @@
 //!    counts over the mapped intervals ([`slice_instr_counts`]).
 
 use crate::error::CbspError;
+use crate::fuzzy::{extended_markers, map_stage_fuzzy, FuzzyConfig, SimpointMapping};
 use crate::inlining::recover_inlined;
 use crate::mappable::{find_mappable_points, MappableSet};
 use crate::vli::{build_vli_with, slice_instr_counts, VliProfile};
@@ -44,6 +45,13 @@ pub struct CbspConfig {
     /// single source of truth for representative selection — it
     /// overrides `simpoint.representative` in [`simpoint_stage`].
     pub estimator: EstimatorConfig,
+    /// Similarity-based fallback mapping for marker-loss binaries
+    /// (ROADMAP item 4). `None` — the default — runs the exact
+    /// pipeline, byte-identical to pre-fuzzy behavior. `Some` switches
+    /// VLI cutting to the extended pairwise marker filter
+    /// ([`extended_markers`]) and the map stage to
+    /// [`map_stage_fuzzy`]; see `docs/MAPPING.md`.
+    pub fuzzy: Option<FuzzyConfig>,
 }
 
 impl Default for CbspConfig {
@@ -53,12 +61,17 @@ impl Default for CbspConfig {
             simpoint: SimPointConfig::default(),
             primary: 0,
             estimator: EstimatorConfig::default(),
+            fuzzy: None,
         }
     }
 }
 
 /// Result of the cross-binary pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Serialize/Deserialize are manual, not derived: `mappings` must be
+// omitted when empty so exact-lane JSON (and therefore cached
+// artifacts and digests) stays byte-identical to pre-fuzzy output —
+// the vendored serde derive has no `skip_serializing_if`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossBinaryResult {
     /// The mappable-point set.
     pub mappable: MappableSet,
@@ -77,6 +90,67 @@ pub struct CrossBinaryResult {
     pub interval_instrs: Vec<Vec<u64>>,
     /// Recalculated phase weights per binary: `weights[b][phase]`.
     pub weights: Vec<Vec<f64>>,
+    /// How each simulation point was carried into each binary:
+    /// `mappings[b][point]`. Empty for exact (non-fuzzy) runs, where
+    /// every point is exact by construction.
+    pub mappings: Vec<Vec<SimpointMapping>>,
+}
+
+impl Serialize for CrossBinaryResult {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("mappable".to_string(), self.mappable.serialize_value()),
+            (
+                "recovered_procs".to_string(),
+                self.recovered_procs.serialize_value(),
+            ),
+            ("primary".to_string(), self.primary.serialize_value()),
+            ("vli".to_string(), self.vli.serialize_value()),
+            ("simpoint".to_string(), self.simpoint.serialize_value()),
+            ("boundaries".to_string(), self.boundaries.serialize_value()),
+            (
+                "interval_instrs".to_string(),
+                self.interval_instrs.serialize_value(),
+            ),
+            ("weights".to_string(), self.weights.serialize_value()),
+        ];
+        if !self.mappings.is_empty() {
+            fields.push(("mappings".to_string(), self.mappings.serialize_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CrossBinaryResult {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| serde::__private::unexpected("struct CrossBinaryResult", value))?;
+        let field = |name: &str| serde::__private::get(pairs, name);
+        Ok(CrossBinaryResult {
+            mappable: req(field("mappable"), "mappable")?,
+            recovered_procs: req(field("recovered_procs"), "recovered_procs")?,
+            primary: req(field("primary"), "primary")?,
+            vli: req(field("vli"), "vli")?,
+            simpoint: req(field("simpoint"), "simpoint")?,
+            boundaries: req(field("boundaries"), "boundaries")?,
+            interval_instrs: req(field("interval_instrs"), "interval_instrs")?,
+            weights: req(field("weights"), "weights")?,
+            mappings: match field("mappings") {
+                Some(v) => Deserialize::deserialize_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+/// Deserializes a required struct field (shared by the manual impls
+/// above; mirrors the derive's missing-field handling).
+fn req<T: Deserialize>(value: Option<&serde::Value>, name: &str) -> Result<T, serde::Error> {
+    match value {
+        Some(v) => T::deserialize_value(v),
+        None => T::deserialize_missing(name),
+    }
 }
 
 impl CrossBinaryResult {
@@ -88,13 +162,45 @@ impl CrossBinaryResult {
     /// Builds a PinPoints region file for binary `b` (regions =
     /// simulation points, bounds = mapped marker coordinates, weights =
     /// binary-specific recalculated weights).
+    ///
+    /// For fuzzy runs (non-empty [`mappings`](Self::mappings)), each
+    /// region's bounds follow its [`SimpointMapping`]: exact points use
+    /// marker coordinates as always, fuzzy points use the matched
+    /// instruction-offset window, and unmapped points get a zero-weight
+    /// empty region. Mapped weights are renormalized to sum to 1 so the
+    /// file still validates when some points are unmapped.
     pub fn pinpoints_for(&self, b: usize, binary: &Binary, input: &Input) -> PinPointsFile {
         let bounds = &self.boundaries[b];
-        let regions = self
+        let maps = (!self.mappings.is_empty()).then(|| &self.mappings[b]);
+        let mut regions: Vec<SimRegion> = self
             .simpoint
             .points
             .iter()
-            .map(|pt| {
+            .enumerate()
+            .map(|(pi, pt)| {
+                // The binary's recalculated phase weight, split by the
+                // point's within-phase share (1 for the
+                // single-representative selectors).
+                let weight = self.weights[b][pt.phase as usize] * pt.share;
+                match maps.map(|m| m[pi]) {
+                    Some(SimpointMapping::Fuzzy { start, end, .. }) => {
+                        return SimRegion {
+                            phase: pt.phase,
+                            weight,
+                            start: RegionBound::Instr(start),
+                            end: RegionBound::Instr(end),
+                        };
+                    }
+                    Some(SimpointMapping::Unmapped) => {
+                        return SimRegion {
+                            phase: pt.phase,
+                            weight: 0.0,
+                            start: RegionBound::Instr(0),
+                            end: RegionBound::Instr(0),
+                        };
+                    }
+                    Some(SimpointMapping::Exact) | None => {}
+                }
                 let i = pt.interval;
                 let start = if i == 0 {
                     RegionBound::Instr(0)
@@ -108,15 +214,20 @@ impl CrossBinaryResult {
                 };
                 SimRegion {
                     phase: pt.phase,
-                    // The binary's recalculated phase weight, split by
-                    // the point's within-phase share (1 for the
-                    // single-representative selectors).
-                    weight: self.weights[b][pt.phase as usize] * pt.share,
+                    weight,
                     start,
                     end,
                 }
             })
             .collect();
+        if maps.is_some() {
+            let total: f64 = regions.iter().map(|r| r.weight).sum();
+            if total > 0.0 {
+                for r in regions.iter_mut() {
+                    r.weight /= total;
+                }
+            }
+        }
         PinPointsFile {
             program: binary.program.clone(),
             binary: binary.label(),
@@ -139,14 +250,57 @@ pub struct MappableStage {
 
 /// Output of the *map* stage: the primary slicing carried onto every
 /// binary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Manual serde for the same reason as [`CrossBinaryResult`]: an empty
+// `mappings` table is omitted so exact-lane artifacts stay
+// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MappedSlicing {
-    /// Interval boundaries translated to each binary.
+    /// Interval boundaries translated to each binary. In fuzzy runs,
+    /// untranslatable entries hold
+    /// [`UNMAPPED_BOUNDARY`](crate::fuzzy::UNMAPPED_BOUNDARY).
     pub boundaries: Vec<Vec<ExecPoint>>,
     /// Instructions per mapped interval, per binary.
     pub interval_instrs: Vec<Vec<u64>>,
     /// Recalculated phase weights per binary.
     pub weights: Vec<Vec<f64>>,
+    /// Per-simpoint mapping outcomes (`mappings[b][point]`); empty for
+    /// exact runs.
+    pub mappings: Vec<Vec<SimpointMapping>>,
+}
+
+impl Serialize for MappedSlicing {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("boundaries".to_string(), self.boundaries.serialize_value()),
+            (
+                "interval_instrs".to_string(),
+                self.interval_instrs.serialize_value(),
+            ),
+            ("weights".to_string(), self.weights.serialize_value()),
+        ];
+        if !self.mappings.is_empty() {
+            fields.push(("mappings".to_string(), self.mappings.serialize_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for MappedSlicing {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| serde::__private::unexpected("struct MappedSlicing", value))?;
+        let field = |name: &str| serde::__private::get(pairs, name);
+        Ok(MappedSlicing {
+            boundaries: req(field("boundaries"), "boundaries")?,
+            interval_instrs: req(field("interval_instrs"), "interval_instrs")?,
+            weights: req(field("weights"), "weights")?,
+            mappings: match field("mappings") {
+                Some(v) => Deserialize::deserialize_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Validates the binary set and configuration before any pipeline work.
@@ -203,18 +357,29 @@ pub fn mappable_stage(binaries: &[&Binary], profiles: &[CallLoopProfile]) -> Map
 
 /// Pipeline step 3: variable-length intervals on the primary binary
 /// (paper §3.2.3).
+///
+/// Exact runs cut at the markers mappable across *all* binaries. Fuzzy
+/// runs (`config.fuzzy` set) cut at the union of *pairwise* mappable
+/// markers instead ([`extended_markers`], which needs `profiles`), so a
+/// single marker-destroyed binary cannot balloon every interval.
 pub fn vli_stage(
     binaries: &[&Binary],
     input: &Input,
     config: &CbspConfig,
     mappable: &MappableSet,
+    profiles: &[CallLoopProfile],
 ) -> VliProfile {
     let _span = cbsp_trace::span("stage/vli");
+    let markers = if config.fuzzy.is_some() && binaries.len() > 1 {
+        extended_markers(binaries, profiles, config.primary)
+    } else {
+        mappable.markers_of(config.primary)
+    };
     let vli = build_vli_with(
         binaries[config.primary],
         input,
         config.interval_target,
-        &mappable.markers_of(config.primary),
+        &markers,
         config.estimator.features.wants_mav(),
     );
     cbsp_trace::add("pipeline/intervals_produced", vli.intervals.len() as u64);
@@ -333,6 +498,7 @@ pub fn map_stage(
         boundaries,
         interval_instrs,
         weights,
+        mappings: Vec::new(), // exact runs: every point exact by construction
     })
 }
 
@@ -375,17 +541,24 @@ pub fn run_cross_binary(
 
     // Step 3: VLIs on the primary binary.
     let primary = config.primary;
-    let vli = vli_stage(binaries, input, config, &mappable);
+    let vli = vli_stage(binaries, input, config, &mappable, &profiles);
 
     // Step 4: SimPoint on the primary's interval features.
     let simpoint = simpoint_stage(&vli, &config.simpoint, &config.estimator);
 
-    // Steps 5-6: boundary translation and weight recalculation.
+    // Steps 5-6: boundary translation and weight recalculation —
+    // exact-only, or with the similarity fallback when fuzzy mapping
+    // is enabled.
     let MappedSlicing {
         boundaries,
         interval_instrs,
         weights,
-    } = map_stage(binaries, input, primary, &mappable, &vli, &simpoint, &pool)?;
+        mappings,
+    } = if config.fuzzy.is_some() {
+        map_stage_fuzzy(binaries, input, &profiles, &vli, &simpoint, config, &pool)
+    } else {
+        map_stage(binaries, input, primary, &mappable, &vli, &simpoint, &pool)?
+    };
 
     Ok(CrossBinaryResult {
         mappable,
@@ -396,6 +569,7 @@ pub fn run_cross_binary(
         boundaries,
         interval_instrs,
         weights,
+        mappings,
     })
 }
 

@@ -27,9 +27,12 @@ pub(super) fn lower(source: &SourceProgram, target: CompileTarget, opts: Compile
     };
 
     // Pass 1: decide which procedures stay out of line and assign ids.
-    // Source order is kept, so `main` remains first.
+    // Source order is kept, so `main` remains first. Under
+    // `aggressive_inline` every call target is inlined at -O2, not just
+    // hinted ones; `main` always survives (nothing calls it).
     for p in &source.procedures {
-        let inlined = target.opt == OptLevel::O2 && p.inline_always;
+        let inlined = target.opt == OptLevel::O2
+            && (p.inline_always || (opts.aggressive_inline && p.id.index() != 0));
         if !inlined {
             let id = BinProcId(lw.procs.len() as u32);
             lw.proc_map[p.id.index()] = Some(id);
@@ -213,7 +216,7 @@ impl Lowerer<'_> {
     fn lower_loop(&mut self, l: &LoopStmt, proc: BinProcId, in_inline: bool, out: &mut Vec<LStmt>) {
         let o2 = self.opt() == OptLevel::O2;
         let unroll = if o2 { l.hints.unroll_factor() } else { 1 };
-        let split = o2 && l.hints.split && l.body.len() > 1;
+        let split = o2 && (l.hints.split || self.opts.split_all_loops) && l.body.len() > 1;
 
         // Line info: degraded inside inlined bodies (unless preserved)
         // and always degraded for split clones (code motion).
@@ -367,6 +370,7 @@ mod tests {
             CompileTarget::W32_O2,
             CompileOptions {
                 preserve_inline_lines: true,
+                ..CompileOptions::default()
             },
         );
         assert!(bin.loops[0].line.is_some());
@@ -452,6 +456,38 @@ mod tests {
 
         let o0 = super::super::compile(&prog, CompileTarget::W32_O0);
         assert_eq!(o0.loops.len(), 1, "no DCE at -O0");
+    }
+
+    #[test]
+    fn marker_destroying_preset_erases_symbols_and_lines() {
+        let prog = simple_program();
+        let plain = super::super::compile(&prog, CompileTarget::W32_O2);
+        let destroyed = super::super::compile_with(
+            &prog,
+            CompileTarget::W32_O2,
+            CompileOptions::marker_destroying(),
+        );
+        // Only `main` keeps a symbol; the helper is inlined away.
+        assert_eq!(destroyed.procs.len(), 1);
+        assert_eq!(destroyed.procs[0].name, "main");
+        assert!(plain.procs.len() > destroyed.procs.len());
+        // Every multi-statement loop was split; all clones carry no
+        // usable line info, so no loop marker can match across binaries.
+        assert!(destroyed.loops.iter().all(|l| l.line.is_none()));
+        assert!(
+            destroyed.loops.len() > plain.loops.len(),
+            "splitting clones loops: {} vs {}",
+            destroyed.loops.len(),
+            plain.loops.len()
+        );
+        // The preset only acts at -O2: an -O0 compile is unchanged.
+        let o0_plain = super::super::compile(&prog, CompileTarget::W32_O0);
+        let o0_destroyed = super::super::compile_with(
+            &prog,
+            CompileTarget::W32_O0,
+            CompileOptions::marker_destroying(),
+        );
+        assert_eq!(o0_plain, o0_destroyed);
     }
 
     #[test]

@@ -120,6 +120,30 @@ pub struct CompileOptions {
     /// matching; set `true` only for ablation studies (it makes the
     /// inline-recovery machinery of `cbsp-core` unnecessary).
     pub preserve_inline_lines: bool,
+    /// Inline *every* call at `-O2`, not just hinted ones. Deletes the
+    /// callee symbols and degrades their loop lines, reproducing the
+    /// paper's `applu` marker-loss failure mode on any workload. Used
+    /// as a test bed for fuzzy cross-binary mapping.
+    pub aggressive_inline: bool,
+    /// Split *every* multi-statement loop at `-O2`, not just hinted
+    /// ones. Every clone carries `line: None`, so no loop marker in the
+    /// result matches across binaries.
+    pub split_all_loops: bool,
+}
+
+impl CompileOptions {
+    /// The marker-destroying preset: aggressive inlining plus
+    /// unconditional loop splitting at `-O2`. Binaries compiled with
+    /// this preset share (almost) no mappable markers with their
+    /// default-compiled siblings — the deliberate worst case the fuzzy
+    /// mapping fallback is gated against.
+    pub fn marker_destroying() -> Self {
+        CompileOptions {
+            preserve_inline_lines: false,
+            aggressive_inline: true,
+            split_all_loops: true,
+        }
+    }
 }
 
 /// Compiles `source` for `target` with default [`CompileOptions`].

@@ -121,6 +121,7 @@ fn dispatch(core: &Arc<ServerCore>, request: &Request) -> Reply {
         }
         "estimate.cpi" => {
             let spec = prepare_spec(&request.params, false)?;
+            crate::engine::reject_fuzzy_estimate(&spec)?;
             let key = format!("estimate.cpi:{}", spec.keys.map.as_hex());
             run_queued(core, Work::Estimate(Box::new(spec)), Some(key), deadline)
         }

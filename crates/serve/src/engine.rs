@@ -16,8 +16,8 @@
 //! binaries, input, and config — so a hit is exactly a byte-identical
 //! rerun.
 
-use crate::protocol::{fault, obj, param_str, param_str_or, param_u64_or, ErrorCode, Fault};
-use cbsp_core::{CbspConfig, CbspError, CrossBinaryResult};
+use crate::protocol::{fault, get, obj, param_str, param_str_or, param_u64_or, ErrorCode, Fault};
+use cbsp_core::{mapping_stats, CbspConfig, CbspError, CrossBinaryResult, FuzzyConfig};
 use cbsp_par::Pool;
 use cbsp_program::{compile, workloads, Binary, CompileTarget, Input, Scale};
 use cbsp_sim::MemoryConfig;
@@ -110,6 +110,50 @@ pub(crate) struct Engine {
     pub result_misses: AtomicU64,
 }
 
+/// The `fuzzy_map` param: absent, `null`, or `false` ⇒ exact-only
+/// mapping; `true` ⇒ the fuzzy fallback at the default acceptance
+/// threshold; a number ⇒ a custom threshold in `(0, 1]`.
+fn param_fuzzy(params: &Value) -> Result<Option<FuzzyConfig>, Fault> {
+    let threshold = match params.as_object().and_then(|p| get(p, "fuzzy_map")) {
+        None | Some(Value::Null | Value::Bool(false)) => return Ok(None),
+        Some(Value::Bool(true)) => return Ok(Some(FuzzyConfig::default())),
+        Some(Value::Float(f)) => *f,
+        Some(Value::UInt(n)) => *n as f64,
+        Some(other) => {
+            return Err(fault(
+                ErrorCode::BadRequest,
+                format!(
+                    "param `fuzzy_map` must be a boolean or number, got {}",
+                    other.kind()
+                ),
+            ))
+        }
+    };
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(fault(
+            ErrorCode::BadRequest,
+            format!("param `fuzzy_map` threshold {threshold} outside (0, 1]"),
+        ));
+    }
+    Ok(Some(FuzzyConfig { threshold }))
+}
+
+/// `estimate.cpi` replays per-simpoint trace slices cut at exact
+/// marker boundaries, which the fuzzy fallback's instruction-offset
+/// windows do not follow — so the method is exact-lane only. Called by
+/// both the daemon and the cluster router so the rejection is
+/// byte-identical wherever it is produced.
+pub(crate) fn reject_fuzzy_estimate(spec: &PipelineSpec) -> Result<(), Fault> {
+    if spec.config.fuzzy.is_some() {
+        return Err(fault(
+            ErrorCode::BadRequest,
+            "estimate.cpi does not accept `fuzzy_map` (slice replay follows exact marker \
+             boundaries; evaluate fuzzy lanes with `experiments accuracy-gate --fuzzy`)",
+        ));
+    }
+    Ok(())
+}
+
 /// Resolves `params` for one of the pipeline-shaped methods: compiles
 /// the benchmark's four binaries and derives the stage keys. Runs on
 /// the connection thread — costs microseconds, and produces the
@@ -176,6 +220,7 @@ pub(crate) fn prepare_spec(params: &Value, detail_allowed: bool) -> Result<Pipel
     let config = CbspConfig {
         interval_target: interval,
         estimator,
+        fuzzy: param_fuzzy(params)?,
         ..default
     };
     let refs: Vec<&Binary> = binaries.iter().collect();
@@ -278,7 +323,7 @@ impl Engine {
     /// store. Never compiles a stage, so a miss answers in microseconds.
     pub fn execute_simpoints(&self, spec: &PipelineSpec) -> Reply {
         let key = &spec.keys.simpoint;
-        let ns = stage_namespaces(&spec.config.estimator);
+        let ns = stage_namespaces(&spec.config.estimator, spec.config.fuzzy.is_some());
         let found = match self.store.get::<SimPointResult>(&ns.simpoint, key) {
             Ok(found) => found,
             Err(CbspError::ArtifactCorrupt { .. } | CbspError::ArtifactVersionMismatch { .. }) => {
@@ -447,7 +492,7 @@ impl Engine {
 fn summary_fields(spec: &PipelineSpec, run: &CachedRun) -> Vec<(String, Value)> {
     let cross = &run.cross;
     let report = &run.report;
-    let pairs = vec![
+    let mut pairs = vec![
         ("benchmark", Value::Str(spec.benchmark.clone())),
         ("scale", Value::Str(spec.scale_name.to_string())),
         ("interval", Value::UInt(spec.config.interval_target)),
@@ -465,6 +510,22 @@ fn summary_fields(spec: &PipelineSpec, run: &CachedRun) -> Vec<(String, Value)> 
             ]),
         ),
     ];
+    // Appended only on fuzzy runs, so exact-lane responses stay
+    // byte-identical to pre-fuzzy builds (docs/PROTOCOL.md).
+    if let Some(fuzzy) = &spec.config.fuzzy {
+        let stats = mapping_stats(&cross.mappings);
+        pairs.push(("fuzzy_map", Value::Float(fuzzy.threshold)));
+        pairs.push((
+            "mapping",
+            obj(vec![
+                ("exact", Value::UInt(stats.exact as u64)),
+                ("fuzzy", Value::UInt(stats.fuzzy as u64)),
+                ("unmapped", Value::UInt(stats.unmapped as u64)),
+                ("mean_confidence", Value::Float(stats.mean_confidence)),
+                ("mapped_fraction", Value::Float(stats.mapped_fraction())),
+            ]),
+        ));
+    }
     pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 

@@ -54,7 +54,12 @@ pub fn route(request: &Request) -> Result<Route, Fault> {
             let spec = prepare_spec(&request.params, true)?;
             Ok(Route::Digest(spec.keys.map.as_hex().to_string()))
         }
-        "estimate.cpi" | "simpoints.get" => {
+        "estimate.cpi" => {
+            let spec = prepare_spec(&request.params, false)?;
+            crate::engine::reject_fuzzy_estimate(&spec)?;
+            Ok(Route::Digest(spec.keys.map.as_hex().to_string()))
+        }
+        "simpoints.get" => {
             let spec = prepare_spec(&request.params, false)?;
             Ok(Route::Digest(spec.keys.map.as_hex().to_string()))
         }

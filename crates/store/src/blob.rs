@@ -126,7 +126,12 @@ fn checksum(meta: &[u8], payload: &[u8]) -> [u8; 32] {
 ///
 /// Panics if `stage` exceeds [`BLOB_STAGE_MAX`] bytes or `meta`
 /// exceeds `u32::MAX` — both programmer errors, not data corruption.
-fn encode_header(stage: &str, key: &StageKey, meta: &[u8], payload: &[u8]) -> [u8; BLOB_HEADER_LEN] {
+fn encode_header(
+    stage: &str,
+    key: &StageKey,
+    meta: &[u8],
+    payload: &[u8],
+) -> [u8; BLOB_HEADER_LEN] {
     assert!(
         stage.len() <= BLOB_STAGE_MAX,
         "blob stage name `{stage}` exceeds {BLOB_STAGE_MAX} bytes"
@@ -138,7 +143,11 @@ fn encode_header(stage: &str, key: &StageKey, meta: &[u8], payload: &[u8]) -> [u
     h[9..9 + stage.len()].copy_from_slice(stage.as_bytes());
     h[24..56].copy_from_slice(&key_bytes(key));
     h[56..88].copy_from_slice(&checksum(meta, payload));
-    h[88..92].copy_from_slice(&u32::try_from(meta.len()).expect("meta fits u32").to_le_bytes());
+    h[88..92].copy_from_slice(
+        &u32::try_from(meta.len())
+            .expect("meta fits u32")
+            .to_le_bytes(),
+    );
     h[92..100].copy_from_slice(&(payload.len() as u64).to_le_bytes());
     h
 }
@@ -356,9 +365,13 @@ mod tests {
         let key = a_key(1);
         let meta = [1u8, 2, 3];
         let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
-        assert!(store.put_blob("trace", &key, &meta, &payload).expect("puts"));
+        assert!(store
+            .put_blob("trace", &key, &meta, &payload)
+            .expect("puts"));
         assert!(
-            !store.put_blob("trace", &key, &meta, &payload).expect("noop"),
+            !store
+                .put_blob("trace", &key, &meta, &payload)
+                .expect("noop"),
             "second put of the same key is a no-op"
         );
         let blob = store.get_blob("trace", &key).expect("reads").expect("hit");
@@ -380,7 +393,9 @@ mod tests {
         let (store, dir) = temp_store("stage");
         let key = a_key(3);
         store.put_blob("trace", &key, &[], b"xyz").expect("puts");
-        let err = store.get_blob("trace_slice", &key).expect_err("stage mismatch");
+        let err = store
+            .get_blob("trace_slice", &key)
+            .expect_err("stage mismatch");
         assert!(matches!(err, CbspError::ArtifactCorrupt { .. }), "{err}");
 
         // Flip the version field.
@@ -401,15 +416,27 @@ mod tests {
         let (store, dir) = temp_store("corrupt");
         let key = a_key(4);
         let payload: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
-        store.put_blob("trace", &key, &[7; 20], &payload).expect("puts");
+        store
+            .put_blob("trace", &key, &[7; 20], &payload)
+            .expect("puts");
         let path = store.blob_path(&key);
         let pristine = std::fs::read(&path).expect("blob exists");
 
         // Truncate at every section boundary and a few interior cuts.
-        for cut in [0, 10, BLOB_HEADER_LEN - 1, BLOB_HEADER_LEN, BLOB_HEADER_LEN + 10, pristine.len() - 1] {
+        for cut in [
+            0,
+            10,
+            BLOB_HEADER_LEN - 1,
+            BLOB_HEADER_LEN,
+            BLOB_HEADER_LEN + 10,
+            pristine.len() - 1,
+        ] {
             std::fs::write(&path, &pristine[..cut]).expect("truncates");
             let err = store.get_blob("trace", &key).expect_err("truncated");
-            assert!(matches!(err, CbspError::ArtifactCorrupt { .. }), "cut {cut}: {err}");
+            assert!(
+                matches!(err, CbspError::ArtifactCorrupt { .. }),
+                "cut {cut}: {err}"
+            );
         }
         // Trailing bytes are a length mismatch.
         let mut longer = pristine.clone();

@@ -51,6 +51,9 @@ pub mod sha256;
 pub mod store;
 pub mod traces;
 
+pub use blob::{
+    derived_key, Blob, BLOB_FORMAT_VERSION, BLOB_HEADER_LEN, BLOB_MAGIC, BLOB_STAGE_MAX,
+};
 pub use orchestrator::{
     pipeline_keys, stage_namespaces, CachePolicy, Orchestrator, PipelineKeys, RunReport,
     StageNamespaces, StageOutcome, STAGE_ORDER,
@@ -59,9 +62,6 @@ pub use sha256::{hex_digest, Sha256};
 pub use store::{
     canonical_json, content_hash, key_part, stage_key, ArtifactStore, GcReport, ManifestStage,
     RunManifest, StageKey, StageStats, StoreStats, SCHEMA_VERSION,
-};
-pub use blob::{
-    derived_key, Blob, BLOB_FORMAT_VERSION, BLOB_HEADER_LEN, BLOB_MAGIC, BLOB_STAGE_MAX,
 };
 pub use traces::{
     migrate_store, prefetch_disabled, put_slices_legacy, put_trace_legacy, slicing_disabled,

@@ -15,8 +15,8 @@
 //! parallel on scoped threads.
 
 use cbsp_core::{
-    map_stage, mappable_stage, profile_stage, simpoint_stage, validate_binaries, vli_stage,
-    CbspConfig, CbspError, CrossBinaryResult, MappableStage, MappedSlicing,
+    map_stage, map_stage_fuzzy, mappable_stage, profile_stage, simpoint_stage, validate_binaries,
+    vli_stage, CbspConfig, CbspError, CrossBinaryResult, MappableStage, MappedSlicing,
 };
 use cbsp_par::Pool;
 use cbsp_profile::CallLoopProfile;
@@ -49,7 +49,8 @@ pub struct StageNamespaces {
     pub map: String,
 }
 
-/// The store namespaces `estimator`'s artifacts live under.
+/// The store namespaces `estimator`'s artifacts live under; `fuzzy` is
+/// whether the run uses the fuzzy-mapping fallback.
 ///
 /// The default estimator (nearest-centroid BBV) uses the plain stage
 /// names, so its keys — and therefore its on-disk artifacts — are
@@ -60,7 +61,16 @@ pub struct StageNamespaces {
 /// per estimator. The `vli` namespace depends only on the *feature*
 /// kind: selectors reuse the same interval profile, so the `early` and
 /// `stratified` lanes share the default lane's `vli` artifacts.
-pub fn stage_namespaces(estimator: &EstimatorConfig) -> StageNamespaces {
+///
+/// Fuzzy runs append `@fuzzy` to all three estimator-dependent
+/// namespaces (cache-key invariant 8): fuzzy VLI cutting uses the
+/// extended pairwise marker filter and the map stage stores mapping
+/// records, so none of those artifacts may ever collide with an exact
+/// lane's. The acceptance *threshold* does not enter the namespaces —
+/// it only affects the map stage, where it enters the key inputs
+/// directly (see [`pipeline_keys`]) — so fuzzy runs at different
+/// thresholds share `vli`/`simpoint` artifacts.
+pub fn stage_namespaces(estimator: &EstimatorConfig, fuzzy: bool) -> StageNamespaces {
     let vli = if estimator.features.wants_mav() {
         format!("vli@{}", estimator.features.tag())
     } else {
@@ -72,7 +82,12 @@ pub fn stage_namespaces(estimator: &EstimatorConfig) -> StageNamespaces {
         let tag = estimator.tag();
         (format!("simpoint@{tag}"), format!("map@{tag}"))
     };
-    StageNamespaces { vli, simpoint, map }
+    let suffix = |s: String| if fuzzy { format!("{s}@fuzzy") } else { s };
+    StageNamespaces {
+        vli: suffix(vli),
+        simpoint: suffix(simpoint),
+        map: suffix(map),
+    }
 }
 
 /// The content keys of every stage of one pipeline run, derived from
@@ -123,7 +138,7 @@ pub fn pipeline_keys(
     config: &CbspConfig,
 ) -> Result<PipelineKeys, CbspError> {
     validate_binaries(binaries, config)?;
-    let ns = stage_namespaces(&config.estimator);
+    let ns = stage_namespaces(&config.estimator, config.fuzzy.is_some());
     let bin_hashes: Vec<String> = binaries.iter().map(|b| content_hash(*b)).collect();
     let input_hash = content_hash(input);
     let hash_parts: Vec<Value> = bin_hashes.iter().map(|h| Value::Str(h.clone())).collect();
@@ -169,6 +184,12 @@ pub fn pipeline_keys(
     map_inputs.push(Value::Str(mappable.as_hex().to_string()));
     map_inputs.push(Value::Str(vli.as_hex().to_string()));
     map_inputs.push(Value::Str(simpoint.as_hex().to_string()));
+    // The fuzzy config (acceptance threshold) changes only the matching
+    // decisions of the map stage, so it enters only this key — fuzzy
+    // runs at different thresholds share every upstream artifact.
+    if let Some(fuzzy) = &config.fuzzy {
+        map_inputs.push(key_part(fuzzy));
+    }
     let map = stage_key(&ns.map, &map_inputs);
 
     Ok(PipelineKeys {
@@ -398,7 +419,7 @@ impl<'s> Orchestrator<'s> {
         description: &str,
     ) -> Result<(CrossBinaryResult, RunReport), CbspError> {
         let keys = pipeline_keys(binaries, input, config)?;
-        let ns = stage_namespaces(&config.estimator);
+        let ns = stage_namespaces(&config.estimator, config.fuzzy.is_some());
         let mut outcomes: Vec<StageOutcome> = Vec::with_capacity(binaries.len() + 4);
 
         // Stage 1 — profile, in parallel across binaries.
@@ -443,7 +464,7 @@ impl<'s> Orchestrator<'s> {
             &ns.vli,
             &binaries[config.primary].label(),
             &keys.vli,
-            || Ok(vli_stage(binaries, input, config, &mappable)),
+            || Ok(vli_stage(binaries, input, config, &mappable, &profiles)),
         )?;
         outcomes.push(outcome);
 
@@ -462,15 +483,21 @@ impl<'s> Orchestrator<'s> {
         self.check_cancelled("map")?;
         let (mapped, outcome): (MappedSlicing, _) =
             self.cached("map", &ns.map, "all binaries", &keys.map, || {
-                map_stage(
-                    binaries,
-                    input,
-                    config.primary,
-                    &mappable,
-                    &vli,
-                    &simpoint,
-                    &pool,
-                )
+                if config.fuzzy.is_some() {
+                    Ok(map_stage_fuzzy(
+                        binaries, input, &profiles, &vli, &simpoint, config, &pool,
+                    ))
+                } else {
+                    map_stage(
+                        binaries,
+                        input,
+                        config.primary,
+                        &mappable,
+                        &vli,
+                        &simpoint,
+                        &pool,
+                    )
+                }
             })?;
         outcomes.push(outcome);
 
@@ -504,6 +531,7 @@ impl<'s> Orchestrator<'s> {
             boundaries: mapped.boundaries,
             interval_instrs: mapped.interval_instrs,
             weights: mapped.weights,
+            mappings: mapped.mappings,
         };
         Ok((result, RunReport { run_key, outcomes }))
     }
@@ -576,17 +604,67 @@ mod tests {
 
     #[test]
     fn default_estimator_uses_plain_namespaces() {
-        let ns = stage_namespaces(&EstimatorConfig::default());
+        let ns = stage_namespaces(&EstimatorConfig::default(), false);
         assert_eq!(
             (ns.vli.as_str(), ns.simpoint.as_str(), ns.map.as_str()),
             ("vli", "simpoint", "map")
         );
-        let strat = stage_namespaces(&EstimatorConfig::parse("stratified").expect("known"));
+        let strat = stage_namespaces(&EstimatorConfig::parse("stratified").expect("known"), false);
         assert_eq!(strat.vli, "vli", "selector lanes share the vli namespace");
         assert_eq!(strat.simpoint, "simpoint@stratified");
         assert_eq!(strat.map, "map@stratified");
-        let mav = stage_namespaces(&EstimatorConfig::parse("bbv+mav").expect("known"));
+        let mav = stage_namespaces(&EstimatorConfig::parse("bbv+mav").expect("known"), false);
         assert_eq!(mav.vli, "vli@bbv+mav");
         assert_eq!(mav.simpoint, "simpoint@bbv+mav");
+    }
+
+    #[test]
+    fn fuzzy_namespaces_are_suffixed_everywhere() {
+        let ns = stage_namespaces(&EstimatorConfig::default(), true);
+        assert_eq!(
+            (ns.vli.as_str(), ns.simpoint.as_str(), ns.map.as_str()),
+            ("vli@fuzzy", "simpoint@fuzzy", "map@fuzzy")
+        );
+        let mav = stage_namespaces(&EstimatorConfig::parse("bbv+mav").expect("known"), true);
+        assert_eq!(mav.vli, "vli@bbv+mav@fuzzy");
+        assert_eq!(mav.simpoint, "simpoint@bbv+mav@fuzzy");
+        assert_eq!(mav.map, "map@bbv+mav@fuzzy");
+    }
+
+    #[test]
+    fn fuzzy_keys_never_collide_with_exact_lanes() {
+        use cbsp_core::FuzzyConfig;
+        let prog = workloads::by_name("swim")
+            .expect("in suite")
+            .build(Scale::Test);
+        let bins: Vec<Binary> = CompileTarget::ALL_FOUR
+            .iter()
+            .map(|&t| compile(&prog, t))
+            .collect();
+        let refs: Vec<&Binary> = bins.iter().collect();
+        let input = Input::test();
+        let of = |fuzzy: Option<FuzzyConfig>| {
+            let config = CbspConfig {
+                fuzzy,
+                ..CbspConfig::default()
+            };
+            pipeline_keys(&refs, &input, &config).expect("keys derive")
+        };
+        let exact = of(None);
+        let fuzzy = of(Some(FuzzyConfig::default()));
+        let loose = of(Some(FuzzyConfig { threshold: 0.3 }));
+
+        // Invariant 8: no estimator-dependent key of a fuzzy run may
+        // collide with an exact lane's.
+        assert_eq!(exact.profile, fuzzy.profile);
+        assert_eq!(exact.mappable, fuzzy.mappable);
+        assert_ne!(exact.vli, fuzzy.vli);
+        assert_ne!(exact.simpoint, fuzzy.simpoint);
+        assert_ne!(exact.map, fuzzy.map);
+        // Thresholds differ only in matching: map keys split, upstream
+        // artifacts are shared.
+        assert_eq!(fuzzy.vli, loose.vli);
+        assert_eq!(fuzzy.simpoint, loose.simpoint);
+        assert_ne!(fuzzy.map, loose.map);
     }
 }

@@ -43,7 +43,13 @@ use crate::sha256::hex_digest;
 ///
 /// v2: `SimPoint` gained a `share` field and `VliProfile` a `mavs`
 /// field (estimator lanes); v1 payloads no longer deserialize.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: fuzzy cross-binary mapping — `MappedSlicing` gained an optional
+/// `mappings` table (omitted when empty, so exact-lane payload *bytes*
+/// are unchanged from v2) and fuzzy lanes store under `@fuzzy`
+/// namespaces. The version bump keeps pre-fuzzy readers from
+/// misinterpreting fuzzy artifacts (e.g. sentinel boundaries).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A content key: the SHA-256 (hex) of a stage's canonical input
 /// description.
@@ -217,7 +223,10 @@ fn corrupt(key: &StageKey, detail: impl Into<String>) -> CbspError {
 fn read_blob_stage(path: &Path) -> Option<String> {
     use std::io::Read;
     let mut header = [0u8; 24];
-    std::fs::File::open(path).ok()?.read_exact(&mut header).ok()?;
+    std::fs::File::open(path)
+        .ok()?
+        .read_exact(&mut header)
+        .ok()?;
     if header[0..4] != crate::blob::BLOB_MAGIC {
         return None;
     }

@@ -504,7 +504,11 @@ pub fn put_slices_legacy(
     wanted.sort_unstable();
     wanted.dedup();
     let key = trace_slice_key(binary, input, config, boundaries, &wanted);
-    store.put_overwrite(TRACE_SLICE_STAGE, &key, &encode_slice_artifact(binary, sliced))?;
+    store.put_overwrite(
+        TRACE_SLICE_STAGE,
+        &key,
+        &encode_slice_artifact(binary, sliced),
+    )?;
     let _ = std::fs::remove_file(store.blob_path(&key));
     for s in &sliced.slices {
         let skey = derived_key(&key, "slice", s.interval as u64);
@@ -1669,7 +1673,13 @@ mod tests {
             .get_slices(&bin, &input, &config, &boundaries, &selected)
             .expect("materializes");
         let key = put_slices_legacy(
-            &store, &bin, &input, &config, &boundaries, &selected, &sliced,
+            &store,
+            &bin,
+            &input,
+            &config,
+            &boundaries,
+            &selected,
+            &sliced,
         )
         .expect("writes legacy");
         assert!(store.contains(&key));
@@ -1718,7 +1728,13 @@ mod tests {
             .get_slices(&bin, &input, &config, &boundaries, &selected)
             .expect("materializes");
         let skey = put_slices_legacy(
-            &store, &bin, &input, &config, &boundaries, &selected, &sliced,
+            &store,
+            &bin,
+            &input,
+            &config,
+            &boundaries,
+            &selected,
+            &sliced,
         )
         .expect("legacy slices");
 
@@ -1734,7 +1750,10 @@ mod tests {
         assert!(store.contains_blob(&tkey) && !store.contains(&tkey));
         assert!(store.contains_blob(&skey) && !store.contains(&skey));
         // Idempotent: nothing legacy remains.
-        assert_eq!(migrate_store(&store).expect("no-op"), MigrateReport::default());
+        assert_eq!(
+            migrate_store(&store).expect("no-op"),
+            MigrateReport::default()
+        );
 
         // Migrated artifacts serve bit-identical data.
         let cache = TraceCache::new(Some(&store));

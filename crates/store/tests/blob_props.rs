@@ -149,7 +149,10 @@ fn legacy_envelope_migrates_to_an_identical_blob() {
 
     let cache = TraceCache::new(Some(&store));
     let via_legacy = cache.get_or_record(&bin, &input).expect("legacy hit");
-    assert_eq!(*via_legacy, recorded, "legacy read-through serves the recording");
+    assert_eq!(
+        *via_legacy, recorded,
+        "legacy read-through serves the recording"
+    );
 
     // The read migrated the envelope; a fresh cache now reads the blob.
     let fresh = TraceCache::new(Some(&store));

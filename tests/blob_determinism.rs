@@ -87,7 +87,12 @@ fn assert_bit_identical(reference: &CpiEstimate, other: &CpiEstimate, label: &st
         other.true_cpi.to_bits(),
         "{label}: true CPI differs"
     );
-    let bits = |e: &CpiEstimate| e.interval_cpis.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+    let bits = |e: &CpiEstimate| {
+        e.interval_cpis
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>()
+    };
     assert_eq!(
         bits(reference),
         bits(other),
@@ -177,8 +182,16 @@ fn migration_preserves_the_estimate() {
     let trace = record_trace(&bin, &input);
     let sliced = slice_trace(&trace, &config, &boundaries, &selected).expect("slices");
     put_trace_legacy(&store, &bin, &input, &trace).expect("legacy trace writes");
-    put_slices_legacy(&store, &bin, &input, &config, &boundaries, &selected, &sliced)
-        .expect("legacy slices write");
+    put_slices_legacy(
+        &store,
+        &bin,
+        &input,
+        &config,
+        &boundaries,
+        &selected,
+        &sliced,
+    )
+    .expect("legacy slices write");
 
     // First read migrates in place (the default), second reads blobs.
     let migrating = TraceCache::new(Some(&store))

@@ -1,0 +1,172 @@
+//! Fuzzy cross-binary mapping: the marker-loss fallback's two load-
+//! bearing guarantees, checked end to end.
+//!
+//! 1. **It works when markers vanish.** Binaries compiled with the
+//!    marker-destroying preset (aggressive inlining + unconditional
+//!    loop splitting — the paper's `applu` failure mode, §5.1) share
+//!    (almost) no mappable markers with a default-compiled primary,
+//!    yet the fuzzy lane must still map ≥ 80% of simulation points
+//!    with a reported confidence.
+//! 2. **It is provably inert otherwise.** When every marker maps
+//!    exactly, enabling fuzzy mapping must not change a single byte of
+//!    the result beyond the all-`Exact` mapping records; and the whole
+//!    fuzzy lane must be byte-identical across thread counts.
+
+use cross_binary_simpoints::core::fuzzy::{mapping_stats, FuzzyConfig, SimpointMapping};
+use cross_binary_simpoints::core::CrossBinaryResult;
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::program::{compile_with, CompileOptions};
+use proptest::prelude::*;
+
+/// The applu scenario: normally-compiled binaries plus optimized
+/// siblings compiled with the marker-destroying preset. The normal
+/// sibling matters — it keeps the pairwise marker union (and therefore
+/// the interval cutting) fine-grained, so the destroyed binaries
+/// genuinely cannot translate most boundaries and must fall back to
+/// similarity matching. (A set where *every* sibling is destroyed
+/// degenerates to coarse-but-exact mapping instead.)
+fn destroyed_set(name: &str) -> Vec<Binary> {
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
+    let destroy = CompileOptions::marker_destroying();
+    vec![
+        compile(&program, CompileTarget::W32_O0),
+        compile(&program, CompileTarget::W64_O0),
+        compile_with(&program, CompileTarget::W32_O2, destroy),
+        compile_with(&program, CompileTarget::W64_O2, destroy),
+    ]
+}
+
+fn run_with(binaries: &[Binary], fuzzy: Option<FuzzyConfig>, threads: usize) -> CrossBinaryResult {
+    let config = CbspConfig {
+        interval_target: 20_000,
+        fuzzy,
+        simpoint: SimPointConfig {
+            threads,
+            ..SimPointConfig::default()
+        },
+        ..CbspConfig::default()
+    };
+    run_cross_binary(
+        &binaries.iter().collect::<Vec<_>>(),
+        &Input::test(),
+        &config,
+    )
+    .expect("pipeline succeeds")
+}
+
+#[test]
+fn fuzzy_lane_maps_marker_destroyed_binaries() {
+    for name in ["swim", "gzip"] {
+        let bins = destroyed_set(name);
+        let r = run_with(&bins, Some(FuzzyConfig::default()), 1);
+
+        assert_eq!(r.mappings.len(), bins.len(), "{name}: one row per binary");
+        for row in &r.mappings {
+            assert_eq!(row.len(), r.simpoint.points.len());
+        }
+        // The primary maps itself exactly.
+        assert!(r.mappings[0]
+            .iter()
+            .all(|m| matches!(m, SimpointMapping::Exact)));
+
+        let stats = mapping_stats(&r.mappings);
+        assert!(
+            stats.mapped_fraction() >= 0.8,
+            "{name}: only {:.0}% of simpoints mapped ({stats:?})",
+            stats.mapped_fraction() * 100.0
+        );
+        // The destroyed binaries must actually exercise the fallback —
+        // if everything still mapped exactly, the preset (or the
+        // pairwise tables) regressed and this test proves nothing.
+        assert!(
+            stats.fuzzy > 0,
+            "{name}: no fuzzy mappings at all ({stats:?})"
+        );
+        for row in &r.mappings {
+            for m in row {
+                if let SimpointMapping::Fuzzy {
+                    confidence,
+                    start,
+                    end,
+                } = m
+                {
+                    assert!(
+                        (FuzzyConfig::DEFAULT_THRESHOLD..=1.0 + 1e-12).contains(confidence),
+                        "{name}: confidence {confidence} outside [threshold, 1]"
+                    );
+                    assert!(start < end, "{name}: empty fuzzy window");
+                }
+            }
+        }
+
+        // Mapping-aware region files still validate (weights
+        // renormalized over the mapped points).
+        for (b, bin) in bins.iter().enumerate() {
+            let pp = r.pinpoints_for(b, bin, &Input::test());
+            assert_eq!(pp.validate(), Ok(()), "{name}: binary {b}");
+        }
+    }
+}
+
+#[test]
+fn fuzzy_is_inert_when_every_marker_maps_exactly() {
+    // Two unoptimized binaries: no inlining, no splitting — every
+    // procedure and loop matches, so the pairwise mappable table
+    // equals the global one and no boundary needs the fallback.
+    let program = workloads::by_name("swim")
+        .expect("in suite")
+        .build(Scale::Test);
+    let bins = vec![
+        compile(&program, CompileTarget::W32_O0),
+        compile(&program, CompileTarget::W64_O0),
+    ];
+
+    let exact = run_with(&bins, None, 1);
+    let fuzzy = run_with(&bins, Some(FuzzyConfig::default()), 1);
+
+    assert!(exact.mappings.is_empty(), "exact lanes carry no mappings");
+    assert!(
+        fuzzy
+            .mappings
+            .iter()
+            .flatten()
+            .all(|m| matches!(m, SimpointMapping::Exact)),
+        "all-mappable set must resolve every point exactly"
+    );
+
+    // Strip the (all-Exact) mapping records: everything else — cutting,
+    // clustering, boundaries, per-binary instruction counts, weights —
+    // must be byte-identical to the exact lane.
+    let mut stripped = fuzzy.clone();
+    stripped.mappings = Vec::new();
+    assert_eq!(exact, stripped);
+    assert_eq!(
+        serde_json::to_string(&exact).expect("serializes"),
+        serde_json::to_string(&stripped).expect("serializes"),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// The fuzzy lane — pairwise tables, offset interpolation, cosine
+    /// sweeps and all — must be byte-identical at 1 and 8 threads.
+    #[test]
+    fn fuzzy_mapping_is_deterministic_across_threads(
+        which in 0usize..3,
+        t in 0usize..3,
+    ) {
+        let name = ["swim", "gzip", "mcf"][which];
+        let threshold = [0.3f64, 0.6, 0.9][t];
+        let bins = destroyed_set(name);
+        let fuzzy = Some(FuzzyConfig { threshold });
+        let serial = run_with(&bins, fuzzy, 1);
+        let pooled = run_with(&bins, fuzzy, 8);
+        prop_assert_eq!(&serial, &pooled);
+        let serial_json = serde_json::to_string(&serial).expect("serializes");
+        let pooled_json = serde_json::to_string(&pooled).expect("serializes");
+        prop_assert_eq!(serial_json, pooled_json);
+    }
+}

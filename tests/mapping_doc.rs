@@ -1,0 +1,253 @@
+//! Replays the worked examples in `docs/MAPPING.md` byte for byte.
+//!
+//! Each example is marked with a `<!-- mapping-verify: ... -->`
+//! comment followed by a fenced ```json block holding exactly one
+//! line: the serialized mapping record the documented scenario must
+//! produce. The marker names the scenario in a tiny spec language:
+//!
+//! ```text
+//! <!-- mapping-verify: swim destroyed threshold=0.6 binary=2 -->
+//! <!-- mapping-verify: swim destroyed threshold=0.6 stats -->
+//! <!-- mapping-verify: gzip plain threshold=0.6 binary=3 -->
+//! ```
+//!
+//! `destroyed` compiles the optimized siblings with the
+//! marker-destroying preset (the paper's `applu` failure mode);
+//! `plain` uses the default suite targets. `binary=N` serializes that
+//! binary's per-simpoint mapping row, `stats` the aggregate
+//! [`MappingStats`]. All scenarios run at `Scale::Test`, interval
+//! 20 000, single-threaded (the fuzzy lane is thread-count
+//! deterministic anyway — see `tests/fuzzy_mapping.rs`).
+//!
+//! This is the same contract as `crates/serve/tests/protocol_doc.rs`:
+//! the document cannot drift from the implementation without failing
+//! CI. After changing the fuzzy matcher, regenerate with
+//!
+//! ```text
+//! cargo test --test mapping_doc -- --ignored
+//! ```
+//!
+//! review the diff, and re-run the non-ignored replay test.
+
+use cross_binary_simpoints::core::fuzzy::{mapping_stats, FuzzyConfig};
+use cross_binary_simpoints::core::CrossBinaryResult;
+use cross_binary_simpoints::prelude::*;
+use cross_binary_simpoints::program::{compile_with, CompileOptions};
+use std::collections::BTreeMap;
+
+const DOC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/MAPPING.md");
+
+/// What a marker asks to be serialized.
+enum Output {
+    /// One binary's per-simpoint mapping row.
+    Binary(usize),
+    /// The aggregate `MappingStats` over all binaries.
+    Stats,
+}
+
+struct Spec {
+    benchmark: String,
+    destroyed: bool,
+    threshold: f64,
+    output: Output,
+}
+
+fn parse_spec(body: &str, line: usize) -> Spec {
+    let mut words = body.split_whitespace();
+    let benchmark = words
+        .next()
+        .unwrap_or_else(|| panic!("marker at line {line}: missing benchmark"))
+        .to_string();
+    let mut destroyed = None;
+    let mut threshold = None;
+    let mut output = None;
+    for word in words {
+        match word {
+            "destroyed" => destroyed = Some(true),
+            "plain" => destroyed = Some(false),
+            "stats" => output = Some(Output::Stats),
+            _ => {
+                if let Some(t) = word.strip_prefix("threshold=") {
+                    threshold =
+                        Some(t.parse().unwrap_or_else(|_| {
+                            panic!("marker at line {line}: bad threshold {t:?}")
+                        }));
+                } else if let Some(b) = word.strip_prefix("binary=") {
+                    output = Some(Output::Binary(b.parse().unwrap_or_else(|_| {
+                        panic!("marker at line {line}: bad binary index {b:?}")
+                    })));
+                } else {
+                    panic!("marker at line {line}: unknown word {word:?}");
+                }
+            }
+        }
+    }
+    Spec {
+        benchmark,
+        destroyed: destroyed.unwrap_or_else(|| panic!("marker at line {line}: destroyed|plain")),
+        threshold: threshold.unwrap_or_else(|| panic!("marker at line {line}: threshold=")),
+        output: output.unwrap_or_else(|| panic!("marker at line {line}: binary=N or stats")),
+    }
+}
+
+/// The documented binary set: W32/W64 × O0/O2. `destroyed` compiles
+/// the O2 siblings with the marker-destroying preset, which is the
+/// `applu` scenario of `docs/MAPPING.md`.
+fn binary_set(name: &str, destroyed: bool) -> Vec<Binary> {
+    let program = workloads::by_name(name)
+        .expect("in suite")
+        .build(Scale::Test);
+    let opts = if destroyed {
+        CompileOptions::marker_destroying()
+    } else {
+        CompileOptions::default()
+    };
+    vec![
+        compile(&program, CompileTarget::W32_O0),
+        compile(&program, CompileTarget::W64_O0),
+        compile_with(&program, CompileTarget::W32_O2, opts),
+        compile_with(&program, CompileTarget::W64_O2, opts),
+    ]
+}
+
+/// Runs (or reuses) the scenario's pipeline and serializes the output
+/// the marker asks for — this exact string must appear in the fence.
+fn render(spec: &Spec, cache: &mut BTreeMap<(String, bool, u64), CrossBinaryResult>) -> String {
+    let key = (
+        spec.benchmark.clone(),
+        spec.destroyed,
+        spec.threshold.to_bits(),
+    );
+    let result = cache.entry(key).or_insert_with(|| {
+        let bins = binary_set(&spec.benchmark, spec.destroyed);
+        let config = CbspConfig {
+            interval_target: 20_000,
+            fuzzy: Some(FuzzyConfig {
+                threshold: spec.threshold,
+            }),
+            simpoint: SimPointConfig {
+                threads: 1,
+                ..SimPointConfig::default()
+            },
+            ..CbspConfig::default()
+        };
+        run_cross_binary(&bins.iter().collect::<Vec<_>>(), &Input::test(), &config)
+            .expect("pipeline succeeds")
+    });
+    match spec.output {
+        Output::Binary(b) => serde_json::to_string(&result.mappings[b]).expect("serializes"),
+        Output::Stats => {
+            serde_json::to_string(&mapping_stats(&result.mappings)).expect("serializes")
+        }
+    }
+}
+
+struct Example {
+    line: usize,
+    spec: Spec,
+    expected: String,
+}
+
+/// Pulls the single line out of the ```json fence that must follow a
+/// mapping-verify marker.
+fn fenced_line<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    marker_line: usize,
+) -> String {
+    let Some((_, fence)) = lines.next() else {
+        panic!("marker at line {marker_line} is not followed by a fence");
+    };
+    assert_eq!(
+        fence.trim(),
+        "```json",
+        "marker at line {marker_line} must be followed by a ```json fence"
+    );
+    let mut body = None;
+    for (n, line) in lines.by_ref() {
+        if line.trim() == "```" {
+            return body.unwrap_or_else(|| panic!("empty fence after line {marker_line}"));
+        }
+        assert!(
+            body.is_none(),
+            "fence after line {marker_line} holds more than one line (line {n})"
+        );
+        body = Some(line.to_string());
+    }
+    panic!("unterminated fence after line {marker_line}");
+}
+
+fn extract_examples(doc: &str) -> Vec<Example> {
+    let mut lines = doc.lines().enumerate();
+    let mut examples = Vec::new();
+    while let Some((n, line)) = lines.next() {
+        let trimmed = line.trim();
+        let Some(body) = trimmed
+            .strip_prefix("<!-- mapping-verify:")
+            .and_then(|rest| rest.strip_suffix("-->"))
+        else {
+            continue;
+        };
+        examples.push(Example {
+            line: n + 1,
+            spec: parse_spec(body, n + 1),
+            expected: fenced_line(&mut lines, n + 1),
+        });
+    }
+    examples
+}
+
+#[test]
+fn documented_examples_replay_byte_for_byte() {
+    let doc = std::fs::read_to_string(DOC_PATH).expect("docs/MAPPING.md readable");
+    let examples = extract_examples(&doc);
+    assert!(
+        examples.len() >= 4,
+        "MAPPING.md documents at least four verified examples, found {}",
+        examples.len()
+    );
+
+    let mut cache = BTreeMap::new();
+    for example in &examples {
+        let got = render(&example.spec, &mut cache);
+        assert_eq!(
+            got, example.expected,
+            "mapping record drifted from the example documented at MAPPING.md line {}",
+            example.line
+        );
+    }
+}
+
+/// Rewrites every mapping-verify fence in `docs/MAPPING.md` with the
+/// freshly computed record — markers and prose are left untouched.
+/// Run manually after any change to the fuzzy matcher, then review
+/// the diff and re-run the replay test.
+#[test]
+#[ignore = "rewrites docs/MAPPING.md from live pipeline output"]
+fn regenerate_documented_examples() {
+    let doc = std::fs::read_to_string(DOC_PATH).expect("docs/MAPPING.md readable");
+
+    let mut cache = BTreeMap::new();
+    let mut out = String::new();
+    let mut lines = doc.lines().enumerate();
+    while let Some((n, line)) = lines.next() {
+        out.push_str(line);
+        out.push('\n');
+        let trimmed = line.trim();
+        let Some(body) = trimmed
+            .strip_prefix("<!-- mapping-verify:")
+            .and_then(|rest| rest.strip_suffix("-->"))
+        else {
+            continue;
+        };
+        let spec = parse_spec(body, n + 1);
+        // Consume the existing fence, whatever it holds.
+        let _ = fenced_line(&mut lines, n + 1);
+        out.push_str("```json\n");
+        out.push_str(&render(&spec, &mut cache));
+        out.push_str("\n```\n");
+    }
+
+    if out != doc {
+        std::fs::write(DOC_PATH, out).expect("docs/MAPPING.md written");
+    }
+}
